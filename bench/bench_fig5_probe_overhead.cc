@@ -1,0 +1,106 @@
+// Fig 5 reproduction: localization accuracy and false positives vs probes/minute for the three
+// systems — deTector, Pingmesh+Netbouncer, NetNORAD+fbtracert — on the 4-ary fat-tree testbed,
+// one randomly-typed failure per trial.
+//
+// The x-axis counts probe packets per minute including replies, as the paper does; each round
+// trip is two packets. The paper's anchor: 98% accuracy needs ~7200 probes/min for deTector vs
+// ~20700 (NetNORAD) and ~35100 (Pingmesh), i.e. 1.9x / 3.9x more.
+#include "bench/harness.h"
+#include "src/baselines/netnorad.h"
+#include "src/baselines/pingmesh.h"
+#include "src/pmc/pmc.h"
+#include "src/routing/fattree_routing.h"
+
+namespace detector {
+namespace {
+
+int64_t RoundTripsPerWindow(int64_t probes_per_minute, double window_seconds) {
+  // One "(ping and reply) probe" = one round trip.
+  return static_cast<int64_t>(static_cast<double>(probes_per_minute) *
+                              (window_seconds / 60.0));
+}
+
+}  // namespace
+}  // namespace detector
+
+int main(int argc, char** argv) {
+  using namespace detector;
+  Flags flags;
+  flags.Parse(argc, argv);
+  const int trials = static_cast<int>(flags.GetInt("trials", 100));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 5));
+
+  bench::PrintHeader(
+      "Fig 5 — accuracy & false positives vs probes/minute, Fattree(4), single failure",
+      "x = probe packets (ping+reply) per minute, detection budget only; playback probes the\n"
+      "baselines additionally spend are reported in the 'extra' columns.\n"
+      "[paper] 98% accuracy at ~7200 (deTector) vs 20700 (NetNORAD) vs 35100 (Pingmesh).");
+
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  const ProbeConfig probe;
+
+  PmcOptions pmc;
+  pmc.alpha = 3;
+  pmc.beta = 1;  // 2-identifiability is impossible at k=4 (§6.3)
+  ProbeMatrix matrix = BuildProbeMatrix(routing, PathEnumMode::kFull, pmc).matrix;
+  DetectorMonitoring detector_sys(ft.topology(), std::move(matrix), ControllerOptions{},
+                                  PllOptions{}, probe);
+  PingmeshSystem pingmesh(ft, routing, probe, PingmeshOptions{});
+  NetnoradOptions nn_options;
+  nn_options.pinger_pods = 4;  // k=4 has too few pods to leave any without pingers
+  NetnoradSystem netnorad(ft, probe, nn_options);
+
+  FailureModelOptions fm_options;
+  fm_options.min_loss_rate = 1e-3;
+  const FailureModel model(ft.topology(), fm_options);
+
+  TablePrinter table({"probes/min", "deTector acc%", "fp%", "Pingmesh acc%", "fp%", "extra/min",
+                      "NetNORAD acc%", "fp%", "extra/min"});
+
+  // One scenario list shared by every budget row and every system, so the sweep isolates the
+  // budget's effect.
+  std::vector<FailureScenario> scenarios;
+  {
+    Rng scenario_rng(seed);
+    for (int t = 0; t < trials; ++t) {
+      scenarios.push_back(model.SampleLinkFailures(1, scenario_rng));
+    }
+  }
+
+  for (const int64_t ppm : {1200, 2400, 4800, 7200, 14400, 28800, 57600}) {
+    const int64_t budget = RoundTripsPerWindow(ppm, 30.0);
+    ConfusionCounts det_counts;
+    ConfusionCounts pm_counts;
+    ConfusionCounts nn_counts;
+    int64_t pm_extra = 0;
+    int64_t nn_extra = 0;
+    Rng rng(seed + static_cast<uint64_t>(ppm));
+    for (int t = 0; t < trials; ++t) {
+      const FailureScenario& scenario = scenarios[static_cast<size_t>(t)];
+      const auto truth = scenario.FailedLinks();
+      const auto det = detector_sys.Run(scenario, budget, rng);
+      det_counts += EvaluateLocalization(det.suspects, truth);
+      const auto pm = pingmesh.Run(scenario, budget, rng);
+      pm_counts += EvaluateLocalization(pm.suspects, truth);
+      pm_extra += std::max<int64_t>(0, pm.probe_round_trips - budget);
+      const auto nn = netnorad.Run(scenario, budget, rng);
+      nn_counts += EvaluateLocalization(nn.suspects, truth);
+      nn_extra += std::max<int64_t>(0, nn.probe_round_trips - budget);
+    }
+    table.AddRow({TablePrinter::FmtInt(ppm), TablePrinter::FmtPercent(det_counts.Accuracy(), 1),
+                  TablePrinter::FmtPercent(det_counts.FalsePositiveRatio(), 1),
+                  TablePrinter::FmtPercent(pm_counts.Accuracy(), 1),
+                  TablePrinter::FmtPercent(pm_counts.FalsePositiveRatio(), 1),
+                  TablePrinter::FmtInt(pm_extra * 2 / trials),
+                  TablePrinter::FmtPercent(nn_counts.Accuracy(), 1),
+                  TablePrinter::FmtPercent(nn_counts.FalsePositiveRatio(), 1),
+                  TablePrinter::FmtInt(nn_extra * 2 / trials)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape checks vs paper: deTector reaches its accuracy plateau at a several-fold\n"
+      "smaller probe budget than NetNORAD, which needs less than Pingmesh; the baselines also\n"
+      "spend extra playback probes after every alarm and still miss transient/low-rate cases.\n");
+  return 0;
+}

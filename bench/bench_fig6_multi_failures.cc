@@ -1,0 +1,73 @@
+// Fig 6 reproduction: accuracy and false positives under multiple simultaneous failures at a
+// fixed probe budget (5850 probes/minute in the paper) for deTector, Pingmesh+Netbouncer and
+// NetNORAD+fbtracert on the 4-ary fat-tree testbed.
+#include "bench/harness.h"
+#include "src/baselines/netnorad.h"
+#include "src/baselines/pingmesh.h"
+#include "src/pmc/pmc.h"
+#include "src/routing/fattree_routing.h"
+
+int main(int argc, char** argv) {
+  using namespace detector;
+  Flags flags;
+  flags.Parse(argc, argv);
+  const int trials = static_cast<int>(flags.GetInt("trials", 100));
+  const int64_t ppm = flags.GetInt("probes-per-minute", 5850);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
+
+  bench::PrintHeader(
+      "Fig 6 — accuracy & false positives vs #concurrent failures, fixed " +
+          std::to_string(ppm) + " probes/min, Fattree(4)",
+      "[paper] deTector stays far ahead of both baselines across 1..N concurrent failures.");
+
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  const ProbeConfig probe;
+
+  PmcOptions pmc;
+  pmc.alpha = 3;
+  pmc.beta = 1;
+  ProbeMatrix matrix = BuildProbeMatrix(routing, PathEnumMode::kFull, pmc).matrix;
+  DetectorMonitoring detector_sys(ft.topology(), std::move(matrix), ControllerOptions{},
+                                  PllOptions{}, probe);
+  PingmeshSystem pingmesh(ft, routing, probe, PingmeshOptions{});
+  NetnoradOptions nn_options;
+  nn_options.pinger_pods = 4;
+  NetnoradSystem netnorad(ft, probe, nn_options);
+
+  FailureModelOptions fm_options;
+  fm_options.min_loss_rate = 1e-3;
+  const FailureModel model(ft.topology(), fm_options);
+
+  // One "(ping and reply) probe" = one round trip; per 30 s detection window.
+  const int64_t budget = static_cast<int64_t>(static_cast<double>(ppm) * 0.5);
+
+  TablePrinter table({"#failures", "deTector acc%", "fp%", "Pingmesh acc%", "fp%",
+                      "NetNORAD acc%", "fp%"});
+  for (const int failures : {1, 2, 3, 4, 5, 6}) {
+    ConfusionCounts det_counts;
+    ConfusionCounts pm_counts;
+    ConfusionCounts nn_counts;
+    Rng rng(seed + static_cast<uint64_t>(failures));
+    for (int t = 0; t < trials; ++t) {
+      const FailureScenario scenario = model.SampleLinkFailures(failures, rng);
+      const auto truth = scenario.FailedLinks();
+      det_counts += EvaluateLocalization(detector_sys.Run(scenario, budget, rng).suspects, truth);
+      pm_counts += EvaluateLocalization(pingmesh.Run(scenario, budget, rng).suspects, truth);
+      nn_counts += EvaluateLocalization(netnorad.Run(scenario, budget, rng).suspects, truth);
+    }
+    table.AddRow({TablePrinter::FmtInt(failures),
+                  TablePrinter::FmtPercent(det_counts.Accuracy(), 1),
+                  TablePrinter::FmtPercent(det_counts.FalsePositiveRatio(), 1),
+                  TablePrinter::FmtPercent(pm_counts.Accuracy(), 1),
+                  TablePrinter::FmtPercent(pm_counts.FalsePositiveRatio(), 1),
+                  TablePrinter::FmtPercent(nn_counts.Accuracy(), 1),
+                  TablePrinter::FmtPercent(nn_counts.FalsePositiveRatio(), 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape checks vs paper: at the same fixed budget deTector's accuracy dominates both\n"
+      "baselines at every failure count, and it needs no post-alarm probing round (30 s\n"
+      "earlier localization; the baselines' numbers already include their playback round).\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Table 3 reproduction: number of probe paths selected for (alpha, beta) in {(1,0), (1,1),
+// (3,2)} across DCNs, vs. the size of the original path universe.
+//
+// Small/medium instances run the greedy PMC (full enumeration where affordable, otherwise the
+// symmetry-reduced candidate set); Fattree(32)/(64) use the structured symmetry-replication
+// generator, whose counts land on the same k^3/8 grid the paper's numbers sit on — (1,0) and
+// (3,2) match the paper exactly; (1,1) uses 3 perfect-cover families (3k^3/8) where the paper's
+// greedy found 1.875 k^3/8.
+#include "bench/harness.h"
+#include "src/pmc/pmc.h"
+#include "src/pmc/structured_fattree.h"
+#include "src/routing/bcube_routing.h"
+#include "src/routing/fattree_routing.h"
+#include "src/routing/vl2_routing.h"
+#include "src/topo/bcube.h"
+#include "src/topo/fattree.h"
+#include "src/topo/vl2.h"
+
+namespace detector {
+namespace {
+
+std::string RunGreedy(const PathProvider& provider, const PathStore& candidates, int alpha,
+                      int beta) {
+  PmcOptions options;
+  options.alpha = alpha;
+  options.beta = beta;
+  options.num_threads = 2;
+  try {
+    const PmcResult result =
+        BuildProbeMatrixFromCandidates(provider.topology(), candidates, options);
+    return TablePrinter::FmtInt(static_cast<int64_t>(result.stats.num_selected));
+  } catch (const std::runtime_error&) {
+    return "state>limit";
+  }
+}
+
+}  // namespace
+}  // namespace detector
+
+int main(int argc, char** argv) {
+  using namespace detector;
+  Flags flags;
+  flags.Parse(argc, argv);
+  const std::string scale = flags.GetString("scale", "small");
+
+  bench::PrintHeader(
+      "Table 3 — selected probe paths for (alpha, beta)",
+      "greedy = PMC over full or symmetry-reduced candidates; structured = closed-form families.\n"
+      "[paper] values where the paper lists the same instance.");
+
+  TablePrinter table(
+      {"DCN", "method", "orig paths", "(1,0)", "(1,1)", "(3,2)", "paper (1,0)/(1,1)/(3,2)"});
+
+  {
+    const int k = scale == "paper" ? 24 : 16;
+    const FatTree ft(k);
+    const FatTreeRouting routing(ft);
+    // Full enumeration at k=16 is 3.9M paths; use the reduced candidates for beta=2 state size.
+    const PathStore candidates = routing.Enumerate(PathEnumMode::kSymmetryReduced);
+    table.AddRow({"Fattree(" + std::to_string(k) + ")", "greedy",
+                  TablePrinter::FmtInt(static_cast<int64_t>(routing.TotalPathCount())),
+                  RunGreedy(routing, candidates, 1, 0), RunGreedy(routing, candidates, 1, 1),
+                  RunGreedy(routing, candidates, 3, 2), "-"});
+  }
+  for (int k : {32, 64}) {
+    const FatTree ft(k);
+    const FatTreeRouting routing(ft);
+    auto structured = [&](int alpha, int beta) {
+      return TablePrinter::FmtInt(static_cast<int64_t>(
+          StructuredFatTreePaths(ft, DefaultStructuredFamilies(alpha, beta)).size()));
+    };
+    const std::string paper =
+        k == 32 ? "[4096 / 7680 / 12288]" : "[32768 / 61440 / 98304]";
+    table.AddRow({"Fattree(" + std::to_string(k) + ")", "structured",
+                  TablePrinter::FmtInt(static_cast<int64_t>(routing.TotalPathCount())),
+                  structured(1, 0), structured(1, 1), structured(3, 2), paper});
+  }
+  {
+    const Vl2 vl2(20, 12, 20);
+    const Vl2Routing routing(vl2);
+    const PathStore candidates = routing.Enumerate(PathEnumMode::kFull);
+    table.AddRow({"VL2(20,12,20)", "greedy",
+                  TablePrinter::FmtInt(static_cast<int64_t>(routing.TotalPathCount())),
+                  RunGreedy(routing, candidates, 1, 0), RunGreedy(routing, candidates, 1, 1),
+                  RunGreedy(routing, candidates, 3, 2), "-"});
+  }
+  {
+    const Vl2 vl2(72, 48, 40);
+    const Vl2Routing routing(vl2);
+    const PathStore candidates = routing.Enumerate(PathEnumMode::kSymmetryReduced);
+    table.AddRow({"VL2(72,48,40)", "greedy(sym)",
+                  TablePrinter::FmtInt(static_cast<int64_t>(routing.TotalPathCount())),
+                  RunGreedy(routing, candidates, 1, 0), RunGreedy(routing, candidates, 1, 1),
+                  RunGreedy(routing, candidates, 3, 2), "[864 / 1440 / 2640]"});
+  }
+  {
+    const Bcube bc(8, 2);
+    const BcubeRouting routing(bc);
+    const PathStore candidates = routing.Enumerate(PathEnumMode::kFull);
+    table.AddRow({"BCube(8,2)", "greedy",
+                  TablePrinter::FmtInt(static_cast<int64_t>(routing.TotalPathCount())),
+                  RunGreedy(routing, candidates, 1, 0), RunGreedy(routing, candidates, 1, 1),
+                  RunGreedy(routing, candidates, 3, 2), "[1712 / 2016 / 2832]"});
+  }
+  table.Print();
+  std::printf(
+      "\nShape checks vs paper: selections are a vanishing fraction of the original universe;\n"
+      "VL2 needs far fewer paths than same-scale fat-trees (fewer inter-switch links); beta\n"
+      "raises the count far more gently than the universe grows; Fattree (1,0)/(3,2)\n"
+      "structured counts equal the paper's numbers exactly.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Table 5 reproduction: localization accuracy / false positive / false negative ratios with a
+// 2-identifiable probe matrix in a 48-ary fat-tree (55,296 inter-switch links), under 1..50
+// simultaneous failures.
+//
+// At this scale the probe matrix comes from the structured symmetry-replication generator
+// (exactly the regime Observation 3 exists for); its 2-identifiability is verified exhaustively
+// at small k in the test suite and by sampling here. False negatives should concentrate on
+// ultra-low-rate losses that cannot manifest within one window — the paper's own explanation.
+#include "bench/harness.h"
+#include "src/pmc/identifiability.h"
+#include "src/pmc/structured_fattree.h"
+
+int main(int argc, char** argv) {
+  using namespace detector;
+  Flags flags;
+  flags.Parse(argc, argv);
+  const int k = static_cast<int>(flags.GetInt("k", 48));
+  const int trials = static_cast<int>(flags.GetInt("trials", 16));
+  const int packets = static_cast<int>(flags.GetInt("packets", 300));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  const bool verify = flags.GetBool("verify", true);
+
+  bench::PrintHeader(
+      "Table 5 — fault localization with a 2-identifiable matrix, Fattree(" + std::to_string(k) +
+          ")",
+      "Failure mix includes the full log-uniform 1e-4..1 loss-rate range: the lowest rates are\n"
+      "expected to go unseen in one 30 s window and populate the FN row (paper §6.4).");
+
+  const FatTree ft(k);
+  ProbeMatrix matrix = StructuredFatTreeProbeMatrix(ft, /*alpha=*/1, /*beta=*/2);
+  std::printf("probe paths: %zu over %d monitored links\n", matrix.NumPaths(),
+              matrix.NumLinks());
+  if (verify) {
+    const auto report = VerifyIdentifiability(matrix, 2, /*max_combos=*/2'000'000, seed);
+    std::printf("identifiability check: beta>=%d%s%s\n\n", report.achieved_beta,
+                report.sampled ? " (sampled pairs)" : "",
+                report.counterexample.empty() ? "" : (" — " + report.counterexample).c_str());
+  }
+
+  FailureModelOptions fm_options;  // full Gill/Benson-shaped mix, incl. 1e-4 loss rates
+  const FailureModel model(ft.topology(), fm_options);
+
+  TablePrinter table({"# failed links", "accuracy %", "false positive %", "false negative %",
+                      "paper acc/fp/fn"});
+  const struct {
+    int failures;
+    const char* paper;
+  } rows[] = {{1, "[98.95 / 0.01 / 1.05]"},
+              {5, "[98.99 / 0.02 / 1.01]"},
+              {10, "[98.98 / 0.02 / 1.02]"},
+              {20, "[98.93 / 0.02 / 1.07]"},
+              {50, "[98.87 / 0.02 / 1.13]"}};
+
+  Rng rng(seed);
+  for (const auto& row : rows) {
+    const auto trial = bench::RunPllTrials(ft.topology(), matrix, model, row.failures, trials,
+                                           packets, rng);
+    table.AddRow({TablePrinter::FmtInt(row.failures),
+                  TablePrinter::FmtPercent(trial.counts.Accuracy(), 2),
+                  TablePrinter::FmtPercent(trial.counts.FalsePositiveRatio(), 2),
+                  TablePrinter::FmtPercent(trial.counts.FalseNegativeRatio(), 2), row.paper});
+  }
+  table.Print();
+  std::printf(
+      "\nShape checks vs paper: accuracy stays ~99%% and flat in the failure count; false\n"
+      "positives stay well under 1%%; the small false-negative floor tracks the share of\n"
+      "scenarios whose loss rate is too low to surface within one window.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Gray-failure hunt: the paper's motivating scenario (§2). A packet blackhole drops a subset
+// of flows on one link — switch counters show nothing, and Pingmesh-style ECMP probing dilutes
+// the signal across paths. This example runs deTector and the two baselines side by side on the
+// same scenario at the same probe budget and reports who finds the culprit, and when.
+//
+//   ./gray_failure_hunt [--k=4] [--budget=6000] [--transient] [--seed=2]
+#include <cstdio>
+
+#include "src/baselines/netnorad.h"
+#include "src/baselines/pingmesh.h"
+#include "src/common/flags.h"
+#include "src/localize/metrics.h"
+#include "src/pmc/pmc.h"
+#include "src/routing/fattree_routing.h"
+
+int main(int argc, char** argv) {
+  using namespace detector;
+  Flags flags;
+  flags.Parse(argc, argv);
+  const int k = static_cast<int>(flags.GetInt("k", 4));
+  const int64_t budget = flags.GetInt("budget", 6000);
+  const bool transient = flags.GetBool("transient", false);
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 2)));
+
+  const FatTree fattree(k);
+  const FatTreeRouting routing(fattree);
+  const ProbeConfig probe;
+
+  // The gray failure: a blackhole matching 40% of flows on one agg-core link.
+  FailureScenario scenario;
+  LinkFailure f;
+  f.link = fattree.AggCoreLink(1, 0, 1);
+  f.type = FailureType::kDeterministicPartial;
+  f.match_fraction = 0.4;
+  f.rule_seed = 77;
+  scenario.failures.push_back(f);
+  scenario.transient = transient;
+  std::printf("scenario: blackhole on %s matching %.0f%% of flows%s\n",
+              fattree.topology().LinkName(f.link).c_str(), f.match_fraction * 100,
+              transient ? " (TRANSIENT: clears before any playback round)" : "");
+  std::printf("budget: %lld detection round trips per 30 s window\n\n",
+              static_cast<long long>(budget));
+
+  PmcOptions pmc;
+  pmc.alpha = 3;
+  pmc.beta = 1;
+  ProbeMatrix matrix = BuildProbeMatrix(routing, PathEnumMode::kFull, pmc).matrix;
+  DetectorMonitoring detector_sys(fattree.topology(), std::move(matrix), ControllerOptions{},
+                                  PllOptions{}, probe);
+  PingmeshSystem pingmesh(fattree, routing, probe, PingmeshOptions{});
+  NetnoradOptions nn_options;
+  nn_options.pinger_pods = k;
+  NetnoradSystem netnorad(fattree, probe, nn_options);
+
+  MonitoringSystem* systems[] = {&detector_sys, &pingmesh, &netnorad};
+  for (MonitoringSystem* system : systems) {
+    const auto result = system->Run(scenario, budget, rng);
+    const auto counts = EvaluateLocalization(result.suspects, scenario.FailedLinks());
+    std::printf("%-22s -> ", system->name().c_str());
+    if (counts.true_positives == 1 && counts.false_positives == 0) {
+      std::printf("FOUND the blackhole in %.0f s, %lld probes",
+                  result.latency_seconds, static_cast<long long>(result.probe_round_trips));
+    } else if (counts.true_positives == 1) {
+      std::printf("found it plus %lld false positive(s), %.0f s",
+                  static_cast<long long>(counts.false_positives), result.latency_seconds);
+    } else if (!result.suspects.empty()) {
+      std::printf("MISLOCALIZED (%zu wrong links), %.0f s", result.suspects.size(),
+                  result.latency_seconds);
+    } else {
+      std::printf("MISSED (no localization; %lld pair alarms), %.0f s",
+                  static_cast<long long>(result.alarmed_pairs), result.latency_seconds);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected: deTector localizes from its own detection window (30 s). The baselines\n"
+      "need a playback round (60 s) — and with --transient the failure is gone before it.\n");
+  return 0;
+}

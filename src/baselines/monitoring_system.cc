@@ -1,0 +1,61 @@
+#include "src/baselines/monitoring_system.h"
+
+#include <algorithm>
+
+#include "src/detector/diagnoser.h"
+#include "src/detector/pinger.h"
+#include "src/sim/watchdog.h"
+
+namespace detector {
+
+DetectorMonitoring::DetectorMonitoring(const Topology& topo, ProbeMatrix matrix,
+                                       ControllerOptions controller, PllOptions pll,
+                                       ProbeConfig probe, double window_seconds)
+    : topo_(topo),
+      matrix_(std::move(matrix)),
+      controller_options_(controller),
+      pll_options_(pll),
+      probe_(probe),
+      window_seconds_(window_seconds) {
+  Watchdog watchdog(topo_);
+  Controller ctrl(topo_, controller_options_);
+  pinglists_ = ctrl.BuildPinglists(matrix_, watchdog);
+}
+
+size_t DetectorMonitoring::num_pinglist_entries() const {
+  size_t total = 0;
+  for (const Pinglist& list : pinglists_) {
+    total += list.entries.size();
+  }
+  return total;
+}
+
+MonitoringRoundResult DetectorMonitoring::Run(const FailureScenario& scenario,
+                                              int64_t detection_budget, Rng& rng) {
+  ProbeEngine engine(topo_, scenario, probe_);
+  Watchdog watchdog(topo_);
+  Diagnoser diagnoser(pll_options_);
+  MonitoringRoundResult result;
+
+  for (const Pinglist& list : pinglists_) {
+    if (list.entries.empty()) {
+      continue;
+    }
+    // Scale the pinger's rate so the whole system spends ~detection_budget round trips.
+    Pinglist scaled = list;
+    const double share = static_cast<double>(detection_budget) *
+                         static_cast<double>(list.entries.size()) /
+                         static_cast<double>(std::max<size_t>(1, num_pinglist_entries()));
+    scaled.packets_per_second = std::max(1.0, share / window_seconds_);
+    Pinger pinger(scaled, /*confirm_packets=*/2);
+    const PingerWindowResult window = pinger.RunWindow(engine, window_seconds_, rng);
+    result.probe_round_trips += window.probes_sent;
+    diagnoser.Ingest(window);
+  }
+  LocalizeResult loc = diagnoser.Diagnose(matrix_, watchdog);
+  result.suspects = std::move(loc.links);
+  result.latency_seconds = window_seconds_;
+  return result;
+}
+
+}  // namespace detector

@@ -1,0 +1,62 @@
+// Common interface for the three monitoring systems compared in §6.3 (Figs 5/6): deTector,
+// Pingmesh (+Netbouncer playback) and NetNORAD (+fbtracert playback). One Run() executes a full
+// detect-and-localize round against a failure scenario under a detection probe budget, so the
+// bench can sweep probes/minute fairly across systems.
+#ifndef SRC_BASELINES_MONITORING_SYSTEM_H_
+#define SRC_BASELINES_MONITORING_SYSTEM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/detector/controller.h"
+#include "src/localize/localizer.h"
+#include "src/localize/pll.h"
+#include "src/pmc/probe_matrix.h"
+#include "src/sim/failure_model.h"
+#include "src/sim/probe_engine.h"
+
+namespace detector {
+
+struct MonitoringRoundResult {
+  std::vector<SuspectLink> suspects;
+  int64_t probe_round_trips = 0;      // detection + localization probes actually sent
+  double latency_seconds = 0.0;       // failure onset -> localization available
+  int64_t alarmed_pairs = 0;          // server-pair alarms raised (baselines only)
+};
+
+class MonitoringSystem {
+ public:
+  virtual ~MonitoringSystem() = default;
+  virtual std::string name() const = 0;
+  // detection_budget = probe round trips the system may spend on detection in one window.
+  virtual MonitoringRoundResult Run(const FailureScenario& scenario, int64_t detection_budget,
+                                    Rng& rng) = 0;
+};
+
+// deTector under the shared interface: the budget is spread over the probe matrix's pinglist
+// entries; detection and localization use the same window's data (latency = one window).
+class DetectorMonitoring : public MonitoringSystem {
+ public:
+  DetectorMonitoring(const Topology& topo, ProbeMatrix matrix, ControllerOptions controller,
+                     PllOptions pll, ProbeConfig probe, double window_seconds = 30.0);
+
+  std::string name() const override { return "deTector"; }
+  MonitoringRoundResult Run(const FailureScenario& scenario, int64_t detection_budget,
+                            Rng& rng) override;
+
+  const ProbeMatrix& matrix() const { return matrix_; }
+  size_t num_pinglist_entries() const;
+
+ private:
+  const Topology& topo_;
+  ProbeMatrix matrix_;
+  ControllerOptions controller_options_;
+  PllOptions pll_options_;
+  ProbeConfig probe_;
+  double window_seconds_;
+  std::vector<Pinglist> pinglists_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_BASELINES_MONITORING_SYSTEM_H_

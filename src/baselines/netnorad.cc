@@ -1,0 +1,89 @@
+#include "src/baselines/netnorad.h"
+
+#include <algorithm>
+
+namespace detector {
+
+NetnoradSystem::NetnoradSystem(const FatTree& fattree, ProbeConfig probe,
+                               NetnoradOptions options)
+    : fattree_(fattree), probe_(probe), options_(options) {
+  const int half = fattree_.k() / 2;
+  // Pingers: pingers_per_pod servers spread over the first pinger_pods pods.
+  std::vector<NodeId> pingers;
+  const int pods = std::min(options_.pinger_pods, fattree_.num_pods());
+  for (int p = 0; p < pods; ++p) {
+    for (int i = 0; i < options_.pingers_per_pod; ++i) {
+      const int e = i % half;
+      const int s = i % fattree_.servers_per_tor();
+      pingers.push_back(fattree_.Server(p, e, s));
+    }
+  }
+  // Targets: one representative server per ToR (rotating index).
+  for (const NodeId pinger : pingers) {
+    for (int t = 0; t < fattree_.num_tors(); ++t) {
+      const int pod = t / half;
+      const int e = t % half;
+      const NodeId target = fattree_.Server(pod, e, t % fattree_.servers_per_tor());
+      if (target != pinger) {
+        pairs_.emplace_back(pinger, target);
+      }
+    }
+  }
+}
+
+MonitoringRoundResult NetnoradSystem::Run(const FailureScenario& scenario,
+                                          int64_t detection_budget, Rng& rng) {
+  ProbeEngine engine(fattree_.topology(), scenario, probe_);
+  MonitoringRoundResult result;
+
+  const int64_t per_pair =
+      std::max<int64_t>(1, detection_budget / static_cast<int64_t>(pairs_.size()));
+  std::vector<ServerPair> alarmed;
+  for (const auto& [src, dst] : pairs_) {
+    int64_t sent = 0;
+    int64_t lost = 0;
+    const int ports = std::max(1, options_.port_count);
+    for (int p = 0; p < ports; ++p) {
+      const int64_t n = per_pair / ports + (p < per_pair % ports ? 1 : 0);
+      if (n == 0) {
+        continue;
+      }
+      FlowKey flow;
+      flow.src = src;
+      flow.dst = dst;
+      flow.src_port = static_cast<uint16_t>(probe_.src_port_base + p);
+      flow.dst_port = probe_.dst_port;
+      const std::vector<LinkId> path = FatTreeEcmpPath(fattree_, flow);
+      const PathObservation obs = engine.SimulateFlow(path, flow, static_cast<int>(n), rng);
+      sent += obs.sent;
+      lost += obs.lost;
+    }
+    result.probe_round_trips += sent;
+    if (sent > 0 && lost >= options_.min_losses &&
+        static_cast<double>(lost) / static_cast<double>(sent) >
+            options_.pair_alarm_loss_ratio) {
+      alarmed.emplace_back(src, dst);
+    }
+  }
+  result.alarmed_pairs = static_cast<int64_t>(alarmed.size());
+
+  if (!alarmed.empty()) {
+    if (scenario.transient) {
+      engine.SetFailuresActive(false);
+    }
+    // fbtracert's per-hop sample count scales with the granted budget, like detection.
+    PlaybackOptions playback_options = options_.playback;
+    playback_options.packets_per_hop = static_cast<int>(
+        std::max<int64_t>(playback_options.packets_per_hop, per_pair));
+    const PlaybackResult playback =
+        FbtracertLocalize(engine, fattree_, alarmed, playback_options, rng);
+    result.suspects = playback.suspects;
+    result.probe_round_trips += playback.probe_round_trips;
+    result.latency_seconds = 2.0 * options_.window_seconds;
+  } else {
+    result.latency_seconds = options_.window_seconds;
+  }
+  return result;
+}
+
+}  // namespace detector

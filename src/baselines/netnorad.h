@@ -1,0 +1,41 @@
+// NetNORAD baseline (Facebook, as characterized in §2): like Pingmesh but pingers live in a
+// subset of pods only, each pinging one representative server under every ToR. No path control
+// (ECMP); localization needs an fbtracert playback round in the next window.
+#ifndef SRC_BASELINES_NETNORAD_H_
+#define SRC_BASELINES_NETNORAD_H_
+
+#include "src/baselines/monitoring_system.h"
+#include "src/baselines/playback_localizer.h"
+
+namespace detector {
+
+struct NetnoradOptions {
+  int pinger_pods = 2;        // pods hosting pingers
+  int pingers_per_pod = 2;
+  double pair_alarm_loss_ratio = 1e-3;
+  int64_t min_losses = 1;
+  int port_count = 8;
+  double window_seconds = 30.0;
+  PlaybackOptions playback;
+};
+
+class NetnoradSystem : public MonitoringSystem {
+ public:
+  NetnoradSystem(const FatTree& fattree, ProbeConfig probe, NetnoradOptions options);
+
+  std::string name() const override { return "NetNORAD+fbtracert"; }
+  MonitoringRoundResult Run(const FailureScenario& scenario, int64_t detection_budget,
+                            Rng& rng) override;
+
+  const std::vector<ServerPair>& probe_pairs() const { return pairs_; }
+
+ private:
+  const FatTree& fattree_;
+  ProbeConfig probe_;
+  NetnoradOptions options_;
+  std::vector<ServerPair> pairs_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_BASELINES_NETNORAD_H_

@@ -1,0 +1,98 @@
+#include "src/baselines/pingmesh.h"
+
+#include <algorithm>
+
+namespace detector {
+
+PingmeshSystem::PingmeshSystem(const FatTree& fattree, const FatTreeRouting& routing,
+                               ProbeConfig probe, PingmeshOptions options)
+    : fattree_(fattree), routing_(routing), probe_(probe), options_(options) {
+  const int half = fattree_.k() / 2;
+  // ToR-level complete graph: one representative server pair per ordered ToR pair (the
+  // representative rotates with the pair so racks contribute multiple servers overall).
+  const int num_tors = fattree_.num_tors();
+  for (int t1 = 0; t1 < num_tors; ++t1) {
+    for (int t2 = 0; t2 < num_tors; ++t2) {
+      if (t1 == t2) {
+        continue;
+      }
+      const int s1 = (t1 + t2) % fattree_.servers_per_tor();
+      const int s2 = (t1 * 31 + t2) % fattree_.servers_per_tor();
+      pairs_.emplace_back(fattree_.Server(t1 / half, t1 % half, s1),
+                          fattree_.Server(t2 / half, t2 % half, s2));
+    }
+  }
+  // Intra-rack complete graph (adjacent server pairs suffice for the rack mesh's purpose:
+  // covering server links; the full quadratic mesh would dominate the probe budget).
+  if (options_.include_intra_tor) {
+    for (int t = 0; t < num_tors; ++t) {
+      for (int s = 0; s < fattree_.servers_per_tor(); ++s) {
+        const int s2 = (s + 1) % fattree_.servers_per_tor();
+        if (s2 != s) {
+          pairs_.emplace_back(fattree_.Server(t / half, t % half, s),
+                              fattree_.Server(t / half, t % half, s2));
+        }
+      }
+    }
+  }
+}
+
+MonitoringRoundResult PingmeshSystem::Run(const FailureScenario& scenario,
+                                          int64_t detection_budget, Rng& rng) {
+  ProbeEngine engine(fattree_.topology(), scenario, probe_);
+  MonitoringRoundResult result;
+
+  const int64_t per_pair =
+      std::max<int64_t>(1, detection_budget / static_cast<int64_t>(pairs_.size()));
+  std::vector<ServerPair> alarmed;
+  for (const auto& [src, dst] : pairs_) {
+    // Spread the pair's packets over the port loop; each port hashes onto its own ECMP path.
+    int64_t sent = 0;
+    int64_t lost = 0;
+    const int ports = std::max(1, options_.port_count);
+    for (int p = 0; p < ports; ++p) {
+      const int64_t n = per_pair / ports + (p < per_pair % ports ? 1 : 0);
+      if (n == 0) {
+        continue;
+      }
+      FlowKey flow;
+      flow.src = src;
+      flow.dst = dst;
+      flow.src_port = static_cast<uint16_t>(probe_.src_port_base + p);
+      flow.dst_port = probe_.dst_port;
+      const std::vector<LinkId> path = FatTreeEcmpPath(fattree_, flow);
+      const PathObservation obs = engine.SimulateFlow(path, flow, static_cast<int>(n), rng);
+      sent += obs.sent;
+      lost += obs.lost;
+    }
+    result.probe_round_trips += sent;
+    if (sent > 0 && lost >= options_.min_losses &&
+        static_cast<double>(lost) / static_cast<double>(sent) >
+            options_.pair_alarm_loss_ratio) {
+      alarmed.emplace_back(src, dst);
+    }
+  }
+  result.alarmed_pairs = static_cast<int64_t>(alarmed.size());
+
+  // Netbouncer playback happens in the next window; transient failures have cleared by then.
+  if (!alarmed.empty()) {
+    if (scenario.transient) {
+      engine.SetFailuresActive(false);
+    }
+    // Playback probing scales with the same budget the operator granted detection: a bigger
+    // probe allowance buys more playback samples per suspect path too.
+    PlaybackOptions playback_options = options_.playback;
+    playback_options.packets_per_path = static_cast<int>(
+        std::max<int64_t>(playback_options.packets_per_path, per_pair));
+    const PlaybackResult playback =
+        NetbouncerLocalize(engine, routing_, alarmed, playback_options, rng);
+    result.suspects = playback.suspects;
+    result.probe_round_trips += playback.probe_round_trips;
+    result.latency_seconds = 2.0 * options_.window_seconds;
+  } else {
+    result.latency_seconds = options_.window_seconds;
+  }
+  return result;
+}
+
+}  // namespace detector

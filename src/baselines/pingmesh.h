@@ -1,0 +1,45 @@
+// Pingmesh baseline (Guo et al. SIGCOMM'15, as characterized in §2): probes between every
+// server pair under a ToR (intra-rack mesh) and between every ToR pair (one representative
+// server pair), with no path control — ECMP decides where probes go. Detection yields
+// suspected server pairs; localization requires a Netbouncer playback round in the NEXT
+// window, so transient failures escape and latency doubles.
+#ifndef SRC_BASELINES_PINGMESH_H_
+#define SRC_BASELINES_PINGMESH_H_
+
+#include "src/baselines/monitoring_system.h"
+#include "src/baselines/playback_localizer.h"
+#include "src/routing/fattree_routing.h"
+
+namespace detector {
+
+struct PingmeshOptions {
+  double pair_alarm_loss_ratio = 1e-3;
+  int64_t min_losses = 1;
+  int port_count = 8;           // ECMP entropy per pair
+  bool include_intra_tor = true;
+  double window_seconds = 30.0;
+  PlaybackOptions playback;
+};
+
+class PingmeshSystem : public MonitoringSystem {
+ public:
+  PingmeshSystem(const FatTree& fattree, const FatTreeRouting& routing, ProbeConfig probe,
+                 PingmeshOptions options);
+
+  std::string name() const override { return "Pingmesh+Netbouncer"; }
+  MonitoringRoundResult Run(const FailureScenario& scenario, int64_t detection_budget,
+                            Rng& rng) override;
+
+  const std::vector<ServerPair>& probe_pairs() const { return pairs_; }
+
+ private:
+  const FatTree& fattree_;
+  const FatTreeRouting& routing_;
+  ProbeConfig probe_;
+  PingmeshOptions options_;
+  std::vector<ServerPair> pairs_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_BASELINES_PINGMESH_H_

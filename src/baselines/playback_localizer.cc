@@ -1,0 +1,116 @@
+#include "src/baselines/playback_localizer.h"
+
+#include <algorithm>
+#include <map>
+
+namespace detector {
+
+PlaybackResult NetbouncerLocalize(const ProbeEngine& engine, const FatTreeRouting& routing,
+                                  std::span<const ServerPair> alarmed_pairs,
+                                  const PlaybackOptions& options, Rng& rng) {
+  PlaybackResult result;
+  const FatTree& fattree = routing.fattree();
+  const Topology& topo = fattree.topology();
+
+  // Collect the parallel-path playback matrix over all alarmed pairs (ToR-level, deduplicated).
+  PathStore playback;
+  std::map<std::pair<NodeId, NodeId>, bool> seen_tor_pairs;
+  const size_t pair_limit = std::min<size_t>(alarmed_pairs.size(),
+                                             static_cast<size_t>(options.max_alarm_pairs));
+  for (size_t i = 0; i < pair_limit; ++i) {
+    const auto [src_server, dst_server] = alarmed_pairs[i];
+    const NodeId src_tor = fattree.TorOfServer(src_server);
+    const NodeId dst_tor = fattree.TorOfServer(dst_server);
+    if (src_tor == dst_tor || !seen_tor_pairs.emplace(std::minmax(src_tor, dst_tor), true).second) {
+      continue;
+    }
+    const PathStore pair_paths = routing.ParallelPaths(src_tor, dst_tor);
+    for (size_t p = 0; p < pair_paths.size(); ++p) {
+      playback.Add(src_server, dst_server, pair_paths.Links(static_cast<PathId>(p)));
+    }
+  }
+  if (playback.empty()) {
+    return result;
+  }
+
+  // Source-routed probes on every playback path, then PLL inference over the mini-matrix.
+  Observations obs(playback.size());
+  for (size_t p = 0; p < playback.size(); ++p) {
+    const PathId pid = static_cast<PathId>(p);
+    obs[p] = engine.SimulatePath(playback.Links(pid), playback.src(pid), playback.dst(pid),
+                                 options.packets_per_path, rng);
+    result.probe_round_trips += obs[p].sent;
+  }
+  ProbeMatrix matrix(std::move(playback), LinkIndex::ForMonitored(topo));
+  PllLocalizer pll(options.pll);
+  result.suspects = pll.Localize(matrix, obs).links;
+  return result;
+}
+
+PlaybackResult FbtracertLocalize(const ProbeEngine& engine, const FatTree& fattree,
+                                 std::span<const ServerPair> alarmed_pairs,
+                                 const PlaybackOptions& options, Rng& rng) {
+  PlaybackResult result;
+  // fbtracert semantics: walk each ECMP path with TTL-limited probes and blame the FIRST hop
+  // whose response rate drops significantly (deeper hops carry no independent signal — their
+  // rates are conditioned on surviving the earlier loss). One noisy walk must not convict a
+  // link, so a suspect needs consistent flags across the walks that examined it.
+  struct LinkTally {
+    double estimate_sum = 0.0;
+    int flags = 0;
+    int examinations = 0;
+  };
+  std::map<LinkId, LinkTally> tallies;
+
+  // Sensitivity scales with the per-hop sample count: flagging needs ~3 lost packets.
+  const double threshold =
+      std::max(options.hop_loss_threshold, 3.0 / static_cast<double>(options.packets_per_hop));
+  const size_t pair_limit = std::min<size_t>(alarmed_pairs.size(),
+                                             static_cast<size_t>(options.max_alarm_pairs));
+  for (size_t i = 0; i < pair_limit; ++i) {
+    const auto [src, dst] = alarmed_pairs[i];
+    for (int port = 0; port < options.ports_per_pair; ++port) {
+      FlowKey flow;
+      flow.src = src;
+      flow.dst = dst;
+      flow.src_port = static_cast<uint16_t>(33434 + port);
+      flow.dst_port = 31000;
+      const std::vector<LinkId> path = FatTreeEcmpPath(fattree, flow);
+      double prev_rate = 1.0;
+      for (size_t hop = 1; hop <= path.size(); ++hop) {
+        const double success = engine.OneWaySuccessProbability(
+            std::span<const LinkId>(path.data(), hop), flow);
+        const int64_t responses =
+            options.packets_per_hop -
+            rng.NextBinomial(options.packets_per_hop, 1.0 - success);
+        result.probe_round_trips += options.packets_per_hop;
+        const double rate =
+            static_cast<double>(responses) / static_cast<double>(options.packets_per_hop);
+        const double hop_loss = std::max(0.0, 1.0 - rate / std::max(prev_rate, 1e-9));
+        LinkTally& tally = tallies[path[hop - 1]];
+        ++tally.examinations;
+        if (hop_loss > threshold) {
+          tally.estimate_sum += hop_loss;
+          ++tally.flags;
+          break;
+        }
+        prev_rate = rate;
+      }
+    }
+  }
+
+  for (const auto& [link, tally] : tallies) {
+    if (tally.flags >= 2 &&
+        static_cast<double>(tally.flags) >= 0.25 * static_cast<double>(tally.examinations)) {
+      SuspectLink suspect;
+      suspect.link = link;
+      suspect.estimated_loss_rate = tally.estimate_sum / static_cast<double>(tally.flags);
+      suspect.hit_ratio =
+          static_cast<double>(tally.flags) / static_cast<double>(tally.examinations);
+      result.suspects.push_back(suspect);
+    }
+  }
+  return result;
+}
+
+}  // namespace detector

@@ -1,0 +1,47 @@
+// Post-alarm playback localization used by the baseline systems (§2, §6.3):
+//  - Netbouncer style (Pingmesh): after a server-pair alarm, probe ALL parallel source-routed
+//    paths between the pair's ToRs and infer the bad link from the playback observations.
+//  - fbtracert style (NetNORAD): send TTL-limited probes along sampled ECMP paths; the per-hop
+//    response-rate drop exposes the lossy hop.
+// Both run one aggregation window after detection — transient failures are gone by then.
+#ifndef SRC_BASELINES_PLAYBACK_LOCALIZER_H_
+#define SRC_BASELINES_PLAYBACK_LOCALIZER_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/localize/pll.h"
+#include "src/routing/fattree_routing.h"
+#include "src/sim/probe_engine.h"
+
+namespace detector {
+
+struct PlaybackOptions {
+  int packets_per_path = 20;   // Netbouncer: per parallel path
+  int packets_per_hop = 50;    // fbtracert: per TTL prefix
+  int ports_per_pair = 8;      // fbtracert: distinct ECMP paths sampled per alarmed pair
+  // fbtracert flags the first hop whose estimated loss exceeds max(this floor, 3/packets_per_hop)
+  // — more per-hop packets buy sensitivity to lower loss rates.
+  double hop_loss_threshold = 0.01;
+  int max_alarm_pairs = 64;    // cap on pairs played back per round
+  PllOptions pll;              // Netbouncer inference over the playback matrix
+};
+
+struct PlaybackResult {
+  std::vector<SuspectLink> suspects;
+  int64_t probe_round_trips = 0;
+};
+
+using ServerPair = std::pair<NodeId, NodeId>;
+
+PlaybackResult NetbouncerLocalize(const ProbeEngine& engine, const FatTreeRouting& routing,
+                                  std::span<const ServerPair> alarmed_pairs,
+                                  const PlaybackOptions& options, Rng& rng);
+
+PlaybackResult FbtracertLocalize(const ProbeEngine& engine, const FatTree& fattree,
+                                 std::span<const ServerPair> alarmed_pairs,
+                                 const PlaybackOptions& options, Rng& rng);
+
+}  // namespace detector
+
+#endif  // SRC_BASELINES_PLAYBACK_LOCALIZER_H_

@@ -1,0 +1,93 @@
+// Dynamic bitset with the operations the PMC/PLL algorithms need: set/test, popcount,
+// word-level OR, and iteration over set bits. Kept header-only for inlining in hot loops.
+#ifndef SRC_COMMON_BITSET_H_
+#define SRC_COMMON_BITSET_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace detector {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(size_t bits) { Resize(bits); }
+
+  void Resize(size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+
+  size_t size() const { return bits_; }
+
+  void Set(size_t i) {
+    DCHECK(i < bits_);
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+
+  void Clear(size_t i) {
+    DCHECK(i < bits_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  bool Test(size_t i) const {
+    DCHECK(i < bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void Reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+  size_t Count() const {
+    size_t total = 0;
+    for (uint64_t w : words_) {
+      total += static_cast<size_t>(std::popcount(w));
+    }
+    return total;
+  }
+
+  // this |= other. Sizes must match.
+  void OrWith(const DynamicBitset& other) {
+    DCHECK(bits_ == other.bits_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      words_[i] |= other.words_[i];
+    }
+  }
+
+  bool operator==(const DynamicBitset& other) const {
+    return bits_ == other.bits_ && words_ == other.words_;
+  }
+
+  // Calls fn(index) for every set bit in ascending order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = std::countr_zero(w);
+        fn(wi * 64 + static_cast<size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+  // FNV-style hash over the words, for signature grouping.
+  uint64_t Hash() const {
+    uint64_t h = 1469598103934665603ULL;
+    for (uint64_t w : words_) {
+      h ^= w;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+
+ private:
+  size_t bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_COMMON_BITSET_H_

@@ -1,0 +1,68 @@
+// Checked assertions for invariants. CHECK aborts with a message in all build types; DCHECK is
+// compiled out in NDEBUG builds. Both are intended for programmer errors, not recoverable
+// conditions (use exceptions or status returns for those).
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace detector {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Stream collector so CHECK(x) << "context" works.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessage() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detector
+
+#define DETECTOR_CHECK(cond)                                  \
+  if (cond) {                                                 \
+  } else                                                      \
+    ::detector::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define CHECK_OP(a, b, op) DETECTOR_CHECK((a)op(b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+
+#define CHECK(cond) DETECTOR_CHECK(cond)
+#define CHECK_EQ(a, b) CHECK_OP(a, b, ==)
+#define CHECK_NE(a, b) CHECK_OP(a, b, !=)
+#define CHECK_LT(a, b) CHECK_OP(a, b, <)
+#define CHECK_LE(a, b) CHECK_OP(a, b, <=)
+#define CHECK_GT(a, b) CHECK_OP(a, b, >)
+#define CHECK_GE(a, b) CHECK_OP(a, b, >=)
+
+#ifdef NDEBUG
+#define DCHECK(cond) \
+  if (true) {        \
+  } else             \
+    ::detector::CheckMessage(__FILE__, __LINE__, #cond)
+#else
+#define DCHECK(cond) DETECTOR_CHECK(cond)
+#endif
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,87 @@
+#include "src/common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace detector {
+
+bool Flags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    if (arg.empty()) {
+      // "--" terminates flag parsing; rest is positional.
+      for (int j = i + 1; j < argc; ++j) {
+        positional_.emplace_back(argv[j]);
+      }
+      return true;
+    }
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      // Bare boolean. Values must use --name=value: "--name value" would be ambiguous with a
+      // boolean flag followed by a positional argument.
+      values_[arg] = "true";
+    }
+  }
+  return true;
+}
+
+bool Flags::Has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::optional<std::string> Flags::Lookup(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::string Flags::GetString(const std::string& name, const std::string& default_value) const {
+  return Lookup(name).value_or(default_value);
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t default_value) const {
+  auto v = Lookup(name);
+  if (!v) {
+    return default_value;
+  }
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name, double default_value) const {
+  auto v = Lookup(name);
+  if (!v) {
+    return default_value;
+  }
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& name, bool default_value) const {
+  auto v = Lookup(name);
+  if (!v) {
+    return default_value;
+  }
+  return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+}
+
+void Flags::Describe(const std::string& name, const std::string& help) {
+  descriptions_.emplace_back(name, help);
+}
+
+std::string Flags::HelpText(const std::string& program) const {
+  std::ostringstream out;
+  out << "Usage: " << program << " [flags]\n";
+  for (const auto& [name, help] : descriptions_) {
+    out << "  --" << name << "\n      " << help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace detector

@@ -1,0 +1,42 @@
+// Tiny command-line flag parser for benches and examples. Accepts --name=value and
+// --name value forms plus bare --bool-flag. Unknown flags are an error by default so typos
+// in experiment sweeps fail loudly.
+#ifndef SRC_COMMON_FLAGS_H_
+#define SRC_COMMON_FLAGS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace detector {
+
+class Flags {
+ public:
+  // Parses argv; returns false (and prints to stderr) on malformed input.
+  bool Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name, const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  // Positional (non --flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Registers a flag for --help output; purely documentation.
+  void Describe(const std::string& name, const std::string& help);
+  std::string HelpText(const std::string& program) const;
+
+ private:
+  std::optional<std::string> Lookup(const std::string& name) const;
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::vector<std::pair<std::string, std::string>> descriptions_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_COMMON_FLAGS_H_

@@ -1,0 +1,61 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace detector {
+namespace {
+
+std::atomic<int> g_min_level = [] {
+  if (const char* env = std::getenv("DETECTOR_LOG_LEVEL"); env != nullptr && *env != '\0') {
+    return std::atoi(env);
+  }
+  return static_cast<int>(LogLevel::kInfo);
+}();
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetMinLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
+
+LogLevel MinLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+
+namespace log_internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) < static_cast<int>(MinLogLevel())) {
+    return;
+  }
+  stream_ << "\n";
+  // One fwrite per message keeps concurrent log lines whole.
+  const std::string s = stream_.str();
+  std::fwrite(s.data(), 1, s.size(), stderr);
+}
+
+}  // namespace log_internal
+}  // namespace detector

@@ -1,0 +1,58 @@
+// Minimal leveled logging to stderr. Severity is filtered by SetMinLogLevel or the
+// DETECTOR_LOG_LEVEL environment variable (0=DEBUG .. 3=ERROR). Thread-safe line output.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace detector {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global minimum level; messages below it are dropped.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is filtered out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace log_internal
+}  // namespace detector
+
+#define DETECTOR_LOG_AT(level)                                        \
+  (static_cast<int>(level) < static_cast<int>(::detector::MinLogLevel())) \
+      ? void(0)                                                       \
+      : void(::detector::log_internal::LogMessage(level, __FILE__, __LINE__))
+
+#define LOG_DEBUG ::detector::log_internal::LogMessage(::detector::LogLevel::kDebug, __FILE__, __LINE__)
+#define LOG_INFO ::detector::log_internal::LogMessage(::detector::LogLevel::kInfo, __FILE__, __LINE__)
+#define LOG_WARN ::detector::log_internal::LogMessage(::detector::LogLevel::kWarning, __FILE__, __LINE__)
+#define LOG_ERROR ::detector::log_internal::LogMessage(::detector::LogLevel::kError, __FILE__, __LINE__)
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,66 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace detector {
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::Variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::Stddev() const { return std::sqrt(Variance()); }
+
+double Percentile(std::vector<double> samples, double p) {
+  return PercentileInPlace(samples, p);
+}
+
+double PercentileInPlace(std::vector<double>& samples, double p) {
+  CHECK(!samples.empty());
+  CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) {
+    return samples[0];
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double ConfusionCounts::Accuracy() const {
+  const int64_t denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positives) / static_cast<double>(denom);
+}
+
+double ConfusionCounts::FalsePositiveRatio() const {
+  const int64_t denom = true_positives + false_positives;
+  return denom == 0 ? 0.0 : static_cast<double>(false_positives) / static_cast<double>(denom);
+}
+
+double ConfusionCounts::FalseNegativeRatio() const {
+  const int64_t denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0 : static_cast<double>(false_negatives) / static_cast<double>(denom);
+}
+
+}  // namespace detector

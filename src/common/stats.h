@@ -1,0 +1,60 @@
+// Small statistics toolkit: online mean/variance, percentiles, and the confusion-matrix
+// metrics the paper reports (accuracy = true-positive ratio, false-positive ratio,
+// false-negative ratio; §5.3 and §6.4 definitions).
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace detector {
+
+// Welford online accumulator.
+class OnlineStats {
+ public:
+  void Add(double x);
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double Variance() const;
+  double Stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile of a sample (linear interpolation between order statistics). p in [0, 100].
+// The input vector is copied; use PercentileInPlace to avoid the copy.
+double Percentile(std::vector<double> samples, double p);
+double PercentileInPlace(std::vector<double>& samples, double p);
+
+// Confusion counts for link-level localization, following the paper's definitions:
+//   accuracy        = TP / (TP + FN)   (bad links correctly identified over all truly bad links)
+//   false positive  = FP / (TP + FP)   (good links flagged bad over all flagged links)
+//   false negative  = FN / (TP + FN)
+// All ratios return 0 when their denominator is 0.
+struct ConfusionCounts {
+  int64_t true_positives = 0;
+  int64_t false_positives = 0;
+  int64_t false_negatives = 0;
+
+  double Accuracy() const;
+  double FalsePositiveRatio() const;
+  double FalseNegativeRatio() const;
+
+  ConfusionCounts& operator+=(const ConfusionCounts& other) {
+    true_positives += other.true_positives;
+    false_positives += other.false_positives;
+    false_negatives += other.false_negatives;
+    return *this;
+  }
+};
+
+}  // namespace detector
+
+#endif  // SRC_COMMON_STATS_H_

@@ -1,0 +1,37 @@
+// Aligned table printer used by the benchmark harness so each bench prints the same rows the
+// paper's tables/figures report, optionally with a CSV dump for plotting.
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace detector {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Row cells; fewer cells than headers is allowed (padded blank).
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience cell formatters.
+  static std::string Fmt(double v, int precision = 2);
+  static std::string FmtPercent(double ratio, int precision = 2);  // 0.983 -> "98.30"
+  static std::string FmtInt(int64_t v);
+
+  // Render with column alignment and a header separator.
+  std::string Render() const;
+  void Print() const;  // to stdout
+
+  // RFC-4180-ish CSV (no quoting of embedded commas needed for our cells).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_COMMON_TABLE_H_

@@ -1,0 +1,100 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace detector {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WaitAll() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) {
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::unique_lock lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t num_threads,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, n);
+  if (num_threads == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= n) {
+          return;
+        }
+        fn(i);
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+}
+
+}  // namespace detector

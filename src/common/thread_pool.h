@@ -1,0 +1,49 @@
+// Fixed-size thread pool used to solve independent PMC subproblems (decomposed components)
+// and to run Monte-Carlo localization trials in parallel.
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace detector {
+
+class ThreadPool {
+ public:
+  // num_threads == 0 picks hardware_concurrency (min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished running.
+  void WaitAll();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  // Convenience: runs fn(i) for i in [0, n) across the pool and waits.
+  static void ParallelFor(size_t n, size_t num_threads, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace detector
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

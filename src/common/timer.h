@@ -1,0 +1,28 @@
+// Wall-clock timing helpers for the benchmark harness and PMC/PLL runtime accounting.
+#ifndef SRC_COMMON_TIMER_H_
+#define SRC_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace detector {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_COMMON_TIMER_H_

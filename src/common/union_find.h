@@ -1,0 +1,68 @@
+// Disjoint-set forest with path halving + union by size. Used by the PMC decomposition
+// (Observation 1: connected components of the path-link bipartite graph).
+#ifndef SRC_COMMON_UNION_FIND_H_
+#define SRC_COMMON_UNION_FIND_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace detector {
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  size_t Find(size_t x) {
+    DCHECK(x < parent_.size());
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  // Returns true if the two elements were in different sets.
+  bool Union(size_t a, size_t b) {
+    size_t ra = Find(a);
+    size_t rb = Find(b);
+    if (ra == rb) {
+      return false;
+    }
+    if (size_[ra] < size_[rb]) {
+      std::swap(ra, rb);
+    }
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    return true;
+  }
+
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+  size_t SetSize(size_t x) { return size_[Find(x)]; }
+
+  size_t NumElements() const { return parent_.size(); }
+
+  // Number of distinct sets.
+  size_t NumSets() {
+    size_t count = 0;
+    for (size_t i = 0; i < parent_.size(); ++i) {
+      if (Find(i) == i) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_COMMON_UNION_FIND_H_

@@ -1,0 +1,316 @@
+#include "src/common/xml.h"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+#include "src/common/check.h"
+
+namespace detector {
+
+const XmlNode* XmlNode::Child(const std::string& child_name) const {
+  for (const auto& c : children) {
+    if (c->name == child_name) {
+      return c.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::Children(const std::string& child_name) const {
+  std::vector<const XmlNode*> result;
+  for (const auto& c : children) {
+    if (c->name == child_name) {
+      result.push_back(c.get());
+    }
+  }
+  return result;
+}
+
+std::string XmlNode::Attr(const std::string& key, const std::string& default_value) const {
+  auto it = attributes.find(key);
+  return it == attributes.end() ? default_value : it->second;
+}
+
+int64_t XmlNode::AttrInt(const std::string& key, int64_t default_value) const {
+  auto it = attributes.find(key);
+  return it == attributes.end() ? default_value : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double XmlNode::AttrDouble(const std::string& key, double default_value) const {
+  auto it = attributes.find(key);
+  return it == attributes.end() ? default_value : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string XmlEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+XmlWriter::XmlWriter() { out_ = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"; }
+
+void XmlWriter::CloseStartTagIfOpen() {
+  if (start_tag_open_) {
+    out_ += ">";
+    start_tag_open_ = false;
+  }
+}
+
+void XmlWriter::Open(const std::string& name) {
+  CloseStartTagIfOpen();
+  out_ += "<" + name;
+  stack_.push_back(name);
+  start_tag_open_ = true;
+}
+
+void XmlWriter::Attribute(const std::string& key, const std::string& value) {
+  CHECK(start_tag_open_) << "Attribute() outside a start tag";
+  out_ += " " + key + "=\"" + XmlEscape(value) + "\"";
+}
+
+void XmlWriter::Attribute(const std::string& key, int64_t value) {
+  Attribute(key, std::to_string(value));
+}
+
+void XmlWriter::Attribute(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  Attribute(key, std::string(buf));
+}
+
+void XmlWriter::Text(const std::string& text) {
+  CloseStartTagIfOpen();
+  out_ += XmlEscape(text);
+}
+
+void XmlWriter::Close() {
+  CHECK(!stack_.empty()) << "Close() with no open element";
+  if (start_tag_open_) {
+    out_ += "/>";
+    start_tag_open_ = false;
+  } else {
+    out_ += "</" + stack_.back() + ">";
+  }
+  stack_.pop_back();
+}
+
+std::string XmlWriter::TakeString() {
+  CHECK(stack_.empty()) << "unclosed elements remain";
+  return std::move(out_);
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& input) : in_(input) {}
+
+  std::unique_ptr<XmlNode> ParseDocument() {
+    SkipProlog();
+    auto root = ParseElement();
+    SkipWhitespace();
+    if (pos_ != in_.size()) {
+      Fail("trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& why) {
+    throw std::runtime_error("XML parse error at offset " + std::to_string(pos_) + ": " + why);
+  }
+
+  char Peek() const { return pos_ < in_.size() ? in_[pos_] : '\0'; }
+
+  char Next() {
+    if (pos_ >= in_.size()) {
+      Fail("unexpected end of input");
+    }
+    return in_[pos_++];
+  }
+
+  bool Consume(const std::string& token) {
+    if (in_.compare(pos_, token.size(), token) == 0) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < in_.size() && std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void SkipProlog() {
+    SkipWhitespace();
+    if (Consume("<?")) {
+      const size_t end = in_.find("?>", pos_);
+      if (end == std::string::npos) {
+        Fail("unterminated <? prolog");
+      }
+      pos_ = end + 2;
+    }
+    SkipWhitespace();
+    while (Consume("<!--")) {
+      const size_t end = in_.find("-->", pos_);
+      if (end == std::string::npos) {
+        Fail("unterminated comment");
+      }
+      pos_ = end + 3;
+      SkipWhitespace();
+    }
+  }
+
+  std::string ParseName() {
+    const size_t start = pos_;
+    while (pos_ < in_.size()) {
+      const char c = in_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' || c == ':' ||
+          c == '.') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      Fail("expected name");
+    }
+    return in_.substr(start, pos_ - start);
+  }
+
+  std::string Unescape(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out += raw[i++];
+        continue;
+      }
+      if (raw.compare(i, 5, "&amp;") == 0) {
+        out += '&';
+        i += 5;
+      } else if (raw.compare(i, 4, "&lt;") == 0) {
+        out += '<';
+        i += 4;
+      } else if (raw.compare(i, 4, "&gt;") == 0) {
+        out += '>';
+        i += 4;
+      } else if (raw.compare(i, 6, "&quot;") == 0) {
+        out += '"';
+        i += 6;
+      } else if (raw.compare(i, 6, "&apos;") == 0) {
+        out += '\'';
+        i += 6;
+      } else {
+        Fail("unknown entity");
+      }
+    }
+    return out;
+  }
+
+  std::unique_ptr<XmlNode> ParseElement() {
+    SkipWhitespace();
+    if (Next() != '<') {
+      Fail("expected '<'");
+    }
+    auto node = std::make_unique<XmlNode>();
+    node->name = ParseName();
+    for (;;) {
+      SkipWhitespace();
+      const char c = Peek();
+      if (c == '/') {
+        ++pos_;
+        if (Next() != '>') {
+          Fail("expected '>' after '/'");
+        }
+        return node;  // self-closing
+      }
+      if (c == '>') {
+        ++pos_;
+        break;
+      }
+      const std::string key = ParseName();
+      SkipWhitespace();
+      if (Next() != '=') {
+        Fail("expected '=' in attribute");
+      }
+      SkipWhitespace();
+      const char quote = Next();
+      if (quote != '"' && quote != '\'') {
+        Fail("expected quoted attribute value");
+      }
+      const size_t end = in_.find(quote, pos_);
+      if (end == std::string::npos) {
+        Fail("unterminated attribute value");
+      }
+      node->attributes[key] = Unescape(in_.substr(pos_, end - pos_));
+      pos_ = end + 1;
+    }
+    // Content: text and child elements until </name>.
+    for (;;) {
+      const size_t lt = in_.find('<', pos_);
+      if (lt == std::string::npos) {
+        Fail("unterminated element " + node->name);
+      }
+      node->text += Unescape(in_.substr(pos_, lt - pos_));
+      pos_ = lt;
+      if (in_.compare(pos_, 2, "</") == 0) {
+        pos_ += 2;
+        const std::string closing = ParseName();
+        if (closing != node->name) {
+          Fail("mismatched closing tag " + closing + " for " + node->name);
+        }
+        SkipWhitespace();
+        if (Next() != '>') {
+          Fail("expected '>' in closing tag");
+        }
+        return node;
+      }
+      if (in_.compare(pos_, 4, "<!--") == 0) {
+        const size_t end = in_.find("-->", pos_);
+        if (end == std::string::npos) {
+          Fail("unterminated comment");
+        }
+        pos_ = end + 3;
+        continue;
+      }
+      node->children.push_back(ParseElement());
+    }
+  }
+
+  const std::string& in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<XmlNode> ParseXml(const std::string& input) {
+  Parser parser(input);
+  return parser.ParseDocument();
+}
+
+}  // namespace detector

@@ -1,0 +1,60 @@
+// Minimal XML writer/parser. The paper dispatches probe work as XML pinglist files (§6.1) and
+// pingers POST XML reports back; this module supports exactly that subset: nested elements,
+// attributes, text content, and the five standard entities. No namespaces, CDATA or DTDs.
+#ifndef SRC_COMMON_XML_H_
+#define SRC_COMMON_XML_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace detector {
+
+struct XmlNode {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  std::string text;  // concatenated character data directly inside this element
+  std::vector<std::unique_ptr<XmlNode>> children;
+
+  // First child with the given element name, or nullptr.
+  const XmlNode* Child(const std::string& child_name) const;
+  // All children with the given element name.
+  std::vector<const XmlNode*> Children(const std::string& child_name) const;
+  // Attribute value or default.
+  std::string Attr(const std::string& key, const std::string& default_value = "") const;
+  int64_t AttrInt(const std::string& key, int64_t default_value = 0) const;
+  double AttrDouble(const std::string& key, double default_value = 0.0) const;
+};
+
+class XmlWriter {
+ public:
+  XmlWriter();
+
+  void Open(const std::string& name);
+  void Attribute(const std::string& key, const std::string& value);
+  void Attribute(const std::string& key, int64_t value);
+  void Attribute(const std::string& key, double value);
+  void Text(const std::string& text);
+  void Close();
+
+  // Finishes the document; all elements must be closed.
+  std::string TakeString();
+
+ private:
+  void CloseStartTagIfOpen();
+
+  std::string out_;
+  std::vector<std::string> stack_;
+  bool start_tag_open_ = false;
+};
+
+// Parses a document, returning the root element. Throws std::runtime_error on malformed input.
+std::unique_ptr<XmlNode> ParseXml(const std::string& input);
+
+// Escapes &, <, >, ", ' for use in text/attributes.
+std::string XmlEscape(const std::string& raw);
+
+}  // namespace detector
+
+#endif  // SRC_COMMON_XML_H_

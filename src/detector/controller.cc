@@ -1,0 +1,136 @@
+#include "src/detector/controller.h"
+
+#include <algorithm>
+#include <map>
+
+namespace detector {
+
+std::vector<NodeId> Controller::HealthyServersUnder(NodeId tor, const Watchdog& watchdog) const {
+  std::vector<NodeId> servers;
+  for (const Neighbor& nb : topo_.NeighborsOf(tor)) {
+    if (topo_.IsServer(nb.node) && watchdog.IsHealthy(nb.node)) {
+      servers.push_back(nb.node);
+    }
+  }
+  return servers;
+}
+
+std::vector<Pinglist> Controller::BuildPinglists(const ProbeMatrix& matrix,
+                                                 const Watchdog& watchdog) const {
+  std::map<NodeId, Pinglist> by_pinger;  // ordered for determinism
+  auto pinglist_of = [&](NodeId pinger) -> Pinglist& {
+    auto [it, inserted] = by_pinger.try_emplace(pinger);
+    if (inserted) {
+      it->second.pinger = pinger;
+      it->second.packets_per_second = options_.packets_per_second;
+      it->second.port_count = options_.port_count;
+    }
+    return it->second;
+  };
+
+  // Cache pinger/target choices per ToR.
+  std::map<NodeId, std::vector<NodeId>> pingers_of_tor;
+  auto pingers_under = [&](NodeId tor) -> const std::vector<NodeId>& {
+    auto [it, inserted] = pingers_of_tor.try_emplace(tor);
+    if (inserted) {
+      std::vector<NodeId> healthy = HealthyServersUnder(tor, watchdog);
+      if (static_cast<int>(healthy.size()) > options_.pingers_per_tor) {
+        healthy.resize(static_cast<size_t>(options_.pingers_per_tor));
+      }
+      it->second = std::move(healthy);
+    }
+    return it->second;
+  };
+
+  const PathStore& paths = matrix.paths();
+  for (size_t p = 0; p < paths.size(); ++p) {
+    const PathId pid = static_cast<PathId>(p);
+    const NodeId src = paths.src(pid);
+    const NodeId dst = paths.dst(pid);
+    const auto links = paths.Links(pid);
+
+    if (topo_.IsServer(src)) {
+      // Server-endpoint topology (BCube): the path's endpoints are the pinger/responder.
+      if (!watchdog.IsHealthy(src) || !watchdog.IsHealthy(dst)) {
+        continue;
+      }
+      PinglistEntry entry;
+      entry.path_id = pid;
+      entry.target_server = dst;
+      entry.route.assign(links.begin(), links.end());
+      pinglist_of(src).entries.push_back(std::move(entry));
+      continue;
+    }
+
+    // ToR-endpoint path: replicate over pingers under the source ToR; the responder under the
+    // destination ToR is rotated by path id for entropy.
+    const std::vector<NodeId>& pingers = pingers_under(src);
+    const std::vector<NodeId>& responders = pingers_under(dst);
+    if (pingers.empty() || responders.empty()) {
+      continue;
+    }
+    const NodeId target = responders[p % responders.size()];
+    const LinkId target_link = topo_.FindLink(target, dst);
+    CHECK(target_link != kInvalidLink);
+    const int replicas = std::min<int>(options_.replicas_per_path,
+                                       static_cast<int>(pingers.size()));
+    for (int r = 0; r < replicas; ++r) {
+      const NodeId pinger = pingers[(p + static_cast<size_t>(r)) % pingers.size()];
+      const LinkId pinger_link = topo_.FindLink(pinger, src);
+      CHECK(pinger_link != kInvalidLink);
+      PinglistEntry entry;
+      entry.path_id = pid;
+      entry.target_server = target;
+      entry.route.reserve(links.size() + 2);
+      entry.route.push_back(pinger_link);
+      entry.route.insert(entry.route.end(), links.begin(), links.end());
+      entry.route.push_back(target_link);
+      pinglist_of(pinger).entries.push_back(std::move(entry));
+    }
+  }
+
+  // Intra-rack probes: each pinger probes the other servers under its ToR, covering the
+  // server-ToR links that the matrix does not.
+  if (options_.intra_rack_probes) {
+    for (const NodeId tor : topo_.NodesOfKind(NodeKind::kTor)) {
+      const std::vector<NodeId>& pingers = pingers_under(tor);
+      if (pingers.empty()) {
+        continue;
+      }
+      for (const Neighbor& nb : topo_.NeighborsOf(tor)) {
+        if (!topo_.IsServer(nb.node) || !watchdog.IsHealthy(nb.node)) {
+          continue;
+        }
+        // Any pinger other than the target itself (a pinger's own server link is exercised by
+        // its outgoing matrix probes anyway).
+        NodeId pinger = kInvalidNode;
+        for (size_t i = 0; i < pingers.size(); ++i) {
+          const NodeId candidate =
+              pingers[(static_cast<size_t>(nb.node) + i) % pingers.size()];
+          if (candidate != nb.node) {
+            pinger = candidate;
+            break;
+          }
+        }
+        if (pinger == kInvalidNode) {
+          continue;
+        }
+        PinglistEntry entry;
+        entry.path_id = PinglistEntry::kIntraRackPath;
+        entry.target_server = nb.node;
+        entry.route.push_back(topo_.FindLink(pinger, tor));
+        entry.route.push_back(nb.link);
+        pinglist_of(pinger).entries.push_back(std::move(entry));
+      }
+    }
+  }
+
+  std::vector<Pinglist> result;
+  result.reserve(by_pinger.size());
+  for (auto& [pinger, list] : by_pinger) {
+    result.push_back(std::move(list));
+  }
+  return result;
+}
+
+}  // namespace detector

@@ -1,0 +1,45 @@
+// Controller (§3.1): owns the probe matrix lifecycle. Each cycle it selects pingers (2-4
+// healthy servers per ToR), splits the probe matrix's paths among them — every path replicated
+// to >= 2 pingers for fault tolerance — and emits per-pinger pinglists. Also schedules
+// intra-rack probes so server-ToR links are covered outside the matrix.
+#ifndef SRC_DETECTOR_CONTROLLER_H_
+#define SRC_DETECTOR_CONTROLLER_H_
+
+#include <vector>
+
+#include "src/detector/pinglist.h"
+#include "src/pmc/probe_matrix.h"
+#include "src/sim/watchdog.h"
+
+namespace detector {
+
+struct ControllerOptions {
+  int pingers_per_tor = 2;     // paper: 2-4
+  int replicas_per_path = 2;   // each path in >= 2 pinglists
+  double packets_per_second = 10.0;
+  int port_count = 8;
+  bool intra_rack_probes = true;
+};
+
+class Controller {
+ public:
+  Controller(const Topology& topo, ControllerOptions options)
+      : topo_(topo), options_(options) {}
+
+  // Splits the matrix into pinglists given current server health. Paths whose source has no
+  // healthy server are skipped (their loss of coverage shows up in the diagnoser as untested
+  // paths). For server-endpoint topologies (BCube) the path's source server is its own pinger.
+  std::vector<Pinglist> BuildPinglists(const ProbeMatrix& matrix, const Watchdog& watchdog) const;
+
+  const ControllerOptions& options() const { return options_; }
+
+ private:
+  std::vector<NodeId> HealthyServersUnder(NodeId tor, const Watchdog& watchdog) const;
+
+  const Topology& topo_;
+  ControllerOptions options_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_DETECTOR_CONTROLLER_H_

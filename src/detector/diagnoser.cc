@@ -1,0 +1,60 @@
+#include "src/detector/diagnoser.h"
+
+namespace detector {
+
+void Diagnoser::Ingest(const PingerWindowResult& window) { windows_.push_back(window); }
+
+Observations Diagnoser::AggregatedObservations(const ProbeMatrix& matrix,
+                                               const Watchdog& watchdog) const {
+  Observations obs(matrix.NumPaths());
+  for (const PingerWindowResult& window : windows_) {
+    if (!watchdog.IsHealthy(window.pinger)) {
+      continue;  // outlier removal (§5.1): a bad pinger fabricates losses everywhere
+    }
+    for (const PathReport& report : window.reports) {
+      if (report.path_id < 0 ||
+          static_cast<size_t>(report.path_id) >= obs.size()) {
+        continue;  // intra-rack probes are handled by ServerLinkAlarms
+      }
+      if (!watchdog.IsHealthy(report.target)) {
+        continue;
+      }
+      obs[static_cast<size_t>(report.path_id)].sent += report.sent;
+      obs[static_cast<size_t>(report.path_id)].lost += report.lost;
+    }
+  }
+  return obs;
+}
+
+std::vector<ServerLinkAlarm> Diagnoser::ServerLinkAlarms(const Watchdog& watchdog) const {
+  std::vector<ServerLinkAlarm> alarms;
+  for (const PingerWindowResult& window : windows_) {
+    if (!watchdog.IsHealthy(window.pinger)) {
+      continue;
+    }
+    for (const PathReport& report : window.reports) {
+      if (report.path_id != PinglistEntry::kIntraRackPath || report.sent == 0) {
+        continue;
+      }
+      if (!watchdog.IsHealthy(report.target)) {
+        continue;
+      }
+      const double ratio =
+          static_cast<double>(report.lost) / static_cast<double>(report.sent);
+      if (report.lost >= options_.preprocess.min_lost_packets &&
+          ratio > options_.preprocess.path_loss_ratio_threshold) {
+        alarms.push_back(ServerLinkAlarm{window.pinger, report.target, ratio});
+      }
+    }
+  }
+  return alarms;
+}
+
+LocalizeResult Diagnoser::Diagnose(const ProbeMatrix& matrix, const Watchdog& watchdog) {
+  const Observations obs = AggregatedObservations(matrix, watchdog);
+  LocalizeResult result = pll_.Localize(matrix, obs);
+  windows_.clear();
+  return result;
+}
+
+}  // namespace detector

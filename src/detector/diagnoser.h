@@ -1,0 +1,47 @@
+// Diagnoser (§3.1): collects the pingers' 30-second reports, merges replicas (a path is probed
+// by >= 2 pingers), discards reports from servers the watchdog flagged, and runs PLL over the
+// aggregated observations. Also tracks intra-rack probe results for server-link alarms.
+#ifndef SRC_DETECTOR_DIAGNOSER_H_
+#define SRC_DETECTOR_DIAGNOSER_H_
+
+#include <map>
+#include <vector>
+
+#include "src/detector/pinger.h"
+#include "src/localize/pll.h"
+#include "src/sim/watchdog.h"
+
+namespace detector {
+
+struct ServerLinkAlarm {
+  NodeId pinger = kInvalidNode;
+  NodeId target = kInvalidNode;
+  double loss_ratio = 0.0;
+};
+
+class Diagnoser {
+ public:
+  explicit Diagnoser(PllOptions options = PllOptions{}) : pll_(options), options_(options) {}
+
+  void Ingest(const PingerWindowResult& window);
+
+  // Merged per-path observations for the current window (replica reports summed).
+  Observations AggregatedObservations(const ProbeMatrix& matrix, const Watchdog& watchdog) const;
+
+  // Intra-rack (server-link) losses above the preprocessing threshold.
+  std::vector<ServerLinkAlarm> ServerLinkAlarms(const Watchdog& watchdog) const;
+
+  // Runs PLL on everything ingested since the last call, then clears the buffer.
+  LocalizeResult Diagnose(const ProbeMatrix& matrix, const Watchdog& watchdog);
+
+  void Clear() { windows_.clear(); }
+
+ private:
+  PllLocalizer pll_;
+  PllOptions options_;
+  std::vector<PingerWindowResult> windows_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_DETECTOR_DIAGNOSER_H_

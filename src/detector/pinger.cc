@@ -1,0 +1,43 @@
+#include "src/detector/pinger.h"
+
+#include <algorithm>
+
+namespace detector {
+
+PingerWindowResult Pinger::RunWindow(const ProbeEngine& engine, double window_seconds,
+                                     Rng& rng) const {
+  PingerWindowResult result;
+  result.pinger = pinglist_.pinger;
+  if (pinglist_.entries.empty()) {
+    return result;
+  }
+  const int64_t budget =
+      std::max<int64_t>(1, static_cast<int64_t>(pinglist_.packets_per_second * window_seconds));
+  const int64_t per_entry = std::max<int64_t>(1, budget / static_cast<int64_t>(
+                                                              pinglist_.entries.size()));
+
+  result.reports.reserve(pinglist_.entries.size());
+  for (const PinglistEntry& entry : pinglist_.entries) {
+    PathObservation obs = engine.SimulatePath(entry.route, pinglist_.pinger,
+                                              entry.target_server,
+                                              static_cast<int>(per_entry), rng);
+    if (obs.lost > 0 && confirm_packets_ > 0) {
+      // Confirm the loss pattern with extra probes of the same content (§3.1).
+      const PathObservation confirm = engine.SimulatePath(
+          entry.route, pinglist_.pinger, entry.target_server, confirm_packets_, rng);
+      obs.sent += confirm.sent;
+      obs.lost += confirm.lost;
+    }
+    PathReport report;
+    report.path_id = entry.path_id;
+    report.target = entry.target_server;
+    report.sent = obs.sent;
+    report.lost = obs.lost;
+    result.probes_sent += obs.sent;
+    result.bytes_sent += obs.sent * engine.config().probe_bytes * 2;  // request + echo
+    result.reports.push_back(report);
+  }
+  return result;
+}
+
+}  // namespace detector

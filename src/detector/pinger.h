@@ -1,0 +1,47 @@
+// Pinger (§3.1, §6.1): loops over its pinglist at a configured rate, cycling source ports for
+// packet entropy, confirms each observed loss with two extra probes of the same content, and
+// aggregates (sent, lost) per path into a 30-second report for the diagnoser.
+#ifndef SRC_DETECTOR_PINGER_H_
+#define SRC_DETECTOR_PINGER_H_
+
+#include <vector>
+
+#include "src/detector/pinglist.h"
+#include "src/localize/observations.h"
+#include "src/sim/probe_engine.h"
+
+namespace detector {
+
+struct PathReport {
+  PathId path_id = -1;  // PinglistEntry::kIntraRackPath for intra-rack probes
+  NodeId target = kInvalidNode;
+  int64_t sent = 0;
+  int64_t lost = 0;
+};
+
+struct PingerWindowResult {
+  NodeId pinger = kInvalidNode;
+  std::vector<PathReport> reports;
+  int64_t probes_sent = 0;  // round trips, including confirmation probes
+  int64_t bytes_sent = 0;
+};
+
+class Pinger {
+ public:
+  explicit Pinger(Pinglist pinglist, int confirm_packets = 2)
+      : pinglist_(std::move(pinglist)), confirm_packets_(confirm_packets) {}
+
+  // Executes one aggregation window: the packet budget (pps x seconds) is spread round-robin
+  // over the pinglist entries.
+  PingerWindowResult RunWindow(const ProbeEngine& engine, double window_seconds, Rng& rng) const;
+
+  const Pinglist& pinglist() const { return pinglist_; }
+
+ private:
+  Pinglist pinglist_;
+  int confirm_packets_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_DETECTOR_PINGER_H_

@@ -1,0 +1,3 @@
+#include "src/detector/responder.h"
+
+// Header-only logic; this TU anchors the module in the build.

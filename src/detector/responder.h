@@ -1,0 +1,45 @@
+// Responder (§3.1): stateless userspace echo module on every server. In the simulator its
+// behavior (echo the probe back along the reverse path) is folded into the probe engine's
+// round-trip semantics; this class models the endpoint bookkeeping — packets seen, echoes sent,
+// and the health gate a dead server imposes — and is exercised by the packet-level tests.
+#ifndef SRC_DETECTOR_RESPONDER_H_
+#define SRC_DETECTOR_RESPONDER_H_
+
+#include <cstdint>
+
+#include "src/topo/topology.h"
+
+namespace detector {
+
+class Responder {
+ public:
+  explicit Responder(NodeId server) : server_(server) {}
+
+  NodeId server() const { return server_; }
+  bool alive() const { return alive_; }
+  void set_alive(bool alive) { alive_ = alive; }
+
+  // Handles one arrived probe; returns true when an echo is generated (server alive).
+  // The responder keeps no per-probe state (§3.1) — only counters.
+  bool HandleProbe() {
+    ++probes_received_;
+    if (!alive_) {
+      return false;
+    }
+    ++echoes_sent_;
+    return true;
+  }
+
+  int64_t probes_received() const { return probes_received_; }
+  int64_t echoes_sent() const { return echoes_sent_; }
+
+ private:
+  NodeId server_;
+  bool alive_ = true;
+  int64_t probes_received_ = 0;
+  int64_t echoes_sent_ = 0;
+};
+
+}  // namespace detector
+
+#endif  // SRC_DETECTOR_RESPONDER_H_

@@ -1,0 +1,57 @@
+#include "src/detector/system.h"
+
+namespace detector {
+
+DetectorSystem::DetectorSystem(const PathProvider& provider, DetectorSystemOptions options)
+    : topo_(provider.topology()),
+      options_(options),
+      provider_(&provider),
+      watchdog_(topo_),
+      controller_(topo_, options.controller),
+      diagnoser_(options.pll) {
+  PmcResult pmc = BuildProbeMatrix(provider, options_.enum_mode, options_.pmc);
+  matrix_ = std::move(pmc.matrix);
+  pmc_stats_ = pmc.stats;
+  pinglists_ = controller_.BuildPinglists(matrix_, watchdog_);
+}
+
+DetectorSystem::DetectorSystem(const Topology& topo, ProbeMatrix matrix,
+                               DetectorSystemOptions options)
+    : topo_(topo),
+      options_(options),
+      matrix_(std::move(matrix)),
+      watchdog_(topo_),
+      controller_(topo_, options.controller),
+      diagnoser_(options.pll) {
+  pinglists_ = controller_.BuildPinglists(matrix_, watchdog_);
+}
+
+void DetectorSystem::RecomputeCycle() {
+  if (provider_ != nullptr) {
+    PmcResult pmc = BuildProbeMatrix(*provider_, options_.enum_mode, options_.pmc);
+    matrix_ = std::move(pmc.matrix);
+    pmc_stats_ = pmc.stats;
+  }
+  pinglists_ = controller_.BuildPinglists(matrix_, watchdog_);
+}
+
+DetectorSystem::WindowResult DetectorSystem::RunWindow(const FailureScenario& scenario,
+                                                       Rng& rng) {
+  ProbeEngine engine(topo_, scenario, options_.probe);
+  WindowResult result;
+  for (const Pinglist& list : pinglists_) {
+    Pinger pinger(list, options_.confirm_packets);
+    const PingerWindowResult window = pinger.RunWindow(engine, options_.window_seconds, rng);
+    result.probes_sent += window.probes_sent;
+    result.bytes_sent += window.bytes_sent;
+    diagnoser_.Ingest(window);
+  }
+  result.server_link_alarms = diagnoser_.ServerLinkAlarms(watchdog_);
+  result.localization = diagnoser_.Diagnose(matrix_, watchdog_);
+  // Detection and localization share the window's data: alarms are available one window after
+  // the failure manifests, with no extra probing round.
+  result.detection_latency_seconds = options_.window_seconds;
+  return result;
+}
+
+}  // namespace detector

@@ -1,0 +1,71 @@
+// DetectorSystem: the end-to-end deTector pipeline (§3.2) over the simulator — path
+// computation (PMC or a structured matrix), probing (controller -> pingers -> probe engine),
+// and loss localization (diagnoser/PLL), organized in 30 s windows within 10-minute cycles.
+#ifndef SRC_DETECTOR_SYSTEM_H_
+#define SRC_DETECTOR_SYSTEM_H_
+
+#include <memory>
+
+#include "src/detector/controller.h"
+#include "src/detector/diagnoser.h"
+#include "src/detector/pinger.h"
+#include "src/localize/pll.h"
+#include "src/pmc/pmc.h"
+#include "src/routing/path_provider.h"
+#include "src/sim/probe_engine.h"
+#include "src/sim/watchdog.h"
+
+namespace detector {
+
+struct DetectorSystemOptions {
+  ControllerOptions controller;
+  PmcOptions pmc;
+  PathEnumMode enum_mode = PathEnumMode::kFull;
+  PllOptions pll;
+  ProbeConfig probe;
+  double window_seconds = 30.0;  // report aggregation / diagnosis period
+  int confirm_packets = 2;
+};
+
+class DetectorSystem {
+ public:
+  // Computes the probe matrix from the provider with PMC.
+  DetectorSystem(const PathProvider& provider, DetectorSystemOptions options);
+  // Uses a pre-built probe matrix (e.g. the structured generator at large scale).
+  DetectorSystem(const Topology& topo, ProbeMatrix matrix, DetectorSystemOptions options);
+
+  // Re-runs path computation and pinglist dispatch (start of a 10-minute cycle). Respects
+  // current watchdog state.
+  void RecomputeCycle();
+
+  struct WindowResult {
+    LocalizeResult localization;
+    std::vector<ServerLinkAlarm> server_link_alarms;
+    int64_t probes_sent = 0;  // round trips including confirmations
+    int64_t bytes_sent = 0;
+    double detection_latency_seconds = 0.0;
+  };
+
+  // One 30 s window under the given failure scenario.
+  WindowResult RunWindow(const FailureScenario& scenario, Rng& rng);
+
+  const ProbeMatrix& probe_matrix() const { return matrix_; }
+  const std::vector<Pinglist>& pinglists() const { return pinglists_; }
+  Watchdog& watchdog() { return watchdog_; }
+  const PmcStats& pmc_stats() const { return pmc_stats_; }
+
+ private:
+  const Topology& topo_;
+  DetectorSystemOptions options_;
+  const PathProvider* provider_ = nullptr;  // null when constructed from a fixed matrix
+  ProbeMatrix matrix_;
+  PmcStats pmc_stats_;
+  Watchdog watchdog_;
+  Controller controller_;
+  Diagnoser diagnoser_;
+  std::vector<Pinglist> pinglists_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_DETECTOR_SYSTEM_H_

@@ -1,0 +1,57 @@
+#include "src/localize/hypothesis.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace detector {
+
+PathLossTester::PathLossTester(size_t num_paths, HypothesisTestOptions options)
+    : options_(options), totals_(num_paths) {
+  CHECK(options_.ambient_loss_rate > 0.0 && options_.ambient_loss_rate < 1.0);
+  CHECK(options_.significance_z > 0.0);
+}
+
+void PathLossTester::AddWindow(const Observations& window) {
+  CHECK_EQ(window.size(), totals_.size());
+  for (size_t i = 0; i < window.size(); ++i) {
+    totals_[i].sent += window[i].sent;
+    totals_[i].lost += window[i].lost;
+  }
+  ++windows_seen_;
+}
+
+double PathLossTester::ZScore(PathId path) const {
+  const PathObservation& obs = totals_[static_cast<size_t>(path)];
+  if (obs.sent < options_.min_probes) {
+    return 0.0;
+  }
+  const double n = static_cast<double>(obs.sent);
+  const double p0 = options_.ambient_loss_rate;
+  const double expected = n * p0;
+  const double stddev = std::sqrt(n * p0 * (1.0 - p0));
+  return (static_cast<double>(obs.lost) - expected) / stddev;
+}
+
+bool PathLossTester::IsLossy(PathId path) const {
+  return ZScore(path) > options_.significance_z;
+}
+
+std::vector<uint8_t> PathLossTester::LossyMask() const {
+  std::vector<uint8_t> mask(totals_.size(), 0);
+  for (size_t i = 0; i < totals_.size(); ++i) {
+    mask[i] = IsLossy(static_cast<PathId>(i)) ? 1 : 0;
+  }
+  return mask;
+}
+
+const PathObservation& PathLossTester::Accumulated(PathId path) const {
+  return totals_[static_cast<size_t>(path)];
+}
+
+void PathLossTester::Reset() {
+  totals_.assign(totals_.size(), PathObservation{});
+  windows_seen_ = 0;
+}
+
+}  // namespace detector

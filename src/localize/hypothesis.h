@@ -1,0 +1,60 @@
+// Statistical noisy-data filtering (§5.1, footnote 3): instead of a single-window loss-ratio
+// threshold, accumulate per-path observations over time and flag a path as lossy only when its
+// loss count is statistically inconsistent with the ambient baseline rate — a one-sided
+// binomial z-test. This suppresses threshold-straddling noise on long-running paths and
+// exposes persistent low-rate losses that any single window would miss.
+#ifndef SRC_LOCALIZE_HYPOTHESIS_H_
+#define SRC_LOCALIZE_HYPOTHESIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/localize/observations.h"
+#include "src/routing/path_store.h"
+
+namespace detector {
+
+struct HypothesisTestOptions {
+  // H0: each probe is lost with this ambient round-trip probability (base link loss ~1e-5
+  // per traversal over ~8 traversals).
+  double ambient_loss_rate = 2e-4;
+  // One-sided rejection threshold in standard deviations.
+  double significance_z = 4.0;
+  // Below this many accumulated probes a path is never flagged (the normal approximation and
+  // the operator's patience both need samples).
+  int64_t min_probes = 50;
+};
+
+class PathLossTester {
+ public:
+  PathLossTester(size_t num_paths, HypothesisTestOptions options = HypothesisTestOptions{});
+
+  // Accumulates one window of observations (indexed by PathId, as produced per window).
+  void AddWindow(const Observations& window);
+
+  // z-score of the path's accumulated loss count under H0 (0 when below min_probes).
+  double ZScore(PathId path) const;
+
+  // True when H0 is rejected: the path's losses are not ambient noise.
+  bool IsLossy(PathId path) const;
+
+  // Mask usable as the `lossy` input of downstream tooling.
+  std::vector<uint8_t> LossyMask() const;
+
+  // Accumulated totals (for loss-rate estimation over the testing horizon).
+  const PathObservation& Accumulated(PathId path) const;
+
+  size_t num_paths() const { return totals_.size(); }
+  int64_t windows_seen() const { return windows_seen_; }
+
+  void Reset();
+
+ private:
+  HypothesisTestOptions options_;
+  std::vector<PathObservation> totals_;
+  int64_t windows_seen_ = 0;
+};
+
+}  // namespace detector
+
+#endif  // SRC_LOCALIZE_HYPOTHESIS_H_

@@ -1,0 +1,39 @@
+// Common interface for loss-localization algorithms: given the probe matrix and one window of
+// end-to-end observations, return the suspected failed links with estimated loss rates.
+#ifndef SRC_LOCALIZE_LOCALIZER_H_
+#define SRC_LOCALIZE_LOCALIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/localize/observations.h"
+#include "src/pmc/probe_matrix.h"
+
+namespace detector {
+
+struct SuspectLink {
+  LinkId link = kInvalidLink;
+  double estimated_loss_rate = 0.0;  // per-traversal link loss probability
+  double hit_ratio = 0.0;            // lossy paths through link / valid paths through link
+  int64_t explained_losses = 0;      // lost packets this link accounts for
+};
+
+struct LocalizeResult {
+  std::vector<SuspectLink> links;  // descending by explained losses
+  double seconds = 0.0;
+};
+
+class Localizer {
+ public:
+  virtual ~Localizer() = default;
+  virtual std::string name() const = 0;
+  virtual LocalizeResult Localize(const ProbeMatrix& matrix, const Observations& obs) const = 0;
+};
+
+// Shared helper: invert a path round-trip loss ratio into a per-traversal link loss rate
+// (each probe traverses a link once per direction: success = (1 - p)^2).
+double InvertRoundTripLoss(double path_loss_ratio);
+
+}  // namespace detector
+
+#endif  // SRC_LOCALIZE_LOCALIZER_H_

@@ -1,0 +1,34 @@
+#include "src/localize/metrics.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace detector {
+
+ConfusionCounts EvaluateLocalization(std::span<const SuspectLink> suspects,
+                                     std::span<const LinkId> truly_failed) {
+  std::vector<LinkId> truth(truly_failed.begin(), truly_failed.end());
+  std::sort(truth.begin(), truth.end());
+  truth.erase(std::unique(truth.begin(), truth.end()), truth.end());
+
+  ConfusionCounts counts;
+  std::vector<LinkId> flagged;
+  flagged.reserve(suspects.size());
+  for (const SuspectLink& s : suspects) {
+    flagged.push_back(s.link);
+  }
+  std::sort(flagged.begin(), flagged.end());
+  flagged.erase(std::unique(flagged.begin(), flagged.end()), flagged.end());
+
+  for (LinkId link : flagged) {
+    if (std::binary_search(truth.begin(), truth.end(), link)) {
+      ++counts.true_positives;
+    } else {
+      ++counts.false_positives;
+    }
+  }
+  counts.false_negatives = static_cast<int64_t>(truth.size()) - counts.true_positives;
+  return counts;
+}
+
+}  // namespace detector

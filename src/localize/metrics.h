@@ -1,0 +1,18 @@
+// Localization quality metrics against ground truth, with the paper's definitions (§5.3):
+// accuracy = TP / truly-bad, false positive ratio = FP / flagged, false negative = FN / truly-bad.
+#ifndef SRC_LOCALIZE_METRICS_H_
+#define SRC_LOCALIZE_METRICS_H_
+
+#include <span>
+
+#include "src/common/stats.h"
+#include "src/localize/localizer.h"
+
+namespace detector {
+
+ConfusionCounts EvaluateLocalization(std::span<const SuspectLink> suspects,
+                                     std::span<const LinkId> truly_failed);
+
+}  // namespace detector
+
+#endif  // SRC_LOCALIZE_METRICS_H_

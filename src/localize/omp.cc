@@ -1,0 +1,194 @@
+#include "src/localize/omp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/timer.h"
+
+namespace detector {
+namespace {
+
+// Solves the small normal-equation system G w = b in place by Gaussian elimination with
+// partial pivoting. G is s x s, row-major. Returns false on (near-)singularity.
+bool SolveNormalEquations(std::vector<double>& g, std::vector<double>& b, size_t s) {
+  for (size_t col = 0; col < s; ++col) {
+    size_t pivot = col;
+    for (size_t row = col + 1; row < s; ++row) {
+      if (std::abs(g[row * s + col]) > std::abs(g[pivot * s + col])) {
+        pivot = row;
+      }
+    }
+    if (std::abs(g[pivot * s + col]) < 1e-12) {
+      return false;
+    }
+    if (pivot != col) {
+      for (size_t k = 0; k < s; ++k) {
+        std::swap(g[col * s + k], g[pivot * s + k]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    for (size_t row = col + 1; row < s; ++row) {
+      const double f = g[row * s + col] / g[col * s + col];
+      for (size_t k = col; k < s; ++k) {
+        g[row * s + k] -= f * g[col * s + k];
+      }
+      b[row] -= f * b[col];
+    }
+  }
+  for (size_t col = s; col-- > 0;) {
+    for (size_t k = col + 1; k < s; ++k) {
+      b[col] -= g[col * s + k] * b[k];
+    }
+    b[col] /= g[col * s + col];
+  }
+  return true;
+}
+
+}  // namespace
+
+LocalizeResult OmpLocalizer::Localize(const ProbeMatrix& matrix, const Observations& obs) const {
+  WallTimer timer;
+  CHECK_EQ(obs.size(), matrix.NumPaths());
+  LocalizeResult result;
+  const PreprocessedObservations pre = Preprocess(obs, options_.preprocess);
+  if (pre.num_lossy == 0) {
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  const size_t m = obs.size();
+  const int32_t n = matrix.NumLinks();
+  // y_p = -ln(1 - loss ratio), clamped away from ln(0) for fully black paths.
+  std::vector<double> y(m, 0.0);
+  double y_norm2 = 0.0;
+  for (size_t p = 0; p < m; ++p) {
+    if (pre.valid[p]) {
+      const double ratio = std::min(obs[p].LossRatio(), 0.9999);
+      y[p] = -std::log1p(-ratio);
+      y_norm2 += y[p] * y[p];
+    }
+  }
+
+  std::vector<double> residual = y;
+  std::vector<int32_t> support;
+  std::vector<double> fitted;  // x on the support
+  std::vector<uint8_t> in_support(static_cast<size_t>(n), 0);
+
+  for (int iter = 0; iter < options_.max_support; ++iter) {
+    double res_norm2 = 0.0;
+    for (size_t p = 0; p < m; ++p) {
+      res_norm2 += residual[p] * residual[p];
+    }
+    if (res_norm2 <= options_.residual_tolerance * y_norm2) {
+      break;
+    }
+    // Column with the highest normalized correlation with the residual.
+    int32_t best = -1;
+    double best_corr = 0.0;
+    for (int32_t l = 0; l < n; ++l) {
+      if (in_support[static_cast<size_t>(l)]) {
+        continue;
+      }
+      const auto paths = matrix.PathsThroughDense(l);
+      if (paths.empty()) {
+        continue;
+      }
+      double dot = 0.0;
+      double norm2 = 0.0;
+      for (PathId p : paths) {
+        if (pre.valid[static_cast<size_t>(p)]) {
+          dot += residual[static_cast<size_t>(p)];
+          norm2 += 1.0;
+        }
+      }
+      if (norm2 == 0.0) {
+        continue;
+      }
+      const double corr = std::abs(dot) / std::sqrt(norm2);
+      if (corr > best_corr) {
+        best = l;
+        best_corr = corr;
+      }
+    }
+    if (best < 0 || best_corr < 1e-9) {
+      break;
+    }
+    support.push_back(best);
+    in_support[static_cast<size_t>(best)] = 1;
+
+    // Least squares on the support: columns are 0/1 indicator vectors over valid paths.
+    const size_t s = support.size();
+    std::vector<double> gram(s * s, 0.0);
+    std::vector<double> rhs(s, 0.0);
+    for (size_t a = 0; a < s; ++a) {
+      for (PathId p : matrix.PathsThroughDense(support[a])) {
+        if (pre.valid[static_cast<size_t>(p)]) {
+          rhs[a] += y[static_cast<size_t>(p)];
+        }
+      }
+      for (size_t b = a; b < s; ++b) {
+        // Gram entry = number of shared valid paths.
+        double shared = 0.0;
+        const auto pa = matrix.PathsThroughDense(support[a]);
+        const auto pb = matrix.PathsThroughDense(support[b]);
+        size_t ia = 0;
+        size_t ib = 0;
+        while (ia < pa.size() && ib < pb.size()) {
+          if (pa[ia] == pb[ib]) {
+            shared += pre.valid[static_cast<size_t>(pa[ia])] ? 1.0 : 0.0;
+            ++ia;
+            ++ib;
+          } else if (pa[ia] < pb[ib]) {
+            ++ia;
+          } else {
+            ++ib;
+          }
+        }
+        gram[a * s + b] = shared;
+        gram[b * s + a] = shared;
+      }
+    }
+    fitted = rhs;
+    if (!SolveNormalEquations(gram, fitted, s)) {
+      support.pop_back();
+      in_support[static_cast<size_t>(best)] = 0;
+      break;
+    }
+    // Residual = y - A x.
+    residual = y;
+    for (size_t a = 0; a < s; ++a) {
+      for (PathId p : matrix.PathsThroughDense(support[a])) {
+        if (pre.valid[static_cast<size_t>(p)]) {
+          residual[static_cast<size_t>(p)] -= fitted[a];
+        }
+      }
+    }
+  }
+
+  for (size_t a = 0; a < support.size(); ++a) {
+    const double x = fitted.empty() ? 0.0 : fitted[a];
+    if (x < options_.link_rate_threshold) {
+      continue;  // fitted attenuation too small to be a failure
+    }
+    SuspectLink suspect;
+    suspect.link = matrix.links().Link(support[a]);
+    // x = -2 ln(1 - p) for a round trip over the link.
+    suspect.estimated_loss_rate = 1.0 - std::exp(-x / 2.0);
+    int64_t explained = 0;
+    for (PathId p : matrix.PathsThroughDense(support[a])) {
+      if (pre.lossy[static_cast<size_t>(p)]) {
+        explained += obs[static_cast<size_t>(p)].lost;
+      }
+    }
+    suspect.explained_losses = explained;
+    result.links.push_back(suspect);
+  }
+  std::sort(result.links.begin(), result.links.end(),
+            [](const SuspectLink& a, const SuspectLink& b) {
+              return a.explained_losses > b.explained_losses;
+            });
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace detector

@@ -1,0 +1,33 @@
+// OMP (orthogonal matching pursuit, Pati et al. '93) — sparse-recovery baseline. Path loss is
+// linearized: y_p = -ln(success ratio of p) ~ sum over links of x_l (x_l = per-link round-trip
+// log attenuation). OMP iteratively adds the link whose column best correlates with the
+// residual, re-fits the support by least squares, and stops when the residual is explained.
+#ifndef SRC_LOCALIZE_OMP_H_
+#define SRC_LOCALIZE_OMP_H_
+
+#include "src/localize/localizer.h"
+#include "src/localize/preprocess.h"
+
+namespace detector {
+
+struct OmpOptions {
+  int max_support = 64;               // iteration cap (max simultaneously failed links sought)
+  double residual_tolerance = 1e-3;   // stop when ||r||^2 drops below tol * ||y||^2
+  double link_rate_threshold = 5e-4;  // fitted x_l below this is noise, not a failure
+  PreprocessOptions preprocess;
+};
+
+class OmpLocalizer : public Localizer {
+ public:
+  explicit OmpLocalizer(OmpOptions options = OmpOptions{}) : options_(options) {}
+
+  std::string name() const override { return "OMP"; }
+  LocalizeResult Localize(const ProbeMatrix& matrix, const Observations& obs) const override;
+
+ private:
+  OmpOptions options_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_LOCALIZE_OMP_H_

@@ -1,0 +1,37 @@
+// PLL — Packet Loss Localization (§5.3). Tomo-style greedy minimum-hitting-set over the lossy
+// paths, with two DCN-specific changes: (1) the problem is decomposed along the probe matrix's
+// bipartite components first, and (2) candidate links are filtered by a hit-ratio threshold so
+// partial losses (e.g. packet blackholes that only affect some flows crossing a link) do not
+// disqualify the true culprit or promote innocent links.
+#ifndef SRC_LOCALIZE_PLL_H_
+#define SRC_LOCALIZE_PLL_H_
+
+#include "src/localize/localizer.h"
+#include "src/localize/preprocess.h"
+
+namespace detector {
+
+struct PllOptions {
+  double hit_ratio_threshold = 0.6;  // paper default (§5.3)
+  bool decompose = true;
+  PreprocessOptions preprocess;
+};
+
+class PllLocalizer : public Localizer {
+ public:
+  explicit PllLocalizer(PllOptions options = PllOptions{}) : options_(options) {}
+
+  std::string name() const override { return "PLL"; }
+  LocalizeResult Localize(const ProbeMatrix& matrix, const Observations& obs) const override;
+
+  // Variant with watchdog outlier information (paths probed by unhealthy servers).
+  LocalizeResult LocalizeWithOutliers(const ProbeMatrix& matrix, const Observations& obs,
+                                      std::span<const uint8_t> outlier_paths) const;
+
+ private:
+  PllOptions options_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_LOCALIZE_PLL_H_

@@ -1,0 +1,39 @@
+// Data pre-processing (§5.1): drop observations from unhealthy servers (watchdog outliers) and
+// filter out the ambient low-rate losses every link exhibits (1e-4..1e-5 from transient
+// congestion / bit errors) so that only failure-manifesting paths reach the localizer.
+#ifndef SRC_LOCALIZE_PREPROCESS_H_
+#define SRC_LOCALIZE_PREPROCESS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/localize/observations.h"
+#include "src/pmc/probe_matrix.h"
+
+namespace detector {
+
+struct PreprocessOptions {
+  // A valid path is "lossy" when its loss ratio exceeds this threshold (paper default 1e-3)
+  // and it lost at least min_lost_packets. The count floor implements the paper's "threshold
+  // on the number of packet losses in a period of time": one lost packet per window is ambient
+  // noise (base loss ~1e-5/traversal), not a failure.
+  double path_loss_ratio_threshold = 1e-3;
+  int64_t min_lost_packets = 2;
+};
+
+struct PreprocessedObservations {
+  std::vector<uint8_t> valid;  // per path: observation usable (not an outlier, sent > 0)
+  std::vector<uint8_t> lossy;  // per path: valid && above the loss threshold
+  int64_t num_lossy = 0;
+  int64_t num_valid = 0;
+};
+
+// `outlier_paths` marks paths whose pinger/responder was flagged by the watchdog; those
+// observations are discarded entirely (empty span = none).
+PreprocessedObservations Preprocess(const Observations& obs, const PreprocessOptions& options,
+                                    std::span<const uint8_t> outlier_paths = {});
+
+}  // namespace detector
+
+#endif  // SRC_LOCALIZE_PREPROCESS_H_

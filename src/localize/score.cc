@@ -1,0 +1,98 @@
+#include "src/localize/score.h"
+
+#include <algorithm>
+
+#include "src/common/timer.h"
+
+namespace detector {
+
+LocalizeResult ScoreLocalizer::Localize(const ProbeMatrix& matrix,
+                                        const Observations& obs) const {
+  WallTimer timer;
+  CHECK_EQ(obs.size(), matrix.NumPaths());
+  LocalizeResult result;
+  const PreprocessedObservations pre = Preprocess(obs, options_.preprocess);
+  if (pre.num_lossy == 0) {
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  const int32_t n = matrix.NumLinks();
+  std::vector<int64_t> valid_through(static_cast<size_t>(n), 0);
+  std::vector<int32_t> candidates;
+  for (int32_t l = 0; l < n; ++l) {
+    int64_t valid = 0;
+    int64_t lossy = 0;
+    for (PathId p : matrix.PathsThroughDense(l)) {
+      valid += pre.valid[static_cast<size_t>(p)];
+      lossy += pre.lossy[static_cast<size_t>(p)];
+    }
+    valid_through[static_cast<size_t>(l)] = valid;
+    if (lossy > 0 && valid > 0) {
+      candidates.push_back(l);
+    }
+  }
+
+  std::vector<uint8_t> explained(obs.size(), 0);
+  std::vector<uint8_t> chosen(static_cast<size_t>(n), 0);
+  int64_t remaining = pre.num_lossy;
+  while (remaining > 0) {
+    int32_t best = -1;
+    double best_util = options_.utilization_threshold;
+    int64_t best_cover = 0;
+    for (int32_t l : candidates) {
+      if (chosen[static_cast<size_t>(l)]) {
+        continue;
+      }
+      int64_t cover = 0;
+      for (PathId p : matrix.PathsThroughDense(l)) {
+        const size_t pi = static_cast<size_t>(p);
+        if (pre.lossy[pi] && !explained[pi]) {
+          ++cover;
+        }
+      }
+      const double util =
+          static_cast<double>(cover) / static_cast<double>(valid_through[static_cast<size_t>(l)]);
+      if (util > best_util || (util == best_util && cover > best_cover)) {
+        best = l;
+        best_util = util;
+        best_cover = cover;
+      }
+    }
+    if (best < 0 || best_cover == 0) {
+      break;
+    }
+    chosen[static_cast<size_t>(best)] = 1;
+    SuspectLink suspect;
+    suspect.link = matrix.links().Link(best);
+    suspect.hit_ratio = best_util;
+    int64_t sent_through = 0;
+    int64_t lost_through = 0;
+    for (PathId p : matrix.PathsThroughDense(best)) {
+      const size_t pi = static_cast<size_t>(p);
+      if (!pre.valid[pi]) {
+        continue;
+      }
+      sent_through += obs[pi].sent;
+      lost_through += obs[pi].lost;
+      if (pre.lossy[pi] && !explained[pi]) {
+        explained[pi] = 1;
+        suspect.explained_losses += obs[pi].lost;
+        --remaining;
+      }
+    }
+    suspect.estimated_loss_rate = InvertRoundTripLoss(
+        sent_through == 0 ? 0.0
+                          : static_cast<double>(lost_through) / static_cast<double>(sent_through));
+    result.links.push_back(suspect);
+  }
+
+  std::sort(result.links.begin(), result.links.end(),
+            [](const SuspectLink& a, const SuspectLink& b) {
+              return a.explained_losses > b.explained_losses;
+            });
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace detector

@@ -1,0 +1,31 @@
+// SCORE (Kompella et al., NSDI'05) — risk-modeling baseline. Each link is a risk group covering
+// the lossy paths through it; SCORE greedily picks the group with the highest utilization
+// (covered lossy / total paths through the link) until all lossy paths are covered or no group
+// clears the utilization threshold.
+#ifndef SRC_LOCALIZE_SCORE_H_
+#define SRC_LOCALIZE_SCORE_H_
+
+#include "src/localize/localizer.h"
+#include "src/localize/preprocess.h"
+
+namespace detector {
+
+struct ScoreOptions {
+  double utilization_threshold = 0.5;
+  PreprocessOptions preprocess;
+};
+
+class ScoreLocalizer : public Localizer {
+ public:
+  explicit ScoreLocalizer(ScoreOptions options = ScoreOptions{}) : options_(options) {}
+
+  std::string name() const override { return "SCORE"; }
+  LocalizeResult Localize(const ProbeMatrix& matrix, const Observations& obs) const override;
+
+ private:
+  ScoreOptions options_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_LOCALIZE_SCORE_H_

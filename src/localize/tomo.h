@@ -1,0 +1,31 @@
+// Tomo (NetDiagnoser, Dhamdhere et al. CoNEXT'07) — the baseline PLL builds on. Classic binary
+// tomography assumption: a loss-free path certifies every link on it as good; the failed set is
+// then a minimum hitting set of the lossy paths over the remaining links, approximated greedily.
+// Partial packet loss breaks the certification assumption, which is exactly the failure mode
+// PLL's hit-ratio filter fixes (§5.2).
+#ifndef SRC_LOCALIZE_TOMO_H_
+#define SRC_LOCALIZE_TOMO_H_
+
+#include "src/localize/localizer.h"
+#include "src/localize/preprocess.h"
+
+namespace detector {
+
+struct TomoOptions {
+  PreprocessOptions preprocess;
+};
+
+class TomoLocalizer : public Localizer {
+ public:
+  explicit TomoLocalizer(TomoOptions options = TomoOptions{}) : options_(options) {}
+
+  std::string name() const override { return "Tomo"; }
+  LocalizeResult Localize(const ProbeMatrix& matrix, const Observations& obs) const override;
+
+ private:
+  TomoOptions options_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_LOCALIZE_TOMO_H_

@@ -1,0 +1,192 @@
+#include "src/pmc/identifiability.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace detector {
+namespace {
+
+// Order-insensitive-ish hash of an ascending path-id sequence (sequences are always produced
+// in ascending order, so a sequential mix is stable).
+uint64_t HashSignature(std::span<const PathId> sig) {
+  uint64_t h = 1469598103934665603ULL;
+  for (PathId p : sig) {
+    h = HashCombine(h, static_cast<uint64_t>(static_cast<uint32_t>(p)) + 1);
+  }
+  return h;
+}
+
+// Merged union of up to three ascending signatures, deduplicated.
+std::vector<PathId> UnionOf(const ProbeMatrix& matrix, std::span<const int32_t> links) {
+  std::vector<PathId> merged;
+  for (int32_t l : links) {
+    const auto sig = matrix.PathsThroughDense(l);
+    merged.insert(merged.end(), sig.begin(), sig.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  return merged;
+}
+
+uint64_t HashUnion(const ProbeMatrix& matrix, std::span<const int32_t> links) {
+  const std::vector<PathId> u = UnionOf(matrix, links);
+  return HashSignature(u);
+}
+
+// Packs up to 3 dense link ids (each < 2^20) into one u64: arity in bits 60+, ids in 20-bit
+// fields.
+uint64_t PackCombo(std::span<const int32_t> links) {
+  DCHECK(links.size() <= 3);
+  uint64_t packed = static_cast<uint64_t>(links.size()) << 60;
+  for (size_t idx = 0; idx < links.size(); ++idx) {
+    packed |= static_cast<uint64_t>(static_cast<uint32_t>(links[idx]) & 0xfffff) << (20 * idx);
+  }
+  return packed;
+}
+
+void UnpackCombo(uint64_t packed, std::vector<int32_t>& out) {
+  out.clear();
+  const int arity = static_cast<int>(packed >> 60);
+  for (int idx = 0; idx < arity; ++idx) {
+    out.push_back(static_cast<int32_t>((packed >> (20 * idx)) & 0xfffff));
+  }
+}
+
+std::string ComboName(const ProbeMatrix& matrix, std::span<const int32_t> links) {
+  std::string name = "{";
+  for (size_t i = 0; i < links.size(); ++i) {
+    name += std::to_string(matrix.links().Link(links[i]));
+    if (i + 1 < links.size()) {
+      name += ",";
+    }
+  }
+  return name + "}";
+}
+
+}  // namespace
+
+IdentifiabilityReport VerifyIdentifiability(const ProbeMatrix& matrix, int max_beta,
+                                            uint64_t max_combos, uint64_t sample_seed) {
+  CHECK(max_beta >= 1 && max_beta <= 3);
+  const int32_t n = matrix.NumLinks();
+  CHECK(n < (1 << 20)) << "combo packing supports up to 2^20 links";
+  IdentifiabilityReport report;
+
+  report.covered = true;
+  for (int32_t l = 0; l < n; ++l) {
+    if (matrix.PathsThroughDense(l).empty()) {
+      report.covered = false;
+      report.counterexample =
+          "link " + ComboName(matrix, std::array<int32_t, 1>{l}) + " is covered by no path";
+      return report;
+    }
+  }
+
+  // (hash, packed combo) for every subset checked so far, across levels: a level-2 union must
+  // also differ from every level-1 signature, etc.
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  Rng rng(sample_seed);
+  std::vector<int32_t> combo;
+  std::vector<int32_t> other;
+
+  auto add_combo = [&](std::span<const int32_t> links) {
+    entries.emplace_back(HashUnion(matrix, links), PackCombo(links));
+    ++report.checked_combos;
+  };
+
+  auto find_collision = [&]() -> bool {
+    std::sort(entries.begin(), entries.end());
+    for (size_t i = 1; i < entries.size(); ++i) {
+      if (entries[i].first != entries[i - 1].first) {
+        continue;
+      }
+      // Hash match: compare exact unions.
+      UnpackCombo(entries[i - 1].second, combo);
+      UnpackCombo(entries[i].second, other);
+      if (combo == other) {
+        continue;  // duplicate sample
+      }
+      if (UnionOf(matrix, combo) == UnionOf(matrix, other)) {
+        report.counterexample = "failure sets " + ComboName(matrix, combo) + " and " +
+                                ComboName(matrix, other) + " produce identical loss observations";
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Level 1.
+  for (int32_t i = 0; i < n; ++i) {
+    add_combo(std::array<int32_t, 1>{i});
+  }
+  if (find_collision()) {
+    return report;
+  }
+  report.achieved_beta = 1;
+  if (max_beta < 2) {
+    return report;
+  }
+
+  // Level 2.
+  const uint64_t num_pairs = static_cast<uint64_t>(n) * (n - 1) / 2;
+  if (num_pairs <= max_combos) {
+    for (int32_t i = 0; i < n; ++i) {
+      for (int32_t j = i + 1; j < n; ++j) {
+        add_combo(std::array<int32_t, 2>{i, j});
+      }
+    }
+  } else {
+    report.sampled = true;
+    for (uint64_t s = 0; s < max_combos; ++s) {
+      const int32_t i = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(n)));
+      int32_t j = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(n - 1)));
+      if (j >= i) {
+        ++j;
+      }
+      add_combo(std::array<int32_t, 2>{std::min(i, j), std::max(i, j)});
+    }
+  }
+  if (find_collision()) {
+    return report;
+  }
+  report.achieved_beta = 2;
+  if (max_beta < 3) {
+    return report;
+  }
+
+  // Level 3.
+  const uint64_t num_triples =
+      static_cast<uint64_t>(n) * (n - 1) / 2 * static_cast<uint64_t>(n - 2) / 3;
+  if (num_triples <= max_combos) {
+    for (int32_t i = 0; i < n; ++i) {
+      for (int32_t j = i + 1; j < n; ++j) {
+        for (int32_t k = j + 1; k < n; ++k) {
+          add_combo(std::array<int32_t, 3>{i, j, k});
+        }
+      }
+    }
+  } else {
+    report.sampled = true;
+    for (uint64_t s = 0; s < max_combos; ++s) {
+      int32_t picks[3];
+      picks[0] = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(n)));
+      do {
+        picks[1] = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(n)));
+      } while (picks[1] == picks[0]);
+      do {
+        picks[2] = static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(n)));
+      } while (picks[2] == picks[0] || picks[2] == picks[1]);
+      std::sort(std::begin(picks), std::end(picks));
+      add_combo(std::span<const int32_t>(picks, 3));
+    }
+  }
+  if (find_collision()) {
+    return report;
+  }
+  report.achieved_beta = 3;
+  return report;
+}
+
+}  // namespace detector

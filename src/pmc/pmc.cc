@@ -1,0 +1,363 @@
+#include "src/pmc/pmc.h"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/common/thread_pool.h"
+#include "src/common/timer.h"
+#include "src/pmc/decomposition.h"
+#include "src/pmc/virtual_links.h"
+
+namespace detector {
+namespace {
+
+struct ComponentOutcome {
+  std::vector<PathId> selected;  // global candidate path ids, selection order
+  uint64_t evals = 0;
+  uint64_t extended = 0;
+  uint64_t setnum = 0;
+  bool alpha_ok = false;
+  bool resolved = false;
+  bool timed_out = false;
+};
+
+// Solves one decomposed component. All state is local, so components run in parallel.
+class ComponentSolver {
+ public:
+  ComponentSolver(const PathStore& candidates, const LinkIndex& links,
+                  const Decomposition::Component& comp, const PmcOptions& options,
+                  const WallTimer& timer)
+      : options_(options), timer_(timer), global_ids_(comp.path_ids) {
+    // Component-local dense link domain.
+    nl_ = static_cast<int32_t>(comp.dense_links.size());
+    std::unordered_map<int32_t, int32_t> local_of;
+    local_of.reserve(comp.dense_links.size());
+    for (int32_t i = 0; i < nl_; ++i) {
+      local_of.emplace(comp.dense_links[static_cast<size_t>(i)], i);
+    }
+    // Component-local CSR of candidate paths.
+    path_offsets_.reserve(comp.path_ids.size() + 1);
+    path_offsets_.push_back(0);
+    for (PathId pid : comp.path_ids) {
+      for (LinkId link : candidates.Links(pid)) {
+        const int32_t dense = links.Dense(link);
+        if (dense >= 0) {
+          path_links_.push_back(local_of.at(dense));
+        }
+      }
+      path_offsets_.push_back(path_links_.size());
+    }
+
+    // beta = 0 means coverage-only: the link-set partition neither drives selection nor gates
+    // termination (the paper's (alpha, 0) configurations in Tables 3/4).
+    track_sets_ = options.beta >= 1;
+    space_ = std::make_unique<ExtendedLinkSpace>(nl_, options.beta);
+    set_id_.assign(space_->num_extended(), 0);
+    set_size_ = {space_->num_extended()};
+    last_seen_ = {0};
+    count_in_path_ = {0};
+    w_.assign(static_cast<size_t>(nl_), 0);
+    uncovered_ = options.alpha > 0 ? nl_ : 0;
+    on_path_.assign(static_cast<size_t>(nl_), 0);
+  }
+
+  uint64_t num_extended() const { return space_->num_extended(); }
+
+  ComponentOutcome Solve() {
+    ComponentOutcome outcome;
+    if (options_.lazy) {
+      SolveLazy(outcome);
+    } else {
+      SolveStrawman(outcome);
+    }
+    outcome.evals = evals_;
+    outcome.extended = space_->num_extended();
+    outcome.setnum = setnum_;
+    outcome.alpha_ok = uncovered_ == 0;
+    outcome.resolved = !track_sets_ || setnum_ == space_->num_extended();
+    return outcome;
+  }
+
+ private:
+  std::span<const int32_t> LinksOf(size_t local_path) const {
+    return std::span<const int32_t>(path_links_.data() + path_offsets_[local_path],
+                                    path_offsets_[local_path + 1] - path_offsets_[local_path]);
+  }
+
+  bool TargetsMet() const {
+    return uncovered_ == 0 && (!track_sets_ || setnum_ == space_->num_extended());
+  }
+
+  bool TimeExceeded() const {
+    return options_.time_limit_seconds > 0 &&
+           timer_.ElapsedSeconds() > options_.time_limit_seconds;
+  }
+
+  struct Eval {
+    int64_t score;
+    int64_t gain;
+  };
+
+  // One pass over the extended links intersecting the path: tallies distinct partition sets
+  // (and per-set intersection counts) with a stamped scratch array.
+  void TallyPath(std::span<const int32_t> links) {
+    for (int32_t l : links) {
+      on_path_[static_cast<size_t>(l)] = 1;
+    }
+    ++stamp_;
+    distinct_.clear();
+    space_->ForEachOnPath(links, on_path_, [&](uint64_t ext) {
+      const int32_t id = set_id_[ext];
+      if (last_seen_[static_cast<size_t>(id)] != stamp_) {
+        last_seen_[static_cast<size_t>(id)] = stamp_;
+        count_in_path_[static_cast<size_t>(id)] = 0;
+        distinct_.push_back(id);
+      }
+      ++count_in_path_[static_cast<size_t>(id)];
+    });
+    for (int32_t l : links) {
+      on_path_[static_cast<size_t>(l)] = 0;
+    }
+  }
+
+  Eval Evaluate(size_t local_path) {
+    ++evals_;
+    const auto links = LinksOf(local_path);
+    TallyPath(links);
+    int64_t sum_w = 0;
+    int64_t coverage_gain = 0;
+    for (int32_t l : links) {
+      if (options_.evenness_term) {
+        sum_w += w_[static_cast<size_t>(l)];
+      }
+      if (w_[static_cast<size_t>(l)] < options_.alpha) {
+        ++coverage_gain;
+      }
+    }
+    int64_t split_gain = 0;
+    if (track_sets_) {
+      for (int32_t id : distinct_) {
+        if (count_in_path_[static_cast<size_t>(id)] < set_size_[static_cast<size_t>(id)]) {
+          ++split_gain;
+        }
+      }
+    }
+    return Eval{sum_w - static_cast<int64_t>(distinct_.size()), split_gain + coverage_gain};
+  }
+
+  void Select(size_t local_path) {
+    const auto links = LinksOf(local_path);
+    if (!track_sets_) {
+      for (int32_t l : links) {
+        if (w_[static_cast<size_t>(l)] + 1 == options_.alpha) {
+          --uncovered_;
+        }
+        ++w_[static_cast<size_t>(l)];
+      }
+      return;
+    }
+    TallyPath(links);
+    // Sets only partially on the path split: their on-path members move to a fresh set.
+    // Fully-on-path sets are unchanged (a rename would be a no-op).
+    new_id_of_.clear();
+    for (int32_t id : distinct_) {
+      if (count_in_path_[static_cast<size_t>(id)] < set_size_[static_cast<size_t>(id)]) {
+        const int32_t fresh = static_cast<int32_t>(set_size_.size());
+        set_size_.push_back(0);
+        last_seen_.push_back(0);
+        count_in_path_.push_back(0);
+        new_id_of_.emplace(id, fresh);
+        ++setnum_;
+      }
+    }
+    if (!new_id_of_.empty()) {
+      for (int32_t l : links) {
+        on_path_[static_cast<size_t>(l)] = 1;
+      }
+      space_->ForEachOnPath(links, on_path_, [&](uint64_t ext) {
+        const int32_t id = set_id_[ext];
+        auto it = new_id_of_.find(id);
+        if (it != new_id_of_.end()) {
+          set_id_[ext] = it->second;
+          --set_size_[static_cast<size_t>(id)];
+          ++set_size_[static_cast<size_t>(it->second)];
+        }
+      });
+      for (int32_t l : links) {
+        on_path_[static_cast<size_t>(l)] = 0;
+      }
+    }
+    for (int32_t l : links) {
+      if (w_[static_cast<size_t>(l)] + 1 == options_.alpha) {
+        --uncovered_;
+      }
+      ++w_[static_cast<size_t>(l)];
+    }
+  }
+
+  void SolveLazy(ComponentOutcome& outcome) {
+    // Min-heap of (score, path); scores start equal (-1: one link set intersects every path),
+    // Observation 2's lazy refresh pattern: refresh the top, re-push if it no longer wins.
+    using Entry = std::pair<int64_t, int32_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+    std::vector<Entry> initial;
+    initial.reserve(global_ids_.size());
+    for (size_t p = 0; p < global_ids_.size(); ++p) {
+      if (path_offsets_[p + 1] > path_offsets_[p]) {
+        initial.emplace_back(-1, static_cast<int32_t>(p));
+      }
+    }
+    heap = std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>(
+        std::greater<Entry>(), std::move(initial));
+
+    while (!TargetsMet() && !heap.empty()) {
+      if ((evals_ & 0x3ff) == 0 && TimeExceeded()) {
+        outcome.timed_out = true;
+        return;
+      }
+      const auto [stale_score, p] = heap.top();
+      heap.pop();
+      const Eval e = Evaluate(static_cast<size_t>(p));
+      if (e.gain == 0) {
+        continue;  // useless now and (by submodular intent) forever: drop permanently
+      }
+      if (!heap.empty() && e.score > heap.top().first) {
+        heap.emplace(e.score, p);
+        continue;
+      }
+      Select(static_cast<size_t>(p));
+      outcome.selected.push_back(global_ids_[static_cast<size_t>(p)]);
+    }
+  }
+
+  void SolveStrawman(ComponentOutcome& outcome) {
+    std::vector<uint8_t> dead(global_ids_.size(), 0);
+    while (!TargetsMet()) {
+      int64_t best_score = 0;
+      int32_t best = -1;
+      for (size_t p = 0; p < global_ids_.size(); ++p) {
+        if (dead[p] || path_offsets_[p + 1] == path_offsets_[p]) {
+          continue;
+        }
+        if ((evals_ & 0x3ff) == 0 && TimeExceeded()) {
+          outcome.timed_out = true;
+          return;
+        }
+        const Eval e = Evaluate(p);
+        if (e.gain == 0) {
+          dead[p] = 1;
+          continue;
+        }
+        if (best < 0 || e.score < best_score) {
+          best = static_cast<int32_t>(p);
+          best_score = e.score;
+        }
+      }
+      if (best < 0) {
+        return;  // no candidate with positive gain remains
+      }
+      Select(static_cast<size_t>(best));
+      dead[static_cast<size_t>(best)] = 1;
+      outcome.selected.push_back(global_ids_[static_cast<size_t>(best)]);
+    }
+  }
+
+  const PmcOptions& options_;
+  const WallTimer& timer_;
+  const std::vector<PathId>& global_ids_;
+
+  int32_t nl_ = 0;
+  std::vector<uint64_t> path_offsets_;
+  std::vector<int32_t> path_links_;
+
+  std::unique_ptr<ExtendedLinkSpace> space_;
+  std::vector<int32_t> set_id_;        // extended link -> partition set id
+  std::vector<uint64_t> set_size_;     // set id -> member count
+  std::vector<uint64_t> last_seen_;    // set id -> stamp of last tally
+  std::vector<uint64_t> count_in_path_;
+  std::vector<int32_t> distinct_;      // scratch: set ids met in the current tally
+  std::unordered_map<int32_t, int32_t> new_id_of_;
+  bool track_sets_ = true;
+  uint64_t stamp_ = 0;
+  uint64_t setnum_ = 1;
+  uint64_t evals_ = 0;
+
+  std::vector<int32_t> w_;  // per-link selected-path count (the paper's link weight)
+  int32_t uncovered_ = 0;
+  std::vector<uint8_t> on_path_;
+};
+
+}  // namespace
+
+PmcResult BuildProbeMatrix(const PathProvider& provider, PathEnumMode mode,
+                           const PmcOptions& options) {
+  const PathStore candidates = provider.Enumerate(mode);
+  return BuildProbeMatrixFromCandidates(provider.topology(), candidates, options);
+}
+
+PmcResult BuildProbeMatrixFromCandidates(const Topology& topo, const PathStore& candidates,
+                                         const PmcOptions& options) {
+  CHECK(options.alpha >= 0);
+  CHECK(options.beta >= 0);
+  WallTimer timer;
+  LinkIndex links = LinkIndex::ForMonitored(topo);
+
+  Decomposition decomp = options.decompose ? DecomposePathLinkGraph(candidates, links)
+                                           : SingleComponent(candidates, links);
+
+  uint64_t extended_total = 0;
+  for (const auto& comp : decomp.components) {
+    extended_total += ExtendedLinkSpace::CountExtended(
+        static_cast<int32_t>(comp.dense_links.size()), options.beta);
+  }
+  if (extended_total > options.max_extended_links) {
+    throw std::runtime_error(
+        "PMC: extended-link state would need " + std::to_string(extended_total) +
+        " entries (> limit " + std::to_string(options.max_extended_links) +
+        "); use a smaller topology, beta, or the structured generator");
+  }
+
+  std::vector<ComponentOutcome> outcomes(decomp.components.size());
+  auto solve_one = [&](size_t i) {
+    ComponentSolver solver(candidates, links, decomp.components[i], options, timer);
+    outcomes[i] = solver.Solve();
+  };
+  if (options.num_threads > 1 && decomp.components.size() > 1) {
+    ThreadPool::ParallelFor(decomp.components.size(), options.num_threads, solve_one);
+  } else {
+    for (size_t i = 0; i < decomp.components.size(); ++i) {
+      solve_one(i);
+    }
+  }
+
+  std::vector<PathId> selected;
+  PmcResult result;
+  result.stats.num_components = static_cast<int>(decomp.components.size());
+  result.stats.num_candidates = candidates.size();
+  result.stats.extended_links = extended_total;
+  result.stats.uncoverable_links = static_cast<int32_t>(decomp.uncoverable_links.size());
+  result.stats.alpha_satisfied = decomp.uncoverable_links.empty() || options.alpha == 0;
+  result.stats.fully_resolved = true;
+  for (const auto& outcome : outcomes) {
+    selected.insert(selected.end(), outcome.selected.begin(), outcome.selected.end());
+    result.stats.score_evaluations += outcome.evals;
+    result.stats.resolved_sets += outcome.setnum;
+    result.stats.alpha_satisfied = result.stats.alpha_satisfied && outcome.alpha_ok;
+    result.stats.fully_resolved = result.stats.fully_resolved && outcome.resolved;
+    result.stats.timed_out = result.stats.timed_out || outcome.timed_out;
+  }
+  std::sort(selected.begin(), selected.end());
+
+  PathStore chosen;
+  chosen.Reserve(selected.size(), selected.size() * 4);
+  chosen.AppendFrom(candidates, selected);
+  result.stats.num_selected = chosen.size();
+  result.matrix = ProbeMatrix(std::move(chosen), std::move(links));
+  result.stats.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace detector

@@ -1,0 +1,69 @@
+// PMC — Probe Matrix Construction (Algorithm 1 of the paper).
+//
+// Greedy selection over candidate paths minimizing score(p) = sum_{l in p} w[l] − #linksets(p)
+// until the probe matrix achieves alpha-coverage of every monitored link and the link-set
+// partition over the (virtual-link-extended) routing matrix is fully resolved, or no candidate
+// path has positive marginal gain.
+//
+// The three §4.3 optimizations are individually switchable so the Table 2 ablation can be
+// reproduced:
+//   decompose   — Observation 1, independent bipartite components (parallelizable);
+//   lazy        — Observation 2, CELF-style deferred score refresh on a min-heap;
+//   (symmetry)  — Observation 3 lives in the PathProvider's kSymmetryReduced enumeration.
+#ifndef SRC_PMC_PMC_H_
+#define SRC_PMC_PMC_H_
+
+#include <cstdint>
+
+#include "src/pmc/probe_matrix.h"
+#include "src/routing/path_provider.h"
+
+namespace detector {
+
+struct PmcOptions {
+  int alpha = 1;
+  int beta = 1;
+  bool decompose = true;
+  bool lazy = true;
+  // The w[link] term of Eq. 1, which spreads probe load evenly over links. Disabling it is an
+  // ablation only (bench_ablation_evenness): selection then ignores how often a link is
+  // already covered until the alpha constraint binds.
+  bool evenness_term = true;
+  double time_limit_seconds = 0.0;  // 0 = unlimited; exceeded runs report timed_out
+  size_t num_threads = 1;           // parallelism across decomposed components
+  // Guard on the explicit extended-link state (sum over components of n + C(n,2) + C(n,3));
+  // exceeding it throws std::runtime_error, mirroring the paper's ">24h" infeasibility rows.
+  uint64_t max_extended_links = 300'000'000;
+};
+
+struct PmcStats {
+  double seconds = 0.0;
+  uint64_t num_candidates = 0;
+  uint64_t num_selected = 0;
+  int num_components = 0;
+  uint64_t score_evaluations = 0;
+  uint64_t extended_links = 0;   // total extended links across components
+  uint64_t resolved_sets = 0;    // final link-set partition size, summed over components
+  int32_t uncoverable_links = 0; // monitored links no candidate path touches
+  bool alpha_satisfied = false;
+  bool fully_resolved = false;   // every component drove its partition to singletons
+  bool timed_out = false;
+};
+
+struct PmcResult {
+  ProbeMatrix matrix;
+  PmcStats stats;
+};
+
+// Enumerates candidates from the provider (kFull or kSymmetryReduced) and runs PMC.
+PmcResult BuildProbeMatrix(const PathProvider& provider, PathEnumMode mode,
+                           const PmcOptions& options);
+
+// Runs PMC over a caller-supplied candidate set (lets benches reuse one enumeration across
+// several (alpha, beta) configurations).
+PmcResult BuildProbeMatrixFromCandidates(const Topology& topo, const PathStore& candidates,
+                                         const PmcOptions& options);
+
+}  // namespace detector
+
+#endif  // SRC_PMC_PMC_H_

@@ -1,0 +1,93 @@
+#include "src/pmc/probe_matrix.h"
+
+#include <algorithm>
+
+namespace detector {
+
+LinkIndex LinkIndex::ForMonitored(const Topology& topo) {
+  LinkIndex index;
+  index.to_dense_.assign(topo.NumLinks(), -1);
+  for (size_t i = 0; i < topo.NumLinks(); ++i) {
+    if (topo.links()[i].monitored) {
+      index.to_dense_[i] = static_cast<int32_t>(index.to_link_.size());
+      index.to_link_.push_back(static_cast<LinkId>(i));
+    }
+  }
+  return index;
+}
+
+LinkIndex LinkIndex::ForLinks(const Topology& topo, std::span<const LinkId> links) {
+  LinkIndex index;
+  index.to_dense_.assign(topo.NumLinks(), -1);
+  for (LinkId link : links) {
+    CHECK(link >= 0 && static_cast<size_t>(link) < topo.NumLinks());
+    CHECK(index.to_dense_[static_cast<size_t>(link)] < 0) << "duplicate link " << link;
+    index.to_dense_[static_cast<size_t>(link)] = static_cast<int32_t>(index.to_link_.size());
+    index.to_link_.push_back(link);
+  }
+  return index;
+}
+
+void ProbeMatrix::BuildLinkToPathIndex() {
+  const size_t n = static_cast<size_t>(links_.num_links());
+  std::vector<uint64_t> counts(n, 0);
+  for (size_t p = 0; p < paths_.size(); ++p) {
+    for (LinkId link : paths_.Links(static_cast<PathId>(p))) {
+      const int32_t dense = links_.Dense(link);
+      if (dense >= 0) {
+        ++counts[static_cast<size_t>(dense)];
+      }
+    }
+  }
+  link_path_offsets_.assign(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    link_path_offsets_[i + 1] = link_path_offsets_[i] + counts[i];
+  }
+  link_path_ids_.resize(link_path_offsets_[n]);
+  std::vector<uint64_t> cursor(link_path_offsets_.begin(), link_path_offsets_.end() - 1);
+  for (size_t p = 0; p < paths_.size(); ++p) {
+    for (LinkId link : paths_.Links(static_cast<PathId>(p))) {
+      const int32_t dense = links_.Dense(link);
+      if (dense >= 0) {
+        link_path_ids_[cursor[static_cast<size_t>(dense)]++] = static_cast<PathId>(p);
+      }
+    }
+  }
+}
+
+std::vector<int32_t> ProbeMatrix::DenseLinksOfPath(PathId path) const {
+  std::vector<int32_t> dense;
+  for (LinkId link : paths_.Links(path)) {
+    const int32_t d = links_.Dense(link);
+    if (d >= 0) {
+      dense.push_back(d);
+    }
+  }
+  return dense;
+}
+
+std::vector<int32_t> ProbeMatrix::CoverageCounts() const {
+  std::vector<int32_t> counts(static_cast<size_t>(links_.num_links()), 0);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = static_cast<int32_t>(PathsThroughDense(static_cast<int32_t>(i)).size());
+  }
+  return counts;
+}
+
+ProbeMatrix::CoverageStats ProbeMatrix::Coverage() const {
+  CoverageStats stats;
+  const std::vector<int32_t> counts = CoverageCounts();
+  if (counts.empty()) {
+    return stats;
+  }
+  stats.min = *std::min_element(counts.begin(), counts.end());
+  stats.max = *std::max_element(counts.begin(), counts.end());
+  double total = 0;
+  for (int32_t c : counts) {
+    total += c;
+  }
+  stats.mean = total / static_cast<double>(counts.size());
+  return stats;
+}
+
+}  // namespace detector

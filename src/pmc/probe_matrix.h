@@ -1,0 +1,94 @@
+// Probe matrix: the set of selected probe paths plus the dense index of monitored links and a
+// link -> paths CSR used by both PMC verification and the loss-localization algorithms.
+#ifndef SRC_PMC_PROBE_MATRIX_H_
+#define SRC_PMC_PROBE_MATRIX_H_
+
+#include <span>
+#include <vector>
+
+#include "src/routing/path_store.h"
+#include "src/topo/topology.h"
+
+namespace detector {
+
+// Bidirectional mapping between global LinkIds and a dense [0, n) domain. The probe-matrix
+// problem runs over monitored links only (inter-switch links; all links for BCube).
+class LinkIndex {
+ public:
+  LinkIndex() = default;
+
+  static LinkIndex ForMonitored(const Topology& topo);
+  static LinkIndex ForLinks(const Topology& topo, std::span<const LinkId> links);
+
+  int32_t num_links() const { return static_cast<int32_t>(to_link_.size()); }
+
+  // Dense index of a LinkId, or -1 when the link is not in the domain.
+  int32_t Dense(LinkId link) const {
+    DCHECK(link >= 0 && static_cast<size_t>(link) < to_dense_.size());
+    return to_dense_[static_cast<size_t>(link)];
+  }
+
+  LinkId Link(int32_t dense) const {
+    DCHECK(dense >= 0 && static_cast<size_t>(dense) < to_link_.size());
+    return to_link_[static_cast<size_t>(dense)];
+  }
+
+  const std::vector<LinkId>& links() const { return to_link_; }
+
+ private:
+  std::vector<LinkId> to_link_;
+  std::vector<int32_t> to_dense_;
+};
+
+class ProbeMatrix {
+ public:
+  ProbeMatrix() = default;
+  ProbeMatrix(PathStore paths, LinkIndex links) : paths_(std::move(paths)), links_(std::move(links)) {
+    BuildLinkToPathIndex();
+  }
+
+  const PathStore& paths() const { return paths_; }
+  const LinkIndex& links() const { return links_; }
+  size_t NumPaths() const { return paths_.size(); }
+  int32_t NumLinks() const { return links_.num_links(); }
+
+  // Probe paths traversing the given dense link.
+  std::span<const PathId> PathsThroughDense(int32_t dense) const {
+    DCHECK(dense >= 0 && dense < NumLinks());
+    const size_t i = static_cast<size_t>(dense);
+    return std::span<const PathId>(link_path_ids_.data() + link_path_offsets_[i],
+                                   link_path_offsets_[i + 1] - link_path_offsets_[i]);
+  }
+
+  std::span<const PathId> PathsThrough(LinkId link) const {
+    const int32_t dense = links_.Dense(link);
+    CHECK(dense >= 0) << "link " << link << " not in the probe matrix domain";
+    return PathsThroughDense(dense);
+  }
+
+  // Dense link ids of one path (monitored links only).
+  std::vector<int32_t> DenseLinksOfPath(PathId path) const;
+
+  // Per-dense-link number of selected paths covering it.
+  std::vector<int32_t> CoverageCounts() const;
+
+  struct CoverageStats {
+    int32_t min = 0;
+    int32_t max = 0;
+    double mean = 0.0;
+  };
+  // Min/max/mean coverage; the max-min gap is the paper's (un)evenness measure (§4.2).
+  CoverageStats Coverage() const;
+
+ private:
+  void BuildLinkToPathIndex();
+
+  PathStore paths_;
+  LinkIndex links_;
+  std::vector<uint64_t> link_path_offsets_;
+  std::vector<PathId> link_path_ids_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_PMC_PROBE_MATRIX_H_

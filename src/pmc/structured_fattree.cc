@@ -1,0 +1,75 @@
+#include "src/pmc/structured_fattree.h"
+
+#include <algorithm>
+
+namespace detector {
+
+std::vector<StructuredFamily> DefaultStructuredFamilies(int alpha, int beta) {
+  CHECK(alpha >= 0 && beta >= 0 && beta <= 3);
+  // Pool in priority order. Rotations are odd (a family must pair even pods with odd pods to
+  // stay a perfect 1-cover); gamma/delta vary so that edge-agg and agg-core links accumulate
+  // distinguishable signatures. Validated by tests/structured_test.cc.
+  static const StructuredFamily kPool[] = {
+      {1, 0, 0}, {3, 1, 1}, {1, 2, 1}, {5, 1, 2}, {3, 0, 3}, {1, 3, 2},
+      {7, 2, 0}, {5, 3, 1}, {3, 2, 2}, {1, 1, 3}, {7, 0, 1}, {5, 0, 2},
+  };
+  // Empirical minimum family counts for identifiability (see structured_test.cc): beta=0 needs
+  // 1 (pure cover); 3 families verify beta=1 everywhere and beta=2 for k >= 6 (k=4 cannot be
+  // 2-identifiable at all — the paper says the same in §6.3); 5 families reach beta=3 at k >= 8.
+  // 3 families x k^3/8 paths also reproduces the paper's Table 3 counts for (3,2) exactly.
+  static const int kBetaFamilies[] = {1, 3, 3, 5};
+  const int count = std::max(alpha, kBetaFamilies[beta]);
+  CHECK(count <= static_cast<int>(std::size(kPool)))
+      << "structured family pool exhausted for alpha=" << alpha << " beta=" << beta;
+  return std::vector<StructuredFamily>(kPool, kPool + count);
+}
+
+PathStore StructuredFatTreePaths(const FatTree& fattree,
+                                 std::span<const StructuredFamily> families) {
+  const int k = fattree.k();
+  const int half = k / 2;
+  PathStore store;
+  const uint64_t per_family =
+      static_cast<uint64_t>(k / 2) * static_cast<uint64_t>(half) * static_cast<uint64_t>(half);
+  store.Reserve(per_family * families.size(), per_family * families.size() * 4);
+
+  std::vector<LinkId> links;
+  links.reserve(4);
+  for (const StructuredFamily& fam : families) {
+    // Normalize the rotation into an odd value in [1, k).
+    int r = fam.rotation % k;
+    if (r <= 0) {
+      r += k;
+    }
+    if (r % 2 == 0) {
+      r = (r + 1) % k;
+      if (r == 0) {
+        r = 1;
+      }
+    }
+    for (int p = 0; p < k; p += 2) {
+      const int q = (p + r) % k;
+      for (int e = 0; e < half; ++e) {
+        const int j = (e + fam.gamma) % half;
+        const int e2 = (e + fam.delta) % half;
+        for (int a = 0; a < half; ++a) {
+          links.clear();
+          links.push_back(fattree.EdgeAggLink(p, e, a));
+          links.push_back(fattree.AggCoreLink(p, a, j));
+          links.push_back(fattree.AggCoreLink(q, a, j));
+          links.push_back(fattree.EdgeAggLink(q, e2, a));
+          store.Add(fattree.Tor(p, e), fattree.Tor(q, e2), links);
+        }
+      }
+    }
+  }
+  return store;
+}
+
+ProbeMatrix StructuredFatTreeProbeMatrix(const FatTree& fattree, int alpha, int beta) {
+  const std::vector<StructuredFamily> families = DefaultStructuredFamilies(alpha, beta);
+  PathStore paths = StructuredFatTreePaths(fattree, families);
+  return ProbeMatrix(std::move(paths), LinkIndex::ForMonitored(fattree.topology()));
+}
+
+}  // namespace detector

@@ -1,0 +1,46 @@
+// Closed-form probe-path families for fat-trees — the "symmetry replication" end of
+// Observation 3 (§4.3). At very large scale (Fattree(32/48/64), Tables 3 and 5) the explicit
+// virtual-link partition of the greedy PMC is infeasible (C(55k, 2) pair state for beta = 2),
+// and the paper's own selected-path counts there follow exact multiples of k^3/8 — the size of
+// one "perfect 1-cover" family. This module emits such families directly.
+//
+// One family(r, gamma, delta) with odd rotation r sends, for every even pod p and every
+// (edge e, agg a), one probe from ToR (p, e) to ToR ((p + r) mod k, (e + delta) mod k/2) via
+// core (a, (e + gamma) mod k/2). Each family covers every inter-switch link exactly once with
+// k^3/8 paths; stacking families with distinct parameters raises coverage by one each and adds
+// the signature diversity needed for identifiability. The default family sequences per (alpha,
+// beta) are validated by exhaustive verification at small k (tests) and sampled verification at
+// large k (benches) — the construction is k-uniform, so the property replicates.
+#ifndef SRC_PMC_STRUCTURED_FATTREE_H_
+#define SRC_PMC_STRUCTURED_FATTREE_H_
+
+#include <span>
+#include <vector>
+
+#include "src/pmc/probe_matrix.h"
+#include "src/routing/path_store.h"
+#include "src/topo/fattree.h"
+
+namespace detector {
+
+struct StructuredFamily {
+  int rotation = 1;  // odd pod rotation: even pod p probes pod (p + rotation) mod k
+  int gamma = 0;     // core sub-index offset: j = (e + gamma) mod k/2
+  int delta = 0;     // destination edge offset: e2 = (e + delta) mod k/2
+};
+
+// The family sequence used for a given (alpha, beta) target. Sequences grow with both
+// parameters; every prefix is also a valid (weaker) configuration.
+std::vector<StructuredFamily> DefaultStructuredFamilies(int alpha, int beta);
+
+// Emits the probe paths of the given families (k^3/8 paths each).
+PathStore StructuredFatTreePaths(const FatTree& fattree,
+                                 std::span<const StructuredFamily> families);
+
+// Convenience: builds the full probe matrix for an (alpha, beta) target using the default
+// family sequence.
+ProbeMatrix StructuredFatTreeProbeMatrix(const FatTree& fattree, int alpha, int beta);
+
+}  // namespace detector
+
+#endif  // SRC_PMC_STRUCTURED_FATTREE_H_

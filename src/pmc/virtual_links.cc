@@ -1,0 +1,43 @@
+#include "src/pmc/virtual_links.h"
+
+namespace detector {
+namespace {
+
+uint64_t Choose2(uint64_t n) { return n < 2 ? 0 : n * (n - 1) / 2; }
+uint64_t Choose3(uint64_t n) { return n < 3 ? 0 : n * (n - 1) * (n - 2) / 6; }
+
+}  // namespace
+
+ExtendedLinkSpace::ExtendedLinkSpace(int32_t n, int beta) : n_(n), beta_(beta) {
+  CHECK(n >= 0);
+  CHECK(beta >= 0 && beta <= 3) << "beta > 3 requires implicit column handling (unsupported; "
+                                   "the paper reports >24h runtimes there as well)";
+  const uint64_t un = static_cast<uint64_t>(n);
+  if (beta_ >= 2) {
+    num_pairs_ = Choose2(un);
+  }
+  if (beta_ >= 3) {
+    num_triples_ = Choose3(un);
+    triple_offset_.resize(static_cast<size_t>(n) + 1);
+    for (int32_t i = 0; i <= n; ++i) {
+      // Triples with smallest element < i: C(n,3) - C(n-i,3).
+      triple_offset_[static_cast<size_t>(i)] =
+          Choose3(un) - Choose3(un - static_cast<uint64_t>(i));
+    }
+  }
+  num_extended_ = un + num_pairs_ + num_triples_;
+}
+
+uint64_t ExtendedLinkSpace::CountExtended(int32_t n, int beta) {
+  const uint64_t un = static_cast<uint64_t>(n);
+  uint64_t total = un;
+  if (beta >= 2) {
+    total += Choose2(un);
+  }
+  if (beta >= 3) {
+    total += Choose3(un);
+  }
+  return total;
+}
+
+}  // namespace detector

@@ -1,0 +1,131 @@
+// Virtual-link space for beta-identifiability (§4.2). A virtual link is the OR of 2..beta
+// physical columns of the routing matrix; constructing a 1-identifiable probe matrix over the
+// extended space yields a beta-identifiable matrix over the physical links.
+//
+// Extended links are addressed by a single flat rank:
+//   [0, n)                      physical links
+//   [n, n + C(n,2))             pairs (i < j), combinatorial rank
+//   [n + C(n,2), ... + C(n,3))  triples (i < j < k)
+// The space is never materialized as matrix columns — PMC only needs per-rank partition set-ids
+// plus the ability to enumerate the ranks that intersect a path, which ForEachOnPath provides
+// in O(|path| * n^(beta-1)).
+#ifndef SRC_PMC_VIRTUAL_LINKS_H_
+#define SRC_PMC_VIRTUAL_LINKS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace detector {
+
+class ExtendedLinkSpace {
+ public:
+  // n physical links, identifiability target beta in [0, 3]. beta <= 1 adds no virtual links.
+  ExtendedLinkSpace(int32_t n, int beta);
+
+  int32_t n() const { return n_; }
+  int beta() const { return beta_; }
+  uint64_t num_extended() const { return num_extended_; }
+  uint64_t num_pairs() const { return num_pairs_; }
+  uint64_t num_triples() const { return num_triples_; }
+
+  uint64_t PairRank(int32_t i, int32_t j) const {
+    DCHECK(0 <= i && i < j && j < n_);
+    const uint64_t ui = static_cast<uint64_t>(i);
+    // Pairs with first element i start after all pairs with a smaller first element.
+    return ui * static_cast<uint64_t>(n_) - ui * (ui + 1) / 2 + static_cast<uint64_t>(j - i - 1);
+  }
+
+  uint64_t TripleRank(int32_t i, int32_t j, int32_t k) const {
+    DCHECK(0 <= i && i < j && j < k && k < n_);
+    const uint64_t rest = static_cast<uint64_t>(n_ - i - 1);  // domain size after fixing i
+    const uint64_t uj = static_cast<uint64_t>(j - i - 1);
+    const uint64_t pair_in_rest = uj * rest - uj * (uj + 1) / 2 + static_cast<uint64_t>(k - j - 1);
+    return triple_offset_[static_cast<size_t>(i)] + pair_in_rest;
+  }
+
+  // Flat rank of a physical link / pair / triple.
+  uint64_t RankSingle(int32_t i) const { return static_cast<uint64_t>(i); }
+  uint64_t RankPair(int32_t i, int32_t j) const {
+    return static_cast<uint64_t>(n_) + PairRank(i, j);
+  }
+  uint64_t RankTriple(int32_t i, int32_t j, int32_t k) const {
+    return static_cast<uint64_t>(n_) + num_pairs_ + TripleRank(i, j, k);
+  }
+
+  // Invokes fn(flat_rank) exactly once for every extended link that has at least one
+  // constituent physical link on the path. `on_path` must be an n-sized 0/1 mask of the path's
+  // links; `path_links` the distinct dense link ids of the path. Each extended link is reported
+  // by its smallest on-path constituent.
+  template <typename Fn>
+  void ForEachOnPath(std::span<const int32_t> path_links, const std::vector<uint8_t>& on_path,
+                     Fn&& fn) const {
+    for (int32_t a : path_links) {
+      fn(RankSingle(a));
+    }
+    if (beta_ < 2) {
+      return;
+    }
+    for (int32_t a : path_links) {
+      // Partners below `a` must be off-path (an on-path partner below `a` reports the pair
+      // itself); partners above `a` are always reported from `a`.
+      for (int32_t x = 0; x < a; ++x) {
+        if (!on_path[static_cast<size_t>(x)]) {
+          fn(RankPair(x, a));
+        }
+      }
+      for (int32_t x = a + 1; x < n_; ++x) {
+        fn(RankPair(a, x));
+      }
+    }
+    if (beta_ < 3) {
+      return;
+    }
+    for (int32_t a : path_links) {
+      // Same rule as pairs: `a` reports a triple iff it is the triple's smallest on-path
+      // member, i.e. no on-path member below `a` exists. The other two members {x, y} are
+      // enumerated as unordered pairs.
+      for (int32_t x = 0; x < n_; ++x) {
+        if (x == a || (x < a && on_path[static_cast<size_t>(x)])) {
+          continue;
+        }
+        for (int32_t y = x + 1; y < n_; ++y) {
+          if (y == a || (y < a && on_path[static_cast<size_t>(y)])) {
+            continue;
+          }
+          int32_t i = a;
+          int32_t j = x;
+          int32_t k = y;
+          if (i > j) {
+            std::swap(i, j);
+          }
+          if (j > k) {
+            std::swap(j, k);
+          }
+          if (i > j) {
+            std::swap(i, j);
+          }
+          fn(RankTriple(i, j, k));
+        }
+      }
+    }
+  }
+
+  // Total extended links for given (n, beta) without constructing the space.
+  static uint64_t CountExtended(int32_t n, int beta);
+
+ private:
+  int32_t n_;
+  int beta_;
+  uint64_t num_pairs_ = 0;
+  uint64_t num_triples_ = 0;
+  uint64_t num_extended_ = 0;
+  std::vector<uint64_t> triple_offset_;  // number of triples whose smallest element is < i
+};
+
+}  // namespace detector
+
+#endif  // SRC_PMC_VIRTUAL_LINKS_H_

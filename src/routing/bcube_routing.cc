@@ -1,0 +1,96 @@
+#include "src/routing/bcube_routing.h"
+
+#include <algorithm>
+
+namespace detector {
+
+BcubeRouting::BcubeRouting(const Bcube& bcube, SymmetryReductionParams reduction)
+    : bcube_(bcube), reduction_(reduction) {}
+
+uint64_t BcubeRouting::TotalPathCount() const {
+  const uint64_t servers = static_cast<uint64_t>(bcube_.num_servers());
+  return servers * (servers - 1) * static_cast<uint64_t>(bcube_.num_levels());
+}
+
+void BcubeRouting::CorrectionPath(int src_addr, int dst_addr, int start_level,
+                                  std::vector<LinkId>& out) const {
+  out.clear();
+  const int levels = bcube_.num_levels();
+  int cur = src_addr;
+  for (int d = 0; d < levels; ++d) {
+    const int level = (start_level + d) % levels;
+    const int want = bcube_.Digit(dst_addr, level);
+    if (bcube_.Digit(cur, level) == want) {
+      continue;
+    }
+    const int next = bcube_.WithDigit(cur, level, want);
+    out.push_back(bcube_.ServerSwitchLink(cur, level));
+    out.push_back(bcube_.ServerSwitchLink(next, level));
+    cur = next;
+  }
+  DCHECK(cur == dst_addr);
+}
+
+PathStore BcubeRouting::Enumerate(PathEnumMode mode) const {
+  PathStore store;
+  const int servers = bcube_.num_servers();
+  const int levels = bcube_.num_levels();
+  std::vector<LinkId> links;
+  links.reserve(static_cast<size_t>(levels) * 2);
+
+  if (mode == PathEnumMode::kFull) {
+    const uint64_t count = TotalPathCount();
+    store.Reserve(count, count * static_cast<uint64_t>(levels));
+    for (int s1 = 0; s1 < servers; ++s1) {
+      for (int s2 = 0; s2 < servers; ++s2) {
+        if (s1 == s2) {
+          continue;
+        }
+        for (int start = 0; start < levels; ++start) {
+          CorrectionPath(s1, s2, start, links);
+          store.Add(bcube_.Server(s1), bcube_.Server(s2), links);
+        }
+      }
+    }
+    return store;
+  }
+
+  // Symmetry-reduced: pair each server with a handful of rotated partners chosen to spread the
+  // digit differences (stride ~ servers / (rotations + 1)), all correction orders kept.
+  const int rotations = std::min(reduction_.rotations, servers - 1);
+  std::vector<int> strides;
+  for (int m = 1; m <= rotations; ++m) {
+    const int r = std::max(1, m * servers / (rotations + 1));
+    if (std::find(strides.begin(), strides.end(), r) == strides.end()) {
+      strides.push_back(r);
+    }
+  }
+  for (int r : strides) {
+    for (int s1 = 0; s1 < servers; ++s1) {
+      const int s2 = (s1 + r) % servers;
+      if (s1 == s2) {
+        continue;
+      }
+      for (int start = 0; start < levels; ++start) {
+        CorrectionPath(s1, s2, start, links);
+        store.Add(bcube_.Server(s1), bcube_.Server(s2), links);
+      }
+    }
+  }
+  return store;
+}
+
+PathStore BcubeRouting::ParallelPaths(NodeId src_server, NodeId dst_server) const {
+  CHECK(src_server != dst_server);
+  const int s1 = bcube_.AddressOfServer(src_server);
+  const int s2 = bcube_.AddressOfServer(dst_server);
+  PathStore store;
+  std::vector<LinkId> links;
+  for (int start = 0; start < bcube_.num_levels(); ++start) {
+    CorrectionPath(s1, s2, start, links);
+    store.Add(src_server, dst_server, links);
+  }
+  return store;
+}
+
+}  // namespace detector

@@ -1,0 +1,40 @@
+// Path enumeration for BCube, after the BCube paper's BuildPathSet: between two servers there
+// are k+1 parallel paths, one per rotation of the digit-correction order. Path i corrects
+// differing address digits in level order (i, i+1, ..., k, 0, ..., i-1); each correction hops
+// server -> level-l switch -> server.
+//
+// For server pairs that differ in fewer than k+1 digits some rotations coincide; the paper's
+// path accounting (Table 2: ordered pairs x (k+1)) counts them all, and so do we.
+#ifndef SRC_ROUTING_BCUBE_ROUTING_H_
+#define SRC_ROUTING_BCUBE_ROUTING_H_
+
+#include <vector>
+
+#include "src/routing/path_provider.h"
+#include "src/topo/bcube.h"
+
+namespace detector {
+
+class BcubeRouting : public PathProvider {
+ public:
+  explicit BcubeRouting(const Bcube& bcube,
+                        SymmetryReductionParams reduction = SymmetryReductionParams{});
+
+  const Topology& topology() const override { return bcube_.topology(); }
+  uint64_t TotalPathCount() const override;
+  PathStore Enumerate(PathEnumMode mode) const override;
+  PathStore ParallelPaths(NodeId src_server, NodeId dst_server) const override;
+
+  const Bcube& bcube() const { return bcube_; }
+
+  // Digit-correction path from src to dst starting the level order at `start_level`.
+  void CorrectionPath(int src_addr, int dst_addr, int start_level, std::vector<LinkId>& out) const;
+
+ private:
+  const Bcube& bcube_;
+  SymmetryReductionParams reduction_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_ROUTING_BCUBE_ROUTING_H_

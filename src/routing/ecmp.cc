@@ -1,0 +1,57 @@
+#include "src/routing/ecmp.h"
+
+#include "src/common/rng.h"
+
+namespace detector {
+
+uint64_t FlowHash(const FlowKey& key, uint64_t salt) {
+  uint64_t h = HashCombine(static_cast<uint64_t>(static_cast<uint32_t>(key.src)),
+                           static_cast<uint64_t>(static_cast<uint32_t>(key.dst)));
+  h = HashCombine(h, (static_cast<uint64_t>(key.src_port) << 24) |
+                         (static_cast<uint64_t>(key.dst_port) << 8) |
+                         static_cast<uint64_t>(key.proto));
+  return HashCombine(h, salt);
+}
+
+FlowKey ReverseFlow(const FlowKey& key) {
+  return FlowKey{key.dst, key.src, key.dst_port, key.src_port, key.proto};
+}
+
+std::vector<LinkId> FatTreeEcmpPath(const FatTree& fattree, const FlowKey& key) {
+  const Topology& topo = fattree.topology();
+  CHECK(topo.IsServer(key.src) && topo.IsServer(key.dst)) << "ECMP endpoints must be servers";
+  std::vector<LinkId> links;
+
+  const NodeId src_tor = fattree.TorOfServer(key.src);
+  const NodeId dst_tor = fattree.TorOfServer(key.dst);
+  const FatTree::TorCoord c1 = fattree.TorCoordOf(src_tor);
+  const FatTree::TorCoord c2 = fattree.TorCoordOf(dst_tor);
+  const int half = fattree.k() / 2;
+
+  const int src_index = topo.node(key.src).index;  // e * servers_per_tor + s
+  const int dst_index = topo.node(key.dst).index;
+  links.push_back(
+      fattree.ServerLink(c1.pod, c1.e, src_index % fattree.servers_per_tor()));
+  if (src_tor != dst_tor) {
+    // ToR picks the uplink (aggregation switch) by flow hash.
+    const int a = static_cast<int>(FlowHash(key, static_cast<uint64_t>(src_tor)) %
+                                   static_cast<uint64_t>(half));
+    links.push_back(fattree.EdgeAggLink(c1.pod, c1.e, a));
+    if (c1.pod == c2.pod) {
+      links.push_back(fattree.EdgeAggLink(c2.pod, c2.e, a));
+    } else {
+      // Aggregation switch picks the core by flow hash; the downstream path is determined.
+      const NodeId agg = fattree.Agg(c1.pod, a);
+      const int j = static_cast<int>(FlowHash(key, static_cast<uint64_t>(agg)) %
+                                     static_cast<uint64_t>(half));
+      links.push_back(fattree.AggCoreLink(c1.pod, a, j));
+      links.push_back(fattree.AggCoreLink(c2.pod, a, j));
+      links.push_back(fattree.EdgeAggLink(c2.pod, c2.e, a));
+    }
+  }
+  links.push_back(
+      fattree.ServerLink(c2.pod, c2.e, dst_index % fattree.servers_per_tor()));
+  return links;
+}
+
+}  // namespace detector

@@ -1,0 +1,37 @@
+// Per-switch ECMP forwarding for fat-trees, used by the Pingmesh/NetNORAD baselines: those
+// systems do not control probe paths — each probe's route is decided hop-by-hop by a 5-tuple
+// hash (§2). deTector itself never uses this module; it source-routes via a chosen core.
+//
+// The request and the reply of one probe are different flows (swapped endpoints/ports), so they
+// generally take different paths — exactly why low-rate losses hide from these systems.
+#ifndef SRC_ROUTING_ECMP_H_
+#define SRC_ROUTING_ECMP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/topo/fattree.h"
+
+namespace detector {
+
+struct FlowKey {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint8_t proto = 17;  // UDP
+};
+
+// Deterministic flow hash with a per-switch salt (switches hash independently).
+uint64_t FlowHash(const FlowKey& key, uint64_t salt);
+
+// The reply flow of a request (endpoints and ports swapped).
+FlowKey ReverseFlow(const FlowKey& key);
+
+// Server-to-server path under shortest-path ECMP, including the two server-ToR links.
+// Intra-pod traffic uses the 2-hop route via an aggregation switch; inter-pod via a core.
+std::vector<LinkId> FatTreeEcmpPath(const FatTree& fattree, const FlowKey& key);
+
+}  // namespace detector
+
+#endif  // SRC_ROUTING_ECMP_H_

@@ -1,0 +1,130 @@
+#include "src/routing/fattree_routing.h"
+
+#include <algorithm>
+
+namespace detector {
+
+FatTreeRouting::FatTreeRouting(const FatTree& fattree, SymmetryReductionParams reduction)
+    : fattree_(fattree), reduction_(reduction) {}
+
+uint64_t FatTreeRouting::TotalPathCount() const {
+  const uint64_t tors = static_cast<uint64_t>(fattree_.num_tors());
+  const uint64_t half = static_cast<uint64_t>(fattree_.k() / 2);
+  return tors * (tors - 1) * half * half;
+}
+
+void FatTreeRouting::CorePath(FatTree::TorCoord src, FatTree::TorCoord dst, int a, int j,
+                              std::vector<LinkId>& out) const {
+  out.clear();
+  out.push_back(fattree_.EdgeAggLink(src.pod, src.e, a));
+  out.push_back(fattree_.AggCoreLink(src.pod, a, j));
+  if (src.pod == dst.pod) {
+    // Bounce off the core: the agg-core link is traversed twice but appears once.
+    out.push_back(fattree_.EdgeAggLink(dst.pod, dst.e, a));
+  } else {
+    out.push_back(fattree_.AggCoreLink(dst.pod, a, j));
+    out.push_back(fattree_.EdgeAggLink(dst.pod, dst.e, a));
+  }
+}
+
+PathStore FatTreeRouting::Enumerate(PathEnumMode mode) const {
+  PathStore store;
+  if (mode == PathEnumMode::kFull) {
+    EnumerateFull(store);
+  } else {
+    EnumerateReduced(store);
+  }
+  return store;
+}
+
+void FatTreeRouting::EnumerateFull(PathStore& store) const {
+  const int half = fattree_.k() / 2;
+  const uint64_t count = TotalPathCount();
+  store.Reserve(count, count * 4);
+  std::vector<LinkId> links;
+  links.reserve(4);
+  const int num_tors = fattree_.num_tors();
+  for (int t1 = 0; t1 < num_tors; ++t1) {
+    const FatTree::TorCoord c1{t1 / half, t1 % half};
+    const NodeId src = fattree_.Tor(c1.pod, c1.e);
+    for (int t2 = 0; t2 < num_tors; ++t2) {
+      if (t1 == t2) {
+        continue;
+      }
+      const FatTree::TorCoord c2{t2 / half, t2 % half};
+      const NodeId dst = fattree_.Tor(c2.pod, c2.e);
+      for (int a = 0; a < half; ++a) {
+        for (int j = 0; j < half; ++j) {
+          CorePath(c1, c2, a, j, links);
+          store.Add(src, dst, links);
+        }
+      }
+    }
+  }
+}
+
+void FatTreeRouting::EnumerateReduced(PathStore& store) const {
+  const int k = fattree_.k();
+  const int half = k / 2;
+  const int rotations = std::min(reduction_.rotations, k - 1);
+  const int offsets = std::min(reduction_.offsets, half);
+  const int dst_offsets = std::min(reduction_.dst_offsets, half);
+  std::vector<LinkId> links;
+  links.reserve(4);
+
+  // Inter-pod representatives: source pod p paired with pod (p + r) by rotation; the core
+  // sub-index j and destination edge e2 are tied to the source edge e1 by small offsets. All
+  // other inter-pod paths are images of these under the fat-tree automorphism group.
+  for (int r = 1; r <= rotations; ++r) {
+    for (int p = 0; p < k; ++p) {
+      const int q = (p + r) % k;
+      for (int e1 = 0; e1 < half; ++e1) {
+        for (int a = 0; a < half; ++a) {
+          for (int g = 0; g < offsets; ++g) {
+            const int j = (e1 + g) % half;
+            for (int d = 0; d < dst_offsets; ++d) {
+              const int e2 = (e1 + d) % half;
+              CorePath({p, e1}, {q, e2}, a, j, links);
+              store.Add(fattree_.Tor(p, e1), fattree_.Tor(q, e2), links);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Intra-pod representatives (only meaningful when a pod has >= 2 ToRs).
+  if (half >= 2) {
+    for (int p = 0; p < k; ++p) {
+      for (int e1 = 0; e1 < half; ++e1) {
+        const int e2 = (e1 + 1) % half;
+        for (int a = 0; a < half; ++a) {
+          for (int g = 0; g < offsets; ++g) {
+            const int j = (e1 + g) % half;
+            CorePath({p, e1}, {p, e2}, a, j, links);
+            store.Add(fattree_.Tor(p, e1), fattree_.Tor(p, e2), links);
+          }
+        }
+      }
+    }
+  }
+}
+
+PathStore FatTreeRouting::ParallelPaths(NodeId src_tor, NodeId dst_tor) const {
+  CHECK(src_tor != dst_tor);
+  const int half = fattree_.k() / 2;
+  const FatTree::TorCoord c1 = fattree_.TorCoordOf(src_tor);
+  const FatTree::TorCoord c2 = fattree_.TorCoordOf(dst_tor);
+  PathStore store;
+  store.Reserve(static_cast<size_t>(half) * half, static_cast<size_t>(half) * half * 4);
+  std::vector<LinkId> links;
+  for (int a = 0; a < half; ++a) {
+    for (int j = 0; j < half; ++j) {
+      CorePath(c1, c2, a, j, links);
+      store.Add(src_tor, dst_tor, links);
+    }
+  }
+  return store;
+}
+
+}  // namespace detector

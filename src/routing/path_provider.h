@@ -1,0 +1,46 @@
+// Abstract source of candidate probe paths for a topology. The full enumeration reproduces the
+// paper's routing-matrix sizes (Table 2, "# of original paths"); the symmetry-reduced mode
+// implements Observation 3 (§4.3): only one representative of each class of topologically
+// isomorphic paths is emitted, shrinking the candidate set by orders of magnitude.
+#ifndef SRC_ROUTING_PATH_PROVIDER_H_
+#define SRC_ROUTING_PATH_PROVIDER_H_
+
+#include <cstdint>
+
+#include "src/routing/path_store.h"
+#include "src/topo/topology.h"
+
+namespace detector {
+
+enum class PathEnumMode {
+  kFull,
+  kSymmetryReduced,
+};
+
+// Knobs for the symmetry-reduced candidate families. Larger values emit more representatives
+// (more candidates, better identifiability headroom, slower PMC).
+struct SymmetryReductionParams {
+  int rotations = 4;    // pod / ToR / server pairing rotations
+  int offsets = 4;      // spine-index offsets relative to the source edge index
+  int dst_offsets = 2;  // destination edge-index offsets
+};
+
+class PathProvider {
+ public:
+  virtual ~PathProvider() = default;
+
+  virtual const Topology& topology() const = 0;
+
+  // Closed-form size of the full path universe (ordered endpoint pairs x parallel paths).
+  virtual uint64_t TotalPathCount() const = 0;
+
+  virtual PathStore Enumerate(PathEnumMode mode) const = 0;
+
+  // All parallel paths between one ordered endpoint pair (ToRs for Fat-tree/VL2, servers for
+  // BCube). Used by the Netbouncer/fbtracert-style playback localizers.
+  virtual PathStore ParallelPaths(NodeId src, NodeId dst) const = 0;
+};
+
+}  // namespace detector
+
+#endif  // SRC_ROUTING_PATH_PROVIDER_H_

@@ -1,0 +1,32 @@
+#include "src/routing/path_store.h"
+
+namespace detector {
+
+PathId PathStore::Add(NodeId src, NodeId dst, std::span<const LinkId> links) {
+  const PathId id = static_cast<PathId>(srcs_.size());
+  srcs_.push_back(src);
+  dsts_.push_back(dst);
+  link_ids_.insert(link_ids_.end(), links.begin(), links.end());
+  offsets_.push_back(link_ids_.size());
+  return id;
+}
+
+void PathStore::Reserve(size_t paths, size_t total_link_entries) {
+  offsets_.reserve(paths + 1);
+  link_ids_.reserve(total_link_entries);
+  srcs_.reserve(paths);
+  dsts_.reserve(paths);
+}
+
+void PathStore::AppendFrom(const PathStore& other, std::span<const PathId> ids) {
+  for (PathId id : ids) {
+    Add(other.src(id), other.dst(id), other.Links(id));
+  }
+}
+
+size_t PathStore::MemoryBytes() const {
+  return offsets_.capacity() * sizeof(uint64_t) + link_ids_.capacity() * sizeof(LinkId) +
+         srcs_.capacity() * sizeof(NodeId) + dsts_.capacity() * sizeof(NodeId);
+}
+
+}  // namespace detector

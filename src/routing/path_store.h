@@ -1,0 +1,59 @@
+// Compact columnar storage for millions of probe paths (CSR layout: one offsets array, one
+// flat link-id array, endpoint arrays). Fat-tree(24) alone enumerates ~12M candidate paths, so
+// per-path heap allocations are not an option.
+#ifndef SRC_ROUTING_PATH_STORE_H_
+#define SRC_ROUTING_PATH_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/topo/topology.h"
+
+namespace detector {
+
+using PathId = int32_t;
+
+class PathStore {
+ public:
+  PathStore() { offsets_.push_back(0); }
+
+  // Appends a path and returns its id. `links` are physical LinkIds in traversal order,
+  // already deduplicated by the caller if the path crosses a link twice.
+  PathId Add(NodeId src, NodeId dst, std::span<const LinkId> links);
+
+  size_t size() const { return srcs_.size(); }
+  bool empty() const { return srcs_.empty(); }
+
+  std::span<const LinkId> Links(PathId id) const {
+    const size_t i = static_cast<size_t>(id);
+    DCHECK(i < srcs_.size());
+    return std::span<const LinkId>(link_ids_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]);
+  }
+
+  NodeId src(PathId id) const { return srcs_[static_cast<size_t>(id)]; }
+  NodeId dst(PathId id) const { return dsts_[static_cast<size_t>(id)]; }
+  size_t PathLength(PathId id) const {
+    return offsets_[static_cast<size_t>(id) + 1] - offsets_[static_cast<size_t>(id)];
+  }
+
+  size_t TotalLinkEntries() const { return link_ids_.size(); }
+
+  void Reserve(size_t paths, size_t total_link_entries);
+
+  // Appends copies of the given paths from another store.
+  void AppendFrom(const PathStore& other, std::span<const PathId> ids);
+
+  // Memory used by the store, for capacity planning in benches.
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<uint64_t> offsets_;  // size() + 1 entries
+  std::vector<LinkId> link_ids_;
+  std::vector<NodeId> srcs_;
+  std::vector<NodeId> dsts_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_ROUTING_PATH_STORE_H_

@@ -1,0 +1,96 @@
+#include "src/routing/vl2_routing.h"
+
+#include <algorithm>
+
+namespace detector {
+
+Vl2Routing::Vl2Routing(const Vl2& vl2, SymmetryReductionParams reduction)
+    : vl2_(vl2), reduction_(reduction) {}
+
+uint64_t Vl2Routing::TotalPathCount() const {
+  const uint64_t tors = static_cast<uint64_t>(vl2_.num_tors());
+  return tors * (tors - 1) * 4ULL * static_cast<uint64_t>(vl2_.num_intermediates());
+}
+
+void Vl2Routing::Vl2Path(int t1, int t2, int s, int i, int d, std::vector<LinkId>& out) const {
+  out.clear();
+  const auto [s0, s1] = vl2_.AggsOfTor(t1);
+  const auto [d0, d1] = vl2_.AggsOfTor(t2);
+  const int agg_src = s == 0 ? s0 : s1;
+  const int agg_dst = d == 0 ? d0 : d1;
+  out.push_back(vl2_.TorAggLink(t1, s));
+  out.push_back(vl2_.AggIntLink(agg_src, i));
+  if (agg_src != agg_dst) {
+    out.push_back(vl2_.AggIntLink(agg_dst, i));
+  }
+  out.push_back(vl2_.TorAggLink(t2, d));
+}
+
+PathStore Vl2Routing::Enumerate(PathEnumMode mode) const {
+  PathStore store;
+  const int tors = vl2_.num_tors();
+  const int ints = vl2_.num_intermediates();
+  std::vector<LinkId> links;
+  links.reserve(4);
+
+  if (mode == PathEnumMode::kFull) {
+    const uint64_t count = TotalPathCount();
+    store.Reserve(count, count * 4);
+    for (int t1 = 0; t1 < tors; ++t1) {
+      for (int t2 = 0; t2 < tors; ++t2) {
+        if (t1 == t2) {
+          continue;
+        }
+        for (int s = 0; s < 2; ++s) {
+          for (int i = 0; i < ints; ++i) {
+            for (int d = 0; d < 2; ++d) {
+              Vl2Path(t1, t2, s, i, d, links);
+              store.Add(vl2_.Tor(t1), vl2_.Tor(t2), links);
+            }
+          }
+        }
+      }
+    }
+    return store;
+  }
+
+  // Symmetry-reduced: ToR pairings by rotation, intermediate tied to the source ToR index by a
+  // small offset, both aggregation choices on each side kept (they select distinct physical
+  // links, so dropping them would lose coverage).
+  const int rotations = std::min(reduction_.rotations, tors - 1);
+  const int offsets = std::min(reduction_.offsets, ints);
+  for (int r = 1; r <= rotations; ++r) {
+    for (int t1 = 0; t1 < tors; ++t1) {
+      const int t2 = (t1 + r) % tors;
+      for (int g = 0; g < offsets; ++g) {
+        const int i = (t1 + g) % ints;
+        for (int s = 0; s < 2; ++s) {
+          for (int d = 0; d < 2; ++d) {
+            Vl2Path(t1, t2, s, i, d, links);
+            store.Add(vl2_.Tor(t1), vl2_.Tor(t2), links);
+          }
+        }
+      }
+    }
+  }
+  return store;
+}
+
+PathStore Vl2Routing::ParallelPaths(NodeId src_tor, NodeId dst_tor) const {
+  CHECK(src_tor != dst_tor);
+  const int t1 = vl2_.topology().node(src_tor).index;
+  const int t2 = vl2_.topology().node(dst_tor).index;
+  PathStore store;
+  std::vector<LinkId> links;
+  for (int s = 0; s < 2; ++s) {
+    for (int i = 0; i < vl2_.num_intermediates(); ++i) {
+      for (int d = 0; d < 2; ++d) {
+        Vl2Path(t1, t2, s, i, d, links);
+        store.Add(src_tor, dst_tor, links);
+      }
+    }
+  }
+  return store;
+}
+
+}  // namespace detector

@@ -1,0 +1,115 @@
+#include "src/sim/failure_model.h"
+
+#include <algorithm>
+
+namespace detector {
+
+std::vector<LinkId> FailureScenario::FailedLinks() const {
+  std::vector<LinkId> links;
+  links.reserve(failures.size());
+  for (const LinkFailure& f : failures) {
+    links.push_back(f.link);
+  }
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+  return links;
+}
+
+FailureModel::FailureModel(const Topology& topo, FailureModelOptions options)
+    : topo_(topo), options_(options) {
+  double total = 0.0;
+  for (size_t i = 0; i < topo.NumLinks(); ++i) {
+    const Link& link = topo.links()[i];
+    if (options_.monitored_links_only && !link.monitored) {
+      continue;
+    }
+    const size_t tier = std::min<size_t>(static_cast<size_t>(link.tier), 2);
+    const double weight = options_.tier_weights[tier];
+    if (weight <= 0.0) {
+      continue;
+    }
+    eligible_.push_back(static_cast<LinkId>(i));
+    total += weight;
+    cumulative_weight_.push_back(total);
+  }
+  CHECK(!eligible_.empty()) << "no links eligible for failure injection";
+}
+
+LinkId FailureModel::SampleLink(Rng& rng) const {
+  const double target = rng.NextDouble() * cumulative_weight_.back();
+  const auto it =
+      std::upper_bound(cumulative_weight_.begin(), cumulative_weight_.end(), target);
+  const size_t idx = std::min(static_cast<size_t>(it - cumulative_weight_.begin()),
+                              eligible_.size() - 1);
+  return eligible_[idx];
+}
+
+LinkFailure FailureModel::MakeFailure(LinkId link, Rng& rng) const {
+  LinkFailure failure;
+  failure.link = link;
+  const double roll = rng.NextDouble();
+  if (roll < options_.full_loss_fraction) {
+    failure.type = FailureType::kFullLoss;
+    failure.loss_rate = 1.0;
+  } else if (roll < options_.full_loss_fraction + options_.deterministic_fraction) {
+    failure.type = FailureType::kDeterministicPartial;
+    failure.match_fraction =
+        options_.min_match_fraction +
+        rng.NextDouble() * (options_.max_match_fraction - options_.min_match_fraction);
+    failure.rule_seed = rng();
+  } else {
+    failure.type = FailureType::kRandomPartial;
+    if (options_.min_loss_rate >= options_.knee_loss_rate) {
+      failure.loss_rate = rng.NextLogUniform(options_.min_loss_rate, options_.max_loss_rate);
+    } else if (rng.NextBernoulli(options_.low_rate_mass)) {
+      failure.loss_rate = rng.NextLogUniform(options_.min_loss_rate, options_.knee_loss_rate);
+    } else {
+      failure.loss_rate =
+          rng.NextLogUniform(options_.knee_loss_rate, options_.max_loss_rate);
+    }
+  }
+  return failure;
+}
+
+FailureScenario FailureModel::SampleLinkFailures(int num_links, Rng& rng) const {
+  CHECK(num_links >= 0);
+  CHECK(static_cast<size_t>(num_links) <= eligible_.size());
+  FailureScenario scenario;
+  std::vector<uint8_t> used(topo_.NumLinks(), 0);
+  while (scenario.failures.size() < static_cast<size_t>(num_links)) {
+    const LinkId link = SampleLink(rng);
+    if (used[static_cast<size_t>(link)]) {
+      continue;
+    }
+    used[static_cast<size_t>(link)] = 1;
+    scenario.failures.push_back(MakeFailure(link, rng));
+  }
+  scenario.transient = rng.NextBernoulli(options_.transient_fraction);
+  return scenario;
+}
+
+FailureScenario FailureModel::SampleSwitchFailure(NodeKind kind, Rng& rng) const {
+  const std::vector<NodeId> switches = topo_.NodesOfKind(kind);
+  CHECK(!switches.empty());
+  const NodeId victim = switches[rng.NextBounded(switches.size())];
+  FailureScenario scenario;
+  scenario.down_switches.push_back(victim);
+  for (const Neighbor& nb : topo_.NeighborsOf(victim)) {
+    if (options_.monitored_links_only && !topo_.link(nb.link).monitored) {
+      continue;
+    }
+    LinkFailure failure;
+    failure.link = nb.link;
+    failure.type = FailureType::kFullLoss;
+    scenario.failures.push_back(failure);
+  }
+  scenario.transient = rng.NextBernoulli(options_.transient_fraction);
+  return scenario;
+}
+
+FailureScenario FailureModel::SampleSingleFailure(Rng& rng) const {
+  FailureScenario scenario = SampleLinkFailures(1, rng);
+  return scenario;
+}
+
+}  // namespace detector

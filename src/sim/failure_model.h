@@ -1,0 +1,79 @@
+// Failure scenario generation. Without access to production loss data the paper parameterizes
+// its injected failures from published measurements (Gill et al. SIGCOMM'11 failure
+// characteristics, Benson et al. IMC'10 traffic/loss distributions): link vs switch failure
+// mix, per-tier failure weights, and loss rates spanning 1e-4..1 (log-uniform). This module
+// encodes those shapes as sampling defaults; every experiment draws scenarios from it.
+#ifndef SRC_SIM_FAILURE_MODEL_H_
+#define SRC_SIM_FAILURE_MODEL_H_
+
+#include <array>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/loss_model.h"
+#include "src/topo/topology.h"
+
+namespace detector {
+
+struct FailureScenario {
+  std::vector<LinkFailure> failures;
+  std::vector<NodeId> down_switches;  // recorded for reporting; links already in `failures`
+  // Transient failures disappear before any post-alarm playback round (§2): tools like
+  // Netbouncer/fbtracert that re-probe after detection cannot see them.
+  bool transient = false;
+
+  // Ground-truth failed links (unique, sorted).
+  std::vector<LinkId> FailedLinks() const;
+};
+
+struct FailureModelOptions {
+  // Mix of loss types for link failures (remainder is random partial).
+  double full_loss_fraction = 0.3;
+  double deterministic_fraction = 0.3;
+  // Random-partial loss rates span 1e-4..1 as in §6.2, but the Benson'10 distribution the
+  // paper samples from is two-segment: most failures lose >= ~1% of packets, with a small
+  // low-rate tail below the knee (those are the paper's false-negative population). Rates are
+  // log-uniform within each segment.
+  double min_loss_rate = 1e-4;
+  double knee_loss_rate = 1e-2;
+  double low_rate_mass = 0.1;  // fraction of random-partial failures below the knee
+  double max_loss_rate = 1.0;
+  // Deterministic partial: fraction of flow space blackholed.
+  double min_match_fraction = 0.2;
+  double max_match_fraction = 0.8;
+  // Relative failure weight per link tier (tier 0 = server/level-0, 1 = ToR-agg, 2 = spine);
+  // Gill'11 reports ToR-layer dominance for devices but load-balancer/agg links failing most.
+  std::array<double, 3> tier_weights = {0.2, 0.5, 0.3};
+  bool monitored_links_only = true;
+  double transient_fraction = 0.0;  // fraction of scenarios flagged transient
+};
+
+class FailureModel {
+ public:
+  FailureModel(const Topology& topo, FailureModelOptions options);
+
+  // Samples a scenario with the given number of distinct failed links.
+  FailureScenario SampleLinkFailures(int num_links, Rng& rng) const;
+
+  // Samples a whole-switch failure (full loss on every adjacent monitored link).
+  FailureScenario SampleSwitchFailure(NodeKind kind, Rng& rng) const;
+
+  // One failure of a random type, as in the testbed experiments (§6.3): full / deterministic /
+  // random partial on a random link, weighted by tier.
+  FailureScenario SampleSingleFailure(Rng& rng) const;
+
+  const Topology& topology() const { return topo_; }
+
+ private:
+  LinkId SampleLink(Rng& rng) const;
+  LinkFailure MakeFailure(LinkId link, Rng& rng) const;
+
+  const Topology& topo_;
+  FailureModelOptions options_;
+  std::vector<LinkId> eligible_;
+  std::vector<double> cumulative_weight_;  // parallel to eligible_
+};
+
+}  // namespace detector
+
+#endif  // SRC_SIM_FAILURE_MODEL_H_

@@ -1,0 +1,39 @@
+#include "src/sim/loss_model.h"
+
+#include "src/common/rng.h"
+
+namespace detector {
+
+const char* FailureTypeName(FailureType type) {
+  switch (type) {
+    case FailureType::kFullLoss:
+      return "full";
+    case FailureType::kRandomPartial:
+      return "random-partial";
+    case FailureType::kDeterministicPartial:
+      return "deterministic-partial";
+  }
+  return "?";
+}
+
+bool LinkFailure::FlowMatchesRule(const FlowKey& flow) const {
+  // A flow deterministically matches the drop rule iff its (rule-salted) hash lands in the
+  // first match_fraction slice of the hash space — the same flow always gets the same verdict.
+  const uint64_t h = FlowHash(flow, rule_seed);
+  return static_cast<double>(h) <
+         match_fraction * static_cast<double>(~static_cast<uint64_t>(0));
+}
+
+double LinkFailure::DropProbability(const FlowKey& flow) const {
+  switch (type) {
+    case FailureType::kFullLoss:
+      return 1.0;
+    case FailureType::kRandomPartial:
+      return loss_rate;
+    case FailureType::kDeterministicPartial:
+      return FlowMatchesRule(flow) ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace detector

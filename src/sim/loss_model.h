@@ -1,0 +1,44 @@
+// Link loss models — the three failure classes the paper emulates on its SDN testbed (§6.2):
+//   full packet loss          (link down / drop-all rule),
+//   deterministic partial loss (packet blackhole: flows matching a header subset always drop),
+//   random partial loss        (bit flips / CRC errors / buffer overflow: i.i.d. drops).
+// A switch-down failure is modeled as full loss on all adjacent links.
+#ifndef SRC_SIM_LOSS_MODEL_H_
+#define SRC_SIM_LOSS_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/routing/ecmp.h"
+#include "src/topo/topology.h"
+
+namespace detector {
+
+enum class FailureType : uint8_t {
+  kFullLoss = 0,
+  kRandomPartial = 1,
+  kDeterministicPartial = 2,
+};
+
+const char* FailureTypeName(FailureType type);
+
+struct LinkFailure {
+  LinkId link = kInvalidLink;
+  FailureType type = FailureType::kFullLoss;
+  // Random partial: per-traversal drop probability. Full loss: 1.0 (by convention).
+  double loss_rate = 1.0;
+  // Deterministic partial: the fraction of flow space whose packets are blackholed, and the
+  // seed defining which flows match (emulates a specific misprogrammed match rule).
+  double match_fraction = 0.0;
+  uint64_t rule_seed = 0;
+
+  // Whether a specific flow's packets are blackholed by this (deterministic) failure.
+  bool FlowMatchesRule(const FlowKey& flow) const;
+
+  // Per-traversal drop probability experienced by the given flow.
+  double DropProbability(const FlowKey& flow) const;
+};
+
+}  // namespace detector
+
+#endif  // SRC_SIM_LOSS_MODEL_H_

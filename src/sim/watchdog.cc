@@ -1,0 +1,3 @@
+#include "src/sim/watchdog.h"
+
+// Header-only logic; this TU anchors the module in the build.

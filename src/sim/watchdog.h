@@ -1,0 +1,32 @@
+// Server-health watchdog (§5.1, §6.1): tracks which servers are healthy; the controller skips
+// unhealthy servers when picking pingers and the diagnoser drops their reports as outliers
+// (a rebooting pinger would otherwise manufacture losses on every path it probes).
+#ifndef SRC_SIM_WATCHDOG_H_
+#define SRC_SIM_WATCHDOG_H_
+
+#include <unordered_set>
+
+#include "src/topo/topology.h"
+
+namespace detector {
+
+class Watchdog {
+ public:
+  explicit Watchdog(const Topology& topo) : topo_(topo) {}
+
+  void MarkDown(NodeId server) {
+    CHECK(topo_.IsServer(server));
+    down_.insert(server);
+  }
+  void MarkUp(NodeId server) { down_.erase(server); }
+  bool IsHealthy(NodeId server) const { return down_.find(server) == down_.end(); }
+  size_t NumDown() const { return down_.size(); }
+
+ private:
+  const Topology& topo_;
+  std::unordered_set<NodeId> down_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_SIM_WATCHDOG_H_

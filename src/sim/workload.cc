@@ -1,0 +1,48 @@
+#include "src/sim/workload.h"
+
+#include <cmath>
+
+namespace detector {
+
+std::vector<WorkloadFlow> WorkloadGenerator::Generate(Rng& rng) const {
+  const Topology& topo = fattree_.topology();
+  const std::vector<NodeId> servers = topo.NodesOfKind(NodeKind::kServer);
+  CHECK(servers.size() >= 2);
+  std::vector<WorkloadFlow> flows;
+  flows.reserve(servers.size() * static_cast<size_t>(options_.flows_per_server));
+
+  // Pareto with mean = scale * shape / (shape - 1) ==> pick scale for the requested mean.
+  const double shape = options_.pareto_shape;
+  const double scale = options_.mean_flow_mbps * (shape - 1.0) / shape;
+
+  for (NodeId src : servers) {
+    for (int f = 0; f < options_.flows_per_server; ++f) {
+      NodeId dst = src;
+      while (dst == src) {
+        dst = servers[rng.NextBounded(servers.size())];
+      }
+      WorkloadFlow flow;
+      flow.key.src = src;
+      flow.key.dst = dst;
+      flow.key.src_port = static_cast<uint16_t>(options_.port_base + rng.NextBounded(20000));
+      flow.key.dst_port = static_cast<uint16_t>(options_.port_base + rng.NextBounded(20000));
+      flow.key.proto = 6;  // TCP carries most DCN traffic (§3.1)
+      flow.mbps = scale / std::pow(1.0 - rng.NextDouble(), 1.0 / shape);
+      flow.links = FatTreeEcmpPath(fattree_, flow.key);
+      flows.push_back(std::move(flow));
+    }
+  }
+  return flows;
+}
+
+std::vector<double> WorkloadGenerator::LinkLoadMbps(std::span<const WorkloadFlow> flows) const {
+  std::vector<double> load(fattree_.topology().NumLinks(), 0.0);
+  for (const WorkloadFlow& flow : flows) {
+    for (LinkId link : flow.links) {
+      load[static_cast<size_t>(link)] += flow.mbps;
+    }
+  }
+  return load;
+}
+
+}  // namespace detector

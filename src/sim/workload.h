@@ -1,0 +1,47 @@
+// Synthetic workload generator standing in for the paper's replayed university-datacenter
+// traces (Benson et al. IMC'10 dataset, §6.3): heavy-tailed flow rates between random server
+// pairs, routed by ECMP, yielding per-link utilization used by the latency model (Fig 4c/d).
+#ifndef SRC_SIM_WORKLOAD_H_
+#define SRC_SIM_WORKLOAD_H_
+
+#include <span>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/routing/ecmp.h"
+#include "src/topo/fattree.h"
+
+namespace detector {
+
+struct WorkloadOptions {
+  int flows_per_server = 4;
+  double mean_flow_mbps = 6.0;
+  double pareto_shape = 1.5;  // heavy tail; shape > 1 keeps the mean finite
+  uint16_t port_base = 2000;
+};
+
+struct WorkloadFlow {
+  FlowKey key;
+  double mbps;
+  std::vector<LinkId> links;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const FatTree& fattree, WorkloadOptions options)
+      : fattree_(fattree), options_(options) {}
+
+  // Random server-pair flows with Pareto rates, each routed by ECMP.
+  std::vector<WorkloadFlow> Generate(Rng& rng) const;
+
+  // Per-link offered load (Mbps) summed over flows.
+  std::vector<double> LinkLoadMbps(std::span<const WorkloadFlow> flows) const;
+
+ private:
+  const FatTree& fattree_;
+  WorkloadOptions options_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_SIM_WORKLOAD_H_

@@ -1,0 +1,80 @@
+#include "src/topo/bcube.h"
+
+#include <string>
+
+namespace detector {
+
+Bcube::Bcube(const BcubeParams& params)
+    : n_(params.n),
+      k_(params.k),
+      topo_("bcube(" + std::to_string(params.n) + "," + std::to_string(params.k) + ")") {
+  CHECK(n_ >= 2) << "BCube n must be >= 2";
+  CHECK(k_ >= 0 && k_ <= 8) << "BCube k out of supported range";
+  pow_.resize(static_cast<size_t>(k_) + 2);
+  pow_[0] = 1;
+  for (size_t i = 1; i < pow_.size(); ++i) {
+    pow_[i] = pow_[i - 1] * n_;
+  }
+  num_servers_ = pow_[static_cast<size_t>(k_) + 1];
+  switches_per_level_ = pow_[static_cast<size_t>(k_)];
+
+  server_base_ = static_cast<NodeId>(topo_.NumNodes());
+  for (int addr = 0; addr < num_servers_; ++addr) {
+    topo_.AddNode(NodeKind::kServer, /*pod=*/-1, addr, "srv-" + std::to_string(addr));
+  }
+  switch_base_ = static_cast<NodeId>(topo_.NumNodes());
+  for (int level = 0; level <= k_; ++level) {
+    for (int w = 0; w < switches_per_level_; ++w) {
+      topo_.AddNode(NodeKind::kBcubeSwitch, /*pod=*/level, w,
+                    "bsw-l" + std::to_string(level) + "-" + std::to_string(w));
+    }
+  }
+
+  // Every server connects to one switch per level. All links are monitored: the probe matrix in
+  // BCube treats servers as switches.
+  for (int level = 0; level <= k_; ++level) {
+    for (int addr = 0; addr < num_servers_; ++addr) {
+      topo_.AddLink(Server(addr), Switch(level, SwitchIndexOf(addr, level)), /*tier=*/level,
+                    /*monitored=*/true);
+    }
+  }
+}
+
+NodeId Bcube::Server(int address) const {
+  DCHECK(address >= 0 && address < num_servers_);
+  return server_base_ + address;
+}
+
+NodeId Bcube::Switch(int level, int index) const {
+  DCHECK(level >= 0 && level <= k_ && index >= 0 && index < switches_per_level_);
+  return switch_base_ + level * switches_per_level_ + index;
+}
+
+int Bcube::Digit(int address, int level) const {
+  return (address / pow_[static_cast<size_t>(level)]) % n_;
+}
+
+int Bcube::WithDigit(int address, int level, int digit) const {
+  const int current = Digit(address, level);
+  return address + (digit - current) * pow_[static_cast<size_t>(level)];
+}
+
+int Bcube::SwitchIndexOf(int address, int level) const {
+  const int p = pow_[static_cast<size_t>(level)];
+  const int high = address / (p * n_);
+  const int low = address % p;
+  return high * p + low;
+}
+
+LinkId Bcube::ServerSwitchLink(int address, int level) const {
+  // Link creation order: level-major, then address.
+  return static_cast<LinkId>(level * num_servers_ + address);
+}
+
+int Bcube::AddressOfServer(NodeId server) const {
+  const int addr = server - server_base_;
+  DCHECK(addr >= 0 && addr < num_servers_);
+  return addr;
+}
+
+}  // namespace detector

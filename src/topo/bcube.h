@@ -1,0 +1,66 @@
+// BCube builder (Guo et al., SIGCOMM'09). BCube(n, k) has n^(k+1) servers addressed by k+1
+// base-n digits and (k+1) * n^k switches; the level-l switch with index w connects the n servers
+// whose addresses agree with w on all digits except digit l.
+//
+// BCube is server-centric: every link is a server-switch link, and the paper treats servers as
+// switches when running PMC (§4.4 footnote 2), so all links are monitored here. Counts reproduce
+// Table 2 (e.g. BCube(8,2): 704 nodes, 1536 links).
+//
+// Note on naming: the paper writes BCube(n, k) where k+1 is the number of levels; BCube(8,2) has
+// levels 0..2.
+#ifndef SRC_TOPO_BCUBE_H_
+#define SRC_TOPO_BCUBE_H_
+
+#include <vector>
+
+#include "src/topo/topology.h"
+
+namespace detector {
+
+struct BcubeParams {
+  int n = 4;  // switch port count
+  int k = 1;  // highest level; k+1 levels total
+};
+
+class Bcube {
+ public:
+  explicit Bcube(const BcubeParams& params);
+  Bcube(int n, int k) : Bcube(BcubeParams{n, k}) {}
+
+  const Topology& topology() const { return topo_; }
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+  int num_levels() const { return k_ + 1; }
+  int num_servers() const { return num_servers_; }
+  int switches_per_level() const { return switches_per_level_; }
+
+  // Server by address value (digits base n, digit 0 least significant).
+  NodeId Server(int address) const;
+  // Switch at (level, index) where index enumerates the k digits other than `level`.
+  NodeId Switch(int level, int index) const;
+
+  // Address digit helpers.
+  int Digit(int address, int level) const;
+  int WithDigit(int address, int level, int digit) const;
+  // Index of the level-l switch adjacent to `address` (the address with digit l removed).
+  int SwitchIndexOf(int address, int level) const;
+
+  LinkId ServerSwitchLink(int address, int level) const;
+
+  int AddressOfServer(NodeId server) const;
+
+ private:
+  int n_;
+  int k_;
+  int num_servers_;
+  int switches_per_level_;
+  Topology topo_;
+  NodeId server_base_;
+  NodeId switch_base_;
+  std::vector<int> pow_;  // pow_[i] = n^i
+};
+
+}  // namespace detector
+
+#endif  // SRC_TOPO_BCUBE_H_

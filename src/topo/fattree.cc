@@ -1,0 +1,137 @@
+#include "src/topo/fattree.h"
+
+#include <string>
+
+namespace detector {
+namespace {
+
+std::string Name(const char* kind, int pod, int idx) {
+  return std::string(kind) + "-p" + std::to_string(pod) + "-" + std::to_string(idx);
+}
+
+}  // namespace
+
+FatTree::FatTree(const FatTreeParams& params)
+    : k_(params.k),
+      servers_per_tor_(params.servers_per_tor < 0 ? params.k / 2 : params.servers_per_tor),
+      topo_("fattree(" + std::to_string(params.k) + ")") {
+  CHECK(k_ >= 2 && k_ % 2 == 0) << "fat-tree arity must be even, got " << k_;
+  const int half = k_ / 2;
+
+  // Nodes. Creation order fixes the id layout: ToRs, aggs, cores, then servers; each block is
+  // contiguous so coordinate <-> id mapping is arithmetic.
+  tor_base_ = static_cast<NodeId>(topo_.NumNodes());
+  for (int p = 0; p < k_; ++p) {
+    for (int e = 0; e < half; ++e) {
+      topo_.AddNode(NodeKind::kTor, p, e, Name("tor", p, e));
+    }
+  }
+  agg_base_ = static_cast<NodeId>(topo_.NumNodes());
+  for (int p = 0; p < k_; ++p) {
+    for (int a = 0; a < half; ++a) {
+      topo_.AddNode(NodeKind::kAgg, p, a, Name("agg", p, a));
+    }
+  }
+  core_base_ = static_cast<NodeId>(topo_.NumNodes());
+  for (int g = 0; g < half; ++g) {
+    for (int j = 0; j < half; ++j) {
+      topo_.AddNode(NodeKind::kCore, g, j, Name("core", g, j));
+    }
+  }
+  server_base_ = static_cast<NodeId>(topo_.NumNodes());
+  for (int p = 0; p < k_; ++p) {
+    for (int e = 0; e < half; ++e) {
+      for (int s = 0; s < servers_per_tor_; ++s) {
+        topo_.AddNode(NodeKind::kServer, p, e * servers_per_tor_ + s,
+                      "srv-p" + std::to_string(p) + "-e" + std::to_string(e) + "-" +
+                          std::to_string(s));
+      }
+    }
+  }
+
+  // Links. Same principle: edge-agg block first, then agg-core, then server links, each in a
+  // deterministic nested order so LinkId lookup is arithmetic too.
+  for (int p = 0; p < k_; ++p) {
+    for (int e = 0; e < half; ++e) {
+      for (int a = 0; a < half; ++a) {
+        topo_.AddLink(Tor(p, e), Agg(p, a), /*tier=*/1);
+      }
+    }
+  }
+  for (int p = 0; p < k_; ++p) {
+    for (int a = 0; a < half; ++a) {
+      for (int j = 0; j < half; ++j) {
+        topo_.AddLink(Agg(p, a), Core(a, j), /*tier=*/2);
+      }
+    }
+  }
+  for (int p = 0; p < k_; ++p) {
+    for (int e = 0; e < half; ++e) {
+      for (int s = 0; s < servers_per_tor_; ++s) {
+        topo_.AddLink(Server(p, e, s), Tor(p, e), /*tier=*/0);
+      }
+    }
+  }
+}
+
+NodeId FatTree::Tor(int pod, int e) const {
+  DCHECK(pod >= 0 && pod < k_ && e >= 0 && e < k_ / 2);
+  return tor_base_ + pod * (k_ / 2) + e;
+}
+
+NodeId FatTree::Agg(int pod, int a) const {
+  DCHECK(pod >= 0 && pod < k_ && a >= 0 && a < k_ / 2);
+  return agg_base_ + pod * (k_ / 2) + a;
+}
+
+NodeId FatTree::Core(int group, int j) const {
+  DCHECK(group >= 0 && group < k_ / 2 && j >= 0 && j < k_ / 2);
+  return core_base_ + group * (k_ / 2) + j;
+}
+
+NodeId FatTree::Server(int pod, int e, int s) const {
+  DCHECK(s >= 0 && s < servers_per_tor_);
+  return server_base_ + (pod * (k_ / 2) + e) * servers_per_tor_ + s;
+}
+
+LinkId FatTree::EdgeAggLink(int pod, int e, int a) const {
+  const int half = k_ / 2;
+  DCHECK(pod >= 0 && pod < k_ && e >= 0 && e < half && a >= 0 && a < half);
+  return (pod * half + e) * half + a;
+}
+
+LinkId FatTree::AggCoreLink(int pod, int a, int j) const {
+  const int half = k_ / 2;
+  DCHECK(pod >= 0 && pod < k_ && a >= 0 && a < half && j >= 0 && j < half);
+  const LinkId agg_core_base = static_cast<LinkId>(k_ * half * half);
+  return agg_core_base + (pod * half + a) * half + j;
+}
+
+LinkId FatTree::ServerLink(int pod, int e, int s) const {
+  const int half = k_ / 2;
+  const LinkId server_link_base = static_cast<LinkId>(2 * k_ * half * half);
+  return server_link_base + (pod * half + e) * servers_per_tor_ + s;
+}
+
+FatTree::TorCoord FatTree::TorCoordOf(NodeId tor) const {
+  const int offset = tor - tor_base_;
+  DCHECK(offset >= 0 && offset < num_tors());
+  return TorCoord{offset / (k_ / 2), offset % (k_ / 2)};
+}
+
+NodeId FatTree::TorOfServer(NodeId server) const {
+  const int offset = server - server_base_;
+  DCHECK(offset >= 0);
+  const int tor_index = offset / servers_per_tor_;
+  return tor_base_ + tor_index;
+}
+
+std::vector<NodeId> FatTree::Tors() const {
+  std::vector<NodeId> tors(static_cast<size_t>(num_tors()));
+  for (size_t i = 0; i < tors.size(); ++i) {
+    tors[i] = tor_base_ + static_cast<NodeId>(i);
+  }
+  return tors;
+}
+
+}  // namespace detector

@@ -1,0 +1,73 @@
+// k-ary Fat-tree builder (Al-Fares et al., SIGCOMM'08), the paper's primary evaluation topology.
+//
+// Layout for even k: k pods; each pod has k/2 edge (ToR) and k/2 aggregation switches; (k/2)^2
+// core switches arranged in k/2 groups of k/2 — aggregation switch a of every pod connects to all
+// k/2 cores of group a. Each ToR hosts servers_per_tor servers (default k/2, the canonical value).
+//
+// Inter-switch link count is k^3/2 (k^3/4 edge-agg + k^3/4 agg-core); with default servers the
+// node/link totals reproduce the paper's Table 2 (e.g. Fattree(12): 612 nodes, 1296 links).
+#ifndef SRC_TOPO_FATTREE_H_
+#define SRC_TOPO_FATTREE_H_
+
+#include <vector>
+
+#include "src/topo/topology.h"
+
+namespace detector {
+
+struct FatTreeParams {
+  int k = 4;
+  int servers_per_tor = -1;  // -1 means k/2
+};
+
+class FatTree {
+ public:
+  explicit FatTree(const FatTreeParams& params);
+  explicit FatTree(int k) : FatTree(FatTreeParams{k, -1}) {}
+
+  const Topology& topology() const { return topo_; }
+
+  int k() const { return k_; }
+  int num_pods() const { return k_; }
+  int tors_per_pod() const { return k_ / 2; }
+  int aggs_per_pod() const { return k_ / 2; }
+  int core_groups() const { return k_ / 2; }
+  int cores_per_group() const { return k_ / 2; }
+  int servers_per_tor() const { return servers_per_tor_; }
+  int num_tors() const { return k_ * k_ / 2; }
+
+  NodeId Tor(int pod, int e) const;
+  NodeId Agg(int pod, int a) const;
+  NodeId Core(int group, int j) const;
+  NodeId Server(int pod, int e, int s) const;
+
+  LinkId EdgeAggLink(int pod, int e, int a) const;
+  // Link between Agg(pod, a) and Core(a, j); the group is implied by a.
+  LinkId AggCoreLink(int pod, int a, int j) const;
+  LinkId ServerLink(int pod, int e, int s) const;
+
+  // Coordinates of a ToR node id.
+  struct TorCoord {
+    int pod;
+    int e;
+  };
+  TorCoord TorCoordOf(NodeId tor) const;
+  // ToR of a server node.
+  NodeId TorOfServer(NodeId server) const;
+
+  // All ToR node ids, in (pod, e) order.
+  std::vector<NodeId> Tors() const;
+
+ private:
+  int k_;
+  int servers_per_tor_;
+  Topology topo_;
+  NodeId tor_base_;
+  NodeId agg_base_;
+  NodeId core_base_;
+  NodeId server_base_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_TOPO_FATTREE_H_

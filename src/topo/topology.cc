@@ -1,0 +1,114 @@
+#include "src/topo/topology.h"
+
+#include <algorithm>
+
+namespace detector {
+
+const char* NodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kServer:
+      return "server";
+    case NodeKind::kTor:
+      return "tor";
+    case NodeKind::kAgg:
+      return "agg";
+    case NodeKind::kCore:
+      return "core";
+    case NodeKind::kIntermediate:
+      return "int";
+    case NodeKind::kBcubeSwitch:
+      return "bsw";
+  }
+  return "?";
+}
+
+NodeId Topology::AddNode(NodeKind kind, int32_t pod, int32_t index, std::string name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{kind, pod, index, std::move(name)});
+  adjacency_.emplace_back();
+  return id;
+}
+
+LinkId Topology::AddLink(NodeId a, NodeId b, int32_t tier) {
+  const bool monitored = !IsServer(a) && !IsServer(b);
+  return AddLink(a, b, tier, monitored);
+}
+
+LinkId Topology::AddLink(NodeId a, NodeId b, int32_t tier, bool monitored) {
+  CHECK(a != b) << "self-link at node " << a;
+  CHECK(a >= 0 && static_cast<size_t>(a) < nodes_.size());
+  CHECK(b >= 0 && static_cast<size_t>(b) < nodes_.size());
+  if (a > b) {
+    std::swap(a, b);
+  }
+  const uint64_t key = PairKey(a, b);
+  CHECK(link_lookup_.find(key) == link_lookup_.end())
+      << "duplicate link " << node(a).name << " <-> " << node(b).name;
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{a, b, tier, monitored});
+  link_lookup_.emplace(key, id);
+  adjacency_[static_cast<size_t>(a)].push_back(Neighbor{b, id});
+  adjacency_[static_cast<size_t>(b)].push_back(Neighbor{a, id});
+  return id;
+}
+
+LinkId Topology::FindLink(NodeId a, NodeId b) const {
+  if (a > b) {
+    std::swap(a, b);
+  }
+  auto it = link_lookup_.find(PairKey(a, b));
+  return it == link_lookup_.end() ? kInvalidLink : it->second;
+}
+
+NodeId Topology::OtherEnd(LinkId link_id, NodeId from) const {
+  const Link& l = link(link_id);
+  DCHECK(l.a == from || l.b == from);
+  return l.a == from ? l.b : l.a;
+}
+
+size_t Topology::CountNodes(NodeKind kind) const {
+  size_t count = 0;
+  for (const Node& n : nodes_) {
+    if (n.kind == kind) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<NodeId> Topology::NodesOfKind(NodeKind kind) const {
+  std::vector<NodeId> result;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == kind) {
+      result.push_back(static_cast<NodeId>(i));
+    }
+  }
+  return result;
+}
+
+std::vector<LinkId> Topology::MonitoredLinks() const {
+  std::vector<LinkId> result;
+  for (size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i].monitored) {
+      result.push_back(static_cast<LinkId>(i));
+    }
+  }
+  return result;
+}
+
+size_t Topology::NumMonitoredLinks() const {
+  size_t count = 0;
+  for (const Link& l : links_) {
+    if (l.monitored) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string Topology::LinkName(LinkId id) const {
+  const Link& l = link(id);
+  return node(l.a).name + " <-> " + node(l.b).name;
+}
+
+}  // namespace detector

@@ -1,0 +1,110 @@
+// Typed multi-tier data center network graph shared by all topology families.
+//
+// Nodes carry a kind (server / ToR / agg / core / intermediate / BCube switch); links are
+// undirected and carry a tier index used by the failure model (the paper injects failures with
+// tier-dependent probabilities, per Gill et al. measurements). The probe-matrix problem only
+// considers "monitored" links: inter-switch links for Fat-tree/VL2 and all links for the
+// server-centric BCube (§4.4 footnote: servers are treated as switches there).
+#ifndef SRC_TOPO_TOPOLOGY_H_
+#define SRC_TOPO_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace detector {
+
+using NodeId = int32_t;
+using LinkId = int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr LinkId kInvalidLink = -1;
+
+enum class NodeKind : uint8_t {
+  kServer = 0,
+  kTor = 1,
+  kAgg = 2,
+  kCore = 3,
+  kIntermediate = 4,  // VL2 intermediate tier
+  kBcubeSwitch = 5,
+};
+
+const char* NodeKindName(NodeKind kind);
+
+struct Node {
+  NodeKind kind;
+  int32_t pod;    // pod / group index, -1 when not applicable
+  int32_t index;  // index within (kind, pod)
+  std::string name;
+};
+
+struct Link {
+  NodeId a;      // normalized: a < b
+  NodeId b;
+  int32_t tier;  // 0 = server-ToR (BCube: level), 1 = ToR-agg, 2 = agg-core / agg-intermediate
+  bool monitored;
+};
+
+struct Neighbor {
+  NodeId node;
+  LinkId link;
+};
+
+class Topology {
+ public:
+  explicit Topology(std::string name) : name_(std::move(name)) {}
+
+  NodeId AddNode(NodeKind kind, int32_t pod, int32_t index, std::string name);
+
+  // Adds an undirected link; (a, b) must not already exist. `monitored` defaults to
+  // "both endpoints are switches".
+  LinkId AddLink(NodeId a, NodeId b, int32_t tier);
+  LinkId AddLink(NodeId a, NodeId b, int32_t tier, bool monitored);
+
+  // kInvalidLink when absent. Order of endpoints does not matter.
+  LinkId FindLink(NodeId a, NodeId b) const;
+
+  const std::string& name() const { return name_; }
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumLinks() const { return links_.size(); }
+  const Node& node(NodeId id) const { return nodes_[static_cast<size_t>(id)]; }
+  const Link& link(LinkId id) const { return links_[static_cast<size_t>(id)]; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Link>& links() const { return links_; }
+  const std::vector<Neighbor>& NeighborsOf(NodeId id) const {
+    return adjacency_[static_cast<size_t>(id)];
+  }
+
+  bool IsServer(NodeId id) const { return node(id).kind == NodeKind::kServer; }
+
+  // Other endpoint of `link` as seen from `from`.
+  NodeId OtherEnd(LinkId link, NodeId from) const;
+
+  size_t CountNodes(NodeKind kind) const;
+  std::vector<NodeId> NodesOfKind(NodeKind kind) const;
+
+  // Links that participate in the probe-matrix problem, in LinkId order.
+  std::vector<LinkId> MonitoredLinks() const;
+  size_t NumMonitoredLinks() const;
+
+  // Human-readable link label, e.g. "tor-p0-e1 <-> agg-p0-a0".
+  std::string LinkName(LinkId id) const;
+
+ private:
+  static uint64_t PairKey(NodeId a, NodeId b) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+           static_cast<uint64_t>(static_cast<uint32_t>(b));
+  }
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<Neighbor>> adjacency_;
+  std::unordered_map<uint64_t, LinkId> link_lookup_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_TOPO_TOPOLOGY_H_

@@ -1,0 +1,109 @@
+#include "src/topo/vl2.h"
+
+#include <string>
+
+namespace detector {
+
+Vl2::Vl2(const Vl2Params& params)
+    : da_(params.da),
+      di_(params.di),
+      servers_per_tor_(params.servers_per_tor),
+      topo_("vl2(" + std::to_string(params.da) + "," + std::to_string(params.di) + "," +
+            std::to_string(params.servers_per_tor) + ")") {
+  CHECK(da_ >= 4 && da_ % 4 == 0) << "VL2 D_A must be a positive multiple of 4, got " << da_;
+  CHECK(di_ >= 2 && di_ % 2 == 0) << "VL2 D_I must be even, got " << di_;
+
+  int_base_ = static_cast<NodeId>(topo_.NumNodes());
+  for (int i = 0; i < num_intermediates(); ++i) {
+    topo_.AddNode(NodeKind::kIntermediate, /*pod=*/-1, i, "int-" + std::to_string(i));
+  }
+  agg_base_ = static_cast<NodeId>(topo_.NumNodes());
+  for (int a = 0; a < num_aggs(); ++a) {
+    topo_.AddNode(NodeKind::kAgg, /*pod=*/-1, a, "agg-" + std::to_string(a));
+  }
+  tor_base_ = static_cast<NodeId>(topo_.NumNodes());
+  for (int t = 0; t < num_tors(); ++t) {
+    topo_.AddNode(NodeKind::kTor, /*pod=*/-1, t, "tor-" + std::to_string(t));
+  }
+  server_base_ = static_cast<NodeId>(topo_.NumNodes());
+  for (int t = 0; t < num_tors(); ++t) {
+    for (int s = 0; s < servers_per_tor_; ++s) {
+      topo_.AddNode(NodeKind::kServer, /*pod=*/-1, t * servers_per_tor_ + s,
+                    "srv-t" + std::to_string(t) + "-" + std::to_string(s));
+    }
+  }
+
+  // ToR dual-homing: ToR t connects to aggs (2t) mod D_I and (2t+1) mod D_I. With
+  // D_A*D_I/4 ToRs this gives every aggregation switch exactly D_A/2 ToR links.
+  for (int t = 0; t < num_tors(); ++t) {
+    const auto [a0, a1] = AggsOfTor(t);
+    topo_.AddLink(Tor(t), Agg(a0), /*tier=*/1);
+    topo_.AddLink(Tor(t), Agg(a1), /*tier=*/1);
+  }
+  // Full agg <-> intermediate mesh.
+  for (int a = 0; a < num_aggs(); ++a) {
+    for (int i = 0; i < num_intermediates(); ++i) {
+      topo_.AddLink(Agg(a), Intermediate(i), /*tier=*/2);
+    }
+  }
+  for (int t = 0; t < num_tors(); ++t) {
+    for (int s = 0; s < servers_per_tor_; ++s) {
+      topo_.AddLink(Server(t, s), Tor(t), /*tier=*/0);
+    }
+  }
+}
+
+NodeId Vl2::Intermediate(int i) const {
+  DCHECK(i >= 0 && i < num_intermediates());
+  return int_base_ + i;
+}
+
+NodeId Vl2::Agg(int a) const {
+  DCHECK(a >= 0 && a < num_aggs());
+  return agg_base_ + a;
+}
+
+NodeId Vl2::Tor(int t) const {
+  DCHECK(t >= 0 && t < num_tors());
+  return tor_base_ + t;
+}
+
+NodeId Vl2::Server(int t, int s) const {
+  DCHECK(s >= 0 && s < servers_per_tor_);
+  return server_base_ + t * servers_per_tor_ + s;
+}
+
+std::pair<int, int> Vl2::AggsOfTor(int t) const {
+  return {(2 * t) % di_, (2 * t + 1) % di_};
+}
+
+LinkId Vl2::TorAggLink(int t, int which) const {
+  DCHECK(which == 0 || which == 1);
+  return static_cast<LinkId>(2 * t + which);
+}
+
+LinkId Vl2::AggIntLink(int a, int i) const {
+  const LinkId base = static_cast<LinkId>(2 * num_tors());
+  return base + static_cast<LinkId>(a * num_intermediates() + i);
+}
+
+LinkId Vl2::ServerLink(int t, int s) const {
+  const LinkId base = static_cast<LinkId>(2 * num_tors() + num_aggs() * num_intermediates());
+  return base + static_cast<LinkId>(t * servers_per_tor_ + s);
+}
+
+NodeId Vl2::TorOfServer(NodeId server) const {
+  const int offset = server - server_base_;
+  DCHECK(offset >= 0);
+  return tor_base_ + offset / servers_per_tor_;
+}
+
+std::vector<NodeId> Vl2::Tors() const {
+  std::vector<NodeId> tors(static_cast<size_t>(num_tors()));
+  for (size_t i = 0; i < tors.size(); ++i) {
+    tors[i] = tor_base_ + static_cast<NodeId>(i);
+  }
+  return tors;
+}
+
+}  // namespace detector

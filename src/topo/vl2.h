@@ -1,0 +1,67 @@
+// VL2 builder (Greenberg et al., SIGCOMM'09). Parameterized as VL2(D_A, D_I, s) following the
+// paper's Table 2 notation: D_A = aggregation switch port count, D_I = intermediate switch port
+// count, s = servers per ToR.
+//
+// Tiers: D_A/2 intermediate switches, D_I aggregation switches (a full bipartite mesh between
+// them), and D_A * D_I / 4 ToRs, each dual-homed to 2 aggregation switches. With these counts
+// every aggregation switch has exactly D_A/2 ToR-facing ports and the totals reproduce the
+// paper's Table 2 rows (e.g. VL2(20,12,20): 1282 nodes, 1440 links).
+#ifndef SRC_TOPO_VL2_H_
+#define SRC_TOPO_VL2_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/topo/topology.h"
+
+namespace detector {
+
+struct Vl2Params {
+  int da = 4;             // aggregation switch ports
+  int di = 4;             // intermediate switch ports
+  int servers_per_tor = 4;
+};
+
+class Vl2 {
+ public:
+  explicit Vl2(const Vl2Params& params);
+  Vl2(int da, int di, int servers_per_tor) : Vl2(Vl2Params{da, di, servers_per_tor}) {}
+
+  const Topology& topology() const { return topo_; }
+
+  int da() const { return da_; }
+  int di() const { return di_; }
+  int num_intermediates() const { return da_ / 2; }
+  int num_aggs() const { return di_; }
+  int num_tors() const { return da_ * di_ / 4; }
+  int servers_per_tor() const { return servers_per_tor_; }
+
+  NodeId Intermediate(int i) const;
+  NodeId Agg(int a) const;
+  NodeId Tor(int t) const;
+  NodeId Server(int t, int s) const;
+
+  // The two aggregation switch indices ToR t is homed to; .first is the "even" home.
+  std::pair<int, int> AggsOfTor(int t) const;
+
+  LinkId TorAggLink(int t, int which) const;  // which in {0, 1}
+  LinkId AggIntLink(int a, int i) const;
+  LinkId ServerLink(int t, int s) const;
+
+  NodeId TorOfServer(NodeId server) const;
+  std::vector<NodeId> Tors() const;
+
+ private:
+  int da_;
+  int di_;
+  int servers_per_tor_;
+  Topology topo_;
+  NodeId int_base_;
+  NodeId agg_base_;
+  NodeId tor_base_;
+  NodeId server_base_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_TOPO_VL2_H_

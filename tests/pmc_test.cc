@@ -1,0 +1,279 @@
+// PMC algorithm tests: coverage and identifiability of the produced matrices, decomposition
+// behavior per topology family (Observation 1), lazy-vs-strawman consistency (Observation 2),
+// evenness, and scale guards.
+#include <gtest/gtest.h>
+
+#include "src/pmc/decomposition.h"
+#include "src/pmc/identifiability.h"
+#include "src/pmc/pmc.h"
+#include "src/routing/bcube_routing.h"
+#include "src/routing/fattree_routing.h"
+#include "src/routing/vl2_routing.h"
+
+namespace detector {
+namespace {
+
+TEST(Decomposition, FatTreeSplitsIntoCoreGroups) {
+  // Every via-core path keeps the same aggregation index at both ends, so the bipartite
+  // path-link graph splits into exactly k/2 components — the paper's Observation 1.
+  for (int k : {4, 6, 8}) {
+    const FatTree ft(k);
+    const FatTreeRouting routing(ft);
+    const PathStore candidates = routing.Enumerate(PathEnumMode::kFull);
+    const LinkIndex links = LinkIndex::ForMonitored(ft.topology());
+    const Decomposition decomp = DecomposePathLinkGraph(candidates, links);
+    EXPECT_EQ(decomp.components.size(), static_cast<size_t>(k / 2)) << "k=" << k;
+    EXPECT_TRUE(decomp.uncoverable_links.empty());
+    // Components partition both paths and links.
+    size_t total_paths = 0;
+    size_t total_links = 0;
+    for (const auto& comp : decomp.components) {
+      total_paths += comp.path_ids.size();
+      total_links += comp.dense_links.size();
+    }
+    EXPECT_EQ(total_paths, candidates.size());
+    EXPECT_EQ(total_links, static_cast<size_t>(links.num_links()));
+  }
+}
+
+TEST(Decomposition, Vl2AndBcubeDoNotDecompose) {
+  // Matches the paper's Table 2 observation that decomposition does not apply to VL2/BCube.
+  {
+    const Vl2 vl2(8, 4, 2);
+    const Vl2Routing routing(vl2);
+    const PathStore candidates = routing.Enumerate(PathEnumMode::kFull);
+    const Decomposition decomp =
+        DecomposePathLinkGraph(candidates, LinkIndex::ForMonitored(vl2.topology()));
+    EXPECT_EQ(decomp.components.size(), 1u);
+  }
+  {
+    const Bcube bc(4, 1);
+    const BcubeRouting routing(bc);
+    const PathStore candidates = routing.Enumerate(PathEnumMode::kFull);
+    const Decomposition decomp =
+        DecomposePathLinkGraph(candidates, LinkIndex::ForMonitored(bc.topology()));
+    EXPECT_EQ(decomp.components.size(), 1u);
+  }
+}
+
+TEST(Decomposition, UncoverableLinksDetected) {
+  const FatTree ft(4);
+  PathStore candidates;  // empty: nothing covers anything
+  const Decomposition decomp =
+      DecomposePathLinkGraph(candidates, LinkIndex::ForMonitored(ft.topology()));
+  EXPECT_TRUE(decomp.components.empty());
+  EXPECT_EQ(decomp.uncoverable_links.size(), ft.topology().NumMonitoredLinks());
+}
+
+struct PmcConfigCase {
+  int alpha;
+  int beta;
+};
+
+class PmcOnFatTree : public ::testing::TestWithParam<PmcConfigCase> {};
+
+TEST_P(PmcOnFatTree, AchievesCoverageAndIdentifiability) {
+  const auto [alpha, beta] = GetParam();
+  const FatTree ft(6);
+  const FatTreeRouting routing(ft);
+  PmcOptions options;
+  options.alpha = alpha;
+  options.beta = beta;
+  const PmcResult result = BuildProbeMatrix(routing, PathEnumMode::kFull, options);
+  EXPECT_TRUE(result.stats.alpha_satisfied);
+  const auto coverage = result.matrix.Coverage();
+  EXPECT_GE(coverage.min, alpha);
+  if (beta >= 1) {
+    const auto report = VerifyIdentifiability(result.matrix, beta);
+    EXPECT_TRUE(report.covered);
+    EXPECT_GE(report.achieved_beta, beta) << report.counterexample;
+  }
+  // Far fewer paths than the full universe.
+  EXPECT_LT(result.stats.num_selected, result.stats.num_candidates / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, PmcOnFatTree,
+                         ::testing::Values(PmcConfigCase{1, 0}, PmcConfigCase{2, 0},
+                                           PmcConfigCase{1, 1}, PmcConfigCase{2, 1},
+                                           PmcConfigCase{3, 2}),
+                         [](const auto& info) {
+                           return "a" + std::to_string(info.param.alpha) + "b" +
+                                  std::to_string(info.param.beta);
+                         });
+
+TEST(Pmc, Vl2Identifiable) {
+  const Vl2 vl2(8, 4, 2);
+  const Vl2Routing routing(vl2);
+  PmcOptions options;
+  options.alpha = 1;
+  options.beta = 1;
+  const PmcResult result = BuildProbeMatrix(routing, PathEnumMode::kFull, options);
+  EXPECT_TRUE(result.stats.alpha_satisfied);
+  const auto report = VerifyIdentifiability(result.matrix, 1);
+  EXPECT_GE(report.achieved_beta, 1) << report.counterexample;
+}
+
+TEST(Pmc, BcubeIdentifiable) {
+  const Bcube bc(4, 1);
+  const BcubeRouting routing(bc);
+  PmcOptions options;
+  options.alpha = 1;
+  options.beta = 1;
+  const PmcResult result = BuildProbeMatrix(routing, PathEnumMode::kFull, options);
+  EXPECT_TRUE(result.stats.alpha_satisfied);
+  const auto report = VerifyIdentifiability(result.matrix, 1);
+  EXPECT_GE(report.achieved_beta, 1) << report.counterexample;
+}
+
+TEST(Pmc, StrawmanAndLazyAgreeOnQuality) {
+  // The lazy update (Observation 2) is a heuristic; its result must still meet the same
+  // coverage/identifiability targets and stay within a small factor in path count.
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  PmcOptions lazy;
+  lazy.alpha = 2;
+  lazy.beta = 1;
+  lazy.lazy = true;
+  PmcOptions strawman = lazy;
+  strawman.lazy = false;
+  strawman.decompose = false;
+  const PmcResult lr = BuildProbeMatrix(routing, PathEnumMode::kFull, lazy);
+  const PmcResult sr = BuildProbeMatrix(routing, PathEnumMode::kFull, strawman);
+  EXPECT_TRUE(lr.stats.alpha_satisfied);
+  EXPECT_TRUE(sr.stats.alpha_satisfied);
+  EXPECT_LE(lr.stats.num_selected, sr.stats.num_selected * 2);
+  EXPECT_LE(sr.stats.num_selected, lr.stats.num_selected * 2);
+  EXPECT_GE(VerifyIdentifiability(lr.matrix, 1).achieved_beta, 1);
+  EXPECT_GE(VerifyIdentifiability(sr.matrix, 1).achieved_beta, 1);
+}
+
+TEST(Pmc, DecompositionDoesNotChangeQuality) {
+  const FatTree ft(6);
+  const FatTreeRouting routing(ft);
+  PmcOptions with;
+  with.alpha = 1;
+  with.beta = 1;
+  with.decompose = true;
+  PmcOptions without = with;
+  without.decompose = false;
+  const PmcResult a = BuildProbeMatrix(routing, PathEnumMode::kFull, with);
+  const PmcResult b = BuildProbeMatrix(routing, PathEnumMode::kFull, without);
+  EXPECT_EQ(a.stats.num_components, 3);
+  EXPECT_EQ(b.stats.num_components, 1);
+  EXPECT_GE(VerifyIdentifiability(a.matrix, 1).achieved_beta, 1);
+  EXPECT_GE(VerifyIdentifiability(b.matrix, 1).achieved_beta, 1);
+}
+
+TEST(Pmc, ParallelComponentsMatchSerial) {
+  const FatTree ft(6);
+  const FatTreeRouting routing(ft);
+  PmcOptions serial;
+  serial.alpha = 1;
+  serial.beta = 1;
+  PmcOptions parallel = serial;
+  parallel.num_threads = 3;
+  const PmcResult a = BuildProbeMatrix(routing, PathEnumMode::kFull, serial);
+  const PmcResult b = BuildProbeMatrix(routing, PathEnumMode::kFull, parallel);
+  // Same candidates, same deterministic per-component greedy => identical selections.
+  EXPECT_EQ(a.stats.num_selected, b.stats.num_selected);
+}
+
+TEST(Pmc, SymmetryReducedCandidatesStillWork) {
+  const FatTree ft(8);
+  const FatTreeRouting routing(ft);
+  PmcOptions options;
+  options.alpha = 2;
+  options.beta = 1;
+  const PmcResult result = BuildProbeMatrix(routing, PathEnumMode::kSymmetryReduced, options);
+  EXPECT_TRUE(result.stats.alpha_satisfied);
+  EXPECT_GE(result.matrix.Coverage().min, 2);
+  const auto report = VerifyIdentifiability(result.matrix, 1);
+  EXPECT_GE(report.achieved_beta, 1) << report.counterexample;
+}
+
+TEST(Pmc, EvennessTermKeepsCoverageGapModest) {
+  // The w[link] term in the score spreads probes: max coverage should stay within a small
+  // factor of alpha rather than piling onto a few links.
+  const FatTree ft(8);
+  const FatTreeRouting routing(ft);
+  PmcOptions options;
+  options.alpha = 3;
+  options.beta = 0;
+  const PmcResult result = BuildProbeMatrix(routing, PathEnumMode::kFull, options);
+  const auto coverage = result.matrix.Coverage();
+  EXPECT_GE(coverage.min, 3);
+  EXPECT_LE(coverage.max, 3 * 4);
+}
+
+TEST(Pmc, TimeLimitReportsTimeout) {
+  const FatTree ft(8);
+  const FatTreeRouting routing(ft);
+  PmcOptions options;
+  options.alpha = 1;
+  options.beta = 2;
+  options.lazy = false;
+  options.decompose = false;
+  options.time_limit_seconds = 1e-4;  // absurdly small: must trip immediately
+  const PmcResult result = BuildProbeMatrix(routing, PathEnumMode::kFull, options);
+  EXPECT_TRUE(result.stats.timed_out);
+}
+
+TEST(Pmc, ExtendedStateGuardThrows) {
+  const FatTree ft(8);
+  const FatTreeRouting routing(ft);
+  PmcOptions options;
+  options.alpha = 1;
+  options.beta = 3;
+  options.decompose = false;
+  options.max_extended_links = 1000;  // far below C(256,3)
+  EXPECT_THROW(BuildProbeMatrix(routing, PathEnumMode::kFull, options), std::runtime_error);
+}
+
+TEST(Pmc, AlphaZeroBetaZeroSelectsNothing) {
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  PmcOptions options;
+  options.alpha = 0;
+  options.beta = 0;
+  const PmcResult result = BuildProbeMatrix(routing, PathEnumMode::kFull, options);
+  EXPECT_EQ(result.stats.num_selected, 0u);
+}
+
+TEST(ProbeMatrix, LinkToPathIndexConsistent) {
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  PmcOptions options;
+  options.alpha = 1;
+  options.beta = 1;
+  const PmcResult result = BuildProbeMatrix(routing, PathEnumMode::kFull, options);
+  const ProbeMatrix& m = result.matrix;
+  // Cross-check CSR against per-path link lists.
+  std::vector<int> expected(static_cast<size_t>(m.NumLinks()), 0);
+  for (size_t p = 0; p < m.NumPaths(); ++p) {
+    for (int32_t d : m.DenseLinksOfPath(static_cast<PathId>(p))) {
+      ++expected[static_cast<size_t>(d)];
+    }
+  }
+  for (int32_t d = 0; d < m.NumLinks(); ++d) {
+    EXPECT_EQ(m.PathsThroughDense(d).size(), static_cast<size_t>(expected[static_cast<size_t>(d)]));
+    for (PathId p : m.PathsThroughDense(d)) {
+      const auto dense = m.DenseLinksOfPath(p);
+      EXPECT_NE(std::find(dense.begin(), dense.end(), d), dense.end());
+    }
+  }
+}
+
+TEST(LinkIndex, MonitoredOnlyMapping) {
+  const FatTree ft(4);
+  const LinkIndex index = LinkIndex::ForMonitored(ft.topology());
+  EXPECT_EQ(static_cast<size_t>(index.num_links()), ft.topology().NumMonitoredLinks());
+  for (int32_t d = 0; d < index.num_links(); ++d) {
+    const LinkId link = index.Link(d);
+    EXPECT_TRUE(ft.topology().link(link).monitored);
+    EXPECT_EQ(index.Dense(link), d);
+  }
+  EXPECT_EQ(index.Dense(ft.ServerLink(0, 0, 0)), -1);
+}
+
+}  // namespace
+}  // namespace detector

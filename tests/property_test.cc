@@ -1,0 +1,193 @@
+// Property-style parameterized sweeps: probe-matrix invariants across (k, alpha, beta)
+// configurations, and localization accuracy under randomized multi-failure scenarios — the
+// workhorse suite that pins the paper's qualitative claims across a grid of settings.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/localize/metrics.h"
+#include "src/localize/pll.h"
+#include "src/pmc/identifiability.h"
+#include "src/pmc/pmc.h"
+#include "src/pmc/structured_fattree.h"
+#include "src/routing/fattree_routing.h"
+#include "src/sim/failure_model.h"
+#include "src/sim/probe_engine.h"
+
+namespace detector {
+namespace {
+
+// ---------- Probe-matrix invariants over a (k, alpha, beta) grid ----------
+
+using MatrixParam = std::tuple<int, int, int>;  // k, alpha, beta
+
+class ProbeMatrixInvariants : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(ProbeMatrixInvariants, CoverageEvennessIdentifiability) {
+  const auto [k, alpha, beta] = GetParam();
+  const FatTree ft(k);
+  const FatTreeRouting routing(ft);
+  PmcOptions options;
+  options.alpha = alpha;
+  options.beta = beta;
+  const PmcResult result = BuildProbeMatrix(routing, PathEnumMode::kFull, options);
+
+  // Invariant 1: alpha-coverage.
+  EXPECT_TRUE(result.stats.alpha_satisfied);
+  EXPECT_GE(result.matrix.Coverage().min, alpha);
+  // Invariant 2: all selected paths are real candidate paths over monitored links.
+  for (size_t p = 0; p < result.matrix.NumPaths(); ++p) {
+    for (LinkId l : result.matrix.paths().Links(static_cast<PathId>(p))) {
+      EXPECT_TRUE(ft.topology().link(l).monitored);
+    }
+  }
+  // Invariant 3: requested identifiability achieved (k=4 cannot reach beta=2; grid avoids it).
+  if (beta >= 1) {
+    EXPECT_GE(VerifyIdentifiability(result.matrix, beta).achieved_beta, beta);
+  }
+  // Invariant 4: selection is a small fraction of the universe.
+  EXPECT_LT(result.stats.num_selected, result.stats.num_candidates);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ProbeMatrixInvariants,
+    ::testing::Values(MatrixParam{4, 1, 0}, MatrixParam{4, 2, 1}, MatrixParam{4, 3, 1},
+                      MatrixParam{6, 1, 1}, MatrixParam{6, 2, 2}, MatrixParam{6, 1, 2},
+                      MatrixParam{8, 1, 1}, MatrixParam{8, 2, 1}, MatrixParam{8, 1, 2}),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "a" +
+             std::to_string(std::get<1>(info.param)) + "b" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------- Localization accuracy under randomized failures ----------
+
+struct LocalizationCase {
+  int k;
+  int num_failures;
+  int beta;
+  double min_accuracy;
+};
+
+class RandomizedLocalization : public ::testing::TestWithParam<LocalizationCase> {};
+
+TEST_P(RandomizedLocalization, AccuracyAboveFloor) {
+  const auto [k, num_failures, beta, min_accuracy] = GetParam();
+  const FatTree ft(k);
+  ProbeMatrix matrix = StructuredFatTreeProbeMatrix(ft, /*alpha=*/2, beta);
+
+  FailureModelOptions fm_options;
+  // Keep loss rates detectable within a test-sized window; ultra-low-rate false negatives are
+  // exercised separately in the Table 5 bench.
+  fm_options.min_loss_rate = 0.05;
+  FailureModel model(ft.topology(), fm_options);
+  ProbeConfig probe;
+  ProbeEngine healthy(ft.topology(), FailureScenario{}, probe);
+
+  Rng rng(static_cast<uint64_t>(k * 1000 + num_failures * 10 + beta));
+  ConfusionCounts totals;
+  const int trials = 12;
+  for (int t = 0; t < trials; ++t) {
+    const FailureScenario scenario = model.SampleLinkFailures(num_failures, rng);
+    ProbeEngine engine(ft.topology(), scenario, probe);
+    Observations obs(matrix.NumPaths());
+    for (size_t p = 0; p < matrix.NumPaths(); ++p) {
+      const PathId pid = static_cast<PathId>(p);
+      obs[p] = engine.SimulatePath(matrix.paths().Links(pid), matrix.paths().src(pid),
+                                   matrix.paths().dst(pid), 120, rng);
+    }
+    const auto result = PllLocalizer().Localize(matrix, obs);
+    totals += EvaluateLocalization(result.links, scenario.FailedLinks());
+  }
+  EXPECT_GE(totals.Accuracy(), min_accuracy)
+      << "TP=" << totals.true_positives << " FP=" << totals.false_positives
+      << " FN=" << totals.false_negatives;
+  EXPECT_LE(totals.FalsePositiveRatio(), 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RandomizedLocalization,
+    ::testing::Values(LocalizationCase{6, 1, 1, 0.9}, LocalizationCase{6, 3, 1, 0.8},
+                      LocalizationCase{6, 3, 2, 0.9}, LocalizationCase{8, 1, 1, 0.9},
+                      LocalizationCase{8, 5, 2, 0.85}, LocalizationCase{10, 5, 2, 0.85}),
+    [](const auto& info) {
+      return "k" + std::to_string(info.param.k) + "f" + std::to_string(info.param.num_failures) +
+             "b" + std::to_string(info.param.beta);
+    });
+
+// ---------- Identifiability level vs accuracy ordering (Table 4's qualitative claim) ----------
+
+TEST(IdentifiabilityVsAccuracy, HigherBetaNeverHurts) {
+  const int k = 6;
+  const FatTree ft(k);
+  FailureModelOptions fm_options;
+  fm_options.min_loss_rate = 0.05;
+  FailureModel model(ft.topology(), fm_options);
+  ProbeConfig probe;
+
+  double accuracy_by_beta[3] = {0, 0, 0};
+  for (int beta = 0; beta <= 2; ++beta) {
+    ProbeMatrix matrix = StructuredFatTreeProbeMatrix(ft, /*alpha=*/1, beta);
+    Rng rng(4242);
+    ConfusionCounts totals;
+    for (int t = 0; t < 15; ++t) {
+      const FailureScenario scenario = model.SampleLinkFailures(4, rng);
+      ProbeEngine engine(ft.topology(), scenario, probe);
+      Observations obs(matrix.NumPaths());
+      for (size_t p = 0; p < matrix.NumPaths(); ++p) {
+        const PathId pid = static_cast<PathId>(p);
+        obs[p] = engine.SimulatePath(matrix.paths().Links(pid), matrix.paths().src(pid),
+                                     matrix.paths().dst(pid), 120, rng);
+      }
+      totals += EvaluateLocalization(PllLocalizer().Localize(matrix, obs).links,
+                                     scenario.FailedLinks());
+    }
+    accuracy_by_beta[beta] = totals.Accuracy();
+  }
+  // The paper's Table 4 trend: identifiability buys accuracy.
+  EXPECT_GT(accuracy_by_beta[1], accuracy_by_beta[0]);
+  EXPECT_GE(accuracy_by_beta[2] + 0.05, accuracy_by_beta[1]);  // beta=2 at least comparable
+}
+
+// ---------- Probe engine distributional property across port entropy ----------
+
+class PortEntropySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PortEntropySweep, BlackholeVisibilityGrowsWithPorts) {
+  // With more source ports per path, the chance that at least one flow hits a blackhole rule
+  // grows. A blackhole verdict is deterministic per flow, so the randomness to average over is
+  // the rule itself: each trial draws a fresh rule seed (a different misprogrammed match).
+  const int ports = GetParam();
+  const FatTree ft(4);
+  ProbeConfig config;
+  config.base_loss_rate = 0.0;
+  config.port_count = ports;
+  const std::vector<LinkId> path{ft.EdgeAggLink(0, 0, 0)};
+  Rng rng(static_cast<uint64_t>(ports));
+  int rules_detected = 0;
+  const int trials = 80;
+  for (int t = 0; t < trials; ++t) {
+    LinkFailure f;
+    f.link = ft.EdgeAggLink(0, 0, 0);
+    f.type = FailureType::kDeterministicPartial;
+    f.match_fraction = 0.3;
+    f.rule_seed = static_cast<uint64_t>(t) * 7919 + 13;
+    FailureScenario scenario;
+    scenario.failures.push_back(f);
+    ProbeEngine engine(ft.topology(), scenario, config);
+    const auto obs = engine.SimulatePath(path, ft.Tor(0, 0), ft.Agg(0, 0), ports * 10, rng);
+    rules_detected += obs.lost > 0 ? 1 : 0;
+  }
+  // Request + reply flows: 2*ports independent 0.3-match draws per rule.
+  const double expect_hit = 1.0 - std::pow(0.7, 2 * ports);
+  EXPECT_NEAR(rules_detected / static_cast<double>(trials), expect_hit, 0.25);
+  if (ports >= 8) {
+    EXPECT_GT(rules_detected, trials * 3 / 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ports, PortEntropySweep, ::testing::Values(1, 2, 4, 8, 16),
+                         [](const auto& info) { return "p" + std::to_string(info.param); });
+
+}  // namespace
+}  // namespace detector

@@ -1,0 +1,328 @@
+// Simulator tests: loss-model semantics, probe-engine statistics (binomial vs per-packet mode
+// agreement), failure sampling distributions, workload and latency models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/sim/failure_model.h"
+#include "src/sim/latency_model.h"
+#include "src/sim/loss_model.h"
+#include "src/sim/probe_engine.h"
+#include "src/sim/watchdog.h"
+#include "src/sim/workload.h"
+#include "src/topo/fattree.h"
+
+namespace detector {
+namespace {
+
+FlowKey MakeFlow(NodeId src, NodeId dst, uint16_t sport = 1000) {
+  return FlowKey{src, dst, sport, 2000, 17};
+}
+
+TEST(LossModel, FullLossDropsEverything) {
+  LinkFailure f;
+  f.type = FailureType::kFullLoss;
+  EXPECT_DOUBLE_EQ(f.DropProbability(MakeFlow(0, 1)), 1.0);
+}
+
+TEST(LossModel, RandomPartialUsesRate) {
+  LinkFailure f;
+  f.type = FailureType::kRandomPartial;
+  f.loss_rate = 0.25;
+  EXPECT_DOUBLE_EQ(f.DropProbability(MakeFlow(0, 1)), 0.25);
+}
+
+TEST(LossModel, DeterministicPartialIsPerFlowStable) {
+  LinkFailure f;
+  f.type = FailureType::kDeterministicPartial;
+  f.match_fraction = 0.5;
+  f.rule_seed = 99;
+  int matched = 0;
+  for (uint16_t port = 0; port < 200; ++port) {
+    const FlowKey flow = MakeFlow(1, 2, port);
+    const bool m1 = f.FlowMatchesRule(flow);
+    const bool m2 = f.FlowMatchesRule(flow);
+    EXPECT_EQ(m1, m2);  // same flow, same verdict, always
+    matched += m1 ? 1 : 0;
+  }
+  // Roughly half the flow space matches.
+  EXPECT_GT(matched, 60);
+  EXPECT_LT(matched, 140);
+}
+
+TEST(ProbeEngine, HealthyPathLosesAlmostNothing) {
+  const FatTree ft(4);
+  FailureScenario scenario;
+  ProbeConfig config;
+  config.base_loss_rate = 0.0;
+  ProbeEngine engine(ft.topology(), scenario, config);
+  Rng rng(1);
+  const std::vector<LinkId> path{ft.EdgeAggLink(0, 0, 0), ft.AggCoreLink(0, 0, 0)};
+  const auto obs = engine.SimulatePath(path, ft.Tor(0, 0), ft.Tor(1, 0), 1000, rng);
+  EXPECT_EQ(obs.sent, 1000);
+  EXPECT_EQ(obs.lost, 0);
+}
+
+TEST(ProbeEngine, FullLossKillsPath) {
+  const FatTree ft(4);
+  FailureScenario scenario;
+  LinkFailure f;
+  f.link = ft.EdgeAggLink(0, 0, 0);
+  f.type = FailureType::kFullLoss;
+  scenario.failures.push_back(f);
+  ProbeEngine engine(ft.topology(), scenario, ProbeConfig{});
+  Rng rng(2);
+  const std::vector<LinkId> path{ft.EdgeAggLink(0, 0, 0), ft.AggCoreLink(0, 0, 0)};
+  const auto obs = engine.SimulatePath(path, ft.Tor(0, 0), ft.Tor(1, 0), 500, rng);
+  EXPECT_EQ(obs.lost, 500);
+}
+
+TEST(ProbeEngine, RandomPartialRoundTripStatistics) {
+  const FatTree ft(4);
+  FailureScenario scenario;
+  LinkFailure f;
+  f.link = ft.EdgeAggLink(0, 0, 0);
+  f.type = FailureType::kRandomPartial;
+  f.loss_rate = 0.2;
+  scenario.failures.push_back(f);
+  ProbeConfig config;
+  config.base_loss_rate = 0.0;
+  ProbeEngine engine(ft.topology(), scenario, config);
+  Rng rng(3);
+  const std::vector<LinkId> path{ft.EdgeAggLink(0, 0, 0)};
+  const int n = 200000;
+  const auto obs = engine.SimulatePath(path, ft.Tor(0, 0), ft.Agg(0, 0), n, rng);
+  // Round trip crosses the link twice: loss = 1 - 0.8^2 = 0.36.
+  EXPECT_NEAR(static_cast<double>(obs.lost) / n, 0.36, 0.01);
+}
+
+TEST(ProbeEngine, DeterministicPartialAffectsMatchingFlowsOnly) {
+  const FatTree ft(4);
+  FailureScenario scenario;
+  LinkFailure f;
+  f.link = ft.EdgeAggLink(0, 0, 0);
+  f.type = FailureType::kDeterministicPartial;
+  f.match_fraction = 0.5;
+  f.rule_seed = 7;
+  scenario.failures.push_back(f);
+  ProbeConfig config;
+  config.base_loss_rate = 0.0;
+  config.port_count = 64;
+  ProbeEngine engine(ft.topology(), scenario, config);
+  Rng rng(4);
+  const std::vector<LinkId> path{ft.EdgeAggLink(0, 0, 0)};
+  const auto obs = engine.SimulatePath(path, ft.Tor(0, 0), ft.Agg(0, 0), 6400, rng);
+  const double ratio = static_cast<double>(obs.lost) / static_cast<double>(obs.sent);
+  // Some flows fully black, others clean: aggregate loss strictly between.
+  EXPECT_GT(ratio, 0.2);
+  EXPECT_LT(ratio, 0.95);
+  // Per-flow: either all packets or none are lost.
+  for (uint16_t port = 0; port < 8; ++port) {
+    const FlowKey flow = MakeFlow(ft.Tor(0, 0), ft.Agg(0, 0), port);
+    const auto per_flow = engine.SimulateFlow(path, flow, 100, rng);
+    EXPECT_TRUE(per_flow.lost == 0 || per_flow.lost == 100);
+  }
+}
+
+TEST(ProbeEngine, PacketAndBinomialModesAgree) {
+  const FatTree ft(4);
+  FailureScenario scenario;
+  LinkFailure f;
+  f.link = ft.EdgeAggLink(0, 0, 0);
+  f.type = FailureType::kRandomPartial;
+  f.loss_rate = 0.3;
+  scenario.failures.push_back(f);
+  ProbeConfig config;
+  config.base_loss_rate = 0.0;
+  ProbeEngine engine(ft.topology(), scenario, config);
+  Rng rng(5);
+  const std::vector<LinkId> path{ft.EdgeAggLink(0, 0, 0), ft.AggCoreLink(0, 0, 0)};
+  const FlowKey flow = MakeFlow(ft.Tor(0, 0), ft.Core(0, 0));
+
+  const int n = 50000;
+  int packet_losses = 0;
+  for (int i = 0; i < n; ++i) {
+    if (!engine.SimulatePacket(path, flow, rng)) {
+      ++packet_losses;
+    }
+  }
+  const auto binom = engine.SimulateFlow(path, flow, n, rng);
+  const double p1 = static_cast<double>(packet_losses) / n;
+  const double p2 = static_cast<double>(binom.lost) / n;
+  EXPECT_NEAR(p1, p2, 0.01);
+}
+
+TEST(ProbeEngine, DroppedLinkReported) {
+  const FatTree ft(4);
+  FailureScenario scenario;
+  LinkFailure f;
+  f.link = ft.AggCoreLink(0, 0, 0);
+  f.type = FailureType::kFullLoss;
+  scenario.failures.push_back(f);
+  ProbeConfig config;
+  config.base_loss_rate = 0.0;
+  ProbeEngine engine(ft.topology(), scenario, config);
+  Rng rng(6);
+  const std::vector<LinkId> path{ft.EdgeAggLink(0, 0, 0), ft.AggCoreLink(0, 0, 0)};
+  LinkId dropped = kInvalidLink;
+  EXPECT_FALSE(engine.SimulatePacket(path, MakeFlow(ft.Tor(0, 0), ft.Core(0, 0)), rng, &dropped));
+  EXPECT_EQ(dropped, ft.AggCoreLink(0, 0, 0));
+}
+
+TEST(ProbeEngine, DeactivatedFailuresHeal) {
+  const FatTree ft(4);
+  FailureScenario scenario;
+  LinkFailure f;
+  f.link = ft.EdgeAggLink(0, 0, 0);
+  f.type = FailureType::kFullLoss;
+  scenario.failures.push_back(f);
+  ProbeConfig config;
+  config.base_loss_rate = 0.0;
+  ProbeEngine engine(ft.topology(), scenario, config);
+  engine.SetFailuresActive(false);
+  Rng rng(7);
+  const std::vector<LinkId> path{ft.EdgeAggLink(0, 0, 0)};
+  const auto obs = engine.SimulatePath(path, ft.Tor(0, 0), ft.Agg(0, 0), 100, rng);
+  EXPECT_EQ(obs.lost, 0);
+}
+
+TEST(ProbeEngine, OneWayPrefixProbability) {
+  const FatTree ft(4);
+  FailureScenario scenario;
+  LinkFailure f;
+  f.link = ft.AggCoreLink(0, 0, 0);
+  f.type = FailureType::kFullLoss;
+  scenario.failures.push_back(f);
+  ProbeConfig config;
+  config.base_loss_rate = 0.0;
+  ProbeEngine engine(ft.topology(), scenario, config);
+  const std::vector<LinkId> path{ft.EdgeAggLink(0, 0, 0), ft.AggCoreLink(0, 0, 0)};
+  const FlowKey flow = MakeFlow(ft.Tor(0, 0), ft.Core(0, 0));
+  EXPECT_DOUBLE_EQ(
+      engine.OneWaySuccessProbability(std::span<const LinkId>(path.data(), 1), flow), 1.0);
+  EXPECT_DOUBLE_EQ(
+      engine.OneWaySuccessProbability(std::span<const LinkId>(path.data(), 2), flow), 0.0);
+}
+
+TEST(FailureModel, SamplesRequestedCount) {
+  const FatTree ft(8);
+  FailureModel model(ft.topology(), FailureModelOptions{});
+  Rng rng(8);
+  for (int n : {1, 5, 20}) {
+    const auto scenario = model.SampleLinkFailures(n, rng);
+    EXPECT_EQ(scenario.failures.size(), static_cast<size_t>(n));
+    EXPECT_EQ(scenario.FailedLinks().size(), static_cast<size_t>(n));  // distinct links
+    for (const auto& f : scenario.failures) {
+      EXPECT_TRUE(ft.topology().link(f.link).monitored);
+    }
+  }
+}
+
+TEST(FailureModel, TypeMixRoughlyMatchesConfig) {
+  const FatTree ft(8);
+  FailureModelOptions options;
+  options.full_loss_fraction = 0.5;
+  options.deterministic_fraction = 0.25;
+  FailureModel model(ft.topology(), options);
+  Rng rng(9);
+  int full = 0;
+  int det = 0;
+  int rand_partial = 0;
+  const int trials = 3000;
+  for (int i = 0; i < trials; ++i) {
+    const auto s = model.SampleLinkFailures(1, rng);
+    switch (s.failures[0].type) {
+      case FailureType::kFullLoss:
+        ++full;
+        break;
+      case FailureType::kDeterministicPartial:
+        ++det;
+        break;
+      case FailureType::kRandomPartial:
+        ++rand_partial;
+        break;
+    }
+  }
+  EXPECT_NEAR(full / static_cast<double>(trials), 0.5, 0.05);
+  EXPECT_NEAR(det / static_cast<double>(trials), 0.25, 0.05);
+  EXPECT_NEAR(rand_partial / static_cast<double>(trials), 0.25, 0.05);
+}
+
+TEST(FailureModel, SwitchFailureCoversAllAdjacentLinks) {
+  const FatTree ft(4);
+  FailureModel model(ft.topology(), FailureModelOptions{});
+  Rng rng(10);
+  const auto scenario = model.SampleSwitchFailure(NodeKind::kAgg, rng);
+  ASSERT_EQ(scenario.down_switches.size(), 1u);
+  // An agg switch has k = 4 monitored links (k/2 down + k/2 up).
+  EXPECT_EQ(scenario.failures.size(), 4u);
+  for (const auto& f : scenario.failures) {
+    const Link& l = ft.topology().link(f.link);
+    EXPECT_TRUE(l.a == scenario.down_switches[0] || l.b == scenario.down_switches[0]);
+    EXPECT_EQ(f.type, FailureType::kFullLoss);
+  }
+}
+
+TEST(FailureModel, TierWeightsZeroExcludesTier) {
+  const FatTree ft(4);
+  FailureModelOptions options;
+  options.tier_weights = {0.0, 1.0, 0.0};  // only ToR-agg links
+  FailureModel model(ft.topology(), options);
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const auto s = model.SampleLinkFailures(1, rng);
+    EXPECT_EQ(ft.topology().link(s.failures[0].link).tier, 1);
+  }
+}
+
+TEST(Watchdog, TracksHealth) {
+  const FatTree ft(4);
+  Watchdog wd(ft.topology());
+  const NodeId server = ft.Server(0, 0, 0);
+  EXPECT_TRUE(wd.IsHealthy(server));
+  wd.MarkDown(server);
+  EXPECT_FALSE(wd.IsHealthy(server));
+  EXPECT_EQ(wd.NumDown(), 1u);
+  wd.MarkUp(server);
+  EXPECT_TRUE(wd.IsHealthy(server));
+}
+
+TEST(Workload, GeneratesRoutedFlows) {
+  const FatTree ft(4);
+  WorkloadOptions options;
+  options.flows_per_server = 2;
+  WorkloadGenerator gen(ft, options);
+  Rng rng(12);
+  const auto flows = gen.Generate(rng);
+  EXPECT_EQ(flows.size(), ft.topology().CountNodes(NodeKind::kServer) * 2);
+  for (const auto& flow : flows) {
+    EXPECT_NE(flow.key.src, flow.key.dst);
+    EXPECT_GT(flow.mbps, 0.0);
+    EXPECT_GE(flow.links.size(), 2u);  // at least the two server links
+  }
+  const auto load = gen.LinkLoadMbps(flows);
+  double total = 0;
+  for (double l : load) {
+    total += l;
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Latency, RttGrowsWithLoad) {
+  const FatTree ft(4);
+  LatencyModel model(LatencyModelOptions{});
+  Rng rng(13);
+  const std::vector<LinkId> path{ft.EdgeAggLink(0, 0, 0), ft.AggCoreLink(0, 0, 0)};
+  std::vector<double> idle(ft.topology().NumLinks(), 0.0);
+  std::vector<double> busy(ft.topology().NumLinks(), 900.0);  // 90% utilization
+  double idle_total = 0;
+  double busy_total = 0;
+  for (int i = 0; i < 2000; ++i) {
+    idle_total += model.SampleRttUs(path, idle, rng);
+    busy_total += model.SampleRttUs(path, busy, rng);
+  }
+  EXPECT_GT(busy_total, idle_total * 3);
+}
+
+}  // namespace
+}  // namespace detector

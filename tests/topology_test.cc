@@ -1,0 +1,241 @@
+// Structural tests for the three topology families, including the exact node/link totals the
+// paper reports in Table 2.
+#include <gtest/gtest.h>
+
+#include "src/topo/bcube.h"
+#include "src/topo/fattree.h"
+#include "src/topo/topology.h"
+#include "src/topo/vl2.h"
+
+namespace detector {
+namespace {
+
+TEST(Topology, AddAndFindLinks) {
+  Topology topo("test");
+  const NodeId a = topo.AddNode(NodeKind::kTor, 0, 0, "a");
+  const NodeId b = topo.AddNode(NodeKind::kAgg, 0, 0, "b");
+  const NodeId s = topo.AddNode(NodeKind::kServer, 0, 0, "s");
+  const LinkId ab = topo.AddLink(a, b, 1);
+  const LinkId as = topo.AddLink(s, a, 0);
+  EXPECT_EQ(topo.FindLink(a, b), ab);
+  EXPECT_EQ(topo.FindLink(b, a), ab);
+  EXPECT_EQ(topo.FindLink(b, s), kInvalidLink);
+  EXPECT_TRUE(topo.link(ab).monitored);
+  EXPECT_FALSE(topo.link(as).monitored);  // server link
+  EXPECT_EQ(topo.OtherEnd(ab, a), b);
+  EXPECT_EQ(topo.OtherEnd(ab, b), a);
+  EXPECT_EQ(topo.NumMonitoredLinks(), 1u);
+}
+
+TEST(Topology, NeighborsTracked) {
+  Topology topo("test");
+  const NodeId a = topo.AddNode(NodeKind::kTor, 0, 0, "a");
+  const NodeId b = topo.AddNode(NodeKind::kAgg, 0, 0, "b");
+  const NodeId c = topo.AddNode(NodeKind::kAgg, 0, 1, "c");
+  topo.AddLink(a, b, 1);
+  topo.AddLink(a, c, 1);
+  EXPECT_EQ(topo.NeighborsOf(a).size(), 2u);
+  EXPECT_EQ(topo.NeighborsOf(b).size(), 1u);
+  EXPECT_EQ(topo.CountNodes(NodeKind::kAgg), 2u);
+  EXPECT_EQ(topo.NodesOfKind(NodeKind::kAgg).size(), 2u);
+}
+
+// Fat-tree totals. With the canonical k/2 servers per ToR, nodes = 5k^2/4 + k^3/4 and links =
+// k^3/2 switch links + k^3/4 server links. The paper's Table 2 lists Fattree(12): 612 nodes,
+// 1296 links; Fattree(24): 4176 nodes, 10368 links.
+struct FatTreeCase {
+  int k;
+  size_t nodes;
+  size_t links;
+};
+
+class FatTreeCounts : public ::testing::TestWithParam<FatTreeCase> {};
+
+TEST_P(FatTreeCounts, MatchPaperTable2) {
+  const FatTreeCase& c = GetParam();
+  const FatTree ft(c.k);
+  EXPECT_EQ(ft.topology().NumNodes(), c.nodes);
+  EXPECT_EQ(ft.topology().NumLinks(), c.links);
+  EXPECT_EQ(ft.topology().NumMonitoredLinks(),
+            static_cast<size_t>(c.k) * c.k * c.k / 2);  // inter-switch links only
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSizes, FatTreeCounts,
+                         ::testing::Values(FatTreeCase{4, 36, 48}, FatTreeCase{8, 208, 384},
+                                           FatTreeCase{12, 612, 1296},
+                                           FatTreeCase{24, 4176, 10368}),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param.k);
+                         });
+
+TEST(FatTree, DegreesAreUniform) {
+  const FatTree ft(8);
+  const Topology& topo = ft.topology();
+  for (const NodeId tor : topo.NodesOfKind(NodeKind::kTor)) {
+    EXPECT_EQ(topo.NeighborsOf(tor).size(), 8u);  // k/2 up + k/2 servers
+  }
+  for (const NodeId agg : topo.NodesOfKind(NodeKind::kAgg)) {
+    EXPECT_EQ(topo.NeighborsOf(agg).size(), 8u);  // k/2 down + k/2 up
+  }
+  for (const NodeId core : topo.NodesOfKind(NodeKind::kCore)) {
+    EXPECT_EQ(topo.NeighborsOf(core).size(), 8u);  // one agg per pod
+  }
+}
+
+TEST(FatTree, LinkIdArithmeticMatchesGraph) {
+  const FatTree ft(6);
+  const Topology& topo = ft.topology();
+  for (int p = 0; p < 6; ++p) {
+    for (int e = 0; e < 3; ++e) {
+      for (int a = 0; a < 3; ++a) {
+        EXPECT_EQ(ft.EdgeAggLink(p, e, a), topo.FindLink(ft.Tor(p, e), ft.Agg(p, a)));
+      }
+      for (int j = 0; j < 3; ++j) {
+        EXPECT_EQ(ft.AggCoreLink(p, e, j), topo.FindLink(ft.Agg(p, e), ft.Core(e, j)));
+      }
+    }
+  }
+}
+
+TEST(FatTree, TorCoordinateRoundTrip) {
+  const FatTree ft(8);
+  for (int p = 0; p < 8; ++p) {
+    for (int e = 0; e < 4; ++e) {
+      const auto coord = ft.TorCoordOf(ft.Tor(p, e));
+      EXPECT_EQ(coord.pod, p);
+      EXPECT_EQ(coord.e, e);
+    }
+  }
+  EXPECT_EQ(ft.TorOfServer(ft.Server(3, 2, 1)), ft.Tor(3, 2));
+  EXPECT_EQ(ft.Tors().size(), 32u);
+}
+
+TEST(FatTree, OddArityRejected) { EXPECT_DEATH(FatTree ft(5), "even"); }
+
+// VL2 totals from Table 2: VL2(20,12,20): 1282 nodes, 1440 links; VL2(40,24,40): 9884 / 10560.
+struct Vl2Case {
+  int da;
+  int di;
+  int servers;
+  size_t nodes;
+  size_t links;
+};
+
+class Vl2Counts : public ::testing::TestWithParam<Vl2Case> {};
+
+TEST_P(Vl2Counts, MatchPaperTable2) {
+  const Vl2Case& c = GetParam();
+  const Vl2 vl2(c.da, c.di, c.servers);
+  EXPECT_EQ(vl2.topology().NumNodes(), c.nodes);
+  EXPECT_EQ(vl2.topology().NumLinks(), c.links);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSizes, Vl2Counts,
+                         ::testing::Values(Vl2Case{20, 12, 20, 1282, 1440},
+                                           Vl2Case{40, 24, 40, 9884, 10560},
+                                           Vl2Case{8, 4, 2, 32, 48}),
+                         [](const auto& info) {
+                           return "da" + std::to_string(info.param.da) + "di" +
+                                  std::to_string(info.param.di);
+                         });
+
+TEST(Vl2, AggregationDegreesBalanced) {
+  const Vl2 vl2(20, 12, 20);
+  const Topology& topo = vl2.topology();
+  for (const NodeId agg : topo.NodesOfKind(NodeKind::kAgg)) {
+    // D_A/2 ToR links + D_A/2 intermediate links.
+    EXPECT_EQ(topo.NeighborsOf(agg).size(), 20u);
+  }
+  for (const NodeId inter : topo.NodesOfKind(NodeKind::kIntermediate)) {
+    EXPECT_EQ(topo.NeighborsOf(inter).size(), 12u);  // D_I aggs
+  }
+  for (const NodeId tor : topo.NodesOfKind(NodeKind::kTor)) {
+    EXPECT_EQ(topo.NeighborsOf(tor).size(), 22u);  // 2 aggs + 20 servers
+  }
+}
+
+TEST(Vl2, TorHomedToTwoDistinctAggs) {
+  const Vl2 vl2(8, 4, 2);
+  for (int t = 0; t < vl2.num_tors(); ++t) {
+    const auto [a0, a1] = vl2.AggsOfTor(t);
+    EXPECT_NE(a0, a1);
+    EXPECT_EQ(vl2.TorAggLink(t, 0), vl2.topology().FindLink(vl2.Tor(t), vl2.Agg(a0)));
+    EXPECT_EQ(vl2.TorAggLink(t, 1), vl2.topology().FindLink(vl2.Tor(t), vl2.Agg(a1)));
+  }
+}
+
+// BCube totals from Table 2: BCube(4,2): 112/192, BCube(8,2): 704/1536, BCube(8,4): 53248/163840.
+struct BcubeCase {
+  int n;
+  int k;
+  size_t nodes;
+  size_t links;
+};
+
+class BcubeCounts : public ::testing::TestWithParam<BcubeCase> {};
+
+TEST_P(BcubeCounts, MatchPaperTable2) {
+  const BcubeCase& c = GetParam();
+  const Bcube bc(c.n, c.k);
+  EXPECT_EQ(bc.topology().NumNodes(), c.nodes);
+  EXPECT_EQ(bc.topology().NumLinks(), c.links);
+  // BCube is server-centric: every link participates in the probe matrix.
+  EXPECT_EQ(bc.topology().NumMonitoredLinks(), c.links);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSizes, BcubeCounts,
+                         ::testing::Values(BcubeCase{4, 2, 112, 192}, BcubeCase{8, 2, 704, 1536},
+                                           BcubeCase{4, 1, 24, 32}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.n) + "k" +
+                                  std::to_string(info.param.k);
+                         });
+
+TEST(Bcube, DigitHelpers) {
+  const Bcube bc(4, 2);
+  const int addr = 1 * 16 + 2 * 4 + 3;  // digits (1, 2, 3)
+  EXPECT_EQ(bc.Digit(addr, 0), 3);
+  EXPECT_EQ(bc.Digit(addr, 1), 2);
+  EXPECT_EQ(bc.Digit(addr, 2), 1);
+  EXPECT_EQ(bc.Digit(bc.WithDigit(addr, 1, 0), 1), 0);
+  EXPECT_EQ(bc.WithDigit(addr, 1, 2), addr);
+}
+
+TEST(Bcube, ServerSwitchAdjacency) {
+  const Bcube bc(4, 1);
+  const Topology& topo = bc.topology();
+  // Every server has k+1 = 2 links; every switch has n = 4.
+  for (int addr = 0; addr < bc.num_servers(); ++addr) {
+    EXPECT_EQ(topo.NeighborsOf(bc.Server(addr)).size(), 2u);
+  }
+  for (int level = 0; level <= 1; ++level) {
+    for (int w = 0; w < bc.switches_per_level(); ++w) {
+      EXPECT_EQ(topo.NeighborsOf(bc.Switch(level, w)).size(), 4u);
+    }
+  }
+  // Link id arithmetic agrees with the graph.
+  for (int addr = 0; addr < bc.num_servers(); ++addr) {
+    for (int level = 0; level <= 1; ++level) {
+      EXPECT_EQ(bc.ServerSwitchLink(addr, level),
+                topo.FindLink(bc.Server(addr), bc.Switch(level, bc.SwitchIndexOf(addr, level))));
+    }
+  }
+}
+
+TEST(Bcube, ServersSharingSwitchDifferInOneDigit) {
+  const Bcube bc(4, 2);
+  // Servers adjacent to the same level-l switch agree on all digits except digit l.
+  const NodeId sw = bc.Switch(1, 5);
+  std::vector<int> members;
+  for (const Neighbor& nb : bc.topology().NeighborsOf(sw)) {
+    members.push_back(bc.AddressOfServer(nb.node));
+  }
+  ASSERT_EQ(members.size(), 4u);
+  for (size_t i = 1; i < members.size(); ++i) {
+    EXPECT_EQ(bc.WithDigit(members[i], 1, 0), bc.WithDigit(members[0], 1, 0));
+    EXPECT_NE(bc.Digit(members[i], 1), bc.Digit(members[i - 1], 1));
+  }
+}
+
+}  // namespace
+}  // namespace detector

@@ -1,0 +1,127 @@
+// Tests for the extended-link (virtual link) space: rank bijectivity and the on-path
+// enumeration (each extended link intersecting a path reported exactly once), verified against
+// brute force.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/pmc/virtual_links.h"
+
+namespace detector {
+namespace {
+
+TEST(VirtualLinks, CountsMatchBinomials) {
+  EXPECT_EQ(ExtendedLinkSpace::CountExtended(10, 0), 10u);
+  EXPECT_EQ(ExtendedLinkSpace::CountExtended(10, 1), 10u);
+  EXPECT_EQ(ExtendedLinkSpace::CountExtended(10, 2), 10u + 45u);
+  EXPECT_EQ(ExtendedLinkSpace::CountExtended(10, 3), 10u + 45u + 120u);
+  EXPECT_EQ(ExtendedLinkSpace::CountExtended(0, 3), 0u);
+}
+
+TEST(VirtualLinks, PairRankIsBijective) {
+  const int32_t n = 17;
+  const ExtendedLinkSpace space(n, 2);
+  std::set<uint64_t> ranks;
+  for (int32_t i = 0; i < n; ++i) {
+    for (int32_t j = i + 1; j < n; ++j) {
+      const uint64_t r = space.PairRank(i, j);
+      EXPECT_LT(r, space.num_pairs());
+      EXPECT_TRUE(ranks.insert(r).second) << "duplicate rank for (" << i << "," << j << ")";
+    }
+  }
+  EXPECT_EQ(ranks.size(), space.num_pairs());
+  // Ranks are dense: 0..C(n,2)-1.
+  EXPECT_EQ(*ranks.begin(), 0u);
+  EXPECT_EQ(*ranks.rbegin(), space.num_pairs() - 1);
+}
+
+TEST(VirtualLinks, TripleRankIsBijective) {
+  const int32_t n = 13;
+  const ExtendedLinkSpace space(n, 3);
+  std::set<uint64_t> ranks;
+  for (int32_t i = 0; i < n; ++i) {
+    for (int32_t j = i + 1; j < n; ++j) {
+      for (int32_t k = j + 1; k < n; ++k) {
+        const uint64_t r = space.TripleRank(i, j, k);
+        EXPECT_LT(r, space.num_triples());
+        EXPECT_TRUE(ranks.insert(r).second);
+      }
+    }
+  }
+  EXPECT_EQ(ranks.size(), space.num_triples());
+  EXPECT_EQ(*ranks.rbegin(), space.num_triples() - 1);
+}
+
+// Brute-force reference: every extended link with >= 1 constituent on the path.
+std::set<uint64_t> BruteForceOnPath(const ExtendedLinkSpace& space,
+                                    const std::set<int32_t>& path) {
+  std::set<uint64_t> expected;
+  const int32_t n = space.n();
+  for (int32_t i : path) {
+    expected.insert(space.RankSingle(i));
+  }
+  if (space.beta() >= 2) {
+    for (int32_t i = 0; i < n; ++i) {
+      for (int32_t j = i + 1; j < n; ++j) {
+        if (path.count(i) || path.count(j)) {
+          expected.insert(space.RankPair(i, j));
+        }
+      }
+    }
+  }
+  if (space.beta() >= 3) {
+    for (int32_t i = 0; i < n; ++i) {
+      for (int32_t j = i + 1; j < n; ++j) {
+        for (int32_t k = j + 1; k < n; ++k) {
+          if (path.count(i) || path.count(j) || path.count(k)) {
+            expected.insert(space.RankTriple(i, j, k));
+          }
+        }
+      }
+    }
+  }
+  return expected;
+}
+
+class ForEachOnPathVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForEachOnPathVsBruteForce, ExactlyOncePerIntersectingExtendedLink) {
+  const int beta = GetParam();
+  const int32_t n = 11;
+  const ExtendedLinkSpace space(n, beta);
+  const std::vector<std::vector<int32_t>> paths{
+      {0}, {0, 1}, {3, 7, 10}, {0, 5, 9, 10}, {2, 3, 4, 5}, {10}, {0, 1, 2, 3, 4, 5}};
+  for (const auto& path_links : paths) {
+    std::vector<uint8_t> on_path(static_cast<size_t>(n), 0);
+    for (int32_t l : path_links) {
+      on_path[static_cast<size_t>(l)] = 1;
+    }
+    std::map<uint64_t, int> reported;
+    space.ForEachOnPath(path_links, on_path, [&](uint64_t ext) { ++reported[ext]; });
+    for (const auto& [ext, count] : reported) {
+      EXPECT_EQ(count, 1) << "extended link " << ext << " reported " << count << " times";
+    }
+    const std::set<int32_t> path_set(path_links.begin(), path_links.end());
+    const std::set<uint64_t> expected = BruteForceOnPath(space, path_set);
+    std::set<uint64_t> got;
+    for (const auto& [ext, count] : reported) {
+      got.insert(ext);
+    }
+    EXPECT_EQ(got, expected) << "beta=" << beta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, ForEachOnPathVsBruteForce, ::testing::Values(1, 2, 3),
+                         [](const auto& info) { return "beta" + std::to_string(info.param); });
+
+TEST(VirtualLinks, BetaZeroAndOneHaveNoVirtuals) {
+  const ExtendedLinkSpace s0(20, 0);
+  EXPECT_EQ(s0.num_extended(), 20u);
+  const ExtendedLinkSpace s1(20, 1);
+  EXPECT_EQ(s1.num_extended(), 20u);
+  EXPECT_EQ(s1.num_pairs(), 0u);
+}
+
+}  // namespace
+}  // namespace detector

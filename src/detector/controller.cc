@@ -2,17 +2,103 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_set>
 
 namespace detector {
+namespace {
 
-std::vector<NodeId> Controller::HealthyServersUnder(NodeId tor, const Watchdog& watchdog) const {
+std::vector<NodeId> HealthyUnder(const Topology& topo, NodeId tor, const Watchdog& watchdog) {
   std::vector<NodeId> servers;
-  for (const Neighbor& nb : topo_.NeighborsOf(tor)) {
-    if (topo_.IsServer(nb.node) && watchdog.IsHealthy(nb.node)) {
+  for (const Neighbor& nb : topo.NeighborsOf(tor)) {
+    if (topo.IsServer(nb.node) && watchdog.IsHealthy(nb.node)) {
       servers.push_back(nb.node);
     }
   }
   return servers;
+}
+
+// Pinger/target choices per ToR, cached for one BuildPinglists/UpdatePinglists invocation.
+class PingersOfTor {
+ public:
+  PingersOfTor(const Topology& topo, const Watchdog& watchdog, const ControllerOptions& options)
+      : topo_(topo), watchdog_(watchdog), options_(options) {}
+
+  const std::vector<NodeId>& Under(NodeId tor) {
+    auto [it, inserted] = cache_.try_emplace(tor);
+    if (inserted) {
+      std::vector<NodeId> healthy = HealthyUnder(topo_, tor, watchdog_);
+      if (static_cast<int>(healthy.size()) > options_.pingers_per_tor) {
+        healthy.resize(static_cast<size_t>(options_.pingers_per_tor));
+      }
+      it->second = std::move(healthy);
+    }
+    return it->second;
+  }
+
+ private:
+  const Topology& topo_;
+  const Watchdog& watchdog_;
+  const ControllerOptions& options_;
+  std::map<NodeId, std::vector<NodeId>> cache_;
+};
+
+// Builds the (pinger, entry) assignments for one matrix path. Empty paths (vacated slots of an
+// incrementally-maintained matrix) yield nothing.
+void EntriesForPath(const Topology& topo, const ControllerOptions& options,
+                    const Watchdog& watchdog, const PathStore& paths, PathId pid,
+                    PingersOfTor& pingers_of_tor,
+                    std::vector<std::pair<NodeId, PinglistEntry>>& out) {
+  const auto links = paths.Links(pid);
+  if (links.empty()) {
+    return;
+  }
+  const NodeId src = paths.src(pid);
+  const NodeId dst = paths.dst(pid);
+  const size_t p = static_cast<size_t>(pid);
+
+  if (topo.IsServer(src)) {
+    // Server-endpoint topology (BCube): the path's endpoints are the pinger/responder.
+    if (!watchdog.IsHealthy(src) || !watchdog.IsHealthy(dst)) {
+      return;
+    }
+    PinglistEntry entry;
+    entry.path_id = pid;
+    entry.target_server = dst;
+    entry.route.assign(links.begin(), links.end());
+    out.emplace_back(src, std::move(entry));
+    return;
+  }
+
+  // ToR-endpoint path: replicate over pingers under the source ToR; the responder under the
+  // destination ToR is rotated by path id for entropy.
+  const std::vector<NodeId>& pingers = pingers_of_tor.Under(src);
+  const std::vector<NodeId>& responders = pingers_of_tor.Under(dst);
+  if (pingers.empty() || responders.empty()) {
+    return;
+  }
+  const NodeId target = responders[p % responders.size()];
+  const LinkId target_link = topo.FindLink(target, dst);
+  CHECK(target_link != kInvalidLink);
+  const int replicas = std::min<int>(options.replicas_per_path, static_cast<int>(pingers.size()));
+  for (int r = 0; r < replicas; ++r) {
+    const NodeId pinger = pingers[(p + static_cast<size_t>(r)) % pingers.size()];
+    const LinkId pinger_link = topo.FindLink(pinger, src);
+    CHECK(pinger_link != kInvalidLink);
+    PinglistEntry entry;
+    entry.path_id = pid;
+    entry.target_server = target;
+    entry.route.reserve(links.size() + 2);
+    entry.route.push_back(pinger_link);
+    entry.route.insert(entry.route.end(), links.begin(), links.end());
+    entry.route.push_back(target_link);
+    out.emplace_back(pinger, std::move(entry));
+  }
+}
+
+}  // namespace
+
+std::vector<NodeId> Controller::HealthyServersUnder(NodeId tor, const Watchdog& watchdog) const {
+  return HealthyUnder(topo_, tor, watchdog);
 }
 
 std::vector<Pinglist> Controller::BuildPinglists(const ProbeMatrix& matrix,
@@ -28,63 +114,14 @@ std::vector<Pinglist> Controller::BuildPinglists(const ProbeMatrix& matrix,
     return it->second;
   };
 
-  // Cache pinger/target choices per ToR.
-  std::map<NodeId, std::vector<NodeId>> pingers_of_tor;
-  auto pingers_under = [&](NodeId tor) -> const std::vector<NodeId>& {
-    auto [it, inserted] = pingers_of_tor.try_emplace(tor);
-    if (inserted) {
-      std::vector<NodeId> healthy = HealthyServersUnder(tor, watchdog);
-      if (static_cast<int>(healthy.size()) > options_.pingers_per_tor) {
-        healthy.resize(static_cast<size_t>(options_.pingers_per_tor));
-      }
-      it->second = std::move(healthy);
-    }
-    return it->second;
-  };
-
+  PingersOfTor pingers_of_tor(topo_, watchdog, options_);
   const PathStore& paths = matrix.paths();
+  std::vector<std::pair<NodeId, PinglistEntry>> assignments;
   for (size_t p = 0; p < paths.size(); ++p) {
-    const PathId pid = static_cast<PathId>(p);
-    const NodeId src = paths.src(pid);
-    const NodeId dst = paths.dst(pid);
-    const auto links = paths.Links(pid);
-
-    if (topo_.IsServer(src)) {
-      // Server-endpoint topology (BCube): the path's endpoints are the pinger/responder.
-      if (!watchdog.IsHealthy(src) || !watchdog.IsHealthy(dst)) {
-        continue;
-      }
-      PinglistEntry entry;
-      entry.path_id = pid;
-      entry.target_server = dst;
-      entry.route.assign(links.begin(), links.end());
-      pinglist_of(src).entries.push_back(std::move(entry));
-      continue;
-    }
-
-    // ToR-endpoint path: replicate over pingers under the source ToR; the responder under the
-    // destination ToR is rotated by path id for entropy.
-    const std::vector<NodeId>& pingers = pingers_under(src);
-    const std::vector<NodeId>& responders = pingers_under(dst);
-    if (pingers.empty() || responders.empty()) {
-      continue;
-    }
-    const NodeId target = responders[p % responders.size()];
-    const LinkId target_link = topo_.FindLink(target, dst);
-    CHECK(target_link != kInvalidLink);
-    const int replicas = std::min<int>(options_.replicas_per_path,
-                                       static_cast<int>(pingers.size()));
-    for (int r = 0; r < replicas; ++r) {
-      const NodeId pinger = pingers[(p + static_cast<size_t>(r)) % pingers.size()];
-      const LinkId pinger_link = topo_.FindLink(pinger, src);
-      CHECK(pinger_link != kInvalidLink);
-      PinglistEntry entry;
-      entry.path_id = pid;
-      entry.target_server = target;
-      entry.route.reserve(links.size() + 2);
-      entry.route.push_back(pinger_link);
-      entry.route.insert(entry.route.end(), links.begin(), links.end());
-      entry.route.push_back(target_link);
+    assignments.clear();
+    EntriesForPath(topo_, options_, watchdog, paths, static_cast<PathId>(p), pingers_of_tor,
+                   assignments);
+    for (auto& [pinger, entry] : assignments) {
       pinglist_of(pinger).entries.push_back(std::move(entry));
     }
   }
@@ -93,7 +130,7 @@ std::vector<Pinglist> Controller::BuildPinglists(const ProbeMatrix& matrix,
   // server-ToR links that the matrix does not.
   if (options_.intra_rack_probes) {
     for (const NodeId tor : topo_.NodesOfKind(NodeKind::kTor)) {
-      const std::vector<NodeId>& pingers = pingers_under(tor);
+      const std::vector<NodeId>& pingers = pingers_of_tor.Under(tor);
       if (pingers.empty()) {
         continue;
       }
@@ -131,6 +168,83 @@ std::vector<Pinglist> Controller::BuildPinglists(const ProbeMatrix& matrix,
     result.push_back(std::move(list));
   }
   return result;
+}
+
+PinglistUpdate Controller::UpdatePinglists(std::vector<Pinglist>& lists,
+                                           const ProbeMatrix& matrix, const Watchdog& watchdog,
+                                           std::span<const PathId> removed_paths,
+                                           std::span<const PathId> added_paths) const {
+  PinglistUpdate update;
+  if (removed_paths.empty() && added_paths.empty()) {
+    return update;
+  }
+
+  std::map<NodeId, size_t> list_of_pinger;
+  for (size_t i = 0; i < lists.size(); ++i) {
+    list_of_pinger.emplace(lists[i].pinger, i);
+  }
+  std::map<NodeId, PinglistDiff> diffs;  // ordered by pinger for determinism
+
+  // Removals: drop every entry measuring a removed path. kIntraRackPath entries never match
+  // (slot ids are non-negative).
+  const std::unordered_set<PathId> removed(removed_paths.begin(), removed_paths.end());
+  if (!removed.empty()) {
+    for (Pinglist& list : lists) {
+      auto keep = list.entries.begin();
+      PinglistDiff* diff = nullptr;
+      for (auto it = list.entries.begin(); it != list.entries.end(); ++it) {
+        if (it->path_id >= 0 && removed.count(it->path_id) > 0) {
+          if (diff == nullptr) {
+            diff = &diffs.try_emplace(list.pinger).first->second;
+          }
+          diff->removed_paths.push_back(it->path_id);
+          ++update.entries_removed;
+          continue;
+        }
+        if (keep != it) {
+          *keep = std::move(*it);
+        }
+        ++keep;
+      }
+      list.entries.erase(keep, list.entries.end());
+    }
+  }
+
+  // Additions: same assignment rules as BuildPinglists; a pinger that had no list yet gets a
+  // fresh one (version 0, bumped to 1 below — its diff carries the full initial contents).
+  PingersOfTor pingers_of_tor(topo_, watchdog, options_);
+  std::vector<std::pair<NodeId, PinglistEntry>> assignments;
+  for (const PathId pid : added_paths) {
+    assignments.clear();
+    EntriesForPath(topo_, options_, watchdog, matrix.paths(), pid, pingers_of_tor, assignments);
+    for (auto& [pinger, entry] : assignments) {
+      auto [it, inserted] = list_of_pinger.try_emplace(pinger, lists.size());
+      if (inserted) {
+        Pinglist fresh;
+        fresh.version = 0;
+        fresh.pinger = pinger;
+        fresh.packets_per_second = options_.packets_per_second;
+        fresh.port_count = options_.port_count;
+        lists.push_back(std::move(fresh));
+      }
+      PinglistDiff& diff = diffs.try_emplace(pinger).first->second;
+      diff.added.push_back(entry);
+      lists[it->second].entries.push_back(std::move(entry));
+      ++update.entries_added;
+    }
+  }
+
+  // Version bump: exactly once per touched pinger; the diff records the post-apply version.
+  for (auto& [pinger, diff] : diffs) {
+    diff.pinger = pinger;
+    auto it = list_of_pinger.find(pinger);
+    CHECK(it != list_of_pinger.end());
+    diff.version = ++lists[it->second].version;
+    std::sort(diff.removed_paths.begin(), diff.removed_paths.end());
+    update.diffs.push_back(std::move(diff));
+  }
+  update.lists_touched = update.diffs.size();
+  return update;
 }
 
 }  // namespace detector

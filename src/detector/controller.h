@@ -2,9 +2,15 @@
 // healthy servers per ToR), splits the probe matrix's paths among them — every path replicated
 // to >= 2 pingers for fault tolerance — and emits per-pinger pinglists. Also schedules
 // intra-rack probes so server-ToR links are covered outside the matrix.
+//
+// Under topology churn the controller does not regenerate every pinglist: UpdatePinglists
+// applies the probe-matrix delta (paths removed / paths added, by stable matrix slot id) to the
+// standing pinglists in place and emits one minimal versioned diff per touched pinger — the
+// wire-sized work order a production pinger would fetch instead of a full pinglist.
 #ifndef SRC_DETECTOR_CONTROLLER_H_
 #define SRC_DETECTOR_CONTROLLER_H_
 
+#include <span>
 #include <vector>
 
 #include "src/detector/pinglist.h"
@@ -21,6 +27,23 @@ struct ControllerOptions {
   bool intra_rack_probes = true;
 };
 
+// Per-pinger pinglist change: entries dropped (by matrix path id) and entries appended, plus
+// the pinglist version after applying the diff. Serialized/applied in this order: removals,
+// then additions.
+struct PinglistDiff {
+  NodeId pinger = kInvalidNode;
+  int version = 0;
+  std::vector<PathId> removed_paths;
+  std::vector<PinglistEntry> added;
+};
+
+struct PinglistUpdate {
+  std::vector<PinglistDiff> diffs;  // one per touched pinger, ascending pinger id
+  size_t entries_removed = 0;
+  size_t entries_added = 0;
+  size_t lists_touched = 0;
+};
+
 class Controller {
  public:
   Controller(const Topology& topo, ControllerOptions options)
@@ -30,6 +53,16 @@ class Controller {
   // healthy server are skipped (their loss of coverage shows up in the diagnoser as untested
   // paths). For server-endpoint topologies (BCube) the path's source server is its own pinger.
   std::vector<Pinglist> BuildPinglists(const ProbeMatrix& matrix, const Watchdog& watchdog) const;
+
+  // Applies a probe-matrix delta to standing pinglists: removes every entry measuring a path
+  // in `removed_paths`, then builds and appends entries for each path in `added_paths` (same
+  // assignment rules as BuildPinglists). Bumps the version of every touched pinglist exactly
+  // once and returns the per-pinger diffs. A pinger with no surviving entries keeps its (empty)
+  // pinglist so a later delta can repopulate it without renumbering versions.
+  PinglistUpdate UpdatePinglists(std::vector<Pinglist>& lists, const ProbeMatrix& matrix,
+                                 const Watchdog& watchdog,
+                                 std::span<const PathId> removed_paths,
+                                 std::span<const PathId> added_paths) const;
 
   const ControllerOptions& options() const { return options_; }
 

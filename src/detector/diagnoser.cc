@@ -1,8 +1,22 @@
 #include "src/detector/diagnoser.h"
 
+#include <unordered_set>
+
 namespace detector {
 
 void Diagnoser::Ingest(const PingerWindowResult& window) { windows_.push_back(window); }
+
+void Diagnoser::DropReports(std::span<const PathId> paths) {
+  if (paths.empty()) {
+    return;
+  }
+  const std::unordered_set<PathId> dropped(paths.begin(), paths.end());
+  for (PingerWindowResult& window : windows_) {
+    std::erase_if(window.reports, [&](const PathReport& report) {
+      return report.path_id >= 0 && dropped.count(report.path_id) > 0;
+    });
+  }
+}
 
 Observations Diagnoser::AggregatedObservations(const ProbeMatrix& matrix,
                                                const Watchdog& watchdog) const {

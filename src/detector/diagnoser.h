@@ -5,6 +5,7 @@
 #define SRC_DETECTOR_DIAGNOSER_H_
 
 #include <map>
+#include <span>
 #include <vector>
 
 #include "src/detector/pinger.h"
@@ -24,6 +25,12 @@ class Diagnoser {
   explicit Diagnoser(PllOptions options = PllOptions{}) : pll_(options), options_(options) {}
 
   void Ingest(const PingerWindowResult& window);
+
+  // Discards buffered reports for the given matrix paths. Called when a mid-window topology
+  // delta removes paths: their slots may be reused by repair within the same window, and the
+  // final matrix no longer carries the dropped path, so stale reports would otherwise be
+  // attributed to the slot's new occupant at Diagnose time.
+  void DropReports(std::span<const PathId> paths);
 
   // Merged per-path observations for the current window (replica reports summed).
   Observations AggregatedObservations(const ProbeMatrix& matrix, const Watchdog& watchdog) const;

@@ -1,18 +1,26 @@
 #include "src/detector/system.h"
 
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
 namespace detector {
 
 DetectorSystem::DetectorSystem(const PathProvider& provider, DetectorSystemOptions options)
     : topo_(provider.topology()),
       options_(options),
-      provider_(&provider),
+      incremental_(std::make_unique<IncrementalPmc>(
+          topo_, provider.Enumerate(options.enum_mode), options.pmc)),
+      matrix_(incremental_->BuildMatrix()),
+      pmc_stats_(incremental_->initial_stats()),
+      overlay_(topo_),
       watchdog_(topo_),
       controller_(topo_, options.controller),
       diagnoser_(options.pll) {
-  PmcResult pmc = BuildProbeMatrix(provider, options_.enum_mode, options_.pmc);
-  matrix_ = std::move(pmc.matrix);
-  pmc_stats_ = pmc.stats;
   pinglists_ = controller_.BuildPinglists(matrix_, watchdog_);
+  for (const Pinglist& list : pinglists_) {
+    version_floor_[list.pinger] = list.version;
+  }
 }
 
 DetectorSystem::DetectorSystem(const Topology& topo, ProbeMatrix matrix,
@@ -20,31 +28,244 @@ DetectorSystem::DetectorSystem(const Topology& topo, ProbeMatrix matrix,
     : topo_(topo),
       options_(options),
       matrix_(std::move(matrix)),
+      overlay_(topo_),
       watchdog_(topo_),
       controller_(topo_, options.controller),
       diagnoser_(options.pll) {
   pinglists_ = controller_.BuildPinglists(matrix_, watchdog_);
+  for (const Pinglist& list : pinglists_) {
+    version_floor_[list.pinger] = list.version;
+  }
+}
+
+void DetectorSystem::EnforceVersionFloors(std::vector<PinglistDiff>& diffs) {
+  if (diffs.empty()) {
+    return;
+  }
+  std::map<NodeId, Pinglist*> by_pinger;
+  for (Pinglist& list : pinglists_) {
+    by_pinger.emplace(list.pinger, &list);
+  }
+  for (PinglistDiff& diff : diffs) {
+    Pinglist* list = by_pinger.at(diff.pinger);
+    const auto it = version_floor_.find(diff.pinger);
+    if (it != version_floor_.end() && list->version <= it->second) {
+      list->version = it->second + 1;
+    }
+    diff.version = list->version;
+    version_floor_[diff.pinger] = list->version;
+  }
 }
 
 void DetectorSystem::RecomputeCycle() {
-  if (provider_ != nullptr) {
-    PmcResult pmc = BuildProbeMatrix(*provider_, options_.enum_mode, options_.pmc);
-    matrix_ = std::move(pmc.matrix);
-    pmc_stats_ = pmc.stats;
+  if (incremental_ != nullptr) {
+    pmc_stats_ = incremental_->FullResolve();
+    matrix_ = incremental_->BuildMatrix();
   }
   pinglists_ = controller_.BuildPinglists(matrix_, watchdog_);
+
+  // Fixed-matrix mode keeps dead-link paths in the matrix; withdraw their entries so the
+  // rebuild respects the overlay like the incremental path does (whose FullResolve already
+  // excludes dead links from the matrix itself).
+  if (incremental_ == nullptr && overlay_.NumDeadLinks() > 0) {
+    std::vector<PathId> dead_paths;
+    for (int32_t d = 0; d < matrix_.NumLinks(); ++d) {
+      if (overlay_.IsLinkLive(matrix_.links().Link(d))) {
+        continue;
+      }
+      const auto through = matrix_.PathsThroughDense(d);
+      dead_paths.insert(dead_paths.end(), through.begin(), through.end());
+    }
+    std::sort(dead_paths.begin(), dead_paths.end());
+    dead_paths.erase(std::unique(dead_paths.begin(), dead_paths.end()), dead_paths.end());
+    controller_.UpdatePinglists(pinglists_, matrix_, watchdog_, dead_paths, {});
+  }
+
+  // A full rebuild is a new pinglist generation for every pinger: versions must move strictly
+  // forward past each pinger's high-water mark — which outlives the lists themselves, so a
+  // pinger whose list vanished for a cycle does not restart at 1 when it returns.
+  for (Pinglist& list : pinglists_) {
+    int& floor = version_floor_[list.pinger];
+    list.version = floor + 1;
+    floor = list.version;
+  }
+}
+
+DetectorSystem::ChurnApplyResult DetectorSystem::ApplyTopologyDelta(const TopologyDelta& delta) {
+  ChurnApplyResult out;
+
+  // Server churn routes to the watchdog (pinger eligibility); the affected paths are
+  // re-dispatched below so replicas move off a downed pinger immediately instead of waiting
+  // for the next recompute cycle.
+  std::vector<NodeId> downed_servers;
+  for (const NodeChurn& ev : delta.nodes) {
+    if (!topo_.IsServer(ev.node)) {
+      continue;
+    }
+    if (ev.action == ChurnAction::kDown || ev.action == ChurnAction::kDrain) {
+      watchdog_.MarkDown(ev.node);
+      downed_servers.push_back(ev.node);
+    } else {
+      watchdog_.MarkUp(ev.node);
+    }
+  }
+
+  const LinkStateOverlay::Effect effect = overlay_.Apply(delta);
+  out.links_gone_dead = effect.now_dead.size();
+  out.links_back_live = effect.now_live.size();
+  out.overlay_version = effect.version;
+
+  std::vector<PathId> removed;
+  std::vector<PathId> added;
+  if (incremental_ != nullptr) {
+    IncrementalPmc::DeltaOutcome outcome = incremental_->ApplyDelta(effect);
+    out.repair = outcome.stats;
+    out.slots_vacated = outcome.removed_slots;
+    removed = std::move(outcome.removed_slots);
+    added = std::move(outcome.added_slots);
+    if (!removed.empty() || !added.empty()) {
+      matrix_ = incremental_->BuildMatrix();
+    }
+  } else {
+    // Fixed-matrix mode: no candidate set to repair from. Entries on dead links are withdrawn
+    // (their coverage hole persists until the link returns) and entries whose every link is
+    // live again are restored.
+    for (const LinkId link : effect.now_dead) {
+      if (matrix_.links().Dense(link) < 0) {
+        continue;
+      }
+      for (const PathId pid : matrix_.PathsThrough(link)) {
+        removed.push_back(pid);
+      }
+    }
+    for (const LinkId link : effect.now_live) {
+      if (matrix_.links().Dense(link) < 0) {
+        continue;
+      }
+      for (const PathId pid : matrix_.PathsThrough(link)) {
+        const auto links = matrix_.paths().Links(pid);
+        if (std::all_of(links.begin(), links.end(),
+                        [&](LinkId l) { return overlay_.IsLinkLive(l); })) {
+          added.push_back(pid);
+        }
+      }
+    }
+    // Entries are withdrawn for every path over a dead monitored link, so coverage is whole
+    // exactly when none remain — including holes left by earlier deltas. Dead links outside
+    // the matrix domain (e.g. a downed server's rack link) do not open coverage holes.
+    out.repair.alpha_satisfied = true;
+    for (int32_t d = 0; d < matrix_.NumLinks(); ++d) {
+      if (!overlay_.IsLinkLive(matrix_.links().Link(d))) {
+        out.repair.alpha_satisfied = false;
+        break;
+      }
+    }
+  }
+
+  // Re-dispatch the paths a downed server was pinging or answering for.
+  if (!downed_servers.empty()) {
+    const std::unordered_set<NodeId> down(downed_servers.begin(), downed_servers.end());
+    const std::unordered_set<PathId> already_removed(removed.begin(), removed.end());
+    for (const Pinglist& list : pinglists_) {
+      const bool pinger_down = down.count(list.pinger) > 0;
+      for (const PinglistEntry& entry : list.entries) {
+        if (entry.path_id < 0) {
+          continue;  // intra-rack probes age out at the next full rebuild
+        }
+        if (pinger_down || down.count(entry.target_server) > 0) {
+          removed.push_back(entry.path_id);
+          if (already_removed.count(entry.path_id) == 0 &&
+              matrix_.paths().PathLength(entry.path_id) > 0) {
+            added.push_back(entry.path_id);
+          }
+        }
+      }
+    }
+  }
+
+  auto sort_unique = [](std::vector<PathId>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  sort_unique(removed);
+  sort_unique(added);
+  out.paths_removed = removed.size();
+  out.paths_added = added.size();
+  if (incremental_ == nullptr) {
+    // Fixed-matrix mode has no solver stats; mirror the deduplicated entry-level counts
+    // (a path through two transitioned links counts once).
+    out.repair.dropped_paths = removed.size();
+    out.repair.added_paths = added.size();
+  }
+
+  PinglistUpdate update =
+      controller_.UpdatePinglists(pinglists_, matrix_, watchdog_, removed, added);
+  out.pinglists_touched = update.lists_touched;
+  out.entries_removed = update.entries_removed;
+  out.entries_added = update.entries_added;
+  out.diffs = std::move(update.diffs);
+  EnforceVersionFloors(out.diffs);
+  return out;
+}
+
+FailureScenario DetectorSystem::OverlaidScenario(const FailureScenario& scenario) const {
+  if (overlay_.NumDeadLinks() == 0) {
+    return scenario;
+  }
+  FailureScenario overlaid = scenario;  // scenario failures win ProbeEngine's first-wins dedup
+  for (const LinkId link : overlay_.FailedLinks()) {
+    LinkFailure failure;
+    failure.link = link;
+    failure.type = FailureType::kFullLoss;
+    failure.loss_rate = 1.0;
+    overlaid.failures.push_back(failure);
+  }
+  return overlaid;
+}
+
+void DetectorSystem::RunSegment(const FailureScenario& scenario, double seconds, Rng& rng,
+                                WindowResult& result) {
+  const ProbeEngine engine(topo_, OverlaidScenario(scenario), options_.probe);
+  for (const Pinglist& list : pinglists_) {
+    if (list.entries.empty()) {
+      continue;
+    }
+    Pinger pinger(list, options_.confirm_packets);
+    const PingerWindowResult window = pinger.RunWindow(engine, seconds, rng);
+    result.probes_sent += window.probes_sent;
+    result.bytes_sent += window.bytes_sent;
+    diagnoser_.Ingest(window);
+  }
 }
 
 DetectorSystem::WindowResult DetectorSystem::RunWindow(const FailureScenario& scenario,
                                                        Rng& rng) {
-  ProbeEngine engine(topo_, scenario, options_.probe);
+  return RunWindowWithChurn(scenario, {}, rng);
+}
+
+DetectorSystem::WindowResult DetectorSystem::RunWindowWithChurn(
+    const FailureScenario& scenario, std::span<const ChurnEvent> churn, Rng& rng) {
   WindowResult result;
-  for (const Pinglist& list : pinglists_) {
-    Pinger pinger(list, options_.confirm_packets);
-    const PingerWindowResult window = pinger.RunWindow(engine, options_.window_seconds, rng);
-    result.probes_sent += window.probes_sent;
-    result.bytes_sent += window.bytes_sent;
-    diagnoser_.Ingest(window);
+  double t = 0.0;
+  for (const ChurnEvent& event : churn) {
+    if (event.time_seconds >= options_.window_seconds) {
+      break;  // events are time-sorted; the rest land in later windows
+    }
+    const double seg = event.time_seconds - t;
+    if (seg > 1e-9) {
+      RunSegment(scenario, seg, rng, result);
+    }
+    const ChurnApplyResult applied = ApplyTopologyDelta(event.delta);
+    // Earlier segments may have reported on the vacated slots; repair can reuse them within
+    // this window and the final matrix no longer carries the old paths, so those stale
+    // reports must not reach Diagnose. (Redispatched paths keep their slots — and their
+    // observations.)
+    diagnoser_.DropReports(applied.slots_vacated);
+    ++result.churn_events_applied;
+    t = std::max(t, event.time_seconds);
+  }
+  if (options_.window_seconds - t > 1e-9) {
+    RunSegment(scenario, options_.window_seconds - t, rng, result);
   }
   result.server_link_alarms = diagnoser_.ServerLinkAlarms(watchdog_);
   result.localization = diagnoser_.Diagnose(matrix_, watchdog_);

@@ -1,19 +1,30 @@
 // DetectorSystem: the end-to-end deTector pipeline (§3.2) over the simulator — path
 // computation (PMC or a structured matrix), probing (controller -> pingers -> probe engine),
 // and loss localization (diagnoser/PLL), organized in 30 s windows within 10-minute cycles.
+//
+// Topology churn runs through ApplyTopologyDelta(): overlay update -> incremental probe-matrix
+// repair (IncrementalPmc) -> minimal per-pinger pinglist diffs — the milliseconds-scale
+// alternative to RecomputeCycle()'s from-scratch rebuild. RunWindowWithChurn() exercises churn
+// mid-window: probes before each event see the failed links, the delta is applied at its
+// timestamp, and the remainder of the window probes with the repaired pinglists.
 #ifndef SRC_DETECTOR_SYSTEM_H_
 #define SRC_DETECTOR_SYSTEM_H_
 
+#include <map>
 #include <memory>
+#include <span>
 
 #include "src/detector/controller.h"
 #include "src/detector/diagnoser.h"
 #include "src/detector/pinger.h"
 #include "src/localize/pll.h"
+#include "src/pmc/incremental.h"
 #include "src/pmc/pmc.h"
 #include "src/routing/path_provider.h"
+#include "src/sim/churn.h"
 #include "src/sim/probe_engine.h"
 #include "src/sim/watchdog.h"
+#include "src/topo/delta.h"
 
 namespace detector {
 
@@ -29,14 +40,40 @@ struct DetectorSystemOptions {
 
 class DetectorSystem {
  public:
-  // Computes the probe matrix from the provider with PMC.
+  // Computes the probe matrix from the provider with PMC. The enumerated candidate set is
+  // retained (inside an IncrementalPmc) so topology deltas can be absorbed incrementally.
   DetectorSystem(const PathProvider& provider, DetectorSystemOptions options);
-  // Uses a pre-built probe matrix (e.g. the structured generator at large scale).
+  // Uses a pre-built probe matrix (e.g. the structured generator at large scale). Without a
+  // candidate set, ApplyTopologyDelta degrades to dropping/restoring pinglist entries on the
+  // affected links — no greedy repair.
   DetectorSystem(const Topology& topo, ProbeMatrix matrix, DetectorSystemOptions options);
 
   // Re-runs path computation and pinglist dispatch (start of a 10-minute cycle). Respects
-  // current watchdog state.
+  // current watchdog and link-state overlay: the rebuild covers live links only.
   void RecomputeCycle();
+
+  struct ChurnApplyResult {
+    ChurnRepairStats repair;
+    size_t links_gone_dead = 0;
+    size_t links_back_live = 0;
+    size_t paths_removed = 0;
+    size_t paths_added = 0;
+    size_t pinglists_touched = 0;
+    size_t entries_removed = 0;
+    size_t entries_added = 0;
+    uint64_t overlay_version = 0;
+    std::vector<PinglistDiff> diffs;  // the per-pinger work orders this delta dispatched
+    // Matrix slots the repair vacated: their old path is gone from the matrix (and the slot
+    // may be reused), so buffered observations keyed by these slots are stale. Paths that were
+    // merely redispatched to other pingers (server churn) are not listed — their slots and
+    // observations stay valid.
+    std::vector<PathId> slots_vacated;
+  };
+
+  // Absorbs one topology delta without a full recompute: updates the link-state overlay and
+  // watchdog (server churn), repairs the probe matrix incrementally, and dispatches minimal
+  // pinglist diffs. The cheap alternative to RecomputeCycle().
+  ChurnApplyResult ApplyTopologyDelta(const TopologyDelta& delta);
 
   struct WindowResult {
     LocalizeResult localization;
@@ -44,26 +81,52 @@ class DetectorSystem {
     int64_t probes_sent = 0;  // round trips including confirmations
     int64_t bytes_sent = 0;
     double detection_latency_seconds = 0.0;
+    size_t churn_events_applied = 0;
   };
 
   // One 30 s window under the given failure scenario.
   WindowResult RunWindow(const FailureScenario& scenario, Rng& rng);
 
+  // One window with mid-window topology churn: `churn` event times are window-relative;
+  // events inside [0, window_seconds) are applied at their timestamps, later ones are ignored.
+  // Probes sent before an event experience full loss on down links; after the event the
+  // repaired pinglists route around them. To drive consecutive windows from one long
+  // ChurnGenerator trace, rebase it per window with WindowSlice (src/sim/churn.h).
+  WindowResult RunWindowWithChurn(const FailureScenario& scenario,
+                                  std::span<const ChurnEvent> churn, Rng& rng);
+
+  const Topology& topology() const { return topo_; }
   const ProbeMatrix& probe_matrix() const { return matrix_; }
   const std::vector<Pinglist>& pinglists() const { return pinglists_; }
   Watchdog& watchdog() { return watchdog_; }
   const PmcStats& pmc_stats() const { return pmc_stats_; }
+  const LinkStateOverlay& overlay() const { return overlay_; }
+  // Null when constructed from a fixed matrix.
+  const IncrementalPmc* incremental() const { return incremental_.get(); }
 
  private:
+  void RunSegment(const FailureScenario& scenario, double seconds, Rng& rng,
+                  WindowResult& result);
+  FailureScenario OverlaidScenario(const FailureScenario& scenario) const;
+  // For each diffed pinglist: raises its version above the pinger's recorded high-water mark
+  // (a pinger reappearing after an absence would otherwise restart at the default), patches
+  // the diff to match, and records the new mark.
+  void EnforceVersionFloors(std::vector<PinglistDiff>& diffs);
+
   const Topology& topo_;
   DetectorSystemOptions options_;
-  const PathProvider* provider_ = nullptr;  // null when constructed from a fixed matrix
+  std::unique_ptr<IncrementalPmc> incremental_;  // null when constructed from a fixed matrix
   ProbeMatrix matrix_;
   PmcStats pmc_stats_;
+  LinkStateOverlay overlay_;
   Watchdog watchdog_;
   Controller controller_;
   Diagnoser diagnoser_;
   std::vector<Pinglist> pinglists_;
+  // Per-pinger version high-water marks. Outlives the pinglists themselves: a pinger whose
+  // list vanishes for a cycle (unhealthy, no entries) must not restart at version 1, or a
+  // diff consumer would discard everything after its return as stale.
+  std::map<NodeId, int> version_floor_;
 };
 
 }  // namespace detector

@@ -1,0 +1,107 @@
+// Link-set partition state shared by the full PMC solver (pmc.cc) and the incremental repair
+// path (incremental.cc).
+//
+// The partition lives over an ExtendedLinkSpace (physical links plus beta-order virtual links)
+// and supports the two operations greedy selection needs:
+//   Tally(path)      — which sets intersect the path, and by how much (stamped scratch, no
+//                      allocation per call);
+//   ApplySplit(path) — selecting the path splits every set it partially intersects: the
+//                      on-path members move to a fresh set.
+// A probe matrix is resolved when every set is a singleton (setnum == num_extended).
+#ifndef SRC_PMC_PARTITION_H_
+#define SRC_PMC_PARTITION_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/pmc/virtual_links.h"
+
+namespace detector {
+
+struct PartitionState {
+  PartitionState(int32_t m, int beta)
+      : space(m, beta),
+        set_id(space.num_extended(), 0),
+        set_size{space.num_extended()},
+        last_seen{0},
+        count_in_path{0},
+        on_path(static_cast<size_t>(m), 0) {
+    setnum = space.num_extended() > 0 ? 1 : 0;
+  }
+
+  // Tallies the partition sets intersecting the path: fills `distinct` with their ids and
+  // per-id intersection counts in `count_in_path`. `links` are dense [0, m) ids, distinct.
+  void Tally(std::span<const int32_t> links) {
+    for (int32_t l : links) {
+      on_path[static_cast<size_t>(l)] = 1;
+    }
+    ++stamp;
+    distinct.clear();
+    space.ForEachOnPath(links, on_path, [&](uint64_t ext) {
+      const int32_t id = set_id[ext];
+      if (last_seen[static_cast<size_t>(id)] != stamp) {
+        last_seen[static_cast<size_t>(id)] = stamp;
+        count_in_path[static_cast<size_t>(id)] = 0;
+        distinct.push_back(id);
+      }
+      ++count_in_path[static_cast<size_t>(id)];
+    });
+    for (int32_t l : links) {
+      on_path[static_cast<size_t>(l)] = 0;
+    }
+  }
+
+  // Splits every set the path partially intersects (the partition effect of selecting it).
+  // Fully-on-path sets are unchanged (a rename would be a no-op).
+  void ApplySplit(std::span<const int32_t> links) {
+    Tally(links);
+    new_id_of.clear();
+    for (int32_t id : distinct) {
+      if (count_in_path[static_cast<size_t>(id)] < set_size[static_cast<size_t>(id)]) {
+        const int32_t fresh = static_cast<int32_t>(set_size.size());
+        set_size.push_back(0);
+        last_seen.push_back(0);
+        count_in_path.push_back(0);
+        new_id_of.emplace(id, fresh);
+        ++setnum;
+      }
+    }
+    if (new_id_of.empty()) {
+      return;
+    }
+    for (int32_t l : links) {
+      on_path[static_cast<size_t>(l)] = 1;
+    }
+    space.ForEachOnPath(links, on_path, [&](uint64_t ext) {
+      const int32_t id = set_id[ext];
+      auto it = new_id_of.find(id);
+      if (it != new_id_of.end()) {
+        set_id[ext] = it->second;
+        --set_size[static_cast<size_t>(id)];
+        ++set_size[static_cast<size_t>(it->second)];
+      }
+    });
+    for (int32_t l : links) {
+      on_path[static_cast<size_t>(l)] = 0;
+    }
+  }
+
+  bool resolved() const { return setnum == space.num_extended(); }
+
+  ExtendedLinkSpace space;
+  std::vector<int32_t> set_id;          // extended link -> partition set id
+  std::vector<uint64_t> set_size;       // set id -> member count
+  std::vector<uint64_t> last_seen;      // set id -> stamp of last tally
+  std::vector<uint64_t> count_in_path;  // set id -> on-path members in the current tally
+  std::vector<int32_t> distinct;        // scratch: set ids met in the current tally
+  std::unordered_map<int32_t, int32_t> new_id_of;
+  std::vector<uint8_t> on_path;
+  uint64_t stamp = 0;
+  uint64_t setnum = 0;
+};
+
+}  // namespace detector
+
+#endif  // SRC_PMC_PARTITION_H_

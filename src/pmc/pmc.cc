@@ -9,6 +9,7 @@
 #include "src/common/thread_pool.h"
 #include "src/common/timer.h"
 #include "src/pmc/decomposition.h"
+#include "src/pmc/partition.h"
 #include "src/pmc/virtual_links.h"
 
 namespace detector {
@@ -54,17 +55,12 @@ class ComponentSolver {
     // beta = 0 means coverage-only: the link-set partition neither drives selection nor gates
     // termination (the paper's (alpha, 0) configurations in Tables 3/4).
     track_sets_ = options.beta >= 1;
-    space_ = std::make_unique<ExtendedLinkSpace>(nl_, options.beta);
-    set_id_.assign(space_->num_extended(), 0);
-    set_size_ = {space_->num_extended()};
-    last_seen_ = {0};
-    count_in_path_ = {0};
+    part_ = std::make_unique<PartitionState>(nl_, options.beta);
     w_.assign(static_cast<size_t>(nl_), 0);
     uncovered_ = options.alpha > 0 ? nl_ : 0;
-    on_path_.assign(static_cast<size_t>(nl_), 0);
   }
 
-  uint64_t num_extended() const { return space_->num_extended(); }
+  uint64_t num_extended() const { return part_->space.num_extended(); }
 
   ComponentOutcome Solve() {
     ComponentOutcome outcome;
@@ -74,10 +70,10 @@ class ComponentSolver {
       SolveStrawman(outcome);
     }
     outcome.evals = evals_;
-    outcome.extended = space_->num_extended();
-    outcome.setnum = setnum_;
+    outcome.extended = part_->space.num_extended();
+    outcome.setnum = part_->setnum;
     outcome.alpha_ok = uncovered_ == 0;
-    outcome.resolved = !track_sets_ || setnum_ == space_->num_extended();
+    outcome.resolved = !track_sets_ || part_->resolved();
     return outcome;
   }
 
@@ -88,7 +84,7 @@ class ComponentSolver {
   }
 
   bool TargetsMet() const {
-    return uncovered_ == 0 && (!track_sets_ || setnum_ == space_->num_extended());
+    return uncovered_ == 0 && (!track_sets_ || part_->resolved());
   }
 
   bool TimeExceeded() const {
@@ -101,32 +97,10 @@ class ComponentSolver {
     int64_t gain;
   };
 
-  // One pass over the extended links intersecting the path: tallies distinct partition sets
-  // (and per-set intersection counts) with a stamped scratch array.
-  void TallyPath(std::span<const int32_t> links) {
-    for (int32_t l : links) {
-      on_path_[static_cast<size_t>(l)] = 1;
-    }
-    ++stamp_;
-    distinct_.clear();
-    space_->ForEachOnPath(links, on_path_, [&](uint64_t ext) {
-      const int32_t id = set_id_[ext];
-      if (last_seen_[static_cast<size_t>(id)] != stamp_) {
-        last_seen_[static_cast<size_t>(id)] = stamp_;
-        count_in_path_[static_cast<size_t>(id)] = 0;
-        distinct_.push_back(id);
-      }
-      ++count_in_path_[static_cast<size_t>(id)];
-    });
-    for (int32_t l : links) {
-      on_path_[static_cast<size_t>(l)] = 0;
-    }
-  }
-
   Eval Evaluate(size_t local_path) {
     ++evals_;
     const auto links = LinksOf(local_path);
-    TallyPath(links);
+    part_->Tally(links);
     int64_t sum_w = 0;
     int64_t coverage_gain = 0;
     for (int32_t l : links) {
@@ -139,56 +113,21 @@ class ComponentSolver {
     }
     int64_t split_gain = 0;
     if (track_sets_) {
-      for (int32_t id : distinct_) {
-        if (count_in_path_[static_cast<size_t>(id)] < set_size_[static_cast<size_t>(id)]) {
+      for (int32_t id : part_->distinct) {
+        if (part_->count_in_path[static_cast<size_t>(id)] <
+            part_->set_size[static_cast<size_t>(id)]) {
           ++split_gain;
         }
       }
     }
-    return Eval{sum_w - static_cast<int64_t>(distinct_.size()), split_gain + coverage_gain};
+    return Eval{sum_w - static_cast<int64_t>(part_->distinct.size()),
+                split_gain + coverage_gain};
   }
 
   void Select(size_t local_path) {
     const auto links = LinksOf(local_path);
-    if (!track_sets_) {
-      for (int32_t l : links) {
-        if (w_[static_cast<size_t>(l)] + 1 == options_.alpha) {
-          --uncovered_;
-        }
-        ++w_[static_cast<size_t>(l)];
-      }
-      return;
-    }
-    TallyPath(links);
-    // Sets only partially on the path split: their on-path members move to a fresh set.
-    // Fully-on-path sets are unchanged (a rename would be a no-op).
-    new_id_of_.clear();
-    for (int32_t id : distinct_) {
-      if (count_in_path_[static_cast<size_t>(id)] < set_size_[static_cast<size_t>(id)]) {
-        const int32_t fresh = static_cast<int32_t>(set_size_.size());
-        set_size_.push_back(0);
-        last_seen_.push_back(0);
-        count_in_path_.push_back(0);
-        new_id_of_.emplace(id, fresh);
-        ++setnum_;
-      }
-    }
-    if (!new_id_of_.empty()) {
-      for (int32_t l : links) {
-        on_path_[static_cast<size_t>(l)] = 1;
-      }
-      space_->ForEachOnPath(links, on_path_, [&](uint64_t ext) {
-        const int32_t id = set_id_[ext];
-        auto it = new_id_of_.find(id);
-        if (it != new_id_of_.end()) {
-          set_id_[ext] = it->second;
-          --set_size_[static_cast<size_t>(id)];
-          ++set_size_[static_cast<size_t>(it->second)];
-        }
-      });
-      for (int32_t l : links) {
-        on_path_[static_cast<size_t>(l)] = 0;
-      }
+    if (track_sets_) {
+      part_->ApplySplit(links);
     }
     for (int32_t l : links) {
       if (w_[static_cast<size_t>(l)] + 1 == options_.alpha) {
@@ -273,21 +212,12 @@ class ComponentSolver {
   std::vector<uint64_t> path_offsets_;
   std::vector<int32_t> path_links_;
 
-  std::unique_ptr<ExtendedLinkSpace> space_;
-  std::vector<int32_t> set_id_;        // extended link -> partition set id
-  std::vector<uint64_t> set_size_;     // set id -> member count
-  std::vector<uint64_t> last_seen_;    // set id -> stamp of last tally
-  std::vector<uint64_t> count_in_path_;
-  std::vector<int32_t> distinct_;      // scratch: set ids met in the current tally
-  std::unordered_map<int32_t, int32_t> new_id_of_;
+  std::unique_ptr<PartitionState> part_;
   bool track_sets_ = true;
-  uint64_t stamp_ = 0;
-  uint64_t setnum_ = 1;
   uint64_t evals_ = 0;
 
   std::vector<int32_t> w_;  // per-link selected-path count (the paper's link weight)
   int32_t uncovered_ = 0;
-  std::vector<uint8_t> on_path_;
 };
 
 }  // namespace
@@ -300,13 +230,24 @@ PmcResult BuildProbeMatrix(const PathProvider& provider, PathEnumMode mode,
 
 PmcResult BuildProbeMatrixFromCandidates(const Topology& topo, const PathStore& candidates,
                                          const PmcOptions& options) {
+  return BuildProbeMatrixFromCandidates(topo, candidates, options,
+                                        LinkIndex::ForMonitored(topo));
+}
+
+PmcResult BuildProbeMatrixFromCandidates(const Topology& topo, const PathStore& candidates,
+                                         const PmcOptions& options, LinkIndex links,
+                                         const Decomposition* precomputed) {
+  (void)topo;
   CHECK(options.alpha >= 0);
   CHECK(options.beta >= 0);
   WallTimer timer;
-  LinkIndex links = LinkIndex::ForMonitored(topo);
 
-  Decomposition decomp = options.decompose ? DecomposePathLinkGraph(candidates, links)
-                                           : SingleComponent(candidates, links);
+  Decomposition local;
+  if (precomputed == nullptr) {
+    local = options.decompose ? DecomposePathLinkGraph(candidates, links)
+                              : SingleComponent(candidates, links);
+  }
+  const Decomposition& decomp = precomputed != nullptr ? *precomputed : local;
 
   uint64_t extended_total = 0;
   for (const auto& comp : decomp.components) {
@@ -351,11 +292,14 @@ PmcResult BuildProbeMatrixFromCandidates(const Topology& topo, const PathStore& 
   }
   std::sort(selected.begin(), selected.end());
 
-  PathStore chosen;
-  chosen.Reserve(selected.size(), selected.size() * 4);
-  chosen.AppendFrom(candidates, selected);
-  result.stats.num_selected = chosen.size();
-  result.matrix = ProbeMatrix(std::move(chosen), std::move(links));
+  result.stats.num_selected = selected.size();
+  if (options.build_matrix) {
+    PathStore chosen;
+    chosen.Reserve(selected.size(), selected.size() * 4);
+    chosen.AppendFrom(candidates, selected);
+    result.matrix = ProbeMatrix(std::move(chosen), std::move(links));
+  }
+  result.selected_ids = std::move(selected);
   result.stats.seconds = timer.ElapsedSeconds();
   return result;
 }

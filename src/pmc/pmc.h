@@ -31,6 +31,10 @@ struct PmcOptions {
   bool evenness_term = true;
   double time_limit_seconds = 0.0;  // 0 = unlimited; exceeded runs report timed_out
   size_t num_threads = 1;           // parallelism across decomposed components
+  // When false, PmcResult::matrix is left empty (stats and selected_ids only) — IncrementalPmc
+  // renders the selection itself via its stable-slot store, so the solver's copy would be
+  // thrown away.
+  bool build_matrix = true;
   // Guard on the explicit extended-link state (sum over components of n + C(n,2) + C(n,3));
   // exceeding it throws std::runtime_error, mirroring the paper's ">24h" infeasibility rows.
   uint64_t max_extended_links = 300'000'000;
@@ -53,6 +57,9 @@ struct PmcStats {
 struct PmcResult {
   ProbeMatrix matrix;
   PmcStats stats;
+  // Candidate-store ids of the selected paths, ascending; matrix path i is candidate
+  // selected_ids[i]. IncrementalPmc adopts these to seed its persistent solver state.
+  std::vector<PathId> selected_ids;
 };
 
 // Enumerates candidates from the provider (kFull or kSymmetryReduced) and runs PMC.
@@ -63,6 +70,18 @@ PmcResult BuildProbeMatrix(const PathProvider& provider, PathEnumMode mode,
 // several (alpha, beta) configurations).
 PmcResult BuildProbeMatrixFromCandidates(const Topology& topo, const PathStore& candidates,
                                          const PmcOptions& options);
+
+struct Decomposition;
+
+// Same, over an explicit link domain instead of every monitored link — the churn pipeline
+// passes the currently-live monitored links so a post-churn rebuild does not chase coverage of
+// dead links. Candidate paths traversing links outside the domain must be filtered out by the
+// caller. `precomputed`, when non-null, replaces the solver's own decomposition of
+// (candidates, links) — IncrementalPmc passes the one it keeps for repair scoping so the
+// union-find pass over millions of path-link entries runs once, not twice.
+PmcResult BuildProbeMatrixFromCandidates(const Topology& topo, const PathStore& candidates,
+                                         const PmcOptions& options, LinkIndex links,
+                                         const Decomposition* precomputed = nullptr);
 
 }  // namespace detector
 

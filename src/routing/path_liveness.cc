@@ -1,0 +1,78 @@
+#include "src/routing/path_liveness.h"
+
+namespace detector {
+
+PathLiveness::PathLiveness(const PathStore& paths, size_t num_links)
+    : paths_(paths),
+      offsets_(num_links + 1, 0),
+      link_dead_(num_links, 0),
+      dead_links_on_path_(paths.size(), 0),
+      num_alive_(paths.size()) {
+  // Two-pass CSR build: count, prefix-sum, fill.
+  for (size_t p = 0; p < paths.size(); ++p) {
+    for (const LinkId link : paths.Links(static_cast<PathId>(p))) {
+      DCHECK(link >= 0 && static_cast<size_t>(link) < num_links);
+      ++offsets_[static_cast<size_t>(link) + 1];
+    }
+  }
+  for (size_t i = 1; i < offsets_.size(); ++i) {
+    offsets_[i] += offsets_[i - 1];
+  }
+  path_ids_.resize(offsets_.back());
+  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (size_t p = 0; p < paths.size(); ++p) {
+    for (const LinkId link : paths.Links(static_cast<PathId>(p))) {
+      path_ids_[cursor[static_cast<size_t>(link)]++] = static_cast<PathId>(p);
+    }
+  }
+}
+
+void PathLiveness::LinkDown(LinkId link) {
+  const size_t i = static_cast<size_t>(link);
+  CHECK(i < link_dead_.size()) << "link out of range: " << link;
+  if (link_dead_[i]) {
+    return;
+  }
+  link_dead_[i] = 1;
+  for (const PathId p : PathsThrough(link)) {
+    if (dead_links_on_path_[static_cast<size_t>(p)]++ == 0) {
+      --num_alive_;
+    }
+  }
+}
+
+void PathLiveness::LinkUp(LinkId link) {
+  const size_t i = static_cast<size_t>(link);
+  CHECK(i < link_dead_.size()) << "link out of range: " << link;
+  if (!link_dead_[i]) {
+    return;
+  }
+  link_dead_[i] = 0;
+  for (const PathId p : PathsThrough(link)) {
+    DCHECK(dead_links_on_path_[static_cast<size_t>(p)] > 0);
+    if (--dead_links_on_path_[static_cast<size_t>(p)] == 0) {
+      ++num_alive_;
+    }
+  }
+}
+
+PathStore CompactAlive(const PathStore& paths, const PathLiveness& liveness,
+                       std::vector<PathId>* kept_ids) {
+  CHECK(liveness.size() == paths.size()) << "liveness tracks a different store";
+  std::vector<PathId> alive;
+  alive.reserve(liveness.NumAlive());
+  for (size_t p = 0; p < paths.size(); ++p) {
+    if (liveness.IsAlive(static_cast<PathId>(p))) {
+      alive.push_back(static_cast<PathId>(p));
+    }
+  }
+  PathStore compact;
+  compact.Reserve(alive.size(), alive.size() * 4);
+  compact.AppendFrom(paths, alive);
+  if (kept_ids != nullptr) {
+    *kept_ids = std::move(alive);
+  }
+  return compact;
+}
+
+}  // namespace detector

@@ -1,0 +1,61 @@
+// Incremental path invalidation over a PathStore (the routing layer of the churn pipeline).
+//
+// A PathStore is immutable CSR storage, so liveness is tracked alongside it: a link -> paths
+// inverted index (CSR, built once in O(total link entries)) plus a per-path count of dead
+// traversed links. A link-down event flags the paths through that link in O(paths through it);
+// a link-up event unflags them symmetrically, so flap sequences never require a full rescan.
+// A path is alive iff none of its links are dead.
+#ifndef SRC_ROUTING_PATH_LIVENESS_H_
+#define SRC_ROUTING_PATH_LIVENESS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/routing/path_store.h"
+
+namespace detector {
+
+class PathLiveness {
+ public:
+  // `num_links` is the topology's total link count (the inverted index is dense over LinkId).
+  PathLiveness(const PathStore& paths, size_t num_links);
+
+  // Marks a link dead/live. Idempotent per link (downing a dead link is a no-op), so callers
+  // can feed raw churn events without deduplicating.
+  void LinkDown(LinkId link);
+  void LinkUp(LinkId link);
+
+  bool IsLinkDead(LinkId link) const { return link_dead_[static_cast<size_t>(link)] != 0; }
+  bool IsAlive(PathId path) const { return dead_links_on_path_[static_cast<size_t>(path)] == 0; }
+  size_t NumAlive() const { return num_alive_; }
+  size_t size() const { return dead_links_on_path_.size(); }
+
+  // Paths traversing the given link, ascending PathId.
+  std::span<const PathId> PathsThrough(LinkId link) const {
+    const size_t i = static_cast<size_t>(link);
+    DCHECK(i + 1 < offsets_.size());
+    return std::span<const PathId>(path_ids_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]);
+  }
+
+  const PathStore& paths() const { return paths_; }
+
+ private:
+  const PathStore& paths_;
+  // Link -> paths CSR.
+  std::vector<uint64_t> offsets_;  // num_links + 1 entries
+  std::vector<PathId> path_ids_;
+  std::vector<uint8_t> link_dead_;
+  std::vector<int32_t> dead_links_on_path_;
+  size_t num_alive_ = 0;
+};
+
+// Compacts a store down to its alive paths. `kept_ids`, when non-null, receives the original
+// PathId of each surviving path (new id -> old id). Used when handing a post-churn candidate
+// set to a from-scratch PMC rebuild.
+PathStore CompactAlive(const PathStore& paths, const PathLiveness& liveness,
+                       std::vector<PathId>* kept_ids = nullptr);
+
+}  // namespace detector
+
+#endif  // SRC_ROUTING_PATH_LIVENESS_H_

@@ -1,0 +1,125 @@
+#include "src/sim/churn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace detector {
+
+ChurnGenerator::ChurnGenerator(const Topology& topo, ChurnOptions options)
+    : topo_(topo), options_(std::move(options)) {
+  double cumulative = 0.0;
+  for (size_t i = 0; i < topo.NumLinks(); ++i) {
+    const Link& link = topo.links()[i];
+    if (options_.monitored_links_only && !link.monitored) {
+      continue;
+    }
+    const size_t tier = std::min<size_t>(static_cast<size_t>(link.tier), 2);
+    eligible_links_.push_back(static_cast<LinkId>(i));
+    cumulative += options_.tier_weights[tier];
+    cumulative_weight_.push_back(cumulative);
+  }
+  for (const NodeKind kind : options_.node_kinds) {
+    for (const NodeId node : topo.NodesOfKind(kind)) {
+      eligible_nodes_.push_back(node);
+    }
+  }
+}
+
+LinkId ChurnGenerator::SampleLink(Rng& rng) const {
+  CHECK(!eligible_links_.empty()) << "no eligible churn links in " << topo_.name();
+  const double target = rng.NextDouble() * cumulative_weight_.back();
+  const auto it =
+      std::upper_bound(cumulative_weight_.begin(), cumulative_weight_.end(), target);
+  const size_t idx =
+      std::min(static_cast<size_t>(it - cumulative_weight_.begin()), eligible_links_.size() - 1);
+  return eligible_links_[idx];
+}
+
+std::vector<ChurnEvent> ChurnGenerator::Sample(double duration_seconds, Rng& rng) const {
+  std::vector<ChurnEvent> events;
+  auto exponential = [&](double mean) {
+    // Inverse-CDF with the (0, 1] flip so log() never sees zero.
+    return -mean * std::log(1.0 - rng.NextDouble());
+  };
+
+  // Overlapping outages of the same entity would be truncated on replay (the overlay's state
+  // per cause is boolean, so the first recovery would revive the entity under the second,
+  // still-active outage); resample the victim instead so per-entity outages never overlap.
+  std::unordered_map<int64_t, double> busy_until;
+  auto pick_free = [&](double t, auto sample, int64_t key_space) -> int64_t {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const int64_t key = sample();
+      auto it = busy_until.find(key_space + key);
+      if (it == busy_until.end() || it->second <= t) {
+        return key;
+      }
+    }
+    return -1;  // everything sampled is still in outage: skip this arrival
+  };
+  const int64_t kLinkKeys = 0;
+  const int64_t kNodeKeys = static_cast<int64_t>(topo_.NumLinks());
+
+  // Link churn arrivals.
+  if (options_.link_events_per_minute > 0 && !eligible_links_.empty()) {
+    const double mean_gap = 60.0 / options_.link_events_per_minute;
+    for (double t = exponential(mean_gap); t < duration_seconds; t += exponential(mean_gap)) {
+      const int64_t picked =
+          pick_free(t, [&] { return static_cast<int64_t>(SampleLink(rng)); }, kLinkKeys);
+      if (picked < 0) {
+        continue;
+      }
+      const LinkId link = static_cast<LinkId>(picked);
+      const bool drain = rng.NextBernoulli(options_.drain_fraction);
+      const double recovery = t + exponential(options_.mean_outage_seconds);
+      busy_until[kLinkKeys + picked] = recovery;
+      events.push_back(ChurnEvent{
+          t, drain ? TopologyDelta::LinkDrain(link) : TopologyDelta::LinkDown(link)});
+      events.push_back(ChurnEvent{
+          recovery, drain ? TopologyDelta::LinkUndrain(link) : TopologyDelta::LinkUp(link)});
+    }
+  }
+
+  // Node (switch) churn arrivals.
+  if (options_.node_events_per_minute > 0 && !eligible_nodes_.empty()) {
+    const double mean_gap = 60.0 / options_.node_events_per_minute;
+    for (double t = exponential(mean_gap); t < duration_seconds; t += exponential(mean_gap)) {
+      const int64_t picked = pick_free(
+          t,
+          [&] {
+            return static_cast<int64_t>(eligible_nodes_[rng.NextBounded(eligible_nodes_.size())]);
+          },
+          kNodeKeys);
+      if (picked < 0) {
+        continue;
+      }
+      const NodeId node = static_cast<NodeId>(picked);
+      const double recovery = t + exponential(options_.mean_outage_seconds);
+      busy_until[kNodeKeys + picked] = recovery;
+      events.push_back(ChurnEvent{t, TopologyDelta::NodeDown(node)});
+      events.push_back(ChurnEvent{recovery, TopologyDelta::NodeUp(node)});
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     return a.time_seconds < b.time_seconds;
+                   });
+  return events;
+}
+
+std::vector<ChurnEvent> WindowSlice(std::span<const ChurnEvent> trace, double start_seconds,
+                                    double end_seconds) {
+  std::vector<ChurnEvent> slice;
+  for (const ChurnEvent& event : trace) {
+    if (event.time_seconds < start_seconds || event.time_seconds >= end_seconds) {
+      continue;
+    }
+    ChurnEvent rebased = event;
+    rebased.time_seconds -= start_seconds;
+    slice.push_back(std::move(rebased));
+  }
+  return slice;
+}
+
+}  // namespace detector

@@ -1,0 +1,155 @@
+#include "src/topo/delta.h"
+
+#include <algorithm>
+
+namespace detector {
+
+const char* ChurnActionName(ChurnAction action) {
+  switch (action) {
+    case ChurnAction::kDown:
+      return "down";
+    case ChurnAction::kUp:
+      return "up";
+    case ChurnAction::kDrain:
+      return "drain";
+    case ChurnAction::kUndrain:
+      return "undrain";
+  }
+  return "?";
+}
+
+TopologyDelta TopologyDelta::NodeDown(NodeId node) {
+  TopologyDelta delta;
+  delta.nodes.push_back(NodeChurn{node, ChurnAction::kDown});
+  return delta;
+}
+
+TopologyDelta TopologyDelta::NodeUp(NodeId node) {
+  TopologyDelta delta;
+  delta.nodes.push_back(NodeChurn{node, ChurnAction::kUp});
+  return delta;
+}
+
+LinkStateOverlay::LinkStateOverlay(const Topology& topo)
+    : topo_(topo),
+      link_down_(topo.NumLinks(), 0),
+      link_drained_(topo.NumLinks(), 0),
+      node_down_(topo.NumNodes(), 0),
+      node_drained_(topo.NumNodes(), 0),
+      dead_(topo.NumLinks(), 0) {}
+
+bool LinkStateOverlay::ComputeDead(LinkId link) const {
+  const size_t i = static_cast<size_t>(link);
+  if (link_down_[i] || link_drained_[i]) {
+    return true;
+  }
+  const Link& l = topo_.link(link);
+  return !IsNodeLive(l.a) || !IsNodeLive(l.b);
+}
+
+bool LinkStateOverlay::IsLinkFailed(LinkId link) const {
+  const size_t i = static_cast<size_t>(link);
+  if (link_down_[i]) {
+    return true;
+  }
+  const Link& l = topo_.link(link);
+  return node_down_[static_cast<size_t>(l.a)] || node_down_[static_cast<size_t>(l.b)];
+}
+
+LinkStateOverlay::Effect LinkStateOverlay::Apply(const TopologyDelta& delta) {
+  // Collect the links whose effective state could change, then diff cached state against the
+  // recomputed one so redundant events produce no transitions.
+  std::vector<LinkId> touched;
+  auto flag = [&](std::vector<uint8_t>& field, size_t i, bool value) {
+    field[i] = value ? 1 : 0;
+  };
+  for (const LinkChurn& ev : delta.links) {
+    CHECK(ev.link >= 0 && static_cast<size_t>(ev.link) < topo_.NumLinks())
+        << "link churn out of range: " << ev.link;
+    const size_t i = static_cast<size_t>(ev.link);
+    switch (ev.action) {
+      case ChurnAction::kDown:
+        flag(link_down_, i, true);
+        break;
+      case ChurnAction::kUp:
+        flag(link_down_, i, false);
+        break;
+      case ChurnAction::kDrain:
+        flag(link_drained_, i, true);
+        break;
+      case ChurnAction::kUndrain:
+        flag(link_drained_, i, false);
+        break;
+    }
+    touched.push_back(ev.link);
+  }
+  for (const NodeChurn& ev : delta.nodes) {
+    CHECK(ev.node >= 0 && static_cast<size_t>(ev.node) < topo_.NumNodes())
+        << "node churn out of range: " << ev.node;
+    const size_t i = static_cast<size_t>(ev.node);
+    switch (ev.action) {
+      case ChurnAction::kDown:
+        flag(node_down_, i, true);
+        break;
+      case ChurnAction::kUp:
+        flag(node_down_, i, false);
+        break;
+      case ChurnAction::kDrain:
+        flag(node_drained_, i, true);
+        break;
+      case ChurnAction::kUndrain:
+        flag(node_drained_, i, false);
+        break;
+    }
+    for (const Neighbor& nb : topo_.NeighborsOf(ev.node)) {
+      touched.push_back(nb.link);
+    }
+  }
+
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+  Effect effect;
+  for (const LinkId link : touched) {
+    const bool was_dead = dead_[static_cast<size_t>(link)] != 0;
+    const bool is_dead = ComputeDead(link);
+    if (was_dead == is_dead) {
+      continue;
+    }
+    dead_[static_cast<size_t>(link)] = is_dead ? 1 : 0;
+    if (is_dead) {
+      ++num_dead_;
+      effect.now_dead.push_back(link);
+    } else {
+      --num_dead_;
+      effect.now_live.push_back(link);
+    }
+  }
+  if (!effect.empty()) {
+    ++version_;
+  }
+  effect.version = version_;
+  return effect;
+}
+
+std::vector<LinkId> LinkStateOverlay::LiveMonitoredLinks() const {
+  std::vector<LinkId> result;
+  for (size_t i = 0; i < topo_.NumLinks(); ++i) {
+    if (topo_.link(static_cast<LinkId>(i)).monitored && !dead_[i]) {
+      result.push_back(static_cast<LinkId>(i));
+    }
+  }
+  return result;
+}
+
+std::vector<LinkId> LinkStateOverlay::FailedLinks() const {
+  std::vector<LinkId> result;
+  for (size_t i = 0; i < topo_.NumLinks(); ++i) {
+    if (IsLinkFailed(static_cast<LinkId>(i))) {
+      result.push_back(static_cast<LinkId>(i));
+    }
+  }
+  return result;
+}
+
+}  // namespace detector

@@ -1,0 +1,788 @@
+// Churn-pipeline tests: link-state overlay semantics, path invalidation, incremental
+// probe-matrix repair (including incremental/full equivalence after delta sequences), churn
+// trace generation, pinglist delta dispatch with versioning, and the end-to-end
+// ApplyTopologyDelta / RunWindowWithChurn flow.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/detector/system.h"
+#include "src/pmc/identifiability.h"
+#include "src/pmc/incremental.h"
+#include "src/routing/bcube_routing.h"
+#include "src/routing/fattree_routing.h"
+#include "src/routing/path_liveness.h"
+#include "src/sim/churn.h"
+#include "src/topo/bcube.h"
+#include "src/topo/delta.h"
+#include "src/topo/fattree.h"
+
+namespace detector {
+namespace {
+
+TEST(LinkStateOverlay, EffectiveTransitionsAndVersioning) {
+  const FatTree ft(4);
+  const Topology& topo = ft.topology();
+  LinkStateOverlay overlay(topo);
+  const LinkId link = ft.EdgeAggLink(0, 0, 0);
+
+  auto effect = overlay.Apply(TopologyDelta::LinkDown(link));
+  EXPECT_EQ(effect.now_dead, (std::vector<LinkId>{link}));
+  EXPECT_TRUE(effect.now_live.empty());
+  EXPECT_EQ(effect.version, 1u);
+  EXPECT_FALSE(overlay.IsLinkLive(link));
+  EXPECT_TRUE(overlay.IsLinkFailed(link));
+
+  // Redundant event: no transitions, no version bump.
+  effect = overlay.Apply(TopologyDelta::LinkDown(link));
+  EXPECT_TRUE(effect.empty());
+  EXPECT_EQ(overlay.version(), 1u);
+
+  effect = overlay.Apply(TopologyDelta::LinkUp(link));
+  EXPECT_EQ(effect.now_live, (std::vector<LinkId>{link}));
+  EXPECT_TRUE(overlay.IsLinkLive(link));
+  EXPECT_EQ(overlay.version(), 2u);
+}
+
+TEST(LinkStateOverlay, NodeChurnTakesIncidentLinksDown) {
+  const FatTree ft(4);
+  const Topology& topo = ft.topology();
+  LinkStateOverlay overlay(topo);
+  const NodeId agg = ft.Agg(1, 0);
+
+  const auto down = overlay.Apply(TopologyDelta::NodeDown(agg));
+  EXPECT_EQ(down.now_dead.size(), topo.NeighborsOf(agg).size());
+  for (const Neighbor& nb : topo.NeighborsOf(agg)) {
+    EXPECT_FALSE(overlay.IsLinkLive(nb.link));
+  }
+
+  // A link event on a dead-node link changes nothing until the node returns.
+  const LinkId l = topo.NeighborsOf(agg).front().link;
+  EXPECT_TRUE(overlay.Apply(TopologyDelta::LinkUp(l)).empty());
+
+  const auto up = overlay.Apply(TopologyDelta::NodeUp(agg));
+  EXPECT_EQ(up.now_live.size(), down.now_dead.size());
+  EXPECT_EQ(overlay.NumDeadLinks(), 0u);
+}
+
+TEST(LinkStateOverlay, DrainIsDeadButNotFailed) {
+  const FatTree ft(4);
+  LinkStateOverlay overlay(ft.topology());
+  const LinkId link = ft.AggCoreLink(0, 0, 0);
+  overlay.Apply(TopologyDelta::LinkDrain(link));
+  EXPECT_FALSE(overlay.IsLinkLive(link));    // removed from the probe plane
+  EXPECT_FALSE(overlay.IsLinkFailed(link));  // but still forwarding: no loss injection
+  EXPECT_TRUE(overlay.FailedLinks().empty());
+  overlay.Apply(TopologyDelta::LinkUndrain(link));
+  EXPECT_TRUE(overlay.IsLinkLive(link));
+}
+
+TEST(PathLiveness, FlapInvalidationAndCompaction) {
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  const PathStore candidates = routing.Enumerate(PathEnumMode::kFull);
+  PathLiveness liveness(candidates, ft.topology().NumLinks());
+  EXPECT_EQ(liveness.NumAlive(), candidates.size());
+
+  const LinkId link = ft.AggCoreLink(0, 0, 0);
+  const size_t through = liveness.PathsThrough(link).size();
+  EXPECT_GT(through, 0u);
+  liveness.LinkDown(link);
+  EXPECT_EQ(liveness.NumAlive(), candidates.size() - through);
+  for (const PathId p : liveness.PathsThrough(link)) {
+    EXPECT_FALSE(liveness.IsAlive(p));
+  }
+  liveness.LinkDown(link);  // idempotent
+  EXPECT_EQ(liveness.NumAlive(), candidates.size() - through);
+
+  std::vector<PathId> kept;
+  const PathStore compact = CompactAlive(candidates, liveness, &kept);
+  EXPECT_EQ(compact.size(), liveness.NumAlive());
+  for (size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(compact.src(static_cast<PathId>(i)), candidates.src(kept[i]));
+    EXPECT_EQ(compact.PathLength(static_cast<PathId>(i)),
+              candidates.PathLength(kept[i]));
+  }
+
+  liveness.LinkUp(link);
+  EXPECT_EQ(liveness.NumAlive(), candidates.size());
+}
+
+// Recomputes per-link selected-path counts from scratch and cross-checks the incremental
+// weights, the alpha invariant on live links, and that no selected path crosses a dead link.
+void CheckIncrementalInvariants(const IncrementalPmc& inc, const LinkStateOverlay& overlay) {
+  const Topology& topo = overlay.topology();
+  std::vector<int32_t> recount(topo.NumLinks(), 0);
+  for (const PathId pid : inc.SelectedCandidateIds()) {
+    for (const LinkId link : inc.candidates().Links(pid)) {
+      EXPECT_TRUE(overlay.IsLinkLive(link))
+          << "selected path " << pid << " crosses dead link " << topo.LinkName(link);
+      ++recount[static_cast<size_t>(link)];
+    }
+  }
+  for (size_t l = 0; l < topo.NumLinks(); ++l) {
+    const LinkId link = static_cast<LinkId>(l);
+    if (!topo.link(link).monitored) {
+      continue;
+    }
+    EXPECT_EQ(inc.Weight(link), recount[l]) << topo.LinkName(link);
+    if (overlay.IsLinkLive(link)) {
+      EXPECT_GE(inc.Weight(link), inc.options().alpha)
+          << "live link undercovered: " << topo.LinkName(link);
+    }
+  }
+}
+
+// From-scratch rebuild on the post-churn topology: alive candidates over live monitored links.
+PmcResult ScratchRebuild(const IncrementalPmc& inc, const LinkStateOverlay& overlay) {
+  std::vector<PathId> kept;
+  const PathStore alive = CompactAlive(inc.candidates(), inc.liveness(), &kept);
+  return BuildProbeMatrixFromCandidates(
+      inc.topology(), alive, inc.options(),
+      LinkIndex::ForLinks(inc.topology(), overlay.LiveMonitoredLinks()));
+}
+
+TEST(IncrementalPmc, SingleLinkDeltaKeepsInvariants) {
+  const FatTree ft(6);
+  const FatTreeRouting routing(ft);
+  PmcOptions options;
+  options.alpha = 2;
+  options.beta = 1;
+  IncrementalPmc inc(ft.topology(), routing.Enumerate(PathEnumMode::kFull), options);
+  LinkStateOverlay overlay(ft.topology());
+  EXPECT_TRUE(inc.initial_stats().alpha_satisfied);
+
+  const LinkId link = ft.AggCoreLink(2, 1, 0);
+  const auto outcome = inc.ApplyDelta(overlay.Apply(TopologyDelta::LinkDown(link)));
+  EXPECT_GT(outcome.stats.dropped_paths, 0u);
+  EXPECT_TRUE(outcome.stats.alpha_satisfied);
+  EXPECT_TRUE(outcome.stats.fully_resolved);
+  EXPECT_EQ(outcome.stats.touched_components, 1);  // Observation 1: repair stays in one core group
+  EXPECT_EQ(outcome.removed_slots.size(), outcome.stats.dropped_paths);
+  CheckIncrementalInvariants(inc, overlay);
+
+  // The live-restricted matrix is still 1-identifiable, like a from-scratch rebuild.
+  const auto report = VerifyIdentifiability(inc.BuildLiveMatrix(), 1);
+  EXPECT_TRUE(report.covered);
+  EXPECT_GE(report.achieved_beta, 1) << report.counterexample;
+
+  const PmcResult scratch = ScratchRebuild(inc, overlay);
+  EXPECT_EQ(outcome.stats.alpha_satisfied, scratch.stats.alpha_satisfied);
+  EXPECT_EQ(outcome.stats.fully_resolved, scratch.stats.fully_resolved);
+}
+
+TEST(IncrementalPmc, DeltaSequenceMatchesScratchRebuild) {
+  const FatTree ft(6);
+  const FatTreeRouting routing(ft);
+  PmcOptions options;
+  options.alpha = 1;
+  options.beta = 1;
+  IncrementalPmc inc(ft.topology(), routing.Enumerate(PathEnumMode::kFull), options);
+  LinkStateOverlay overlay(ft.topology());
+
+  // A mixed storm: failures, a drain, a switch reboot, and recoveries interleaved.
+  const std::vector<TopologyDelta> sequence = {
+      TopologyDelta::LinkDown(ft.AggCoreLink(0, 0, 0)),
+      TopologyDelta::LinkDrain(ft.EdgeAggLink(1, 1, 2)),
+      TopologyDelta::NodeDown(ft.Agg(3, 2)),
+      TopologyDelta::LinkDown(ft.AggCoreLink(5, 0, 1)),
+      TopologyDelta::LinkUp(ft.AggCoreLink(0, 0, 0)),
+      TopologyDelta::NodeUp(ft.Agg(3, 2)),
+      TopologyDelta::LinkUndrain(ft.EdgeAggLink(1, 1, 2)),
+      TopologyDelta::LinkUp(ft.AggCoreLink(5, 0, 1)),
+  };
+  for (const TopologyDelta& delta : sequence) {
+    const auto outcome = inc.ApplyDelta(overlay.Apply(delta));
+    CheckIncrementalInvariants(inc, overlay);
+    // Incremental repair must land exactly where a from-scratch rebuild of the post-churn
+    // topology lands: same coverage verdict, same partition-resolution verdict.
+    const PmcResult scratch = ScratchRebuild(inc, overlay);
+    EXPECT_EQ(outcome.stats.alpha_satisfied, scratch.stats.alpha_satisfied);
+    EXPECT_EQ(outcome.stats.fully_resolved, scratch.stats.fully_resolved);
+    EXPECT_EQ(inc.AlphaSatisfied(), scratch.stats.alpha_satisfied);
+    if (options.beta >= 1 && outcome.stats.fully_resolved) {
+      const auto report = VerifyIdentifiability(inc.BuildLiveMatrix(), 1);
+      EXPECT_GE(report.achieved_beta, 1) << report.counterexample;
+    }
+  }
+  // The storm fully recovered: the overlay is clean and coverage is whole again.
+  EXPECT_EQ(overlay.NumDeadLinks(), 0u);
+  EXPECT_TRUE(inc.AlphaSatisfied());
+}
+
+TEST(IncrementalPmc, BcubeSingleComponentRepair) {
+  const Bcube bc(4, 1);
+  const BcubeRouting routing(bc);
+  PmcOptions options;
+  options.alpha = 1;
+  options.beta = 1;
+  IncrementalPmc inc(bc.topology(), routing.Enumerate(PathEnumMode::kFull), options);
+  LinkStateOverlay overlay(bc.topology());
+
+  const LinkId victim = bc.topology().MonitoredLinks().front();
+  const auto outcome = inc.ApplyDelta(overlay.Apply(TopologyDelta::LinkDown(victim)));
+  EXPECT_EQ(outcome.stats.touched_components, 1);
+  CheckIncrementalInvariants(inc, overlay);
+  const PmcResult scratch = ScratchRebuild(inc, overlay);
+  EXPECT_EQ(outcome.stats.alpha_satisfied, scratch.stats.alpha_satisfied);
+  EXPECT_EQ(outcome.stats.fully_resolved, scratch.stats.fully_resolved);
+
+  inc.ApplyDelta(overlay.Apply(TopologyDelta::LinkUp(victim)));
+  CheckIncrementalInvariants(inc, overlay);
+  EXPECT_TRUE(inc.AlphaSatisfied());
+}
+
+TEST(IncrementalPmc, SlotsAreStableAcrossDeltas) {
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  PmcOptions options;
+  options.alpha = 1;
+  options.beta = 1;
+  IncrementalPmc inc(ft.topology(), routing.Enumerate(PathEnumMode::kFull), options);
+  LinkStateOverlay overlay(ft.topology());
+
+  // Record the candidate occupying every slot, knock a link out, and verify untouched slots
+  // still hold the same candidate (pinglist entries keyed by slot id stay valid).
+  std::vector<PathId> before(inc.NumSlots());
+  for (size_t s = 0; s < inc.NumSlots(); ++s) {
+    before[s] = inc.SlotCandidate(static_cast<PathId>(s));
+  }
+  const auto outcome =
+      inc.ApplyDelta(overlay.Apply(TopologyDelta::LinkDown(ft.AggCoreLink(0, 0, 0))));
+  const std::set<PathId> removed(outcome.removed_slots.begin(), outcome.removed_slots.end());
+  const std::set<PathId> added(outcome.added_slots.begin(), outcome.added_slots.end());
+  for (size_t s = 0; s < before.size(); ++s) {
+    const PathId slot = static_cast<PathId>(s);
+    if (removed.count(slot) == 0 && added.count(slot) == 0) {
+      EXPECT_EQ(inc.SlotCandidate(slot), before[s]) << "slot " << s;
+    }
+  }
+  // Vacated slots are reused before the matrix grows.
+  EXPECT_LE(inc.NumSlots(), before.size() + outcome.added_slots.size());
+}
+
+TEST(ChurnGenerator, TracesAreSortedPairedAndDeterministic) {
+  const FatTree ft(4);
+  ChurnOptions options;
+  options.link_events_per_minute = 30.0;
+  options.node_events_per_minute = 5.0;
+  options.drain_fraction = 0.3;
+  options.mean_outage_seconds = 10.0;
+  const ChurnGenerator gen(ft.topology(), options);
+
+  Rng rng(42);
+  const auto events = gen.Sample(120.0, rng);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.size() % 2, 0u);  // every outage carries its recovery
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time_seconds, events[i].time_seconds);
+  }
+
+  // Applying the full trace restores the overlay exactly.
+  LinkStateOverlay overlay(ft.topology());
+  int downs = 0;
+  int drains = 0;
+  for (const ChurnEvent& event : events) {
+    for (const LinkChurn& lc : event.delta.links) {
+      downs += lc.action == ChurnAction::kDown ? 1 : 0;
+      drains += lc.action == ChurnAction::kDrain ? 1 : 0;
+    }
+    overlay.Apply(event.delta);
+  }
+  EXPECT_GT(downs, 0);
+  EXPECT_GT(drains, 0);
+  EXPECT_EQ(overlay.NumDeadLinks(), 0u);
+
+  Rng rng2(42);
+  const auto replay = gen.Sample(120.0, rng2);
+  ASSERT_EQ(replay.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(replay[i].time_seconds, events[i].time_seconds);
+  }
+}
+
+TEST(ChurnGenerator, PerLinkOutagesNeverOverlap) {
+  // Replaying a trace through the boolean overlay truncates overlapping same-link outages, so
+  // the generator must never emit them.
+  const FatTree ft(4);
+  ChurnOptions options;
+  options.link_events_per_minute = 120.0;  // dense enough to collide without the guard
+  options.node_events_per_minute = 0.0;
+  options.drain_fraction = 0.0;
+  options.mean_outage_seconds = 30.0;
+  const ChurnGenerator gen(ft.topology(), options);
+  Rng rng(7);
+  const auto events = gen.Sample(300.0, rng);
+  ASSERT_FALSE(events.empty());
+
+  std::map<LinkId, std::vector<std::pair<double, double>>> outages;  // link -> [down, up)
+  std::map<LinkId, double> open;
+  for (const ChurnEvent& event : events) {
+    for (const LinkChurn& lc : event.delta.links) {
+      if (lc.action == ChurnAction::kDown) {
+        ASSERT_EQ(open.count(lc.link), 0u) << "overlapping outage on link " << lc.link;
+        open[lc.link] = event.time_seconds;
+      } else {
+        auto it = open.find(lc.link);
+        ASSERT_NE(it, open.end());
+        outages[lc.link].emplace_back(it->second, event.time_seconds);
+        open.erase(it);
+      }
+    }
+  }
+  EXPECT_TRUE(open.empty());
+  for (const auto& [link, intervals] : outages) {
+    for (size_t i = 1; i < intervals.size(); ++i) {
+      EXPECT_GE(intervals[i].first, intervals[i - 1].second) << "link " << link;
+    }
+  }
+}
+
+TEST(Diagnoser, DropReportsDiscardsBufferedPaths) {
+  const FatTree ft(4);
+  Diagnoser diagnoser;
+  PingerWindowResult window;
+  window.pinger = ft.Server(0, 0, 0);
+  window.reports.push_back(PathReport{3, ft.Server(1, 0, 0), 100, 40});
+  window.reports.push_back(PathReport{5, ft.Server(2, 0, 0), 100, 0});
+  window.reports.push_back(
+      PathReport{PinglistEntry::kIntraRackPath, ft.Server(0, 0, 1), 100, 10});
+  diagnoser.Ingest(window);
+
+  const std::vector<PathId> dropped = {3};
+  diagnoser.DropReports(dropped);
+
+  const FatTreeRouting routing(ft);
+  PmcOptions pmc;
+  pmc.alpha = 1;
+  const ProbeMatrix matrix = BuildProbeMatrix(routing, PathEnumMode::kFull, pmc).matrix;
+  Watchdog wd(ft.topology());
+  const Observations obs = diagnoser.AggregatedObservations(matrix, wd);
+  EXPECT_EQ(obs[3].sent, 0);  // dropped path's stale report is gone
+  EXPECT_EQ(obs[5].sent, 100);
+  // Intra-rack reports (negative path ids) are untouched.
+  EXPECT_EQ(diagnoser.ServerLinkAlarms(wd).size(), 1u);
+}
+
+class PinglistUpdateTest : public ::testing::Test {
+ protected:
+  PinglistUpdateTest() : ft_(4), routing_(ft_), watchdog_(ft_.topology()) {
+    PmcOptions pmc;
+    pmc.alpha = 1;
+    pmc.beta = 1;
+    matrix_ = BuildProbeMatrix(routing_, PathEnumMode::kFull, pmc).matrix;
+  }
+
+  FatTree ft_;
+  FatTreeRouting routing_;
+  Watchdog watchdog_;
+  ProbeMatrix matrix_;
+};
+
+TEST_F(PinglistUpdateTest, MinimalDiffWithVersionBump) {
+  Controller controller(ft_.topology(), ControllerOptions{});
+  std::vector<Pinglist> lists = controller.BuildPinglists(matrix_, watchdog_);
+  for (const Pinglist& list : lists) {
+    EXPECT_EQ(list.version, 1);
+  }
+
+  // Remove one path: only its pingers' lists change, each bumped to version 2.
+  const PathId victim = 0;
+  std::set<NodeId> expected_touched;
+  for (const Pinglist& list : lists) {
+    for (const PinglistEntry& entry : list.entries) {
+      if (entry.path_id == victim) {
+        expected_touched.insert(list.pinger);
+      }
+    }
+  }
+  ASSERT_FALSE(expected_touched.empty());
+
+  const std::vector<PathId> removed = {victim};
+  const PinglistUpdate update =
+      controller.UpdatePinglists(lists, matrix_, watchdog_, removed, {});
+  EXPECT_EQ(update.lists_touched, expected_touched.size());
+  EXPECT_EQ(update.entries_removed, expected_touched.size());  // one replica per pinger
+  EXPECT_EQ(update.entries_added, 0u);
+  for (const PinglistDiff& diff : update.diffs) {
+    EXPECT_TRUE(expected_touched.count(diff.pinger) > 0);
+    EXPECT_EQ(diff.version, 2);
+    EXPECT_EQ(diff.removed_paths, removed);
+  }
+  for (const Pinglist& list : lists) {
+    const bool touched = expected_touched.count(list.pinger) > 0;
+    EXPECT_EQ(list.version, touched ? 2 : 1);
+    for (const PinglistEntry& entry : list.entries) {
+      EXPECT_NE(entry.path_id, victim);
+    }
+  }
+
+  // Add it back: the entries return to the same pingers (deterministic assignment), bumping
+  // exactly those lists to version 3.
+  const PinglistUpdate re_add =
+      controller.UpdatePinglists(lists, matrix_, watchdog_, {}, removed);
+  EXPECT_EQ(re_add.lists_touched, expected_touched.size());
+  EXPECT_EQ(re_add.entries_added, expected_touched.size());
+  for (const PinglistDiff& diff : re_add.diffs) {
+    EXPECT_EQ(diff.version, 3);
+    ASSERT_EQ(diff.added.size(), 1u);
+    EXPECT_EQ(diff.added[0].path_id, victim);
+  }
+}
+
+TEST_F(PinglistUpdateTest, EmptyDeltaTouchesNothing) {
+  Controller controller(ft_.topology(), ControllerOptions{});
+  std::vector<Pinglist> lists = controller.BuildPinglists(matrix_, watchdog_);
+  const PinglistUpdate update = controller.UpdatePinglists(lists, matrix_, watchdog_, {}, {});
+  EXPECT_TRUE(update.diffs.empty());
+  for (const Pinglist& list : lists) {
+    EXPECT_EQ(list.version, 1);
+  }
+}
+
+TEST_F(PinglistUpdateTest, UpdatedPinglistXmlRoundTripWithIntraRack) {
+  ControllerOptions options;
+  options.intra_rack_probes = true;
+  Controller controller(ft_.topology(), options);
+  std::vector<Pinglist> lists = controller.BuildPinglists(matrix_, watchdog_);
+  const std::vector<PathId> removed_one = {0};
+  controller.UpdatePinglists(lists, matrix_, watchdog_, removed_one, {});
+
+  // Round-trip a post-update pinglist that still carries intra-rack entries: the bumped
+  // version and every entry (including kIntraRackPath markers) must survive serialization.
+  bool checked = false;
+  for (const Pinglist& list : lists) {
+    const bool has_intra_rack =
+        std::any_of(list.entries.begin(), list.entries.end(), [](const PinglistEntry& e) {
+          return e.path_id == PinglistEntry::kIntraRackPath;
+        });
+    if (!has_intra_rack || list.version != 2) {
+      continue;
+    }
+    const Pinglist parsed = Pinglist::FromXml(list.ToXml());
+    EXPECT_EQ(parsed.version, list.version);
+    EXPECT_EQ(parsed.pinger, list.pinger);
+    ASSERT_EQ(parsed.entries.size(), list.entries.size());
+    for (size_t i = 0; i < list.entries.size(); ++i) {
+      EXPECT_EQ(parsed.entries[i].path_id, list.entries[i].path_id);
+      EXPECT_EQ(parsed.entries[i].target_server, list.entries[i].target_server);
+      EXPECT_EQ(parsed.entries[i].route, list.entries[i].route);
+    }
+    checked = true;
+    break;
+  }
+  EXPECT_TRUE(checked) << "no updated pinglist with intra-rack entries found";
+}
+
+TEST(DetectorSystemChurn, ApplyTopologyDeltaRoutesAroundDeadLink) {
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  DetectorSystemOptions options;
+  options.pmc.alpha = 1;
+  options.pmc.beta = 1;
+  options.controller.packets_per_second = 50;  // plenty of samples in one window
+  DetectorSystem system(routing, options);
+
+  const LinkId victim = ft.AggCoreLink(0, 0, 0);
+  const auto result = system.ApplyTopologyDelta(TopologyDelta::LinkDown(victim));
+  EXPECT_EQ(result.links_gone_dead, 1u);
+  EXPECT_TRUE(result.repair.alpha_satisfied);
+  EXPECT_GT(result.pinglists_touched, 0u);
+  EXPECT_GT(result.entries_removed, 0u);
+  EXPECT_FALSE(result.diffs.empty());
+
+  for (const Pinglist& list : system.pinglists()) {
+    for (const PinglistEntry& entry : list.entries) {
+      EXPECT_EQ(std::count(entry.route.begin(), entry.route.end(), victim), 0)
+          << "pinglist still routes over the dead link";
+    }
+  }
+
+  // The system still detects and localizes an unrelated failure end to end.
+  FailureScenario scenario;
+  LinkFailure f;
+  f.link = ft.AggCoreLink(1, 1, 1);
+  f.type = FailureType::kFullLoss;
+  scenario.failures.push_back(f);
+  Rng rng(9);
+  const auto window = system.RunWindow(scenario, rng);
+  ASSERT_GE(window.localization.links.size(), 1u);
+  EXPECT_EQ(window.localization.links[0].link, f.link);
+}
+
+TEST(DetectorSystemChurn, DeltaThenRecoveryRestoresPinglists) {
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  DetectorSystemOptions options;
+  options.pmc.alpha = 1;
+  options.pmc.beta = 1;
+  DetectorSystem system(routing, options);
+  const size_t baseline_entries = [&] {
+    size_t n = 0;
+    for (const Pinglist& list : system.pinglists()) {
+      n += list.entries.size();
+    }
+    return n;
+  }();
+
+  const LinkId victim = ft.EdgeAggLink(2, 0, 1);
+  system.ApplyTopologyDelta(TopologyDelta::LinkDown(victim));
+  const auto recovery = system.ApplyTopologyDelta(TopologyDelta::LinkUp(victim));
+  EXPECT_EQ(recovery.links_back_live, 1u);
+  EXPECT_TRUE(recovery.repair.alpha_satisfied);
+  size_t entries = 0;
+  for (const Pinglist& list : system.pinglists()) {
+    entries += list.entries.size();
+  }
+  // Coverage is restored with a comparable probing budget (selection may differ slightly).
+  EXPECT_GE(entries * 10, baseline_entries * 9);
+}
+
+TEST(DetectorSystemChurn, ServerChurnMovesEntriesOffDownedPinger) {
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  DetectorSystemOptions options;
+  options.pmc.alpha = 1;
+  options.pmc.beta = 1;
+  DetectorSystem system(routing, options);
+  const NodeId down = system.pinglists().front().pinger;
+
+  const auto result = system.ApplyTopologyDelta(TopologyDelta::NodeDown(down));
+  EXPECT_GT(result.entries_removed, 0u);
+  EXPECT_FALSE(system.watchdog().IsHealthy(down));
+  // Redispatch moves entries, but the paths keep their matrix slots: buffered observations
+  // for them stay valid, so nothing is marked stale.
+  EXPECT_TRUE(result.slots_vacated.empty());
+  for (const Pinglist& list : system.pinglists()) {
+    if (list.pinger == down) {
+      for (const PinglistEntry& entry : list.entries) {
+        EXPECT_EQ(entry.path_id, PinglistEntry::kIntraRackPath);
+      }
+      continue;
+    }
+    for (const PinglistEntry& entry : list.entries) {
+      if (entry.path_id == PinglistEntry::kIntraRackPath) {
+        // Intra-rack probes towards the downed server linger until the next full rebuild;
+        // the diagnoser drops their reports (unhealthy target), so they raise no alarms.
+        continue;
+      }
+      EXPECT_NE(entry.target_server, down);
+    }
+  }
+}
+
+TEST(DetectorSystemChurn, RecomputeCycleRespectsOverlay) {
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  DetectorSystemOptions options;
+  options.pmc.alpha = 1;
+  options.pmc.beta = 1;
+  DetectorSystem system(routing, options);
+
+  const LinkId victim = ft.AggCoreLink(1, 0, 0);
+  system.ApplyTopologyDelta(TopologyDelta::LinkDown(victim));
+  system.RecomputeCycle();
+  EXPECT_TRUE(system.pmc_stats().alpha_satisfied);  // rebuilt over live links only
+  const ProbeMatrix& matrix = system.probe_matrix();
+  for (size_t p = 0; p < matrix.NumPaths(); ++p) {
+    const auto links = matrix.paths().Links(static_cast<PathId>(p));
+    EXPECT_EQ(std::count(links.begin(), links.end(), victim), 0);
+  }
+}
+
+TEST(DetectorSystemChurn, RecomputeCycleKeepsVersionsMonotonic) {
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  DetectorSystemOptions options;
+  options.pmc.alpha = 1;
+  options.pmc.beta = 1;
+  DetectorSystem system(routing, options);
+
+  // Churn bumps some lists past 1; the rebuild must move every pinger strictly forward.
+  system.ApplyTopologyDelta(TopologyDelta::LinkDown(ft.AggCoreLink(0, 0, 0)));
+  std::map<NodeId, int> before;
+  for (const Pinglist& list : system.pinglists()) {
+    before[list.pinger] = list.version;
+  }
+  system.RecomputeCycle();
+  for (const Pinglist& list : system.pinglists()) {
+    const auto it = before.find(list.pinger);
+    if (it != before.end()) {
+      EXPECT_GT(list.version, it->second) << "pinger " << list.pinger;
+    }
+  }
+}
+
+TEST(DetectorSystemChurn, ReturningPingerDoesNotResetVersions) {
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  DetectorSystemOptions options;
+  options.pmc.alpha = 1;
+  options.pmc.beta = 1;
+  DetectorSystem system(routing, options);
+  const NodeId pinger = system.pinglists().front().pinger;
+
+  // Raise the pinger's version with churn, then make it vanish for a cycle.
+  system.ApplyTopologyDelta(TopologyDelta::LinkDown(ft.AggCoreLink(0, 0, 0)));
+  system.ApplyTopologyDelta(TopologyDelta::LinkUp(ft.AggCoreLink(0, 0, 0)));
+  int raised = 0;
+  for (const Pinglist& list : system.pinglists()) {
+    if (list.pinger == pinger) {
+      raised = list.version;
+    }
+  }
+  system.watchdog().MarkDown(pinger);
+  system.RecomputeCycle();  // pinger absent from this generation
+  for (const Pinglist& list : system.pinglists()) {
+    EXPECT_NE(list.pinger, pinger);
+  }
+
+  // On return, its version must land above the old high-water mark, not restart at 1.
+  system.watchdog().MarkUp(pinger);
+  system.RecomputeCycle();
+  bool found = false;
+  for (const Pinglist& list : system.pinglists()) {
+    if (list.pinger == pinger) {
+      found = true;
+      EXPECT_GT(list.version, raised);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DetectorSystemChurn, FixedMatrixRecomputeCycleRespectsOverlay) {
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  PmcOptions pmc;
+  pmc.alpha = 1;
+  pmc.beta = 1;
+  ProbeMatrix matrix = BuildProbeMatrix(routing, PathEnumMode::kFull, pmc).matrix;
+  DetectorSystem system(ft.topology(), std::move(matrix), DetectorSystemOptions{});
+
+  const LinkId victim = ft.AggCoreLink(0, 1, 0);
+  const auto down = system.ApplyTopologyDelta(TopologyDelta::LinkDown(victim));
+  // A mid-outage rebuild must not resurrect entries over the dead link...
+  system.RecomputeCycle();
+  for (const Pinglist& list : system.pinglists()) {
+    for (const PinglistEntry& entry : list.entries) {
+      EXPECT_EQ(std::count(entry.route.begin(), entry.route.end(), victim), 0);
+    }
+  }
+  // ...and the later link-up must restore each withdrawn entry exactly once (no duplicates).
+  const auto up = system.ApplyTopologyDelta(TopologyDelta::LinkUp(victim));
+  EXPECT_EQ(up.entries_added, down.entries_removed);
+  std::map<std::pair<NodeId, PathId>, int> entry_count;
+  for (const Pinglist& list : system.pinglists()) {
+    for (const PinglistEntry& entry : list.entries) {
+      if (entry.path_id >= 0) {
+        const int count = ++entry_count[std::make_pair(list.pinger, entry.path_id)];
+        EXPECT_EQ(count, 1) << "duplicate entry for path " << entry.path_id << " on pinger "
+                            << list.pinger;
+      }
+    }
+  }
+}
+
+TEST(DetectorSystemChurn, RunWindowWithChurnAppliesMidWindowEvents) {
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  DetectorSystemOptions options;
+  options.pmc.alpha = 2;
+  options.pmc.beta = 1;
+  options.controller.packets_per_second = 50;
+  DetectorSystem system(routing, options);
+
+  const LinkId flapper = ft.AggCoreLink(3, 1, 1);
+  std::vector<ChurnEvent> churn;
+  churn.push_back(ChurnEvent{10.0, TopologyDelta::LinkDown(flapper)});
+  churn.push_back(ChurnEvent{20.0, TopologyDelta::LinkUp(flapper)});
+  churn.push_back(ChurnEvent{45.0, TopologyDelta::LinkDown(flapper)});  // beyond the window
+
+  FailureScenario healthy;
+  Rng rng(11);
+  const auto window = system.RunWindowWithChurn(healthy, churn, rng);
+  EXPECT_EQ(window.churn_events_applied, 2u);
+  EXPECT_GT(window.probes_sent, 0);
+  EXPECT_EQ(system.overlay().NumDeadLinks(), 0u);  // the flap recovered inside the window
+  EXPECT_TRUE(system.incremental()->AlphaSatisfied());
+}
+
+TEST(DetectorSystemChurn, MultiWindowTraceViaWindowSlice) {
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  DetectorSystemOptions options;
+  options.pmc.alpha = 1;
+  options.pmc.beta = 1;
+  DetectorSystem system(routing, options);
+
+  ChurnOptions churn_options;
+  churn_options.link_events_per_minute = 6.0;
+  churn_options.node_events_per_minute = 0.0;
+  churn_options.mean_outage_seconds = 20.0;
+  const ChurnGenerator gen(ft.topology(), churn_options);
+  Rng rng(13);
+  const auto trace = gen.Sample(120.0, rng);
+  ASSERT_FALSE(trace.empty());
+
+  // Consecutive 30 s windows consume the whole trace (including recoveries landing after the
+  // sampling horizon); every event lands exactly once.
+  const FailureScenario healthy;
+  const int windows = static_cast<int>(trace.back().time_seconds / 30.0) + 1;
+  size_t applied = 0;
+  for (int w = 0; w < windows; ++w) {
+    const auto slice = WindowSlice(trace, w * 30.0, (w + 1) * 30.0);
+    const auto window = system.RunWindowWithChurn(healthy, slice, rng);
+    EXPECT_EQ(window.churn_events_applied, slice.size());
+    applied += window.churn_events_applied;
+  }
+  EXPECT_EQ(applied, trace.size());
+  // The trace is self-restoring, so after all slices the overlay is clean and repaired.
+  EXPECT_EQ(system.overlay().NumDeadLinks(), 0u);
+  EXPECT_TRUE(system.incremental()->AlphaSatisfied());
+}
+
+TEST(DetectorSystemChurn, FixedMatrixServerChurnKeepsAlphaSatisfied) {
+  // A downed server kills its (unmonitored) rack link; that is no coverage hole for a matrix
+  // over inter-switch links, so alpha_satisfied must stay true in fixed-matrix mode.
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  PmcOptions pmc;
+  pmc.alpha = 1;
+  pmc.beta = 1;
+  ProbeMatrix matrix = BuildProbeMatrix(routing, PathEnumMode::kFull, pmc).matrix;
+  DetectorSystem system(ft.topology(), std::move(matrix), DetectorSystemOptions{});
+  const NodeId down = system.pinglists().front().pinger;
+  const auto result = system.ApplyTopologyDelta(TopologyDelta::NodeDown(down));
+  EXPECT_GT(result.links_gone_dead, 0u);  // the server's rack link died
+  EXPECT_TRUE(result.repair.alpha_satisfied);
+}
+
+TEST(DetectorSystemChurn, FixedMatrixModeDegradesGracefully) {
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  PmcOptions pmc;
+  pmc.alpha = 1;
+  pmc.beta = 1;
+  ProbeMatrix matrix = BuildProbeMatrix(routing, PathEnumMode::kFull, pmc).matrix;
+  DetectorSystemOptions options;
+  DetectorSystem system(ft.topology(), std::move(matrix), options);
+  EXPECT_EQ(system.incremental(), nullptr);
+
+  const LinkId victim = ft.AggCoreLink(0, 1, 0);
+  const auto down = system.ApplyTopologyDelta(TopologyDelta::LinkDown(victim));
+  EXPECT_GT(down.entries_removed, 0u);
+  EXPECT_FALSE(down.repair.alpha_satisfied);  // no repair without a candidate set
+  for (const Pinglist& list : system.pinglists()) {
+    for (const PinglistEntry& entry : list.entries) {
+      EXPECT_EQ(std::count(entry.route.begin(), entry.route.end(), victim), 0);
+    }
+  }
+  const auto up = system.ApplyTopologyDelta(TopologyDelta::LinkUp(victim));
+  EXPECT_EQ(up.entries_added, down.entries_removed);  // withdrawn entries restored
+}
+
+}  // namespace
+}  // namespace detector

@@ -35,7 +35,15 @@ Outcome Run(const PathProvider& provider, const PathStore& candidates, int alpha
 int main(int argc, char** argv) {
   using namespace detector;
   Flags flags;
-  flags.Parse(argc, argv);
+  flags.Describe("alpha", "coverage target (default 2)");
+  flags.Describe("beta", "identifiability target (default 1)");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (flags.Has("help")) {
+    std::printf("%s", flags.HelpText(argv[0]).c_str());
+    return 0;
+  }
   const int alpha = static_cast<int>(flags.GetInt("alpha", 2));
   const int beta = static_cast<int>(flags.GetInt("beta", 1));
 

@@ -17,7 +17,15 @@
 int main(int argc, char** argv) {
   using namespace detector;
   Flags flags;
-  flags.Parse(argc, argv);
+  flags.Describe("trials", "Monte-Carlo trials per frequency (default 60)");
+  flags.Describe("seed", "rng seed (default 11)");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (flags.Has("help")) {
+    std::printf("%s", flags.HelpText(argv[0]).c_str());
+    return 0;
+  }
   const int trials = static_cast<int>(flags.GetInt("trials", 60));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 11));
 

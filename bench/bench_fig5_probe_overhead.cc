@@ -26,7 +26,15 @@ int64_t RoundTripsPerWindow(int64_t probes_per_minute, double window_seconds) {
 int main(int argc, char** argv) {
   using namespace detector;
   Flags flags;
-  flags.Parse(argc, argv);
+  flags.Describe("trials", "Monte-Carlo trials per budget point (default 100)");
+  flags.Describe("seed", "rng seed (default 5)");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (flags.Has("help")) {
+    std::printf("%s", flags.HelpText(argv[0]).c_str());
+    return 0;
+  }
   const int trials = static_cast<int>(flags.GetInt("trials", 100));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 5));
 

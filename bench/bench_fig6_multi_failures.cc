@@ -10,7 +10,16 @@
 int main(int argc, char** argv) {
   using namespace detector;
   Flags flags;
-  flags.Parse(argc, argv);
+  flags.Describe("trials", "Monte-Carlo trials per failure count (default 100)");
+  flags.Describe("probes-per-minute", "fixed probing budget (default 5850)");
+  flags.Describe("seed", "rng seed (default 17)");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (flags.Has("help")) {
+    std::printf("%s", flags.HelpText(argv[0]).c_str());
+    return 0;
+  }
   const int trials = static_cast<int>(flags.GetInt("trials", 100));
   const int64_t ppm = flags.GetInt("probes-per-minute", 5850);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 17));

@@ -12,7 +12,18 @@
 int main(int argc, char** argv) {
   using namespace detector;
   Flags flags;
-  flags.Parse(argc, argv);
+  flags.Describe("k", "fat-tree arity for the accuracy rows (default 18)");
+  flags.Describe("trials", "Monte-Carlo trials per failure count (default 20)");
+  flags.Describe("packets", "probe packets per path per window (default 300)");
+  flags.Describe("big-k", "fat-tree arity for the runtime row (default 48)");
+  flags.Describe("seed", "rng seed (default 3)");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (flags.Has("help")) {
+    std::printf("%s", flags.HelpText(argv[0]).c_str());
+    return 0;
+  }
   const int k = static_cast<int>(flags.GetInt("k", 18));
   const int trials = static_cast<int>(flags.GetInt("trials", 20));
   const int packets = static_cast<int>(flags.GetInt("packets", 300));

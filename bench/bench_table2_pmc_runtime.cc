@@ -75,7 +75,16 @@ Cell RunConfig(const PathProvider& provider, const PathStore& candidates, bool d
 int main(int argc, char** argv) {
   using namespace detector;
   Flags flags;
-  flags.Parse(argc, argv);
+  flags.Describe("scale", "small or paper");
+  flags.Describe("limit", "per-topology runtime budget in seconds");
+  flags.Describe("csv", "emit csv rows instead of the table");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (flags.Has("help")) {
+    std::printf("%s", flags.HelpText(argv[0]).c_str());
+    return 0;
+  }
   const std::string scale = flags.GetString("scale", "small");
   const double limit = flags.GetDouble("limit", scale == "paper" ? 600.0 : 120.0);
   const bool csv = flags.GetBool("csv", false);

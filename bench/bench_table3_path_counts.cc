@@ -40,7 +40,14 @@ std::string RunGreedy(const PathProvider& provider, const PathStore& candidates,
 int main(int argc, char** argv) {
   using namespace detector;
   Flags flags;
-  flags.Parse(argc, argv);
+  flags.Describe("scale", "small or paper");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (flags.Has("help")) {
+    std::printf("%s", flags.HelpText(argv[0]).c_str());
+    return 0;
+  }
   const std::string scale = flags.GetString("scale", "small");
 
   bench::PrintHeader(

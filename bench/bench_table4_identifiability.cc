@@ -33,7 +33,17 @@ constexpr PaperRow kPaperRows[] = {
 int main(int argc, char** argv) {
   using namespace detector;
   Flags flags;
-  flags.Parse(argc, argv);
+  flags.Describe("k", "fat-tree arity (default 18)");
+  flags.Describe("trials", "Monte-Carlo trials per row");
+  flags.Describe("packets", "probe packets per path per window");
+  flags.Describe("seed", "rng seed");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (flags.Has("help")) {
+    std::printf("%s", flags.HelpText(argv[0]).c_str());
+    return 0;
+  }
   const int k = static_cast<int>(flags.GetInt("k", 18));
   const int trials = static_cast<int>(flags.GetInt("trials", 25));
   const int packets = static_cast<int>(flags.GetInt("packets", 300));  // 10 pps x 30 s

@@ -13,7 +13,18 @@
 int main(int argc, char** argv) {
   using namespace detector;
   Flags flags;
-  flags.Parse(argc, argv);
+  flags.Describe("k", "fat-tree arity (default 48)");
+  flags.Describe("trials", "Monte-Carlo trials");
+  flags.Describe("packets", "probe packets per path per window");
+  flags.Describe("seed", "rng seed");
+  flags.Describe("verify", "cross-check identifiability of the structured matrix");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (flags.Has("help")) {
+    std::printf("%s", flags.HelpText(argv[0]).c_str());
+    return 0;
+  }
   const int k = static_cast<int>(flags.GetInt("k", 48));
   const int trials = static_cast<int>(flags.GetInt("trials", 16));
   const int packets = static_cast<int>(flags.GetInt("packets", 300));

@@ -1,0 +1,178 @@
+// Sharded probe-plane benchmark: wall-clock of DetectorSystem::RunWindow at increasing shard
+// thread counts, plus a bit-exactness check — the same seed must produce an identical
+// WindowResult at every thread count (per-shard RNG streams are keyed by pinger id, so
+// scheduling cannot leak into the counters).
+//
+// Acceptance (ISSUE 2): >= 3x window-execution speedup at 8 threads vs 1 thread on
+// fat-tree(16). The equivalence gate is enforced unconditionally; the speedup gate only when
+// the hardware actually has >= 8 cores (a 1-core container cannot exhibit parallel speedup,
+// and pretending otherwise would just burn CI).
+//
+// Flags: --k=16            fat-tree arity
+//        --windows=10      measured windows per thread count
+//        --pps=200         probe packets per second per pinger (work per window)
+//        --alpha, --beta   PMC configuration (default 1/1)
+//        --threads=1,2,4,8 comma-separated thread counts (first must be 1)
+//        --seed
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/detector/system.h"
+#include "src/routing/fattree_routing.h"
+#include "src/topo/fattree.h"
+
+namespace detector {
+namespace {
+
+// Everything observable about a window, minus wall-clock (LocalizeResult::seconds).
+struct WindowFingerprint {
+  std::vector<SuspectLink> links;
+  std::vector<ServerLinkAlarm> alarms;
+  int64_t probes_sent = 0;
+  int64_t bytes_sent = 0;
+
+  static WindowFingerprint Of(const DetectorSystem::WindowResult& result) {
+    return WindowFingerprint{result.localization.links, result.server_link_alarms,
+                             result.probes_sent, result.bytes_sent};
+  }
+
+  bool operator==(const WindowFingerprint& other) const {
+    if (probes_sent != other.probes_sent || bytes_sent != other.bytes_sent ||
+        links.size() != other.links.size() || alarms.size() != other.alarms.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < links.size(); ++i) {
+      if (links[i].link != other.links[i].link ||
+          links[i].estimated_loss_rate != other.links[i].estimated_loss_rate ||
+          links[i].hit_ratio != other.links[i].hit_ratio ||
+          links[i].explained_losses != other.links[i].explained_losses) {
+        return false;
+      }
+    }
+    for (size_t i = 0; i < alarms.size(); ++i) {
+      if (alarms[i].pinger != other.alarms[i].pinger ||
+          alarms[i].target != other.alarms[i].target ||
+          alarms[i].loss_ratio != other.alarms[i].loss_ratio) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+std::vector<size_t> ParseThreadCounts(const std::string& spec) {
+  std::vector<size_t> counts;
+  for (const std::string& token : bench::SplitList(spec)) {
+    counts.push_back(static_cast<size_t>(std::strtoull(token.c_str(), nullptr, 10)));
+  }
+  return counts;
+}
+
+}  // namespace
+}  // namespace detector
+
+int main(int argc, char** argv) {
+  using namespace detector;
+  Flags flags;
+  flags.Describe("k", "fat-tree arity (default 16)");
+  flags.Describe("windows", "measured windows per thread count (default 10)");
+  flags.Describe("pps", "probe packets per second per pinger (default 200)");
+  flags.Describe("alpha", "coverage target (default 1)");
+  flags.Describe("beta", "identifiability target (default 1)");
+  flags.Describe("threads", "comma-separated shard thread counts, first must be 1");
+  flags.Describe("seed", "rng seed (default 1)");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (flags.Has("help")) {
+    std::printf("%s", flags.HelpText(argv[0]).c_str());
+    return 0;
+  }
+  const int k = static_cast<int>(flags.GetInt("k", 16));
+  const int windows = std::max(1, static_cast<int>(flags.GetInt("windows", 10)));
+  const double pps = static_cast<double>(flags.GetInt("pps", 200));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const std::vector<size_t> thread_counts =
+      ParseThreadCounts(flags.GetString("threads", "1,2,4,8"));
+  if (thread_counts.empty() || thread_counts.front() != 1) {
+    std::fprintf(stderr, "--threads must start with 1 (the serial baseline)\n");
+    return 1;
+  }
+
+  bench::PrintHeader(
+      "Sharded probe plane: window execution wall-clock vs shard threads, Fattree(" +
+          std::to_string(k) + ")",
+      "Per-pinger shards on common/thread_pool, streaming into the ObservationStore; RNG\n"
+      "streams keyed by (window seed, pinger id) make results bit-identical at any thread\n"
+      "count. Acceptance: >= 3x at 8 threads (enforced when the host has >= 8 cores).");
+
+  const FatTree ft(k);
+  const FatTreeRouting routing(ft);
+  DetectorSystemOptions options;
+  options.pmc.alpha = static_cast<int>(flags.GetInt("alpha", 1));
+  options.pmc.beta = static_cast<int>(flags.GetInt("beta", 1));
+  options.controller.packets_per_second = pps;
+  WallTimer build_timer;
+  DetectorSystem system(routing, options);
+  std::printf("build: %.2f s, %zu probe paths, %zu pinglists, %u hardware threads\n\n",
+              build_timer.ElapsedSeconds(), system.probe_matrix().NumPaths(),
+              system.pinglists().size(), std::thread::hardware_concurrency());
+
+  // One mixed failure scenario, fixed across all runs.
+  FailureModel model(ft.topology(), FailureModelOptions{});
+  Rng scenario_rng(seed);
+  const FailureScenario scenario = model.SampleLinkFailures(2, scenario_rng);
+
+  TablePrinter table({"threads", "mean window ms", "speedup vs 1", "identical"});
+  std::vector<WindowFingerprint> baseline;
+  double baseline_ms = 0.0;
+  double speedup_at_8 = 0.0;
+  bool all_identical = true;
+  for (const size_t threads : thread_counts) {
+    system.set_probe_threads(threads);
+    Rng rng(seed + 7);  // same stream every thread count
+    std::vector<WindowFingerprint> prints;
+    WallTimer timer;
+    for (int w = 0; w < windows; ++w) {
+      prints.push_back(WindowFingerprint::Of(system.RunWindow(scenario, rng)));
+    }
+    const double mean_ms = timer.ElapsedMillis() / windows;
+    bool identical = true;
+    if (threads == 1) {
+      baseline = prints;
+      baseline_ms = mean_ms;
+    } else {
+      identical = prints.size() == baseline.size();
+      for (size_t i = 0; identical && i < prints.size(); ++i) {
+        identical = prints[i] == baseline[i];
+      }
+      all_identical = all_identical && identical;
+    }
+    const double speedup = threads == 1 ? 1.0 : baseline_ms / std::max(mean_ms, 1e-9);
+    if (threads == 8) {
+      speedup_at_8 = speedup;
+    }
+    table.AddRow({TablePrinter::FmtInt(static_cast<int64_t>(threads)),
+                  TablePrinter::Fmt(mean_ms, 2), TablePrinter::Fmt(speedup, 2),
+                  identical ? "yes" : "NO"});
+  }
+  table.Print();
+
+  if (!all_identical) {
+    std::printf("\nFAIL: parallel window results diverge from the serial baseline\n");
+    return 2;
+  }
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores >= 8 && speedup_at_8 > 0.0) {
+    const bool pass = speedup_at_8 >= 3.0;
+    std::printf("\n8-thread speedup %.2fx — %s (gate: >= 3x)\n", speedup_at_8,
+                pass ? "PASS" : "FAIL");
+    return pass ? 0 : 2;
+  }
+  std::printf("\nbit-exactness PASS; speedup gate skipped (%u hardware threads < 8)\n", cores);
+  return 0;
+}

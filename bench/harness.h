@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "src/common/flags.h"
 #include "src/common/rng.h"
@@ -27,6 +28,24 @@ inline void PrintHeader(const std::string& title, const std::string& notes) {
     std::printf("%s\n", notes.c_str());
   }
   std::printf("\n");
+}
+
+// Splits a comma-separated flag value ("1,2,8" / "0,3.5,12") into tokens; empty tokens are
+// dropped. Callers convert each token with strtod/strtoull as needed.
+inline std::vector<std::string> SplitList(const std::string& spec) {
+  std::vector<std::string> tokens;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t next = spec.find(',', pos);
+    if (next == std::string::npos) {
+      next = spec.size();
+    }
+    if (next > pos) {
+      tokens.push_back(spec.substr(pos, next - pos));
+    }
+    pos = next + 1;
+  }
+  return tokens;
 }
 
 // Simulates one observation window over every path of the probe matrix.

@@ -16,7 +16,17 @@
 int main(int argc, char** argv) {
   using namespace detector;
   Flags flags;
-  flags.Parse(argc, argv);
+  flags.Describe("k", "fat-tree arity (default 4)");
+  flags.Describe("budget", "probe budget");
+  flags.Describe("transient", "make the failure transient");
+  flags.Describe("seed", "rng seed");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (flags.Has("help")) {
+    std::printf("%s", flags.HelpText(argv[0]).c_str());
+    return 0;
+  }
   const int k = static_cast<int>(flags.GetInt("k", 4));
   const int64_t budget = flags.GetInt("budget", 6000);
   const bool transient = flags.GetBool("transient", false);

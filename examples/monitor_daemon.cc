@@ -1,15 +1,21 @@
 // Continuous-monitoring example: runs the full deTector pipeline (controller -> pingers ->
 // diagnoser) over a sequence of 30 s windows while the network's failure state evolves —
 // a healthy start, a gray failure appearing, a second concurrent failure, a pinger dying
-// (watchdog + cycle recompute), and recovery. Prints a timeline of alarms.
+// (watchdog + cycle recompute), recovery, and finally a stretch of continuous topology churn:
+// a ChurnGenerator trace sliced across windows drives ApplyTopologyDelta mid-window through
+// the incremental repair path, and a RecomputeCycle closes the run like the 10-minute
+// re-plan would. Prints a timeline of alarms and churn activity.
 //
-//   ./monitor_daemon [--k=6] [--windows-per-phase=2] [--seed=9]
+//   ./monitor_daemon [--k=6] [--windows-per-phase=2] [--churn-windows=4]
+//                    [--churn-per-minute=4] [--seed=9]
+#include <algorithm>
 #include <cstdio>
 
 #include "src/common/flags.h"
 #include "src/detector/system.h"
 #include "src/localize/metrics.h"
 #include "src/routing/fattree_routing.h"
+#include "src/sim/churn.h"
 
 namespace {
 
@@ -18,6 +24,9 @@ void PrintWindow(const detector::Topology& topo, int window,
                  const std::string& phase) {
   std::printf("[t=%3ds] %-34s probes=%-6lld alarms=%zu", window * 30, phase.c_str(),
               static_cast<long long>(result.probes_sent), result.localization.links.size());
+  if (result.churn_events_applied > 0) {
+    std::printf("  churn=%zu", result.churn_events_applied);
+  }
   for (const auto& s : result.localization.links) {
     std::printf("  %s(est=%.3f)", topo.LinkName(s.link).c_str(), s.estimated_loss_rate);
   }
@@ -33,9 +42,22 @@ void PrintWindow(const detector::Topology& topo, int window,
 int main(int argc, char** argv) {
   using namespace detector;
   Flags flags;
-  flags.Parse(argc, argv);
+  flags.Describe("k", "fat-tree arity (default 6)");
+  flags.Describe("windows-per-phase", "30 s windows per failure phase (default 2)");
+  flags.Describe("churn-windows", "windows of continuous topology churn (default 4)");
+  flags.Describe("churn-per-minute", "link churn events per minute in the churn phase");
+  flags.Describe("seed", "rng seed (default 9)");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (flags.Has("help")) {
+    std::printf("%s", flags.HelpText(argv[0]).c_str());
+    return 0;
+  }
   const int k = static_cast<int>(flags.GetInt("k", 6));
   const int per_phase = static_cast<int>(flags.GetInt("windows-per-phase", 2));
+  const int churn_windows = static_cast<int>(flags.GetInt("churn-windows", 4));
+  const double churn_per_minute = flags.GetDouble("churn-per-minute", 4.0);
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 9)));
 
   const FatTree fattree(k);
@@ -92,5 +114,40 @@ int main(int argc, char** argv) {
 
   // Phase 5: failures repaired.
   run_phase("repaired", FailureScenario{});
+
+  // Phase 6: continuous topology churn. A long generator trace is sliced per window; every
+  // slice's events apply mid-window via ApplyTopologyDelta (incremental matrix repair +
+  // pinglist diffs), so probing keeps running while links flap and drain under it.
+  ChurnOptions churn_options;
+  churn_options.link_events_per_minute = churn_per_minute;
+  churn_options.node_events_per_minute = churn_per_minute / 10.0;
+  const ChurnGenerator generator(topo, churn_options);
+  const double horizon = churn_windows * options.window_seconds;
+  const auto trace = generator.Sample(horizon, rng);
+  std::printf("--- churn: %zu events over %.0f s (%.1f link events/min) ---\n", trace.size(),
+              horizon, churn_per_minute);
+  size_t applied = 0;
+  const int total_slices =
+      trace.empty() ? churn_windows
+                    : std::max(churn_windows,
+                               static_cast<int>(trace.back().time_seconds /
+                                                options.window_seconds) + 1);
+  for (int w = 0; w < total_slices; ++w) {
+    const auto slice = WindowSlice(trace, w * options.window_seconds,
+                                   (w + 1) * options.window_seconds);
+    const auto result = system.RunWindowWithChurn(FailureScenario{}, slice, rng);
+    applied += result.churn_events_applied;
+    PrintWindow(topo, window++, result, "topology churn");
+  }
+  std::printf("--- churn done: %zu/%zu events applied, overlay dead links=%zu ---\n", applied,
+              trace.size(), system.overlay().NumDeadLinks());
+
+  // The 10-minute re-plan: rebuild over the live topology and rebalance what repair left
+  // sticky.
+  system.RecomputeCycle();
+  std::printf("--- cycle recomputed: %zu pinglists, alpha %s ---\n",
+              system.pinglists().size(),
+              system.pmc_stats().alpha_satisfied ? "satisfied" : "NOT satisfied");
+  run_phase("post-churn healthy", FailureScenario{});
   return 0;
 }

@@ -24,7 +24,25 @@
 int main(int argc, char** argv) {
   using namespace detector;
   Flags flags;
-  flags.Parse(argc, argv);
+  flags.Describe("topo", "fattree | bcube | vl2");
+  flags.Describe("k", "fat-tree arity");
+  flags.Describe("n", "bcube port count");
+  flags.Describe("levels", "bcube levels");
+  flags.Describe("da", "vl2 aggregate degree");
+  flags.Describe("di", "vl2 intermediate degree");
+  flags.Describe("servers", "vl2 servers per ToR");
+  flags.Describe("alpha", "coverage target");
+  flags.Describe("beta", "identifiability target");
+  flags.Describe("reduced", "symmetry-reduced path enumeration");
+  flags.Describe("structured", "structured fat-tree matrix instead of PMC");
+  flags.Describe("dump-pinglist", "print the first pinglist as XML");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (flags.Has("help")) {
+    std::printf("%s", flags.HelpText(argv[0]).c_str());
+    return 0;
+  }
   const std::string topo_kind = flags.GetString("topo", "fattree");
   const int alpha = static_cast<int>(flags.GetInt("alpha", 1));
   const int beta = static_cast<int>(flags.GetInt("beta", 1));

@@ -15,7 +15,17 @@
 int main(int argc, char** argv) {
   using namespace detector;
   Flags flags;
-  flags.Parse(argc, argv);
+  flags.Describe("k", "fat-tree arity (default 8)");
+  flags.Describe("alpha", "coverage target");
+  flags.Describe("beta", "identifiability target");
+  flags.Describe("seed", "rng seed");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (flags.Has("help")) {
+    std::printf("%s", flags.HelpText(argv[0]).c_str());
+    return 0;
+  }
   const int k = static_cast<int>(flags.GetInt("k", 8));
   const int alpha = static_cast<int>(flags.GetInt("alpha", 2));
   const int beta = static_cast<int>(flags.GetInt("beta", 1));

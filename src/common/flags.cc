@@ -22,15 +22,32 @@ bool Flags::Parse(int argc, char** argv) {
       return true;
     }
     const size_t eq = arg.find('=');
+    const std::string name = eq == std::string::npos ? arg : arg.substr(0, eq);
+    if (!IsKnown(name)) {
+      std::fprintf(stderr, "unknown flag --%s (see --help)\n", name.c_str());
+      return false;
+    }
     if (eq != std::string::npos) {
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      values_[name] = arg.substr(eq + 1);
     } else {
       // Bare boolean. Values must use --name=value: "--name value" would be ambiguous with a
       // boolean flag followed by a positional argument.
-      values_[arg] = "true";
+      values_[name] = "true";
     }
   }
   return true;
+}
+
+bool Flags::IsKnown(const std::string& name) const {
+  if (descriptions_.empty() || name == "help") {
+    return true;  // nothing registered: ad-hoc parser, accept anything
+  }
+  for (const auto& [known, help] : descriptions_) {
+    if (known == name) {
+      return true;
+    }
+  }
+  return false;
 }
 
 bool Flags::Has(const std::string& name) const { return values_.count(name) > 0; }

@@ -1,6 +1,7 @@
-// Tiny command-line flag parser for benches and examples. Accepts --name=value and
-// --name value forms plus bare --bool-flag. Unknown flags are an error by default so typos
-// in experiment sweeps fail loudly.
+// Tiny command-line flag parser for benches and examples. Accepts --name=value forms plus
+// bare --bool-flag. Once any flag has been registered via Describe, unknown flags are a parse
+// error so typos in experiment sweeps fail loudly ("--help" is always accepted); a parser with
+// no registered flags accepts anything, for ad-hoc use.
 #ifndef SRC_COMMON_FLAGS_H_
 #define SRC_COMMON_FLAGS_H_
 
@@ -25,12 +26,16 @@ class Flags {
   // Positional (non --flag) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
 
-  // Registers a flag for --help output; purely documentation.
+  // Registers a flag: listed in --help output, and once at least one flag is registered,
+  // Parse rejects any --flag not registered here.
   void Describe(const std::string& name, const std::string& help);
   std::string HelpText(const std::string& program) const;
 
  private:
   std::optional<std::string> Lookup(const std::string& name) const;
+  // True when the flag may appear on the command line (registered, "help", or nothing
+  // registered at all).
+  bool IsKnown(const std::string& name) const;
 
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;

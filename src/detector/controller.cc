@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <unordered_set>
 
 namespace detector {
@@ -97,6 +98,74 @@ void EntriesForPath(const Topology& topo, const ControllerOptions& options,
 
 }  // namespace
 
+std::string PinglistDiff::ToXml() const {
+  XmlWriter w;
+  w.Open("pinglistdiff");
+  w.Attribute("pinger", static_cast<int64_t>(pinger));
+  w.Attribute("version", static_cast<int64_t>(version));
+  for (const PathId path : removed_paths) {
+    w.Open("remove");
+    w.Attribute("path", static_cast<int64_t>(path));
+    w.Close();
+  }
+  for (const PinglistEntry& entry : added) {
+    WriteProbeEntryXml(w, entry);
+  }
+  w.Close();
+  return w.TakeString();
+}
+
+PinglistDiff PinglistDiff::FromXml(const std::string& xml) {
+  const std::unique_ptr<XmlNode> root = ParseXml(xml);
+  CHECK(root->name == "pinglistdiff") << "unexpected root element " << root->name;
+  PinglistDiff diff;
+  diff.pinger = static_cast<NodeId>(root->AttrInt("pinger", kInvalidNode));
+  diff.version = static_cast<int>(root->AttrInt("version", 0));
+  for (const XmlNode* remove : root->Children("remove")) {
+    diff.removed_paths.push_back(static_cast<PathId>(remove->AttrInt("path", -1)));
+  }
+  for (const XmlNode* probe : root->Children("probe")) {
+    diff.added.push_back(ProbeEntryFromXml(*probe));
+  }
+  return diff;
+}
+
+PathPingerIndex PathPingerIndex::Build(std::span<const Pinglist> lists) {
+  PathPingerIndex index;
+  for (const Pinglist& list : lists) {
+    for (const PinglistEntry& entry : list.entries) {
+      if (entry.path_id >= 0) {
+        index.Add(entry.path_id, list.pinger);
+      }
+    }
+  }
+  return index;
+}
+
+void PathPingerIndex::Add(PathId path, NodeId pinger) {
+  CHECK(path >= 0);
+  const size_t p = static_cast<size_t>(path);
+  if (p >= pingers_of_path_.size()) {
+    pingers_of_path_.resize(p + 1);
+  }
+  pingers_of_path_[p].push_back(pinger);
+}
+
+void PathPingerIndex::ClearPath(PathId path) {
+  const size_t p = static_cast<size_t>(path);
+  if (path >= 0 && p < pingers_of_path_.size()) {
+    pingers_of_path_[p].clear();
+  }
+}
+
+size_t PathPingerIndex::NumIndexedPaths() const {
+  size_t n = 0;
+  for (const auto& pingers : pingers_of_path_) {
+    n += pingers.empty() ? 0 : 1;
+  }
+  return n;
+}
+
 std::vector<NodeId> Controller::HealthyServersUnder(NodeId tor, const Watchdog& watchdog) const {
   return HealthyUnder(topo_, tor, watchdog);
 }
@@ -173,7 +242,8 @@ std::vector<Pinglist> Controller::BuildPinglists(const ProbeMatrix& matrix,
 PinglistUpdate Controller::UpdatePinglists(std::vector<Pinglist>& lists,
                                            const ProbeMatrix& matrix, const Watchdog& watchdog,
                                            std::span<const PathId> removed_paths,
-                                           std::span<const PathId> added_paths) const {
+                                           std::span<const PathId> added_paths,
+                                           PathPingerIndex* index) const {
   PinglistUpdate update;
   if (removed_paths.empty() && added_paths.empty()) {
     return update;
@@ -186,27 +256,48 @@ PinglistUpdate Controller::UpdatePinglists(std::vector<Pinglist>& lists,
   std::map<NodeId, PinglistDiff> diffs;  // ordered by pinger for determinism
 
   // Removals: drop every entry measuring a removed path. kIntraRackPath entries never match
-  // (slot ids are non-negative).
+  // (slot ids are non-negative). With an index, only the lists holding a replica of a removed
+  // slot are visited; the blind path scans them all.
   const std::unordered_set<PathId> removed(removed_paths.begin(), removed_paths.end());
-  if (!removed.empty()) {
-    for (Pinglist& list : lists) {
-      auto keep = list.entries.begin();
-      PinglistDiff* diff = nullptr;
-      for (auto it = list.entries.begin(); it != list.entries.end(); ++it) {
-        if (it->path_id >= 0 && removed.count(it->path_id) > 0) {
-          if (diff == nullptr) {
-            diff = &diffs.try_emplace(list.pinger).first->second;
-          }
-          diff->removed_paths.push_back(it->path_id);
-          ++update.entries_removed;
-          continue;
+  auto remove_from_list = [&](Pinglist& list) {
+    auto keep = list.entries.begin();
+    PinglistDiff* diff = nullptr;
+    for (auto it = list.entries.begin(); it != list.entries.end(); ++it) {
+      if (it->path_id >= 0 && removed.count(it->path_id) > 0) {
+        if (diff == nullptr) {
+          diff = &diffs.try_emplace(list.pinger).first->second;
         }
-        if (keep != it) {
-          *keep = std::move(*it);
-        }
-        ++keep;
+        diff->removed_paths.push_back(it->path_id);
+        ++update.entries_removed;
+        continue;
       }
-      list.entries.erase(keep, list.entries.end());
+      if (keep != it) {
+        *keep = std::move(*it);
+      }
+      ++keep;
+    }
+    list.entries.erase(keep, list.entries.end());
+  };
+  if (!removed.empty()) {
+    if (index != nullptr) {
+      std::set<NodeId> touched;  // ordered so removal order matches the blind path
+      for (const PathId pid : removed_paths) {
+        for (const NodeId pinger : index->PingersOf(pid)) {
+          touched.insert(pinger);
+        }
+      }
+      for (const NodeId pinger : touched) {
+        const auto it = list_of_pinger.find(pinger);
+        CHECK(it != list_of_pinger.end()) << "index names a pinger with no standing list";
+        remove_from_list(lists[it->second]);
+      }
+      for (const PathId pid : removed_paths) {
+        index->ClearPath(pid);
+      }
+    } else {
+      for (Pinglist& list : lists) {
+        remove_from_list(list);
+      }
     }
   }
 
@@ -229,6 +320,9 @@ PinglistUpdate Controller::UpdatePinglists(std::vector<Pinglist>& lists,
       }
       PinglistDiff& diff = diffs.try_emplace(pinger).first->second;
       diff.added.push_back(entry);
+      if (index != nullptr) {
+        index->Add(pid, pinger);
+      }
       lists[it->second].entries.push_back(std::move(entry));
       ++update.entries_added;
     }

@@ -29,12 +29,45 @@ struct ControllerOptions {
 
 // Per-pinger pinglist change: entries dropped (by matrix path id) and entries appended, plus
 // the pinglist version after applying the diff. Serialized/applied in this order: removals,
-// then additions.
+// then additions. The XML wire format mirrors the full-pinglist one, so a real pinger can
+// fetch deltas over the same channel it fetches lists.
 struct PinglistDiff {
   NodeId pinger = kInvalidNode;
   int version = 0;
   std::vector<PathId> removed_paths;
   std::vector<PinglistEntry> added;
+
+  std::string ToXml() const;
+  static PinglistDiff FromXml(const std::string& xml);
+};
+
+// Maintained path -> pinger replica index over a set of standing pinglists. With it,
+// UpdatePinglists dispatches a probe-matrix delta by consulting only the removed slots'
+// replica pingers instead of scanning every pinglist entry — the dispatch analogue of the
+// component-restricted matrix repair, sized for fat-tree(48) churn. Matrix (non-negative)
+// slots only; intra-rack entries are never delta-dispatched.
+class PathPingerIndex {
+ public:
+  PathPingerIndex() = default;
+
+  // Rebuilds from scratch — call after BuildPinglists replaces the standing lists wholesale.
+  static PathPingerIndex Build(std::span<const Pinglist> lists);
+
+  // Pingers holding a replica entry for the slot (unordered; empty when none).
+  std::span<const NodeId> PingersOf(PathId path) const {
+    const size_t p = static_cast<size_t>(path);
+    static const std::vector<NodeId> kNone;
+    return path >= 0 && p < pingers_of_path_.size() ? pingers_of_path_[p] : kNone;
+  }
+
+  void Add(PathId path, NodeId pinger);
+  // Drops every replica record for the slot (the slot left the standing lists entirely).
+  void ClearPath(PathId path);
+
+  size_t NumIndexedPaths() const;
+
+ private:
+  std::vector<std::vector<NodeId>> pingers_of_path_;  // indexed by matrix slot
 };
 
 struct PinglistUpdate {
@@ -59,10 +92,16 @@ class Controller {
   // assignment rules as BuildPinglists). Bumps the version of every touched pinglist exactly
   // once and returns the per-pinger diffs. A pinger with no surviving entries keeps its (empty)
   // pinglist so a later delta can repopulate it without renumbering versions.
+  //
+  // With `index` (built over these lists and kept current across calls), removal dispatch
+  // visits only the lists the index names for the removed slots and the index is updated in
+  // place; without it, every pinglist entry is scanned. Both paths produce identical lists and
+  // diffs.
   PinglistUpdate UpdatePinglists(std::vector<Pinglist>& lists, const ProbeMatrix& matrix,
                                  const Watchdog& watchdog,
                                  std::span<const PathId> removed_paths,
-                                 std::span<const PathId> added_paths) const;
+                                 std::span<const PathId> added_paths,
+                                 PathPingerIndex* index = nullptr) const;
 
   const ControllerOptions& options() const { return options_; }
 

@@ -1,73 +1,52 @@
 #include "src/detector/diagnoser.h"
 
-#include <unordered_set>
+#include <algorithm>
 
 namespace detector {
 
-void Diagnoser::Ingest(const PingerWindowResult& window) { windows_.push_back(window); }
-
-void Diagnoser::DropReports(std::span<const PathId> paths) {
-  if (paths.empty()) {
-    return;
+void Diagnoser::Ingest(const PingerWindowResult& window) {
+  PathId max_slot = -1;
+  for (const PathReport& report : window.reports) {
+    max_slot = std::max(max_slot, report.path_id);
   }
-  const std::unordered_set<PathId> dropped(paths.begin(), paths.end());
-  for (PingerWindowResult& window : windows_) {
-    std::erase_if(window.reports, [&](const PathReport& report) {
-      return report.path_id >= 0 && dropped.count(report.path_id) > 0;
-    });
+  if (max_slot >= 0) {
+    store_.EnsureSlots(static_cast<size_t>(max_slot) + 1);
+  }
+  ObservationStore::Shard& shard = store_.OpenShard(window.pinger);
+  for (const PathReport& report : window.reports) {
+    if (report.path_id == PinglistEntry::kIntraRackPath) {
+      shard.RecordIntraRack(report.target, report.sent, report.lost);
+    } else if (report.path_id >= 0) {
+      shard.RecordPath(report.path_id, report.target, report.sent, report.lost);
+    }
   }
 }
 
 Observations Diagnoser::AggregatedObservations(const ProbeMatrix& matrix,
                                                const Watchdog& watchdog) const {
-  Observations obs(matrix.NumPaths());
-  for (const PingerWindowResult& window : windows_) {
-    if (!watchdog.IsHealthy(window.pinger)) {
-      continue;  // outlier removal (§5.1): a bad pinger fabricates losses everywhere
-    }
-    for (const PathReport& report : window.reports) {
-      if (report.path_id < 0 ||
-          static_cast<size_t>(report.path_id) >= obs.size()) {
-        continue;  // intra-rack probes are handled by ServerLinkAlarms
-      }
-      if (!watchdog.IsHealthy(report.target)) {
-        continue;
-      }
-      obs[static_cast<size_t>(report.path_id)].sent += report.sent;
-      obs[static_cast<size_t>(report.path_id)].lost += report.lost;
-    }
-  }
-  return obs;
+  const ObservationView view = store_.Snapshot(matrix.NumPaths(), watchdog);
+  return Observations(view.begin(), view.end());
 }
 
 std::vector<ServerLinkAlarm> Diagnoser::ServerLinkAlarms(const Watchdog& watchdog) const {
   std::vector<ServerLinkAlarm> alarms;
-  for (const PingerWindowResult& window : windows_) {
-    if (!watchdog.IsHealthy(window.pinger)) {
+  for (const IntraRackObservation& record : store_.IntraRackObservations(watchdog)) {
+    if (record.sent == 0) {
       continue;
     }
-    for (const PathReport& report : window.reports) {
-      if (report.path_id != PinglistEntry::kIntraRackPath || report.sent == 0) {
-        continue;
-      }
-      if (!watchdog.IsHealthy(report.target)) {
-        continue;
-      }
-      const double ratio =
-          static_cast<double>(report.lost) / static_cast<double>(report.sent);
-      if (report.lost >= options_.preprocess.min_lost_packets &&
-          ratio > options_.preprocess.path_loss_ratio_threshold) {
-        alarms.push_back(ServerLinkAlarm{window.pinger, report.target, ratio});
-      }
+    const double ratio = static_cast<double>(record.lost) / static_cast<double>(record.sent);
+    if (record.lost >= options_.preprocess.min_lost_packets &&
+        ratio > options_.preprocess.path_loss_ratio_threshold) {
+      alarms.push_back(ServerLinkAlarm{record.pinger, record.target, ratio});
     }
   }
   return alarms;
 }
 
 LocalizeResult Diagnoser::Diagnose(const ProbeMatrix& matrix, const Watchdog& watchdog) {
-  const Observations obs = AggregatedObservations(matrix, watchdog);
-  LocalizeResult result = pll_.Localize(matrix, obs);
-  windows_.clear();
+  LocalizeResult result =
+      pll_.LocalizeView(matrix, store_.Snapshot(matrix.NumPaths(), watchdog));
+  store_.Clear();
   return result;
 }
 

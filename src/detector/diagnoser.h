@@ -1,13 +1,15 @@
-// Diagnoser (§3.1): collects the pingers' 30-second reports, merges replicas (a path is probed
-// by >= 2 pingers), discards reports from servers the watchdog flagged, and runs PLL over the
-// aggregated observations. Also tracks intra-rack probe results for server-link alarms.
+// Diagnoser (§3.1): consumes the window's ObservationStore — per-pinger shards streamed in by
+// the probe plane (or Ingest'ed as whole reports by callers without a shard runtime), merges
+// replicas (a path is probed by >= 2 pingers), discards records from servers the watchdog
+// flagged, and runs PLL over a zero-copy snapshot view. Also tracks intra-rack probe results
+// for server-link alarms.
 #ifndef SRC_DETECTOR_DIAGNOSER_H_
 #define SRC_DETECTOR_DIAGNOSER_H_
 
-#include <map>
 #include <span>
 #include <vector>
 
+#include "src/detector/observation_store.h"
 #include "src/detector/pinger.h"
 #include "src/localize/pll.h"
 #include "src/sim/watchdog.h"
@@ -24,29 +26,36 @@ class Diagnoser {
  public:
   explicit Diagnoser(PllOptions options = PllOptions{}) : pll_(options), options_(options) {}
 
+  // The accumulation buffer the probe plane streams into (one shard per pinger).
+  ObservationStore& store() { return store_; }
+  const ObservationStore& store() const { return store_; }
+
+  // Bulk ingestion of a finished pinger report into the store — the non-streaming path used by
+  // standalone pingers and tests.
   void Ingest(const PingerWindowResult& window);
 
-  // Discards buffered reports for the given matrix paths. Called when a mid-window topology
+  // Orphans buffered counters for the given matrix slots. Called when a mid-window topology
   // delta removes paths: their slots may be reused by repair within the same window, and the
-  // final matrix no longer carries the dropped path, so stale reports would otherwise be
+  // final matrix no longer carries the dropped path, so stale counters would otherwise be
   // attributed to the slot's new occupant at Diagnose time.
-  void DropReports(std::span<const PathId> paths);
+  void DropReports(std::span<const PathId> paths) { store_.InvalidateSlots(paths); }
 
-  // Merged per-path observations for the current window (replica reports summed).
+  // Merged per-path observations for the current window (replica reports summed). Copies the
+  // store snapshot; Diagnose itself consumes the snapshot view without copying.
   Observations AggregatedObservations(const ProbeMatrix& matrix, const Watchdog& watchdog) const;
 
   // Intra-rack (server-link) losses above the preprocessing threshold.
   std::vector<ServerLinkAlarm> ServerLinkAlarms(const Watchdog& watchdog) const;
 
-  // Runs PLL on everything ingested since the last call, then clears the buffer.
+  // Runs PLL on everything accumulated since the last call, then clears the buffer.
   LocalizeResult Diagnose(const ProbeMatrix& matrix, const Watchdog& watchdog);
 
-  void Clear() { windows_.clear(); }
+  void Clear() { store_.Clear(); }
 
  private:
   PllLocalizer pll_;
   PllOptions options_;
-  std::vector<PingerWindowResult> windows_;
+  ObservationStore store_;
 };
 
 }  // namespace detector

@@ -1,0 +1,83 @@
+#include "src/detector/observation_store.h"
+
+#include "src/common/check.h"
+
+namespace detector {
+
+void ObservationStore::Shard::RecordPath(PathId slot, NodeId target, int64_t sent,
+                                         int64_t lost) {
+  DCHECK(slot >= 0 && static_cast<size_t>(slot) < store_->slot_epoch_.size());
+  paths_.push_back(PathRecord{slot, target, sent, lost,
+                              store_->slot_epoch_[static_cast<size_t>(slot)]});
+}
+
+void ObservationStore::Shard::RecordIntraRack(NodeId target, int64_t sent, int64_t lost) {
+  intra_.push_back(IntraRackObservation{pinger_, target, sent, lost});
+}
+
+void ObservationStore::EnsureSlots(size_t num_slots) {
+  if (num_slots > slot_epoch_.size()) {
+    slot_epoch_.resize(num_slots, 0);
+  }
+}
+
+ObservationStore::Shard& ObservationStore::OpenShard(NodeId pinger) {
+  auto [it, inserted] = shard_of_pinger_.try_emplace(pinger, shards_.size());
+  if (inserted) {
+    shards_.emplace_back(new Shard(this, pinger));
+  }
+  return *shards_[it->second];
+}
+
+void ObservationStore::InvalidateSlots(std::span<const PathId> slots) {
+  for (const PathId slot : slots) {
+    if (slot >= 0 && static_cast<size_t>(slot) < slot_epoch_.size()) {
+      ++slot_epoch_[static_cast<size_t>(slot)];
+    }
+  }
+}
+
+ObservationView ObservationStore::Snapshot(size_t num_slots, const Watchdog& watchdog) const {
+  snapshot_.assign(num_slots, PathObservation{});
+  for (const auto& shard : shards_) {
+    if (!watchdog.IsHealthy(shard->pinger_)) {
+      continue;  // outlier removal (§5.1): a bad pinger fabricates losses everywhere
+    }
+    for (const Shard::PathRecord& record : shard->paths_) {
+      const size_t slot = static_cast<size_t>(record.slot);
+      if (slot >= num_slots || record.epoch != slot_epoch_[slot]) {
+        continue;  // beyond the matrix, or orphaned by a mid-window invalidation
+      }
+      if (!watchdog.IsHealthy(record.target)) {
+        continue;
+      }
+      snapshot_[slot].sent += record.sent;
+      snapshot_[slot].lost += record.lost;
+    }
+  }
+  return snapshot_;
+}
+
+std::vector<IntraRackObservation> ObservationStore::IntraRackObservations(
+    const Watchdog& watchdog) const {
+  std::vector<IntraRackObservation> out;
+  for (const auto& shard : shards_) {
+    if (!watchdog.IsHealthy(shard->pinger_)) {
+      continue;
+    }
+    for (const IntraRackObservation& record : shard->intra_) {
+      if (watchdog.IsHealthy(record.target)) {
+        out.push_back(record);
+      }
+    }
+  }
+  return out;
+}
+
+void ObservationStore::Clear() {
+  shards_.clear();
+  shard_of_pinger_.clear();
+  slot_epoch_.assign(slot_epoch_.size(), 0);
+}
+
+}  // namespace detector

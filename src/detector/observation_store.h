@@ -1,0 +1,106 @@
+// ObservationStore: streaming per-window observation accumulator behind the diagnoser. Each
+// pinger shard owns one accumulation bucket and streams per-slot (sent, lost) counters into it
+// as its probes run, so the window's observations build up incrementally instead of arriving
+// as one monolithic batch at window end. Slots can be invalidated mid-window (epoch bump) when
+// ApplyTopologyDelta vacates them, which orphans every counter already buffered on the slot in
+// O(slots) without scanning the shards; a slot reused by repair within the same window starts
+// a fresh epoch, so the new occupant's counters never mix with the stale ones.
+//
+// Threading contract: OpenShard/EnsureSlots/InvalidateSlots/Snapshot run in serial phases;
+// between them, each shard may be written by exactly one thread with no locking (shards never
+// share mutable state, and slot epochs are only read during the parallel phase).
+#ifndef SRC_DETECTOR_OBSERVATION_STORE_H_
+#define SRC_DETECTOR_OBSERVATION_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/localize/observations.h"
+#include "src/routing/path_store.h"
+#include "src/sim/watchdog.h"
+#include "src/topo/topology.h"
+
+namespace detector {
+
+// One intra-rack (server-link) probe record; these live outside the slot space and are never
+// invalidated by topology deltas (they age out when the window's buffer clears).
+struct IntraRackObservation {
+  NodeId pinger = kInvalidNode;
+  NodeId target = kInvalidNode;
+  int64_t sent = 0;
+  int64_t lost = 0;
+};
+
+class ObservationStore {
+ public:
+  // Per-pinger accumulation bucket. Obtained via OpenShard; written by exactly one thread.
+  class Shard {
+   public:
+    // Streams one probe-matrix observation. `slot` must be < the EnsureSlots bound; the record
+    // is stamped with the slot's current epoch so a later invalidation orphans it.
+    void RecordPath(PathId slot, NodeId target, int64_t sent, int64_t lost);
+    // Streams one intra-rack (server-link) observation.
+    void RecordIntraRack(NodeId target, int64_t sent, int64_t lost);
+
+    NodeId pinger() const { return pinger_; }
+
+   private:
+    friend class ObservationStore;
+    Shard(const ObservationStore* store, NodeId pinger) : store_(store), pinger_(pinger) {}
+
+    struct PathRecord {
+      PathId slot;
+      NodeId target;
+      int64_t sent;
+      int64_t lost;
+      uint32_t epoch;  // slot epoch at record time; stale when the slot was since invalidated
+    };
+
+    const ObservationStore* store_;
+    NodeId pinger_;
+    std::vector<PathRecord> paths_;
+    std::vector<IntraRackObservation> intra_;
+  };
+
+  // Grows the slot-epoch table to cover [0, num_slots). Serial phase only: records may not be
+  // streamed for a slot the table does not cover yet.
+  void EnsureSlots(size_t num_slots);
+
+  // Returns the accumulation shard for `pinger`, creating it on first use. Serial phase only;
+  // the returned reference stays valid until Clear().
+  Shard& OpenShard(NodeId pinger);
+
+  // Orphans every buffered counter on the given slots (stale after a mid-window topology delta
+  // vacated them) by bumping the slots' epochs. Counters recorded afterwards — the slot's next
+  // occupant — accumulate normally under the new epoch. Serial phase only.
+  void InvalidateSlots(std::span<const PathId> slots);
+
+  // Dense merged view over slots [0, num_slots): replica counters summed across shards, minus
+  // records from watchdog-flagged pingers or towards watchdog-flagged targets, minus orphaned
+  // epochs. The view aliases an internal buffer rebuilt per call — valid until the next
+  // Snapshot/Clear, no copy handed to the consumer.
+  ObservationView Snapshot(size_t num_slots, const Watchdog& watchdog) const;
+
+  // Buffered intra-rack records (shard open order, record order within a shard), minus records
+  // from or towards watchdog-flagged servers.
+  std::vector<IntraRackObservation> IntraRackObservations(const Watchdog& watchdog) const;
+
+  // Drops every shard and resets all epochs (end of an aggregation window).
+  void Clear();
+
+  size_t num_slots() const { return slot_epoch_.size(); }
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Shard>> shards_;  // stable addresses, creation order
+  std::map<NodeId, size_t> shard_of_pinger_;    // ordered: snapshot order independent of churn
+  std::vector<uint32_t> slot_epoch_;
+  mutable Observations snapshot_;  // lazily materialized merged view
+};
+
+}  // namespace detector
+
+#endif  // SRC_DETECTOR_OBSERVATION_STORE_H_

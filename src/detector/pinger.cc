@@ -4,19 +4,18 @@
 
 namespace detector {
 
-PingerWindowResult Pinger::RunWindow(const ProbeEngine& engine, double window_seconds,
-                                     Rng& rng) const {
-  PingerWindowResult result;
-  result.pinger = pinglist_.pinger;
+template <typename Sink>
+PingerTraffic Pinger::RunEntries(const ProbeEngine& engine, double window_seconds, Rng& rng,
+                                 Sink&& sink) const {
+  PingerTraffic traffic;
   if (pinglist_.entries.empty()) {
-    return result;
+    return traffic;
   }
   const int64_t budget =
       std::max<int64_t>(1, static_cast<int64_t>(pinglist_.packets_per_second * window_seconds));
   const int64_t per_entry = std::max<int64_t>(1, budget / static_cast<int64_t>(
                                                               pinglist_.entries.size()));
 
-  result.reports.reserve(pinglist_.entries.size());
   for (const PinglistEntry& entry : pinglist_.entries) {
     PathObservation obs = engine.SimulatePath(entry.route, pinglist_.pinger,
                                               entry.target_server,
@@ -28,16 +27,40 @@ PingerWindowResult Pinger::RunWindow(const ProbeEngine& engine, double window_se
       obs.sent += confirm.sent;
       obs.lost += confirm.lost;
     }
-    PathReport report;
-    report.path_id = entry.path_id;
-    report.target = entry.target_server;
-    report.sent = obs.sent;
-    report.lost = obs.lost;
-    result.probes_sent += obs.sent;
-    result.bytes_sent += obs.sent * engine.config().probe_bytes * 2;  // request + echo
-    result.reports.push_back(report);
+    traffic.probes_sent += obs.sent;
+    traffic.bytes_sent += obs.sent * engine.config().probe_bytes * 2;  // request + echo
+    sink(entry.path_id, entry.target_server, obs.sent, obs.lost);
   }
+  return traffic;
+}
+
+PingerWindowResult Pinger::RunWindow(const ProbeEngine& engine, double window_seconds,
+                                     Rng& rng) const {
+  PingerWindowResult result;
+  result.pinger = pinglist_.pinger;
+  result.reports.reserve(pinglist_.entries.size());
+  const PingerTraffic traffic = RunEntries(
+      engine, window_seconds, rng, [&](PathId path_id, NodeId target, int64_t sent,
+                                       int64_t lost) {
+        result.reports.push_back(PathReport{path_id, target, sent, lost});
+      });
+  result.probes_sent = traffic.probes_sent;
+  result.bytes_sent = traffic.bytes_sent;
   return result;
+}
+
+PingerTraffic Pinger::RunWindowInto(const ProbeEngine& engine, double window_seconds, Rng& rng,
+                                    ObservationStore::Shard& shard) const {
+  return RunEntries(engine, window_seconds, rng,
+                    [&](PathId path_id, NodeId target, int64_t sent, int64_t lost) {
+                      if (path_id == PinglistEntry::kIntraRackPath) {
+                        shard.RecordIntraRack(target, sent, lost);
+                      } else if (path_id >= 0) {
+                        // Other negative ids (a corrupt wire pinglist) are dropped, matching
+                        // Diagnoser::Ingest.
+                        shard.RecordPath(path_id, target, sent, lost);
+                      }
+                    });
 }
 
 }  // namespace detector

@@ -1,11 +1,17 @@
 // Pinger (§3.1, §6.1): loops over its pinglist at a configured rate, cycling source ports for
 // packet entropy, confirms each observed loss with two extra probes of the same content, and
 // aggregates (sent, lost) per path into a 30-second report for the diagnoser.
+//
+// Two execution modes: RunWindow returns the classic monolithic end-of-window report;
+// RunWindowInto streams each entry's counters into an ObservationStore shard as they are
+// produced, which is what the sharded probe-plane runtime uses — one pinger per shard, each on
+// its own deterministic RNG stream (ProbeEngine::ShardRng).
 #ifndef SRC_DETECTOR_PINGER_H_
 #define SRC_DETECTOR_PINGER_H_
 
 #include <vector>
 
+#include "src/detector/observation_store.h"
 #include "src/detector/pinglist.h"
 #include "src/localize/observations.h"
 #include "src/sim/probe_engine.h"
@@ -26,6 +32,13 @@ struct PingerWindowResult {
   int64_t bytes_sent = 0;
 };
 
+// Traffic accounting of one shard's window execution (the observations themselves stream into
+// the ObservationStore).
+struct PingerTraffic {
+  int64_t probes_sent = 0;
+  int64_t bytes_sent = 0;
+};
+
 class Pinger {
  public:
   explicit Pinger(Pinglist pinglist, int confirm_packets = 2)
@@ -35,9 +48,19 @@ class Pinger {
   // over the pinglist entries.
   PingerWindowResult RunWindow(const ProbeEngine& engine, double window_seconds, Rng& rng) const;
 
+  // Same window, streamed: each entry's counters land in `shard` the moment they are measured.
+  // The shard must belong to this pinger and be written by no other thread.
+  PingerTraffic RunWindowInto(const ProbeEngine& engine, double window_seconds, Rng& rng,
+                              ObservationStore::Shard& shard) const;
+
   const Pinglist& pinglist() const { return pinglist_; }
 
  private:
+  // Shared core: runs every entry and hands (path_id, target, sent, lost) to `sink`.
+  template <typename Sink>
+  PingerTraffic RunEntries(const ProbeEngine& engine, double window_seconds, Rng& rng,
+                           Sink&& sink) const;
+
   Pinglist pinglist_;
   int confirm_packets_;
 };

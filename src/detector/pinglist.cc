@@ -4,6 +4,40 @@
 
 namespace detector {
 
+void WriteProbeEntryXml(XmlWriter& w, const PinglistEntry& entry) {
+  w.Open("probe");
+  w.Attribute("path", static_cast<int64_t>(entry.path_id));
+  w.Attribute("target", static_cast<int64_t>(entry.target_server));
+  std::string route;
+  for (size_t i = 0; i < entry.route.size(); ++i) {
+    route += std::to_string(entry.route[i]);
+    if (i + 1 < entry.route.size()) {
+      route += " ";
+    }
+  }
+  w.Attribute("route", route);
+  w.Close();
+}
+
+PinglistEntry ProbeEntryFromXml(const XmlNode& node) {
+  PinglistEntry entry;
+  entry.path_id = static_cast<PathId>(node.AttrInt("path", -1));
+  entry.target_server = static_cast<NodeId>(node.AttrInt("target", kInvalidNode));
+  const std::string route = node.Attr("route");
+  size_t pos = 0;
+  while (pos < route.size()) {
+    size_t next = route.find(' ', pos);
+    if (next == std::string::npos) {
+      next = route.size();
+    }
+    if (next > pos) {
+      entry.route.push_back(static_cast<LinkId>(std::stol(route.substr(pos, next - pos))));
+    }
+    pos = next + 1;
+  }
+  return entry;
+}
+
 std::string Pinglist::ToXml() const {
   XmlWriter w;
   w.Open("pinglist");
@@ -12,18 +46,7 @@ std::string Pinglist::ToXml() const {
   w.Attribute("pps", packets_per_second);
   w.Attribute("ports", static_cast<int64_t>(port_count));
   for (const PinglistEntry& entry : entries) {
-    w.Open("probe");
-    w.Attribute("path", static_cast<int64_t>(entry.path_id));
-    w.Attribute("target", static_cast<int64_t>(entry.target_server));
-    std::string route;
-    for (size_t i = 0; i < entry.route.size(); ++i) {
-      route += std::to_string(entry.route[i]);
-      if (i + 1 < entry.route.size()) {
-        route += " ";
-      }
-    }
-    w.Attribute("route", route);
-    w.Close();
+    WriteProbeEntryXml(w, entry);
   }
   w.Close();
   return w.TakeString();
@@ -38,22 +61,7 @@ Pinglist Pinglist::FromXml(const std::string& xml) {
   list.packets_per_second = root->AttrDouble("pps", 10.0);
   list.port_count = static_cast<int>(root->AttrInt("ports", 8));
   for (const XmlNode* probe : root->Children("probe")) {
-    PinglistEntry entry;
-    entry.path_id = static_cast<PathId>(probe->AttrInt("path", -1));
-    entry.target_server = static_cast<NodeId>(probe->AttrInt("target", kInvalidNode));
-    const std::string route = probe->Attr("route");
-    size_t pos = 0;
-    while (pos < route.size()) {
-      size_t next = route.find(' ', pos);
-      if (next == std::string::npos) {
-        next = route.size();
-      }
-      if (next > pos) {
-        entry.route.push_back(static_cast<LinkId>(std::stol(route.substr(pos, next - pos))));
-      }
-      pos = next + 1;
-    }
-    list.entries.push_back(std::move(entry));
+    list.entries.push_back(ProbeEntryFromXml(*probe));
   }
   return list;
 }

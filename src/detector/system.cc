@@ -1,7 +1,9 @@
 #include "src/detector/system.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <thread>
 #include <unordered_set>
 
 namespace detector {
@@ -18,6 +20,7 @@ DetectorSystem::DetectorSystem(const PathProvider& provider, DetectorSystemOptio
       controller_(topo_, options.controller),
       diagnoser_(options.pll) {
   pinglists_ = controller_.BuildPinglists(matrix_, watchdog_);
+  path_index_ = PathPingerIndex::Build(pinglists_);
   for (const Pinglist& list : pinglists_) {
     version_floor_[list.pinger] = list.version;
   }
@@ -33,6 +36,7 @@ DetectorSystem::DetectorSystem(const Topology& topo, ProbeMatrix matrix,
       controller_(topo_, options.controller),
       diagnoser_(options.pll) {
   pinglists_ = controller_.BuildPinglists(matrix_, watchdog_);
+  path_index_ = PathPingerIndex::Build(pinglists_);
   for (const Pinglist& list : pinglists_) {
     version_floor_[list.pinger] = list.version;
   }
@@ -63,6 +67,7 @@ void DetectorSystem::RecomputeCycle() {
     matrix_ = incremental_->BuildMatrix();
   }
   pinglists_ = controller_.BuildPinglists(matrix_, watchdog_);
+  path_index_ = PathPingerIndex::Build(pinglists_);
 
   // Fixed-matrix mode keeps dead-link paths in the matrix; withdraw their entries so the
   // rebuild respects the overlay like the incremental path does (whose FullResolve already
@@ -78,7 +83,7 @@ void DetectorSystem::RecomputeCycle() {
     }
     std::sort(dead_paths.begin(), dead_paths.end());
     dead_paths.erase(std::unique(dead_paths.begin(), dead_paths.end()), dead_paths.end());
-    controller_.UpdatePinglists(pinglists_, matrix_, watchdog_, dead_paths, {});
+    controller_.UpdatePinglists(pinglists_, matrix_, watchdog_, dead_paths, {}, &path_index_);
   }
 
   // A full rebuild is a new pinglist generation for every pinger: versions must move strictly
@@ -199,7 +204,7 @@ DetectorSystem::ChurnApplyResult DetectorSystem::ApplyTopologyDelta(const Topolo
   }
 
   PinglistUpdate update =
-      controller_.UpdatePinglists(pinglists_, matrix_, watchdog_, removed, added);
+      controller_.UpdatePinglists(pinglists_, matrix_, watchdog_, removed, added, &path_index_);
   out.pinglists_touched = update.lists_touched;
   out.entries_removed = update.entries_removed;
   out.entries_added = update.entries_added;
@@ -226,15 +231,62 @@ FailureScenario DetectorSystem::OverlaidScenario(const FailureScenario& scenario
 void DetectorSystem::RunSegment(const FailureScenario& scenario, double seconds, Rng& rng,
                                 WindowResult& result) {
   const ProbeEngine engine(topo_, OverlaidScenario(scenario), options_.probe);
+
+  // Serial phase: one shard per non-empty pinglist, opened before any thread runs. The caller's
+  // rng advances exactly once (the window seed) however many shards or threads execute, and
+  // each shard's stream is keyed by its pinger id — so the segment's counters are bit-identical
+  // at any thread count, including 1.
+  ObservationStore& store = diagnoser_.store();
+  store.EnsureSlots(matrix_.NumPaths());
+  const uint64_t window_seed = rng();
+  struct ShardWork {
+    const Pinglist* list;
+    ObservationStore::Shard* shard;
+  };
+  std::vector<ShardWork> work;
+  work.reserve(pinglists_.size());
   for (const Pinglist& list : pinglists_) {
-    if (list.entries.empty()) {
-      continue;
+    if (!list.entries.empty()) {
+      work.push_back(ShardWork{&list, &store.OpenShard(list.pinger)});
     }
-    Pinger pinger(list, options_.confirm_packets);
-    const PingerWindowResult window = pinger.RunWindow(engine, seconds, rng);
-    result.probes_sent += window.probes_sent;
-    result.bytes_sent += window.bytes_sent;
-    diagnoser_.Ingest(window);
+  }
+
+  // Parallel phase: each shard is written by exactly one worker; traffic totals land in a
+  // per-shard array and are reduced in shard order afterwards.
+  std::vector<PingerTraffic> traffic(work.size());
+  auto run_shard = [&](size_t i) {
+    Rng shard_rng = ProbeEngine::ShardRng(window_seed, static_cast<uint64_t>(
+                                                           work[i].list->pinger));
+    Pinger pinger(*work[i].list, options_.confirm_packets);
+    traffic[i] = pinger.RunWindowInto(engine, seconds, shard_rng, *work[i].shard);
+  };
+  // The pool is sized by the configured thread count alone — shard-count fluctuations across
+  // segments (churn emptying a pinglist) must not tear workers down and restart them.
+  const size_t configured = options_.probe_threads != 0
+                                ? options_.probe_threads
+                                : std::max<size_t>(1, std::thread::hardware_concurrency());
+  if (configured <= 1 || work.size() <= 1) {
+    for (size_t i = 0; i < work.size(); ++i) {
+      run_shard(i);
+    }
+  } else {
+    if (pool_ == nullptr || pool_->num_threads() != configured) {
+      pool_ = std::make_unique<ThreadPool>(configured);
+    }
+    std::atomic<size_t> next{0};
+    const size_t tasks = std::min(configured, work.size());
+    for (size_t t = 0; t < tasks; ++t) {
+      pool_->Submit([&] {
+        for (size_t i = next.fetch_add(1); i < work.size(); i = next.fetch_add(1)) {
+          run_shard(i);
+        }
+      });
+    }
+    pool_->WaitAll();
+  }
+  for (const PingerTraffic& t : traffic) {
+    result.probes_sent += t.probes_sent;
+    result.bytes_sent += t.bytes_sent;
   }
 }
 

@@ -2,6 +2,11 @@
 // computation (PMC or a structured matrix), probing (controller -> pingers -> probe engine),
 // and loss localization (diagnoser/PLL), organized in 30 s windows within 10-minute cycles.
 //
+// Window execution is sharded: each non-empty pinglist becomes one shard, shards run
+// concurrently on a thread pool (probe_threads), and every shard streams its counters into the
+// diagnoser's ObservationStore on its own RNG stream keyed by (window seed, pinger id) — so a
+// window's WindowResult is bit-identical at any thread count.
+//
 // Topology churn runs through ApplyTopologyDelta(): overlay update -> incremental probe-matrix
 // repair (IncrementalPmc) -> minimal per-pinger pinglist diffs — the milliseconds-scale
 // alternative to RecomputeCycle()'s from-scratch rebuild. RunWindowWithChurn() exercises churn
@@ -14,6 +19,7 @@
 #include <memory>
 #include <span>
 
+#include "src/common/thread_pool.h"
 #include "src/detector/controller.h"
 #include "src/detector/diagnoser.h"
 #include "src/detector/pinger.h"
@@ -36,6 +42,10 @@ struct DetectorSystemOptions {
   ProbeConfig probe;
   double window_seconds = 30.0;  // report aggregation / diagnosis period
   int confirm_packets = 2;
+  // Probe-plane shard parallelism: each window splits into per-pinger shards executed on this
+  // many threads (0 = hardware concurrency). Results are bit-identical at any thread count —
+  // every shard draws from its own RNG stream keyed by (window seed, pinger id).
+  size_t probe_threads = 0;
 };
 
 class DetectorSystem {
@@ -103,6 +113,10 @@ class DetectorSystem {
   const LinkStateOverlay& overlay() const { return overlay_; }
   // Null when constructed from a fixed matrix.
   const IncrementalPmc* incremental() const { return incremental_.get(); }
+  const PathPingerIndex& path_index() const { return path_index_; }
+  // Re-sizes the probe-plane shard pool (0 = hardware concurrency). Takes effect at the next
+  // window; does not change results, only wall-clock.
+  void set_probe_threads(size_t n) { options_.probe_threads = n; }
 
  private:
   void RunSegment(const FailureScenario& scenario, double seconds, Rng& rng,
@@ -123,6 +137,12 @@ class DetectorSystem {
   Controller controller_;
   Diagnoser diagnoser_;
   std::vector<Pinglist> pinglists_;
+  // path -> pinger replica index over pinglists_, kept current by UpdatePinglists so delta
+  // dispatch touches only the diff (rebuilt wholesale when BuildPinglists replaces the lists).
+  PathPingerIndex path_index_;
+  // Persistent shard workers, created lazily at the first parallel segment and resized when
+  // probe_threads changes — window execution must not pay thread start-up per segment.
+  std::unique_ptr<ThreadPool> pool_;
   // Per-pinger version high-water marks. Outlives the pinglists themselves: a pinger whose
   // list vanishes for a cycle (unhealthy, no entries) must not restart at version 1, or a
   // diff consumer would discard everything after its return as stale.

@@ -4,6 +4,7 @@
 #define SRC_LOCALIZE_OBSERVATIONS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace detector {
@@ -18,6 +19,10 @@ struct PathObservation {
 };
 
 using Observations = std::vector<PathObservation>;
+
+// Non-owning view over a window's observations — what the preprocessing/localization stages
+// consume, so an ObservationStore snapshot flows through without copying.
+using ObservationView = std::span<const PathObservation>;
 
 }  // namespace detector
 

@@ -13,12 +13,17 @@ double InvertRoundTripLoss(double path_loss_ratio) {
 }
 
 LocalizeResult PllLocalizer::Localize(const ProbeMatrix& matrix, const Observations& obs) const {
-  return LocalizeWithOutliers(matrix, obs, {});
+  return LocalizeView(matrix, obs, {});
 }
 
 LocalizeResult PllLocalizer::LocalizeWithOutliers(const ProbeMatrix& matrix,
                                                   const Observations& obs,
                                                   std::span<const uint8_t> outlier_paths) const {
+  return LocalizeView(matrix, obs, outlier_paths);
+}
+
+LocalizeResult PllLocalizer::LocalizeView(const ProbeMatrix& matrix, ObservationView obs,
+                                          std::span<const uint8_t> outlier_paths) const {
   WallTimer timer;
   CHECK_EQ(obs.size(), matrix.NumPaths());
   LocalizeResult result;

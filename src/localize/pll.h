@@ -28,6 +28,11 @@ class PllLocalizer : public Localizer {
   LocalizeResult LocalizeWithOutliers(const ProbeMatrix& matrix, const Observations& obs,
                                       std::span<const uint8_t> outlier_paths) const;
 
+  // Core entry point over a non-owning view — an ObservationStore snapshot localizes without
+  // ever being copied into an owned vector. The overloads above delegate here.
+  LocalizeResult LocalizeView(const ProbeMatrix& matrix, ObservationView obs,
+                              std::span<const uint8_t> outlier_paths = {}) const;
+
  private:
   PllOptions options_;
 };

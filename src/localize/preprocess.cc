@@ -4,7 +4,7 @@
 
 namespace detector {
 
-PreprocessedObservations Preprocess(const Observations& obs, const PreprocessOptions& options,
+PreprocessedObservations Preprocess(ObservationView obs, const PreprocessOptions& options,
                                     std::span<const uint8_t> outlier_paths) {
   PreprocessedObservations result;
   result.valid.assign(obs.size(), 0);

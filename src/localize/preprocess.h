@@ -30,8 +30,9 @@ struct PreprocessedObservations {
 };
 
 // `outlier_paths` marks paths whose pinger/responder was flagged by the watchdog; those
-// observations are discarded entirely (empty span = none).
-PreprocessedObservations Preprocess(const Observations& obs, const PreprocessOptions& options,
+// observations are discarded entirely (empty span = none). Takes a view so ObservationStore
+// snapshots flow through without materializing an owned vector.
+PreprocessedObservations Preprocess(ObservationView obs, const PreprocessOptions& options,
                                     std::span<const uint8_t> outlier_paths = {});
 
 }  // namespace detector

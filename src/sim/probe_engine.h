@@ -41,6 +41,18 @@ class ProbeEngine {
  public:
   ProbeEngine(const Topology& topo, const FailureScenario& scenario, ProbeConfig config);
 
+  // Shard API: the engine is immutable once built, so one instance serves any number of
+  // concurrent pinger shards; each shard draws from its own RNG stream derived here. Keying by
+  // a stable shard identity (the pinger's node id) rather than the shard's position makes the
+  // streams invariant to scheduling order and thread count — a window executed over N threads
+  // is bit-identical to the same window executed serially.
+  static uint64_t ShardSeed(uint64_t window_seed, uint64_t shard_key) {
+    return HashCombine(window_seed, shard_key);
+  }
+  static Rng ShardRng(uint64_t window_seed, uint64_t shard_key) {
+    return Rng(ShardSeed(window_seed, shard_key));
+  }
+
   // `active` toggles the scenario's failures (false = healthy network, e.g. a playback window
   // after a transient failure cleared).
   void SetFailuresActive(bool active) { failures_active_ = active; }

@@ -433,6 +433,92 @@ TEST_F(PinglistUpdateTest, MinimalDiffWithVersionBump) {
   }
 }
 
+TEST_F(PinglistUpdateTest, DiffXmlRoundTrip) {
+  Controller controller(ft_.topology(), ControllerOptions{});
+  std::vector<Pinglist> lists = controller.BuildPinglists(matrix_, watchdog_);
+
+  // A mixed diff: remove two paths, re-add one — both removal and probe elements on the wire.
+  const std::vector<PathId> removed = {0, 1};
+  controller.UpdatePinglists(lists, matrix_, watchdog_, removed, {});
+  const std::vector<PathId> re_added = {0};
+  const PinglistUpdate update =
+      controller.UpdatePinglists(lists, matrix_, watchdog_, {}, re_added);
+  ASSERT_FALSE(update.diffs.empty());
+
+  for (const PinglistDiff& diff : update.diffs) {
+    const PinglistDiff parsed = PinglistDiff::FromXml(diff.ToXml());
+    EXPECT_EQ(parsed.pinger, diff.pinger);
+    EXPECT_EQ(parsed.version, diff.version);
+    EXPECT_EQ(parsed.removed_paths, diff.removed_paths);
+    ASSERT_EQ(parsed.added.size(), diff.added.size());
+    for (size_t i = 0; i < diff.added.size(); ++i) {
+      EXPECT_EQ(parsed.added[i].path_id, diff.added[i].path_id);
+      EXPECT_EQ(parsed.added[i].target_server, diff.added[i].target_server);
+      EXPECT_EQ(parsed.added[i].route, diff.added[i].route);
+    }
+  }
+
+  // An empty-removal, empty-addition diff would not be emitted; a removal-only one must still
+  // round-trip (no <probe> children).
+  const PinglistUpdate removal_only =
+      controller.UpdatePinglists(lists, matrix_, watchdog_, re_added, {});
+  ASSERT_FALSE(removal_only.diffs.empty());
+  const PinglistDiff parsed = PinglistDiff::FromXml(removal_only.diffs[0].ToXml());
+  EXPECT_EQ(parsed.removed_paths, removal_only.diffs[0].removed_paths);
+  EXPECT_TRUE(parsed.added.empty());
+}
+
+TEST_F(PinglistUpdateTest, IndexedDispatchMatchesBlindScan) {
+  Controller controller(ft_.topology(), ControllerOptions{});
+  std::vector<Pinglist> blind = controller.BuildPinglists(matrix_, watchdog_);
+  std::vector<Pinglist> indexed = blind;
+  PathPingerIndex index = PathPingerIndex::Build(indexed);
+  EXPECT_EQ(index.NumIndexedPaths(), matrix_.NumPaths());
+
+  auto expect_same = [&](const PinglistUpdate& a, const PinglistUpdate& b) {
+    EXPECT_EQ(a.lists_touched, b.lists_touched);
+    EXPECT_EQ(a.entries_removed, b.entries_removed);
+    EXPECT_EQ(a.entries_added, b.entries_added);
+    ASSERT_EQ(a.diffs.size(), b.diffs.size());
+    for (size_t i = 0; i < a.diffs.size(); ++i) {
+      EXPECT_EQ(a.diffs[i].pinger, b.diffs[i].pinger);
+      EXPECT_EQ(a.diffs[i].version, b.diffs[i].version);
+      EXPECT_EQ(a.diffs[i].removed_paths, b.diffs[i].removed_paths);
+      EXPECT_EQ(a.diffs[i].added.size(), b.diffs[i].added.size());
+    }
+    ASSERT_EQ(blind.size(), indexed.size());
+    for (size_t i = 0; i < blind.size(); ++i) {
+      EXPECT_EQ(blind[i].pinger, indexed[i].pinger);
+      EXPECT_EQ(blind[i].version, indexed[i].version);
+      ASSERT_EQ(blind[i].entries.size(), indexed[i].entries.size());
+      for (size_t e = 0; e < blind[i].entries.size(); ++e) {
+        EXPECT_EQ(blind[i].entries[e].path_id, indexed[i].entries[e].path_id);
+        EXPECT_EQ(blind[i].entries[e].target_server, indexed[i].entries[e].target_server);
+      }
+    }
+  };
+
+  // Removal, re-addition, and a mixed delta — the indexed dispatch must land on identical
+  // lists and diffs while keeping the index current across calls.
+  const std::vector<PathId> batch = {0, 3, 7};
+  expect_same(controller.UpdatePinglists(blind, matrix_, watchdog_, batch, {}),
+              controller.UpdatePinglists(indexed, matrix_, watchdog_, batch, {}, &index));
+  for (const PathId pid : batch) {
+    EXPECT_TRUE(index.PingersOf(pid).empty());
+  }
+  const std::vector<PathId> back = {0, 3};
+  expect_same(controller.UpdatePinglists(blind, matrix_, watchdog_, {}, back),
+              controller.UpdatePinglists(indexed, matrix_, watchdog_, {}, back, &index));
+  // A repair-shaped mixed delta: one standing slot vacated, one absent slot re-selected.
+  const std::vector<PathId> removed_again = {0};
+  const std::vector<PathId> added_again = {7};
+  expect_same(
+      controller.UpdatePinglists(blind, matrix_, watchdog_, removed_again, added_again),
+      controller.UpdatePinglists(indexed, matrix_, watchdog_, removed_again, added_again,
+                                 &index));
+  EXPECT_EQ(index.NumIndexedPaths(), matrix_.NumPaths() - 1);  // path 0 still out
+}
+
 TEST_F(PinglistUpdateTest, EmptyDeltaTouchesNothing) {
   Controller controller(ft_.topology(), ControllerOptions{});
   std::vector<Pinglist> lists = controller.BuildPinglists(matrix_, watchdog_);

@@ -208,6 +208,28 @@ TEST(Flags, DoubleDashStopsParsing) {
   ASSERT_EQ(flags.positional().size(), 1u);
 }
 
+TEST(Flags, RejectsUnknownFlagsOnceRegistered) {
+  // A typo'd flag must fail loudly instead of silently falling back to the default.
+  const char* argv[] = {"prog", "--trails=50"};
+  Flags flags;
+  flags.Describe("trials", "trial count");
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)));
+
+  const char* ok[] = {"prog", "--trials=50", "--help", "pos"};
+  Flags strict;
+  strict.Describe("trials", "trial count");
+  ASSERT_TRUE(strict.Parse(4, const_cast<char**>(ok)));  // --help is always known
+  EXPECT_EQ(strict.GetInt("trials", 0), 50);
+  EXPECT_TRUE(strict.Has("help"));
+  ASSERT_EQ(strict.positional().size(), 1u);
+
+  // Nothing registered: ad-hoc parser keeps accepting anything.
+  const char* adhoc[] = {"prog", "--whatever=1"};
+  Flags loose;
+  ASSERT_TRUE(loose.Parse(2, const_cast<char**>(adhoc)));
+  EXPECT_EQ(loose.GetInt("whatever", 0), 1);
+}
+
 TEST(Table, RendersAligned) {
   TablePrinter t({"name", "value"});
   t.AddRow({"a", "1"});

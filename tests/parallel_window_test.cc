@@ -1,0 +1,204 @@
+// Sharded probe-plane tests: parallel-vs-serial window equivalence (the per-shard RNG streams
+// must make WindowResult bit-identical at any thread count, with and without mid-window
+// churn), and ObservationStore semantics — streaming accumulation, replica merging, watchdog
+// filtering, and epoch-based slot invalidation with mid-window slot reuse.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/detector/observation_store.h"
+#include "src/detector/system.h"
+#include "src/routing/fattree_routing.h"
+#include "src/sim/churn.h"
+#include "src/topo/fattree.h"
+
+namespace detector {
+namespace {
+
+// Everything observable about a window except wall-clock.
+void ExpectIdenticalWindows(const DetectorSystem::WindowResult& a,
+                            const DetectorSystem::WindowResult& b, int threads) {
+  EXPECT_EQ(a.probes_sent, b.probes_sent) << "threads=" << threads;
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent) << "threads=" << threads;
+  EXPECT_EQ(a.churn_events_applied, b.churn_events_applied) << "threads=" << threads;
+  ASSERT_EQ(a.localization.links.size(), b.localization.links.size()) << "threads=" << threads;
+  for (size_t i = 0; i < a.localization.links.size(); ++i) {
+    EXPECT_EQ(a.localization.links[i].link, b.localization.links[i].link);
+    EXPECT_EQ(a.localization.links[i].estimated_loss_rate,
+              b.localization.links[i].estimated_loss_rate);
+    EXPECT_EQ(a.localization.links[i].hit_ratio, b.localization.links[i].hit_ratio);
+    EXPECT_EQ(a.localization.links[i].explained_losses,
+              b.localization.links[i].explained_losses);
+  }
+  ASSERT_EQ(a.server_link_alarms.size(), b.server_link_alarms.size());
+  for (size_t i = 0; i < a.server_link_alarms.size(); ++i) {
+    EXPECT_EQ(a.server_link_alarms[i].pinger, b.server_link_alarms[i].pinger);
+    EXPECT_EQ(a.server_link_alarms[i].target, b.server_link_alarms[i].target);
+    EXPECT_EQ(a.server_link_alarms[i].loss_ratio, b.server_link_alarms[i].loss_ratio);
+  }
+}
+
+TEST(ParallelWindow, BitIdenticalAcrossThreadCounts) {
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  DetectorSystemOptions options;
+  options.pmc.alpha = 2;
+  options.pmc.beta = 1;
+  options.controller.packets_per_second = 50;
+  options.probe_threads = 1;
+  DetectorSystem system(routing, options);
+
+  FailureScenario scenario;
+  LinkFailure f;
+  f.link = ft.AggCoreLink(1, 0, 1);
+  f.type = FailureType::kRandomPartial;
+  f.loss_rate = 0.05;
+  scenario.failures.push_back(f);
+
+  // Serial baseline, then the same seed at higher thread counts — including more threads than
+  // the host has cores, and more than there are shards.
+  Rng serial_rng(1234);
+  const auto baseline = system.RunWindow(scenario, serial_rng);
+  EXPECT_GT(baseline.probes_sent, 0);
+  for (const int threads : {2, 8}) {
+    system.set_probe_threads(static_cast<size_t>(threads));
+    Rng rng(1234);
+    const auto parallel = system.RunWindow(scenario, rng);
+    ExpectIdenticalWindows(baseline, parallel, threads);
+  }
+}
+
+TEST(ParallelWindow, BitIdenticalUnderMidWindowChurn) {
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  DetectorSystemOptions options;
+  options.pmc.alpha = 1;
+  options.pmc.beta = 1;
+  options.controller.packets_per_second = 50;
+
+  const LinkId flapper = ft.AggCoreLink(3, 1, 1);
+  std::vector<ChurnEvent> churn;
+  churn.push_back(ChurnEvent{8.0, TopologyDelta::LinkDown(flapper)});
+  churn.push_back(ChurnEvent{21.0, TopologyDelta::LinkUp(flapper)});
+
+  FailureScenario scenario;
+  LinkFailure f;
+  f.link = ft.EdgeAggLink(2, 0, 1);
+  f.type = FailureType::kFullLoss;
+  scenario.failures.push_back(f);
+
+  // Each thread count gets a fresh system (churn mutates matrix/pinglist state) and the same
+  // seed; every observable field of the result must match the serial baseline.
+  std::vector<DetectorSystem::WindowResult> results;
+  for (const size_t threads : {1u, 2u, 8u}) {
+    DetectorSystemOptions opts = options;
+    opts.probe_threads = threads;
+    DetectorSystem system(routing, opts);
+    Rng rng(77);
+    results.push_back(system.RunWindowWithChurn(scenario, churn, rng));
+    EXPECT_EQ(results.back().churn_events_applied, 2u);
+  }
+  ExpectIdenticalWindows(results[0], results[1], 2);
+  ExpectIdenticalWindows(results[0], results[2], 8);
+  // The injected (non-churn) failure is still localized.
+  ASSERT_GE(results[0].localization.links.size(), 1u);
+  EXPECT_EQ(results[0].localization.links[0].link, f.link);
+}
+
+TEST(ObservationStore, StreamsMergesAndFilters) {
+  const FatTree ft(4);
+  Watchdog wd(ft.topology());
+  ObservationStore store;
+  store.EnsureSlots(4);
+
+  ObservationStore::Shard& s1 = store.OpenShard(ft.Server(0, 0, 0));
+  ObservationStore::Shard& s2 = store.OpenShard(ft.Server(0, 0, 1));
+  s1.RecordPath(0, ft.Server(1, 0, 0), 100, 10);
+  s2.RecordPath(0, ft.Server(1, 0, 0), 100, 8);  // replica of the same slot
+  s2.RecordPath(2, ft.Server(1, 0, 1), 50, 0);
+  s1.RecordIntraRack(ft.Server(0, 0, 1), 30, 15);
+
+  const ObservationView view = store.Snapshot(4, wd);
+  ASSERT_EQ(view.size(), 4u);
+  EXPECT_EQ(view[0].sent, 200);  // replicas summed
+  EXPECT_EQ(view[0].lost, 18);
+  EXPECT_EQ(view[1].sent, 0);
+  EXPECT_EQ(view[2].sent, 50);
+  ASSERT_EQ(store.IntraRackObservations(wd).size(), 1u);
+
+  // Watchdog filtering: a flagged pinger's whole shard and a flagged target's records vanish.
+  wd.MarkDown(ft.Server(0, 0, 0));
+  const ObservationView filtered = store.Snapshot(4, wd);
+  EXPECT_EQ(filtered[0].sent, 100);  // only the healthy replica remains
+  EXPECT_TRUE(store.IntraRackObservations(wd).empty());
+  wd.MarkUp(ft.Server(0, 0, 0));
+  wd.MarkDown(ft.Server(1, 0, 1));  // target of slot 2
+  EXPECT_EQ(store.Snapshot(4, wd)[2].sent, 0);
+}
+
+TEST(ObservationStore, InvalidationOrphansOnlyOldEpoch) {
+  const FatTree ft(4);
+  const Watchdog wd(ft.topology());
+  ObservationStore store;
+  store.EnsureSlots(3);
+  ObservationStore::Shard& shard = store.OpenShard(ft.Server(0, 0, 0));
+  shard.RecordPath(1, ft.Server(1, 0, 0), 100, 40);
+  shard.RecordPath(2, ft.Server(2, 0, 0), 100, 1);
+
+  // Mid-window: slot 1 is vacated by repair; its buffered counters must not survive...
+  const std::vector<PathId> vacated = {1};
+  store.InvalidateSlots(vacated);
+  EXPECT_EQ(store.Snapshot(3, wd)[1].sent, 0);
+  EXPECT_EQ(store.Snapshot(3, wd)[2].sent, 100);  // untouched slot unaffected
+
+  // ...but the slot's new occupant accumulates normally under the fresh epoch, including
+  // records streamed by a different pinger after redispatch.
+  ObservationStore::Shard& other = store.OpenShard(ft.Server(0, 1, 0));
+  other.RecordPath(1, ft.Server(3, 0, 0), 60, 6);
+  EXPECT_EQ(store.Snapshot(3, wd)[1].sent, 60);
+  EXPECT_EQ(store.Snapshot(3, wd)[1].lost, 6);
+
+  // A second invalidation of the same slot orphans the new occupant too.
+  store.InvalidateSlots(vacated);
+  EXPECT_EQ(store.Snapshot(3, wd)[1].sent, 0);
+
+  store.Clear();
+  EXPECT_EQ(store.num_shards(), 0u);
+  EXPECT_EQ(store.Snapshot(3, wd)[2].sent, 0);
+}
+
+TEST(ObservationStore, MidWindowInvalidationFlowsThroughDiagnose) {
+  // End-to-end shape of RunWindowWithChurn: segment 1 reports on a slot, churn vacates it,
+  // segment 2 reports on the slot's new occupant; Diagnose must see only the new counters.
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  PmcOptions pmc;
+  pmc.alpha = 1;
+  pmc.beta = 1;
+  const ProbeMatrix matrix = BuildProbeMatrix(routing, PathEnumMode::kFull, pmc).matrix;
+  const Watchdog wd(ft.topology());
+  Diagnoser diagnoser;
+
+  PingerWindowResult seg1;
+  seg1.pinger = ft.Server(0, 0, 0);
+  seg1.reports.push_back(PathReport{0, ft.Server(1, 0, 0), 200, 200});
+  diagnoser.Ingest(seg1);
+
+  const std::vector<PathId> vacated = {0};
+  diagnoser.DropReports(vacated);
+
+  PingerWindowResult seg2;
+  seg2.pinger = ft.Server(0, 0, 0);
+  seg2.reports.push_back(PathReport{0, ft.Server(1, 0, 0), 100, 0});
+  diagnoser.Ingest(seg2);
+
+  const Observations obs = diagnoser.AggregatedObservations(matrix, wd);
+  EXPECT_EQ(obs[0].sent, 100);
+  EXPECT_EQ(obs[0].lost, 0);
+  // The stale 100%-loss counters are gone: nothing to localize.
+  const LocalizeResult result = diagnoser.Diagnose(matrix, wd);
+  EXPECT_TRUE(result.links.empty());
+}
+
+}  // namespace
+}  // namespace detector

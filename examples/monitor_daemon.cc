@@ -1,13 +1,15 @@
 // Continuous-monitoring example: runs the full deTector pipeline (controller -> pingers ->
 // diagnoser) over a sequence of 30 s windows while the network's failure state evolves —
-// a healthy start, a gray failure appearing, a second concurrent failure, a pinger dying
-// (watchdog + cycle recompute), recovery, and finally a stretch of continuous topology churn:
-// a ChurnGenerator trace sliced across windows drives ApplyTopologyDelta mid-window through
-// the incremental repair path, and a RecomputeCycle closes the run like the 10-minute
-// re-plan would. Prints a timeline of alarms and churn activity.
+// a healthy start, a gray failure appearing (first watched in continuous-diagnosis mode,
+// where the window probes in segments and PLL runs on the running observation totals every
+// few segments, printing when the failure is first *seen*), a second concurrent failure, a
+// pinger dying (watchdog + cycle recompute), recovery, and finally a stretch of continuous
+// topology churn: a ChurnGenerator trace sliced across windows drives ApplyTopologyDelta
+// mid-window through the incremental repair path, and a RecomputeCycle closes the run like
+// the 10-minute re-plan would. Prints a timeline of alarms and churn activity.
 //
 //   ./monitor_daemon [--k=6] [--windows-per-phase=2] [--churn-windows=4]
-//                    [--churn-per-minute=4] [--seed=9]
+//                    [--churn-per-minute=4] [--segments=10] [--diagnose-every=2] [--seed=9]
 #include <algorithm>
 #include <cstdio>
 
@@ -46,6 +48,8 @@ int main(int argc, char** argv) {
   flags.Describe("windows-per-phase", "30 s windows per failure phase (default 2)");
   flags.Describe("churn-windows", "windows of continuous topology churn (default 4)");
   flags.Describe("churn-per-minute", "link churn events per minute in the churn phase");
+  flags.Describe("segments", "probe slices per window in the streaming phase (default 10)");
+  flags.Describe("diagnose-every", "streaming diagnosis cadence in segments (default 2)");
   flags.Describe("seed", "rng seed (default 9)");
   if (!flags.Parse(argc, argv)) {
     return 1;
@@ -58,6 +62,8 @@ int main(int argc, char** argv) {
   const int per_phase = static_cast<int>(flags.GetInt("windows-per-phase", 2));
   const int churn_windows = static_cast<int>(flags.GetInt("churn-windows", 4));
   const double churn_per_minute = flags.GetDouble("churn-per-minute", 4.0);
+  const int segments = static_cast<int>(flags.GetInt("segments", 10));
+  const int diagnose_every = static_cast<int>(flags.GetInt("diagnose-every", 2));
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 9)));
 
   const FatTree fattree(k);
@@ -81,7 +87,10 @@ int main(int argc, char** argv) {
   // Phase 1: healthy network.
   run_phase("healthy", FailureScenario{});
 
-  // Phase 2: a gray failure — packet blackhole on an agg-core link.
+  // Phase 2: a gray failure — packet blackhole on an agg-core link. The first window runs in
+  // continuous-diagnosis mode: probes run in `segments` slices and PLL runs on the running
+  // observation totals every `diagnose_every` slices, so the blackhole is seen seconds after
+  // it manifests instead of at the window boundary.
   FailureScenario gray;
   {
     LinkFailure f;
@@ -91,6 +100,25 @@ int main(int argc, char** argv) {
     f.rule_seed = 1234;
     gray.failures.push_back(f);
   }
+  system.set_segments_per_window(segments);
+  system.set_diagnose_every_segments(diagnose_every);
+  const auto streamed = system.RunWindowStreaming(gray, {}, rng);
+  for (const auto& d : streamed.timeline) {
+    std::printf("[t=%3ds+%04.1fs] %-27s alarms=%zu", window * 30, d.time_seconds,
+                "streaming diagnosis", d.localization.links.size());
+    for (const auto& s : d.localization.links) {
+      std::printf("  %s(est=%.3f)", topo.LinkName(s.link).c_str(), s.estimated_loss_rate);
+    }
+    std::printf("\n");
+  }
+  const double first_seen = streamed.FirstDetectionSeconds(gray.failures[0].link);
+  if (first_seen > 0.0) {
+    std::printf("--- blackhole first seen %.1f s into the window (batch reports at %.0f s) ---\n",
+                first_seen, options.window_seconds);
+  }
+  PrintWindow(topo, window++, streamed.window, "blackhole (streaming)");
+  system.set_segments_per_window(1);
+  system.set_diagnose_every_segments(1);
   run_phase("blackhole on agg-core", gray);
 
   // Phase 3: a second, concurrent random-loss failure on an edge-agg link.

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Docs consistency check: every internal link and code reference in the markdown docs must
+resolve against the working tree, so README/ARCHITECTURE cannot drift silently as the code
+moves. Checked:
+
+  - markdown links [text](target): non-http targets must exist (relative to the doc's dir,
+    #fragments stripped);
+  - backtick code spans naming repo paths (src/..., tests/..., bench/..., examples/...,
+    docs/..., scripts/...): the file must exist; `path/file.{h,cc}` expands both; a trailing
+    `:line` or `: Symbol` suffix is stripped, and a symbol suffix must also appear in the file;
+  - backtick `bench_*` / example binary names in the provenance tables: a matching source file
+    must exist under bench/ or examples/.
+
+Run from anywhere: paths resolve against the repo root (the parent of this script's dir).
+Exits non-zero listing every unresolved reference. Stdlib only.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = [REPO / "README.md", REPO / "ROADMAP.md", *sorted((REPO / "docs").glob("*.md"))]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN_RE = re.compile(r"`([^`]+)`")
+REPO_PATH_RE = re.compile(r"^(?:src|tests|bench|examples|docs|scripts)/[\w./{},-]+$")
+BINARY_RE = re.compile(r"^(bench_\w+|monitor_daemon|quickstart|gray_failure_hunt|"
+                       r"probe_matrix_explorer)$")
+
+
+def expand_braces(path: str):
+    """`a/b.{h,cc}` -> [`a/b.h`, `a/b.cc`]; paths without braces pass through."""
+    m = re.match(r"^(.*)\{([^}]+)\}(.*)$", path)
+    if not m:
+        return [path]
+    return [m.group(1) + alt + m.group(3) for alt in m.group(2).split(",")]
+
+
+def check_doc(doc: Path):
+    errors = []
+    # Drop fenced code blocks first: their backticks would desync inline-span pairing, and
+    # their contents (shell commands, ASCII diagrams) are not path references.
+    text = re.sub(r"```.*?```", "", doc.read_text(encoding="utf-8"), flags=re.S)
+
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        plain = target.split("#", 1)[0]
+        if not plain:  # pure fragment link into the same document
+            continue
+        if not (doc.parent / plain).exists():
+            errors.append(f"{doc.relative_to(REPO)}: broken link -> {target}")
+
+    for span in CODE_SPAN_RE.findall(text):
+        span = span.strip()
+        if BINARY_RE.match(span):
+            if not ((REPO / "bench" / f"{span}.cc").exists()
+                    or (REPO / "examples" / f"{span}.cc").exists()):
+                errors.append(f"{doc.relative_to(REPO)}: no source for binary `{span}`")
+            continue
+        # Split an optional `:line` / `: Symbol` suffix off a path-shaped span.
+        path_part, symbol = span, None
+        if ":" in span:
+            path_part, suffix = span.split(":", 1)
+            suffix = suffix.strip()
+            if suffix and not suffix.isdigit():
+                symbol = suffix
+        if not REPO_PATH_RE.match(path_part):
+            continue
+        for candidate in expand_braces(path_part):
+            target = REPO / candidate
+            if not target.exists():
+                # Extensionless module references (`src/topo/delta`) resolve via their header.
+                if "." not in Path(candidate).name and (REPO / f"{candidate}.h").exists():
+                    continue
+                errors.append(f"{doc.relative_to(REPO)}: missing path `{span}`")
+            elif symbol and target.is_file():
+                # Symbol may be qualified (Class::Member); each piece must appear.
+                leaf = symbol.split("::")[-1].split("(")[0].strip()
+                if leaf and leaf not in target.read_text(encoding="utf-8", errors="replace"):
+                    errors.append(
+                        f"{doc.relative_to(REPO)}: `{candidate}` does not mention `{leaf}`")
+    return errors
+
+
+def main():
+    missing_docs = [d for d in (REPO / "README.md", REPO / "docs" / "ARCHITECTURE.md")
+                    if not d.exists()]
+    errors = [f"required doc missing: {d.relative_to(REPO)}" for d in missing_docs]
+    for doc in DOCS:
+        if doc.exists():
+            errors.extend(check_doc(doc))
+    if errors:
+        print(f"docs check FAILED ({len(errors)} problems):")
+        for err in errors:
+            print(f"  {err}")
+        return 1
+    print(f"docs check OK ({len([d for d in DOCS if d.exists()])} documents)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,9 +43,13 @@ std::vector<ServerLinkAlarm> Diagnoser::ServerLinkAlarms(const Watchdog& watchdo
   return alarms;
 }
 
+LocalizeResult Diagnoser::DiagnoseRunning(const ProbeMatrix& matrix, const Watchdog& watchdog) {
+  return pll_.LocalizeView(matrix, store_.RunningTotals(matrix.NumPaths(), watchdog));
+}
+
 LocalizeResult Diagnoser::Diagnose(const ProbeMatrix& matrix, const Watchdog& watchdog) {
   LocalizeResult result =
-      pll_.LocalizeView(matrix, store_.Snapshot(matrix.NumPaths(), watchdog));
+      pll_.LocalizeView(matrix, store_.RunningTotals(matrix.NumPaths(), watchdog));
   store_.Clear();
   return result;
 }

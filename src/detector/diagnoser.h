@@ -1,8 +1,10 @@
 // Diagnoser (§3.1): consumes the window's ObservationStore — per-pinger shards streamed in by
 // the probe plane (or Ingest'ed as whole reports by callers without a shard runtime), merges
 // replicas (a path is probed by >= 2 pingers), discards records from servers the watchdog
-// flagged, and runs PLL over a zero-copy snapshot view. Also tracks intra-rack probe results
-// for server-link alarms.
+// flagged, and runs PLL over a zero-copy view of the store's running totals. Diagnose()
+// consumes the window; DiagnoseRunning() is the continuous-diagnosis entry point — it reads
+// the same totals mid-window at segment cadence without consuming anything. Also tracks
+// intra-rack probe results for server-link alarms.
 #ifndef SRC_DETECTOR_DIAGNOSER_H_
 #define SRC_DETECTOR_DIAGNOSER_H_
 
@@ -20,6 +22,9 @@ struct ServerLinkAlarm {
   NodeId pinger = kInvalidNode;
   NodeId target = kInvalidNode;
   double loss_ratio = 0.0;
+
+  // Exact comparison, like SuspectLink: used by the bit-exactness gates.
+  bool operator==(const ServerLinkAlarm&) const = default;
 };
 
 class Diagnoser {
@@ -41,13 +46,21 @@ class Diagnoser {
   void DropReports(std::span<const PathId> paths) { store_.InvalidateSlots(paths); }
 
   // Merged per-path observations for the current window (replica reports summed). Copies the
-  // store snapshot; Diagnose itself consumes the snapshot view without copying.
+  // store snapshot; Diagnose itself consumes the running-totals view without copying.
   Observations AggregatedObservations(const ProbeMatrix& matrix, const Watchdog& watchdog) const;
 
   // Intra-rack (server-link) losses above the preprocessing threshold.
   std::vector<ServerLinkAlarm> ServerLinkAlarms(const Watchdog& watchdog) const;
 
-  // Runs PLL on everything accumulated since the last call, then clears the buffer.
+  // Streaming diagnosis (segment cadence): runs PLL over the store's maintained running
+  // totals without consuming the window — accumulation continues and a later Diagnose() sees
+  // everything. Cost per call is PLL plus O(records since the last serial read), not a full
+  // dense rebuild.
+  LocalizeResult DiagnoseRunning(const ProbeMatrix& matrix, const Watchdog& watchdog);
+
+  // Runs PLL on everything accumulated since the last call, then clears the buffer. Reads the
+  // same running totals the streaming path maintains, so a window's final diagnosis is
+  // bit-identical whether or not mid-window diagnoses were taken.
   LocalizeResult Diagnose(const ProbeMatrix& matrix, const Watchdog& watchdog);
 
   void Clear() { store_.Clear(); }

@@ -18,6 +18,7 @@ void ObservationStore::Shard::RecordIntraRack(NodeId target, int64_t sent, int64
 void ObservationStore::EnsureSlots(size_t num_slots) {
   if (num_slots > slot_epoch_.size()) {
     slot_epoch_.resize(num_slots, 0);
+    running_.resize(num_slots, PathObservation{});
   }
 }
 
@@ -32,7 +33,11 @@ ObservationStore::Shard& ObservationStore::OpenShard(NodeId pinger) {
 void ObservationStore::InvalidateSlots(std::span<const PathId> slots) {
   for (const PathId slot : slots) {
     if (slot >= 0 && static_cast<size_t>(slot) < slot_epoch_.size()) {
+      // Every contribution in the running totals is from the current epoch, so the bump
+      // retracts the whole slot by zeroing — no record scan. Unfolded records on the old epoch
+      // are skipped at fold time by the epoch check.
       ++slot_epoch_[static_cast<size_t>(slot)];
+      running_[static_cast<size_t>(slot)] = PathObservation{};
     }
   }
 }
@@ -58,6 +63,101 @@ ObservationView ObservationStore::Snapshot(size_t num_slots, const Watchdog& wat
   return snapshot_;
 }
 
+void ObservationStore::AdjustForNode(NodeId node, int sign) {
+  auto adjust = [&](const Shard::PathRecord& record) {
+    const size_t slot = static_cast<size_t>(record.slot);
+    if (record.epoch != slot_epoch_[slot]) {
+      return;  // orphaned: never part of the running totals
+    }
+    running_[slot].sent += sign * record.sent;
+    running_[slot].lost += sign * record.lost;
+  };
+  // Pinger role: the node's own shard, minus records excluded by a still-filtered target.
+  const auto shard_it = shard_of_pinger_.find(node);
+  if (shard_it != shard_of_pinger_.end()) {
+    const Shard& shard = *shards_[shard_it->second];
+    for (size_t i = 0; i < shard.folded_; ++i) {
+      const Shard::PathRecord& record = shard.paths_[i];
+      // node itself is outside applied_down_ (caller contract), so this also admits
+      // records whose target is the node.
+      if (applied_down_.count(record.target) == 0) {
+        adjust(record);
+      }
+    }
+  }
+  // Target role: records towards the node from other shards (its own were handled above),
+  // minus shards excluded by a still-filtered pinger.
+  if (!target_index_built_) {
+    BuildTargetIndex();
+  }
+  const auto by_target = records_by_target_.find(node);
+  if (by_target != records_by_target_.end()) {
+    for (const auto& [shard, index] : by_target->second) {
+      if (shard->pinger_ != node && applied_down_.count(shard->pinger_) == 0) {
+        adjust(shard->paths_[index]);
+      }
+    }
+  }
+}
+
+void ObservationStore::BuildTargetIndex() {
+  records_by_target_.clear();
+  for (const auto& shard : shards_) {
+    for (size_t i = 0; i < shard->folded_; ++i) {
+      records_by_target_[shard->paths_[i].target].emplace_back(shard.get(), i);
+    }
+  }
+  target_index_built_ = true;
+}
+
+void ObservationStore::FoldNewRecords() {
+  for (const auto& shard : shards_) {
+    const bool pinger_down = applied_down_.count(shard->pinger_) > 0;
+    for (size_t i = shard->folded_; i < shard->paths_.size(); ++i) {
+      const Shard::PathRecord& record = shard->paths_[i];
+      const size_t slot = static_cast<size_t>(record.slot);
+      if (!pinger_down && record.epoch == slot_epoch_[slot] &&
+          applied_down_.count(record.target) == 0) {
+        running_[slot].sent += record.sent;
+        running_[slot].lost += record.lost;
+      }
+      // Filtered and orphaned records still count as folded (and indexed): if their
+      // pinger/target later recovers, AdjustForNode(+1) re-adds exactly the ones whose epoch
+      // is still current.
+      if (target_index_built_) {
+        records_by_target_[record.target].emplace_back(shard.get(), i);
+      }
+    }
+    shard->folded_ = shard->paths_.size();
+  }
+}
+
+ObservationView ObservationStore::RunningTotals(size_t num_slots, const Watchdog& watchdog) {
+  EnsureSlots(num_slots);
+  // Reconcile the applied filter with the watchdog: only nodes whose health flipped since the
+  // last call cost a record scan; steady state costs nothing. The order nodes are processed in
+  // cannot leak into the totals — integer sums, and each step adjusts exactly the records
+  // whose contribution flips under the final down-set.
+  std::vector<NodeId> back_up;
+  for (const NodeId node : applied_down_) {
+    if (watchdog.IsHealthy(node)) {
+      back_up.push_back(node);
+    }
+  }
+  for (const NodeId node : back_up) {
+    applied_down_.erase(node);
+    AdjustForNode(node, +1);
+  }
+  for (const NodeId node : watchdog.down()) {
+    if (applied_down_.count(node) == 0) {
+      AdjustForNode(node, -1);
+      applied_down_.insert(node);
+    }
+  }
+  FoldNewRecords();
+  return ObservationView(running_.data(), num_slots);
+}
+
 std::vector<IntraRackObservation> ObservationStore::IntraRackObservations(
     const Watchdog& watchdog) const {
   std::vector<IntraRackObservation> out;
@@ -78,6 +178,10 @@ void ObservationStore::Clear() {
   shards_.clear();
   shard_of_pinger_.clear();
   slot_epoch_.assign(slot_epoch_.size(), 0);
+  running_.assign(running_.size(), PathObservation{});
+  applied_down_.clear();
+  records_by_target_.clear();
+  target_index_built_ = false;
 }
 
 }  // namespace detector

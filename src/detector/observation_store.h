@@ -6,15 +6,25 @@
 // O(slots) without scanning the shards; a slot reused by repair within the same window starts
 // a fresh epoch, so the new occupant's counters never mix with the stale ones.
 //
-// Threading contract: OpenShard/EnsureSlots/InvalidateSlots/Snapshot run in serial phases;
-// between them, each shard may be written by exactly one thread with no locking (shards never
-// share mutable state, and slot epochs are only read during the parallel phase).
+// Two dense read paths over the same records:
+//  - Snapshot(): rebuilds the merged vector from every buffered record per call. O(records)
+//    per call; kept as the reference semantics (the running totals are test-gated against it).
+//  - RunningTotals(): maintained running dense totals — each record is folded in exactly once
+//    (at the first serial read after it streams in), a slot invalidation retracts the slot's
+//    contribution in O(1) by zeroing it, and watchdog changes retract/re-add only the flipped
+//    node's records. This is what continuous per-segment diagnosis reads: cost per call is
+//    O(new records since the last call + watchdog flips), not O(all records in the window).
+//
+// Threading contract: OpenShard/EnsureSlots/InvalidateSlots/Snapshot/RunningTotals run in
+// serial phases; between them, each shard may be written by exactly one thread with no locking
+// (shards never share mutable state, and slot epochs are only read during the parallel phase).
 #ifndef SRC_DETECTOR_OBSERVATION_STORE_H_
 #define SRC_DETECTOR_OBSERVATION_STORE_H_
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <span>
 #include <vector>
 
@@ -63,10 +73,13 @@ class ObservationStore {
     NodeId pinger_;
     std::vector<PathRecord> paths_;
     std::vector<IntraRackObservation> intra_;
+    // Records below this index are reflected in the store's running totals (under the filter
+    // and epochs applied at fold time); records at/after it stream in between serial reads.
+    size_t folded_ = 0;
   };
 
-  // Grows the slot-epoch table to cover [0, num_slots). Serial phase only: records may not be
-  // streamed for a slot the table does not cover yet.
+  // Grows the slot-epoch table (and the running totals) to cover [0, num_slots). Serial phase
+  // only: records may not be streamed for a slot the table does not cover yet.
   void EnsureSlots(size_t num_slots);
 
   // Returns the accumulation shard for `pinger`, creating it on first use. Serial phase only;
@@ -74,31 +87,61 @@ class ObservationStore {
   Shard& OpenShard(NodeId pinger);
 
   // Orphans every buffered counter on the given slots (stale after a mid-window topology delta
-  // vacated them) by bumping the slots' epochs. Counters recorded afterwards — the slot's next
-  // occupant — accumulate normally under the new epoch. Serial phase only.
+  // vacated them) by bumping the slots' epochs and zeroing their running totals in O(1) per
+  // slot. Counters recorded afterwards — the slot's next occupant — accumulate normally under
+  // the new epoch. Serial phase only.
   void InvalidateSlots(std::span<const PathId> slots);
 
   // Dense merged view over slots [0, num_slots): replica counters summed across shards, minus
   // records from watchdog-flagged pingers or towards watchdog-flagged targets, minus orphaned
   // epochs. The view aliases an internal buffer rebuilt per call — valid until the next
-  // Snapshot/Clear, no copy handed to the consumer.
+  // Snapshot/Clear, no copy handed to the consumer. Reference semantics for RunningTotals.
   ObservationView Snapshot(size_t num_slots, const Watchdog& watchdog) const;
+
+  // Maintained running dense totals over slots [0, num_slots): folds the records streamed in
+  // since the last call, reconciles the watchdog filter by retracting/re-adding only nodes
+  // whose health flipped, and returns a zero-copy view over the totals. Bit-identical to
+  // Snapshot() on the same state (integer counters, order-independent). Serial phase only; the
+  // view is valid until the next EnsureSlots (growth reallocates the buffer the view
+  // aliases), InvalidateSlots, RunningTotals or Clear.
+  ObservationView RunningTotals(size_t num_slots, const Watchdog& watchdog);
 
   // Buffered intra-rack records (shard open order, record order within a shard), minus records
   // from or towards watchdog-flagged servers.
   std::vector<IntraRackObservation> IntraRackObservations(const Watchdog& watchdog) const;
 
-  // Drops every shard and resets all epochs (end of an aggregation window).
+  // Drops every shard and resets all epochs and running totals (end of an aggregation window).
   void Clear();
 
   size_t num_slots() const { return slot_epoch_.size(); }
   size_t num_shards() const { return shards_.size(); }
 
  private:
+  // Adds (`sign` = +1) or retracts (-1) the folded, current-epoch records involving `node` —
+  // its shard's records (via shard_of_pinger_) plus records targeting it (via the per-target
+  // index) — whose other party is not filtered. O(records involving node), not O(all records).
+  // The caller keeps `node` itself out of applied_down_ while this runs so each record
+  // adjusts exactly once.
+  void AdjustForNode(NodeId node, int sign);
+  // Folds records streamed in since the last serial read into the running totals and indexes
+  // them by target.
+  void FoldNewRecords();
+
   std::vector<std::unique_ptr<Shard>> shards_;  // stable addresses, creation order
   std::map<NodeId, size_t> shard_of_pinger_;    // ordered: snapshot order independent of churn
   std::vector<uint32_t> slot_epoch_;
-  mutable Observations snapshot_;  // lazily materialized merged view
+  mutable Observations snapshot_;  // lazily materialized merged view (Snapshot path)
+  // Running-totals state: running_[slot] always equals the sum of folded records whose epoch
+  // is the slot's current one and whose pinger/target are outside applied_down_.
+  Observations running_;
+  std::set<NodeId> applied_down_;  // watchdog filter currently reflected in running_
+  // Folded records by target server, as (shard, record index) — a watchdog flip of a target
+  // retracts/re-adds only that node's records instead of scanning every shard. Built lazily
+  // at the first flip (one O(folded records) scan) so the common no-flip batch window pays
+  // nothing; once built, folding keeps it current.
+  void BuildTargetIndex();
+  bool target_index_built_ = false;
+  std::map<NodeId, std::vector<std::pair<const Shard*, size_t>>> records_by_target_;
 };
 
 }  // namespace detector

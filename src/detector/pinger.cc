@@ -4,19 +4,39 @@
 
 namespace detector {
 
+namespace {
+
+// Intra-rack entries towards a watchdog-flagged server are skipped at execution time: the
+// standing pinglist carries them until the next full rebuild (open item: diffs cannot key
+// intra-rack entries yet), but probing a downed server only burns budget and records counters
+// the diagnoser would discard anyway. Matrix entries are not filtered here — server churn
+// re-dispatches them off downed endpoints through UpdatePinglists.
+bool EntryEligible(const PinglistEntry& entry, const Watchdog* watchdog) {
+  return entry.path_id != PinglistEntry::kIntraRackPath || watchdog == nullptr ||
+         watchdog->IsHealthy(entry.target_server);
+}
+
+}  // namespace
+
 template <typename Sink>
 PingerTraffic Pinger::RunEntries(const ProbeEngine& engine, double window_seconds, Rng& rng,
-                                 Sink&& sink) const {
+                                 const Watchdog* watchdog, Sink&& sink) const {
   PingerTraffic traffic;
-  if (pinglist_.entries.empty()) {
+  int64_t eligible = 0;
+  for (const PinglistEntry& entry : pinglist_.entries) {
+    eligible += EntryEligible(entry, watchdog) ? 1 : 0;
+  }
+  if (eligible == 0) {
     return traffic;
   }
   const int64_t budget =
       std::max<int64_t>(1, static_cast<int64_t>(pinglist_.packets_per_second * window_seconds));
-  const int64_t per_entry = std::max<int64_t>(1, budget / static_cast<int64_t>(
-                                                              pinglist_.entries.size()));
+  const int64_t per_entry = std::max<int64_t>(1, budget / eligible);
 
   for (const PinglistEntry& entry : pinglist_.entries) {
+    if (!EntryEligible(entry, watchdog)) {
+      continue;
+    }
     PathObservation obs = engine.SimulatePath(entry.route, pinglist_.pinger,
                                               entry.target_server,
                                               static_cast<int>(per_entry), rng);
@@ -35,13 +55,13 @@ PingerTraffic Pinger::RunEntries(const ProbeEngine& engine, double window_second
 }
 
 PingerWindowResult Pinger::RunWindow(const ProbeEngine& engine, double window_seconds,
-                                     Rng& rng) const {
+                                     Rng& rng, const Watchdog* watchdog) const {
   PingerWindowResult result;
   result.pinger = pinglist_.pinger;
   result.reports.reserve(pinglist_.entries.size());
   const PingerTraffic traffic = RunEntries(
-      engine, window_seconds, rng, [&](PathId path_id, NodeId target, int64_t sent,
-                                       int64_t lost) {
+      engine, window_seconds, rng, watchdog,
+      [&](PathId path_id, NodeId target, int64_t sent, int64_t lost) {
         result.reports.push_back(PathReport{path_id, target, sent, lost});
       });
   result.probes_sent = traffic.probes_sent;
@@ -50,8 +70,9 @@ PingerWindowResult Pinger::RunWindow(const ProbeEngine& engine, double window_se
 }
 
 PingerTraffic Pinger::RunWindowInto(const ProbeEngine& engine, double window_seconds, Rng& rng,
-                                    ObservationStore::Shard& shard) const {
-  return RunEntries(engine, window_seconds, rng,
+                                    ObservationStore::Shard& shard,
+                                    const Watchdog* watchdog) const {
+  return RunEntries(engine, window_seconds, rng, watchdog,
                     [&](PathId path_id, NodeId target, int64_t sent, int64_t lost) {
                       if (path_id == PinglistEntry::kIntraRackPath) {
                         shard.RecordIntraRack(target, sent, lost);

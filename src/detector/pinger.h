@@ -15,6 +15,7 @@
 #include "src/detector/pinglist.h"
 #include "src/localize/observations.h"
 #include "src/sim/probe_engine.h"
+#include "src/sim/watchdog.h"
 
 namespace detector {
 
@@ -45,21 +46,28 @@ class Pinger {
       : pinglist_(std::move(pinglist)), confirm_packets_(confirm_packets) {}
 
   // Executes one aggregation window: the packet budget (pps x seconds) is spread round-robin
-  // over the pinglist entries.
-  PingerWindowResult RunWindow(const ProbeEngine& engine, double window_seconds, Rng& rng) const;
+  // over the pinglist entries. With a watchdog, intra-rack entries targeting flagged servers
+  // are skipped — the standing pinglist keeps them until the next full rebuild, but a downed
+  // server draws no probes and records no counters, and the skipped entries' budget share is
+  // redistributed over the live ones.
+  PingerWindowResult RunWindow(const ProbeEngine& engine, double window_seconds, Rng& rng,
+                               const Watchdog* watchdog = nullptr) const;
 
   // Same window, streamed: each entry's counters land in `shard` the moment they are measured.
-  // The shard must belong to this pinger and be written by no other thread.
+  // The shard must belong to this pinger and be written by no other thread. The watchdog, when
+  // given, filters intra-rack entries as in RunWindow (it is only read, so concurrent shards
+  // may share one instance between serial phases).
   PingerTraffic RunWindowInto(const ProbeEngine& engine, double window_seconds, Rng& rng,
-                              ObservationStore::Shard& shard) const;
+                              ObservationStore::Shard& shard,
+                              const Watchdog* watchdog = nullptr) const;
 
   const Pinglist& pinglist() const { return pinglist_; }
 
  private:
-  // Shared core: runs every entry and hands (path_id, target, sent, lost) to `sink`.
+  // Shared core: runs every eligible entry and hands (path_id, target, sent, lost) to `sink`.
   template <typename Sink>
   PingerTraffic RunEntries(const ProbeEngine& engine, double window_seconds, Rng& rng,
-                           Sink&& sink) const;
+                           const Watchdog* watchdog, Sink&& sink) const;
 
   Pinglist pinglist_;
   int confirm_packets_;

@@ -258,7 +258,9 @@ void DetectorSystem::RunSegment(const FailureScenario& scenario, double seconds,
     Rng shard_rng = ProbeEngine::ShardRng(window_seed, static_cast<uint64_t>(
                                                            work[i].list->pinger));
     Pinger pinger(*work[i].list, options_.confirm_packets);
-    traffic[i] = pinger.RunWindowInto(engine, seconds, shard_rng, *work[i].shard);
+    // The watchdog filters intra-rack entries towards downed servers (it mutates only at
+    // serial points, so concurrent shards may read it).
+    traffic[i] = pinger.RunWindowInto(engine, seconds, shard_rng, *work[i].shard, &watchdog_);
   };
   // The pool is sized by the configured thread count alone — shard-count fluctuations across
   // segments (churn emptying a pinglist) must not tear workers down and restart them.
@@ -297,34 +299,86 @@ DetectorSystem::WindowResult DetectorSystem::RunWindow(const FailureScenario& sc
 
 DetectorSystem::WindowResult DetectorSystem::RunWindowWithChurn(
     const FailureScenario& scenario, std::span<const ChurnEvent> churn, Rng& rng) {
-  WindowResult result;
-  double t = 0.0;
-  for (const ChurnEvent& event : churn) {
-    if (event.time_seconds >= options_.window_seconds) {
-      break;  // events are time-sorted; the rest land in later windows
+  return RunWindowImpl(scenario, churn, rng, /*streaming=*/false).window;
+}
+
+DetectorSystem::StreamingWindowResult DetectorSystem::RunWindowStreaming(
+    const FailureScenario& scenario, std::span<const ChurnEvent> churn, Rng& rng) {
+  return RunWindowImpl(scenario, churn, rng, /*streaming=*/true);
+}
+
+double DetectorSystem::StreamingWindowResult::FirstDetectionSeconds(LinkId link) const {
+  for (const SegmentDiagnosis& d : timeline) {
+    for (const SuspectLink& suspect : d.localization.links) {
+      if (suspect.link == link) {
+        return d.time_seconds;
+      }
     }
-    const double seg = event.time_seconds - t;
-    if (seg > 1e-9) {
-      RunSegment(scenario, seg, rng, result);
-    }
-    const ChurnApplyResult applied = ApplyTopologyDelta(event.delta);
-    // Earlier segments may have reported on the vacated slots; repair can reuse them within
-    // this window and the final matrix no longer carries the old paths, so those stale
-    // reports must not reach Diagnose. (Redispatched paths keep their slots — and their
-    // observations.)
-    diagnoser_.DropReports(applied.slots_vacated);
-    ++result.churn_events_applied;
-    t = std::max(t, event.time_seconds);
   }
-  if (options_.window_seconds - t > 1e-9) {
-    RunSegment(scenario, options_.window_seconds - t, rng, result);
+  return -1.0;
+}
+
+DetectorSystem::StreamingWindowResult DetectorSystem::RunWindowImpl(
+    const FailureScenario& scenario, std::span<const ChurnEvent> churn, Rng& rng,
+    bool streaming) {
+  StreamingWindowResult out;
+  WindowResult& result = out.window;
+  const int segments = std::max(1, options_.segments_per_window);
+  const int cadence = std::max(1, options_.diagnose_every_segments);
+  const double window = options_.window_seconds;
+
+  // The window is sliced at segment boundaries and churn-event timestamps; every slice is one
+  // RunSegment (own shard seed). With segments == 1 and no streaming this is exactly the
+  // classic batch window — same slices, same RNG draws.
+  size_t next_event = 0;
+  double t = 0.0;
+  for (int seg = 1; seg <= segments; ++seg) {
+    const double boundary = seg == segments ? window : seg * (window / segments);
+    while (next_event < churn.size() && churn[next_event].time_seconds < window &&
+           churn[next_event].time_seconds < boundary) {
+      const ChurnEvent& event = churn[next_event];
+      const double span = event.time_seconds - t;
+      if (span > 1e-9) {
+        RunSegment(scenario, span, rng, result);
+      }
+      const ChurnApplyResult applied = ApplyTopologyDelta(event.delta);
+      // Earlier slices may have reported on the vacated slots; repair can reuse them within
+      // this window and the final matrix no longer carries the old paths, so those stale
+      // reports must not reach Diagnose. (Redispatched paths keep their slots — and their
+      // observations.)
+      diagnoser_.DropReports(applied.slots_vacated);
+      ++result.churn_events_applied;
+      t = std::max(t, event.time_seconds);
+      ++next_event;
+    }
+    if (boundary - t > 1e-9) {
+      RunSegment(scenario, boundary - t, rng, result);
+      t = boundary;
+    }
+    if (streaming && seg < segments && seg % cadence == 0) {
+      // Non-consuming diagnosis on the running totals: the window keeps accumulating, and the
+      // final Diagnose below sees exactly what a batch window would.
+      SegmentDiagnosis diagnosis;
+      diagnosis.segment = seg;
+      diagnosis.time_seconds = boundary;
+      diagnosis.localization = diagnoser_.DiagnoseRunning(matrix_, watchdog_);
+      diagnosis.server_link_alarms = diagnoser_.ServerLinkAlarms(watchdog_);
+      out.timeline.push_back(std::move(diagnosis));
+    }
   }
   result.server_link_alarms = diagnoser_.ServerLinkAlarms(watchdog_);
   result.localization = diagnoser_.Diagnose(matrix_, watchdog_);
   // Detection and localization share the window's data: alarms are available one window after
   // the failure manifests, with no extra probing round.
   result.detection_latency_seconds = options_.window_seconds;
-  return result;
+  if (streaming) {
+    // The window-end diagnosis always happens, so the timeline always records it — whether or
+    // not the last segment lands on the cadence. FirstDetectionSeconds therefore never misses
+    // a failure the batch window would have caught.
+    out.timeline.push_back(
+        SegmentDiagnosis{segments, window, result.localization, result.server_link_alarms});
+  }
+  return out;
 }
 
 }  // namespace detector

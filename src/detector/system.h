@@ -12,9 +12,17 @@
 // alternative to RecomputeCycle()'s from-scratch rebuild. RunWindowWithChurn() exercises churn
 // mid-window: probes before each event see the failed links, the delta is applied at its
 // timestamp, and the remainder of the window probes with the repaired pinglists.
+//
+// Continuous diagnosis: a window can be executed in segments_per_window equal probe slices
+// instead of one monolithic slice, and RunWindowStreaming() then diagnoses on the store's
+// running totals every diagnose_every_segments slices — a time series of LocalizeResults that
+// prices how fast a failure is *seen*, not just whether it is. The final-segment result is
+// bit-identical to the batch window on the same seed and slicing (the mid-window reads are
+// non-consuming), which is test-gated.
 #ifndef SRC_DETECTOR_SYSTEM_H_
 #define SRC_DETECTOR_SYSTEM_H_
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <span>
@@ -46,6 +54,12 @@ struct DetectorSystemOptions {
   // many threads (0 = hardware concurrency). Results are bit-identical at any thread count —
   // every shard draws from its own RNG stream keyed by (window seed, pinger id).
   size_t probe_threads = 0;
+  // Continuous diagnosis: probe slices per window (1 = the classic monolithic batch window;
+  // higher values execute the same window in equal time slices, each on its own shard seed)
+  // and, for RunWindowStreaming, how often to diagnose, in slices. Slicing changes the RNG
+  // trajectory, so results are comparable only between runs with the same slicing.
+  int segments_per_window = 1;
+  int diagnose_every_segments = 1;
 };
 
 class DetectorSystem {
@@ -105,6 +119,32 @@ class DetectorSystem {
   WindowResult RunWindowWithChurn(const FailureScenario& scenario,
                                   std::span<const ChurnEvent> churn, Rng& rng);
 
+  // One mid-window diagnosis taken at a segment boundary (continuous mode).
+  struct SegmentDiagnosis {
+    int segment = 0;             // 1-based index of the boundary the diagnosis was taken at
+    double time_seconds = 0.0;   // window-relative boundary time
+    LocalizeResult localization;
+    std::vector<ServerLinkAlarm> server_link_alarms;
+  };
+
+  struct StreamingWindowResult {
+    WindowResult window;  // identical to the batch window on the same seed and slicing
+    // Diagnoses at every diagnose_every_segments boundary plus the window-end diagnosis, in
+    // time order; the last entry always equals window.localization.
+    std::vector<SegmentDiagnosis> timeline;
+
+    // Window-relative time of the first diagnosis whose suspect set contains `link`
+    // (first-detection latency of an injected failure); negative when never detected.
+    double FirstDetectionSeconds(LinkId link) const;
+  };
+
+  // One window in continuous-diagnosis mode: probes run in segments_per_window slices (with
+  // optional mid-window churn, as in RunWindowWithChurn) and PLL runs on the running
+  // observation totals every diagnose_every_segments boundaries without consuming them. The
+  // returned window result is bit-identical to RunWindowWithChurn on the same seed.
+  StreamingWindowResult RunWindowStreaming(const FailureScenario& scenario,
+                                           std::span<const ChurnEvent> churn, Rng& rng);
+
   const Topology& topology() const { return topo_; }
   const ProbeMatrix& probe_matrix() const { return matrix_; }
   const std::vector<Pinglist>& pinglists() const { return pinglists_; }
@@ -117,8 +157,21 @@ class DetectorSystem {
   // Re-sizes the probe-plane shard pool (0 = hardware concurrency). Takes effect at the next
   // window; does not change results, only wall-clock.
   void set_probe_threads(size_t n) { options_.probe_threads = n; }
+  // Re-slices window execution / re-paces streaming diagnosis (both clamped to >= 1). Takes
+  // effect at the next window. Changing the slicing changes the RNG trajectory — results are
+  // comparable only between runs with equal segments_per_window.
+  void set_segments_per_window(int n) { options_.segments_per_window = std::max(1, n); }
+  void set_diagnose_every_segments(int n) {
+    options_.diagnose_every_segments = std::max(1, n);
+  }
 
  private:
+  // Shared window driver: slices [0, window_seconds) at segment boundaries and churn-event
+  // timestamps, applies each delta at its time, and — when `streaming` — diagnoses at the
+  // cadence boundaries into the timeline.
+  StreamingWindowResult RunWindowImpl(const FailureScenario& scenario,
+                                      std::span<const ChurnEvent> churn, Rng& rng,
+                                      bool streaming);
   void RunSegment(const FailureScenario& scenario, double seconds, Rng& rng,
                   WindowResult& result);
   FailureScenario OverlaidScenario(const FailureScenario& scenario) const;

@@ -16,6 +16,10 @@ struct SuspectLink {
   double estimated_loss_rate = 0.0;  // per-traversal link loss probability
   double hit_ratio = 0.0;            // lossy paths through link / valid paths through link
   int64_t explained_losses = 0;      // lost packets this link accounts for
+
+  // Exact comparison (doubles included): what the bit-exactness gates — parallel vs serial,
+  // streaming vs batch — mean by "identical".
+  bool operator==(const SuspectLink&) const = default;
 };
 
 struct LocalizeResult {

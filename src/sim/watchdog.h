@@ -21,6 +21,9 @@ class Watchdog {
   void MarkUp(NodeId server) { down_.erase(server); }
   bool IsHealthy(NodeId server) const { return down_.find(server) == down_.end(); }
   size_t NumDown() const { return down_.size(); }
+  // The flagged set itself — consumers that maintain incremental filter state (the
+  // ObservationStore's running totals) diff it against what they last applied.
+  const std::unordered_set<NodeId>& down() const { return down_; }
 
  private:
   const Topology& topo_;

@@ -11,31 +11,14 @@
 #include "src/routing/fattree_routing.h"
 #include "src/sim/churn.h"
 #include "src/topo/fattree.h"
+#include "tests/window_equality.h"
 
 namespace detector {
 namespace {
 
-// Everything observable about a window except wall-clock.
-void ExpectIdenticalWindows(const DetectorSystem::WindowResult& a,
-                            const DetectorSystem::WindowResult& b, int threads) {
-  EXPECT_EQ(a.probes_sent, b.probes_sent) << "threads=" << threads;
-  EXPECT_EQ(a.bytes_sent, b.bytes_sent) << "threads=" << threads;
-  EXPECT_EQ(a.churn_events_applied, b.churn_events_applied) << "threads=" << threads;
-  ASSERT_EQ(a.localization.links.size(), b.localization.links.size()) << "threads=" << threads;
-  for (size_t i = 0; i < a.localization.links.size(); ++i) {
-    EXPECT_EQ(a.localization.links[i].link, b.localization.links[i].link);
-    EXPECT_EQ(a.localization.links[i].estimated_loss_rate,
-              b.localization.links[i].estimated_loss_rate);
-    EXPECT_EQ(a.localization.links[i].hit_ratio, b.localization.links[i].hit_ratio);
-    EXPECT_EQ(a.localization.links[i].explained_losses,
-              b.localization.links[i].explained_losses);
-  }
-  ASSERT_EQ(a.server_link_alarms.size(), b.server_link_alarms.size());
-  for (size_t i = 0; i < a.server_link_alarms.size(); ++i) {
-    EXPECT_EQ(a.server_link_alarms[i].pinger, b.server_link_alarms[i].pinger);
-    EXPECT_EQ(a.server_link_alarms[i].target, b.server_link_alarms[i].target);
-    EXPECT_EQ(a.server_link_alarms[i].loss_ratio, b.server_link_alarms[i].loss_ratio);
-  }
+void ExpectIdenticalAtThreads(const DetectorSystem::WindowResult& a,
+                              const DetectorSystem::WindowResult& b, int threads) {
+  ExpectIdenticalWindows(a, b, "threads=" + std::to_string(threads));
 }
 
 TEST(ParallelWindow, BitIdenticalAcrossThreadCounts) {
@@ -64,7 +47,7 @@ TEST(ParallelWindow, BitIdenticalAcrossThreadCounts) {
     system.set_probe_threads(static_cast<size_t>(threads));
     Rng rng(1234);
     const auto parallel = system.RunWindow(scenario, rng);
-    ExpectIdenticalWindows(baseline, parallel, threads);
+    ExpectIdenticalAtThreads(baseline, parallel, threads);
   }
 }
 
@@ -98,8 +81,8 @@ TEST(ParallelWindow, BitIdenticalUnderMidWindowChurn) {
     results.push_back(system.RunWindowWithChurn(scenario, churn, rng));
     EXPECT_EQ(results.back().churn_events_applied, 2u);
   }
-  ExpectIdenticalWindows(results[0], results[1], 2);
-  ExpectIdenticalWindows(results[0], results[2], 8);
+  ExpectIdenticalAtThreads(results[0], results[1], 2);
+  ExpectIdenticalAtThreads(results[0], results[2], 8);
   // The injected (non-churn) failure is still localized.
   ASSERT_GE(results[0].localization.links.size(), 1u);
   EXPECT_EQ(results[0].localization.links[0].link, f.link);

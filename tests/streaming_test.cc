@@ -1,0 +1,278 @@
+// Continuous-diagnosis tests: the ObservationStore's maintained running totals must stay
+// bit-identical to the rebuilt Snapshot under slot invalidation, watchdog retro-drops and
+// recoveries, and concurrent shard ingest at any thread count — and a streaming window's
+// final-segment diagnosis must be bit-identical to the batch window on the same seed.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/detector/observation_store.h"
+#include "src/detector/system.h"
+#include "src/routing/fattree_routing.h"
+#include "src/sim/churn.h"
+#include "src/topo/fattree.h"
+#include "tests/window_equality.h"
+
+namespace detector {
+namespace {
+
+// The running totals and the rebuilt snapshot are integer counters over the same records —
+// they must agree exactly, not approximately.
+void ExpectRunningMatchesSnapshot(ObservationStore& store, size_t num_slots,
+                                  const Watchdog& wd, const char* when) {
+  // Order matters: RunningTotals() returns a view over the maintained buffer, Snapshot() over
+  // a separate rebuilt one, so both views stay valid side by side.
+  const ObservationView running = store.RunningTotals(num_slots, wd);
+  const ObservationView rebuilt = store.Snapshot(num_slots, wd);
+  ASSERT_EQ(running.size(), num_slots) << when;
+  ASSERT_EQ(rebuilt.size(), num_slots) << when;
+  for (size_t s = 0; s < num_slots; ++s) {
+    EXPECT_EQ(running[s].sent, rebuilt[s].sent) << when << " slot " << s;
+    EXPECT_EQ(running[s].lost, rebuilt[s].lost) << when << " slot " << s;
+  }
+}
+
+TEST(RunningTotals, MatchSnapshotThroughInvalidationAndWatchdogFlips) {
+  const FatTree ft(4);
+  Watchdog wd(ft.topology());
+  ObservationStore store;
+  store.EnsureSlots(4);
+
+  const NodeId p1 = ft.Server(0, 0, 0);
+  const NodeId p2 = ft.Server(0, 0, 1);
+  const NodeId t1 = ft.Server(1, 0, 0);
+  const NodeId t2 = ft.Server(1, 0, 1);
+
+  ObservationStore::Shard& s1 = store.OpenShard(p1);
+  ObservationStore::Shard& s2 = store.OpenShard(p2);
+  s1.RecordPath(0, t1, 100, 10);
+  s2.RecordPath(0, t1, 100, 8);  // replica of slot 0
+  s2.RecordPath(2, t2, 50, 0);
+  ExpectRunningMatchesSnapshot(store, 4, wd, "after first ingest");
+
+  // Retroactive watchdog drop: p1's already-folded records must leave the totals...
+  wd.MarkDown(p1);
+  ExpectRunningMatchesSnapshot(store, 4, wd, "pinger flagged");
+  // ...and records streamed while it is down stay excluded when folded.
+  s1.RecordPath(2, t2, 30, 3);
+  ExpectRunningMatchesSnapshot(store, 4, wd, "ingest while flagged");
+
+  // Recovery re-adds both the retro-dropped and the flagged-while-down records.
+  wd.MarkUp(p1);
+  ExpectRunningMatchesSnapshot(store, 4, wd, "pinger recovered");
+
+  // Target flagged: only records towards it vanish, from every shard.
+  wd.MarkDown(t1);
+  ExpectRunningMatchesSnapshot(store, 4, wd, "target flagged");
+
+  // Slot invalidation while a target filter is active: the bump retracts slot 2 in O(1);
+  // the new occupant accumulates under the fresh epoch.
+  const std::vector<PathId> vacated = {2};
+  store.InvalidateSlots(vacated);
+  ExpectRunningMatchesSnapshot(store, 4, wd, "slot vacated");
+  s1.RecordPath(2, t2, 60, 6);
+  ExpectRunningMatchesSnapshot(store, 4, wd, "slot reused");
+
+  // Invalidate again with unfolded records on the old epoch in flight, then recover t1: the
+  // stale records must not be re-added (their contribution was zeroed with the slot).
+  s2.RecordPath(2, t1, 40, 4);
+  store.InvalidateSlots(vacated);
+  wd.MarkUp(t1);
+  ExpectRunningMatchesSnapshot(store, 4, wd, "stale epoch not resurrected");
+
+  store.Clear();
+  ExpectRunningMatchesSnapshot(store, 4, wd, "after clear");
+  EXPECT_EQ(store.RunningTotals(4, wd)[0].sent, 0);
+}
+
+TEST(RunningTotals, GrowsWithTheSlotTable) {
+  const FatTree ft(4);
+  const Watchdog wd(ft.topology());
+  ObservationStore store;
+  store.EnsureSlots(2);
+  store.OpenShard(ft.Server(0, 0, 0)).RecordPath(1, ft.Server(1, 0, 0), 10, 1);
+  ExpectRunningMatchesSnapshot(store, 2, wd, "small table");
+  // A larger matrix after repair: the view widens, old totals stay in place.
+  store.EnsureSlots(6);
+  store.OpenShard(ft.Server(0, 0, 0)).RecordPath(5, ft.Server(1, 0, 1), 20, 2);
+  ExpectRunningMatchesSnapshot(store, 6, wd, "grown table");
+  EXPECT_EQ(store.RunningTotals(6, wd)[1].sent, 10);
+  EXPECT_EQ(store.RunningTotals(6, wd)[5].sent, 20);
+}
+
+// End-to-end acceptance: streaming diagnosis at a segment cadence produces a final result
+// bit-identical to the batch window on the same seed and slicing — at 1, 2 and 8 probe
+// threads, with mid-window link churn AND a server retro-drop in the same window.
+TEST(StreamingWindow, FinalSegmentMatchesBatchAcrossThreads) {
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  DetectorSystemOptions options;
+  options.pmc.alpha = 1;
+  options.pmc.beta = 1;
+  options.controller.packets_per_second = 60;
+  options.segments_per_window = 6;
+  options.diagnose_every_segments = 2;
+
+  const LinkId flapper = ft.AggCoreLink(3, 1, 1);
+  const NodeId dying_server = ft.Server(2, 1, 0);
+  std::vector<ChurnEvent> churn;
+  churn.push_back(ChurnEvent{7.0, TopologyDelta::LinkDown(flapper)});
+  churn.push_back(ChurnEvent{13.0, TopologyDelta::NodeDown(dying_server)});
+  churn.push_back(ChurnEvent{22.0, TopologyDelta::LinkUp(flapper)});
+
+  FailureScenario scenario;
+  LinkFailure f;
+  f.link = ft.EdgeAggLink(1, 0, 1);
+  f.type = FailureType::kFullLoss;
+  scenario.failures.push_back(f);
+
+  for (const size_t threads : {1u, 2u, 8u}) {
+    DetectorSystemOptions opts = options;
+    opts.probe_threads = threads;
+
+    DetectorSystem batch(routing, opts);
+    Rng batch_rng(4242);
+    const auto batch_result = batch.RunWindowWithChurn(scenario, churn, batch_rng);
+
+    DetectorSystem streaming(routing, opts);
+    Rng streaming_rng(4242);
+    const auto streamed = streaming.RunWindowStreaming(scenario, churn, streaming_rng);
+
+    ExpectIdenticalWindows(batch_result, streamed.window, "streaming vs batch");
+    EXPECT_EQ(streamed.window.churn_events_applied, 3u);
+
+    // Cadence 2 over 6 segments: boundaries at 10, 20, 30 s; the last one is the window's
+    // own diagnosis.
+    ASSERT_EQ(streamed.timeline.size(), 3u);
+    EXPECT_EQ(streamed.timeline[0].segment, 2);
+    EXPECT_DOUBLE_EQ(streamed.timeline[0].time_seconds, 10.0);
+    EXPECT_DOUBLE_EQ(streamed.timeline[2].time_seconds, 30.0);
+    ExpectIdenticalLocalizations(streamed.timeline.back().localization,
+                                 streamed.window.localization, "final timeline entry");
+    // The injected failure is seen before the window closes.
+    const double first = streamed.FirstDetectionSeconds(f.link);
+    EXPECT_GT(first, 0.0);
+    EXPECT_LT(first, 30.0);
+  }
+}
+
+TEST(StreamingWindow, CadenceDoesNotChangeTheFinalResult) {
+  // Mid-window diagnoses are non-consuming: diagnosing every segment and diagnosing only at
+  // the end must produce the same final window.
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  DetectorSystemOptions options;
+  options.pmc.alpha = 1;
+  options.pmc.beta = 1;
+  options.controller.packets_per_second = 60;
+  options.segments_per_window = 5;
+
+  FailureScenario scenario;
+  LinkFailure f;
+  f.link = ft.AggCoreLink(0, 1, 0);
+  f.type = FailureType::kRandomPartial;
+  f.loss_rate = 0.2;
+  scenario.failures.push_back(f);
+
+  std::vector<DetectorSystem::WindowResult> finals;
+  std::vector<size_t> timeline_sizes;
+  for (const int cadence : {1, 5}) {
+    DetectorSystemOptions opts = options;
+    opts.diagnose_every_segments = cadence;
+    DetectorSystem system(routing, opts);
+    Rng rng(99);
+    const auto streamed = system.RunWindowStreaming(scenario, {}, rng);
+    finals.push_back(streamed.window);
+    timeline_sizes.push_back(streamed.timeline.size());
+  }
+  ExpectIdenticalWindows(finals[0], finals[1], "cadence 1 vs 5");
+  EXPECT_EQ(timeline_sizes[0], 5u);
+  EXPECT_EQ(timeline_sizes[1], 1u);
+}
+
+TEST(IntraRackFiltering, DownedTargetsDrawNoProbes) {
+  const FatTree ft(4);
+  Watchdog wd(ft.topology());
+  const NodeId pinger_node = ft.Server(0, 0, 0);
+  const NodeId healthy_target = ft.Server(0, 0, 1);
+  const NodeId downed_target = ft.Server(0, 1, 0);
+
+  Pinglist list;
+  list.pinger = pinger_node;
+  list.packets_per_second = 10.0;
+  PinglistEntry to_healthy;
+  to_healthy.path_id = PinglistEntry::kIntraRackPath;
+  to_healthy.target_server = healthy_target;
+  to_healthy.route = {ft.topology().FindLink(pinger_node, ft.Tor(0, 0)),
+                      ft.topology().FindLink(ft.Tor(0, 0), healthy_target)};
+  PinglistEntry to_downed = to_healthy;
+  to_downed.target_server = downed_target;
+  list.entries = {to_healthy, to_downed};
+
+  ProbeConfig probe;
+  probe.base_loss_rate = 0.0;
+  const ProbeEngine engine(ft.topology(), FailureScenario{}, probe);
+  const Pinger pinger(list, /*confirm_packets=*/0);
+
+  wd.MarkDown(downed_target);
+  Rng rng(5);
+  const auto filtered = pinger.RunWindow(engine, 30.0, rng, &wd);
+  // Only the healthy target is probed, and it inherits the skipped entry's budget share:
+  // the full 300-packet window budget instead of 150.
+  ASSERT_EQ(filtered.reports.size(), 1u);
+  EXPECT_EQ(filtered.reports[0].target, healthy_target);
+  EXPECT_EQ(filtered.reports[0].sent, 300);
+  EXPECT_EQ(filtered.probes_sent, 300);
+
+  // Without a watchdog (standalone mode) both entries still run.
+  Rng rng2(5);
+  const auto unfiltered = pinger.RunWindow(engine, 30.0, rng2);
+  EXPECT_EQ(unfiltered.reports.size(), 2u);
+}
+
+TEST(IntraRackFiltering, SystemStopsProbingDownedServerMidWindow) {
+  // A server dies mid-window via churn: the remaining slices must not probe it intra-rack,
+  // and the streaming window still matches batch (the filter is part of both paths).
+  // FatTree(6) has 3 servers per rack with 2 pingers, so non-pinger targets exist.
+  const FatTree ft(6);
+  const FatTreeRouting routing(ft);
+  DetectorSystemOptions options;
+  options.pmc.alpha = 1;
+  options.pmc.beta = 1;
+  options.controller.packets_per_second = 40;
+  options.segments_per_window = 4;
+  DetectorSystem probe_system(routing, options);
+
+  // Pick a server that is a target but not a pinger, so its shard does not simply vanish.
+  NodeId victim = kInvalidNode;
+  for (const Pinglist& list : probe_system.pinglists()) {
+    for (const PinglistEntry& entry : list.entries) {
+      if (entry.path_id == PinglistEntry::kIntraRackPath) {
+        bool is_pinger = false;
+        for (const Pinglist& other : probe_system.pinglists()) {
+          is_pinger |= other.pinger == entry.target_server && !other.entries.empty();
+        }
+        if (!is_pinger) {
+          victim = entry.target_server;
+        }
+      }
+    }
+  }
+  ASSERT_NE(victim, kInvalidNode);
+
+  std::vector<ChurnEvent> churn;
+  churn.push_back(ChurnEvent{10.0, TopologyDelta::NodeDown(victim)});
+
+  DetectorSystem batch(routing, options);
+  Rng batch_rng(31);
+  const auto batch_result = batch.RunWindowWithChurn(FailureScenario{}, churn, batch_rng);
+
+  DetectorSystem streaming(routing, options);
+  Rng streaming_rng(31);
+  const auto streamed = streaming.RunWindowStreaming(FailureScenario{}, churn, streaming_rng);
+  ExpectIdenticalWindows(batch_result, streamed.window, "server down mid-window");
+  EXPECT_FALSE(streaming.watchdog().IsHealthy(victim));
+}
+
+}  // namespace
+}  // namespace detector

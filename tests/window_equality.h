@@ -1,0 +1,34 @@
+// Shared exact-equality assertions for window results. The bit-exactness gates (parallel vs
+// serial shards, streaming vs batch diagnosis) mean *every* observable field, doubles
+// included — SuspectLink::operator== and ServerLinkAlarm::operator== keep the field lists in
+// one place, so a field added to either type is automatically compared here.
+#ifndef TESTS_WINDOW_EQUALITY_H_
+#define TESTS_WINDOW_EQUALITY_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/detector/system.h"
+
+namespace detector {
+
+inline void ExpectIdenticalLocalizations(const LocalizeResult& a, const LocalizeResult& b,
+                                         const std::string& when) {
+  EXPECT_EQ(a.links, b.links) << when;
+}
+
+// Everything observable about a window except wall-clock.
+inline void ExpectIdenticalWindows(const DetectorSystem::WindowResult& a,
+                                   const DetectorSystem::WindowResult& b,
+                                   const std::string& when) {
+  EXPECT_EQ(a.probes_sent, b.probes_sent) << when;
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent) << when;
+  EXPECT_EQ(a.churn_events_applied, b.churn_events_applied) << when;
+  EXPECT_EQ(a.localization.links, b.localization.links) << when;
+  EXPECT_EQ(a.server_link_alarms, b.server_link_alarms) << when;
+}
+
+}  // namespace detector
+
+#endif  // TESTS_WINDOW_EQUALITY_H_

@@ -1,21 +1,39 @@
-// Continuous-diagnosis benchmark: how fast does deTector *see* a gray failure? The batch
-// pipeline diagnoses once per 30 s window, so its time-to-first-correct-localization is the
-// window length by construction. RunWindowStreaming diagnoses on the ObservationStore's
-// running totals every few probe segments; this bench prices that cadence — median
-// time-to-first-correct-localization per cadence, detection rate, and the PLL cost of the
-// extra mid-window diagnoses — against the batch baseline on the same probing.
+// Continuous-diagnosis benchmark: how fast does deTector *see* a gray failure, and what does
+// each mid-window diagnosis cost? The batch pipeline diagnoses once per 30 s window, so its
+// time-to-first-correct-localization is the window length by construction. RunWindowStreaming
+// diagnoses every few probe segments; this bench prices that cadence — median
+// time-to-first-correct-localization, detection rate, and the PLL cost of the extra
+// mid-window diagnoses — against the batch baseline on the same probing.
+//
+// Modes (--mode):
+//   incremental  (default) mid-window diagnoses re-score only the PLL-partition components
+//                whose observations changed since the last boundary. Every trial is re-run
+//                with full PLL on the same seeds and every timeline entry is compared —
+//                the incremental-vs-full bit-exactness gate (exit 2 on divergence) — and the
+//                table reports the per-boundary speedup.
+//   full         full PLL at every boundary (the PR 3 behavior; the baseline).
+//   sliding      mid-window diagnoses localize over the trailing --sliding-window segment
+//                deltas instead of the whole accumulated window.
 //
 // Bit-exactness gate (always enforced): for every trial and cadence, the streaming window's
 // final localization must equal the batch window's on the same seed and slicing — the running
 // totals may not drift from the rebuilt-snapshot semantics. Exits 2 on divergence.
+//
+// --speedup-gate: measures one-dirty-component incremental vs full diagnosis on a structured
+// fat-tree(--gate-k, default 48) matrix — the north-star scale — and enforces >= 5x (exit 2)
+// unless the host needed more than --gate-build-budget seconds to build and warm the matrix,
+// in which case the gate is printed and skipped.
 //
 // Flags: --k=16            fat-tree arity
 //        --trials=10       failure scenarios per cadence
 //        --pps=200         probe packets per second per pinger
 //        --segments=10     probe slices per window (diagnosis can only happen on a boundary)
 //        --cadences=1,5    comma-separated diagnosis cadences, in segments
+//        --mode=incremental|full|sliding
+//        --sliding-window=4 trailing width for --mode=sliding, in segments
 //        --alpha, --beta   PMC configuration (default 1/1)
 //        --seed
+//        --speedup-gate [--gate-k=48] [--gate-trials=20] [--gate-build-budget=180]
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -23,20 +41,108 @@
 
 #include "bench/harness.h"
 #include "src/detector/system.h"
+#include "src/pmc/structured_fattree.h"
 #include "src/routing/fattree_routing.h"
 #include "src/topo/fattree.h"
 
+namespace {
+
+using namespace detector;
+
+// One-dirty-component microbench at --gate-k: every slot carries clean totals, one path turns
+// lossy per trial, and each boundary diagnoses both ways. Returns false on gate failure.
+bool RunSpeedupGate(const Flags& flags, uint64_t seed) {
+  const int gate_k = static_cast<int>(flags.GetInt("gate-k", 48));
+  const int gate_trials = std::max(3, static_cast<int>(flags.GetInt("gate-trials", 20)));
+  const double build_budget = flags.GetDouble("gate-build-budget", 180.0);
+
+  std::printf("\n== speedup gate: single dirty component at structured fat-tree(%d) ==\n",
+              gate_k);
+  WallTimer build_timer;
+  const FatTree ft(gate_k);
+  const ProbeMatrix matrix = StructuredFatTreeProbeMatrix(ft, /*alpha=*/1, /*beta=*/2);
+  const Watchdog watchdog(ft.topology());
+  Diagnoser diagnoser;
+
+  // Seed every slot with clean observations from one synthetic pinger, then warm the
+  // incremental state (builds the partition, scores everything once).
+  const size_t num_paths = matrix.NumPaths();
+  PingerWindowResult clean;
+  clean.pinger = ft.Server(0, 0, 0);
+  clean.reports.reserve(num_paths);
+  for (size_t p = 0; p < num_paths; ++p) {
+    clean.reports.push_back(
+        PathReport{static_cast<PathId>(p), ft.Server(0, 0, 1), 1000, 0});
+  }
+  diagnoser.Ingest(clean);
+  (void)diagnoser.DiagnoseRunning(matrix, watchdog);
+  const double build_seconds = build_timer.ElapsedSeconds();
+  const MatrixPartition partition = BuildMatrixPartition(matrix);
+  std::printf("build+warm: %.1f s, %zu paths, %d links, %d components\n", build_seconds,
+              num_paths, matrix.NumLinks(), partition.num_components);
+
+  OnlineStats full_ms;
+  OnlineStats incremental_ms;
+  Rng rng(seed);
+  bool identical = true;
+  for (int t = 0; t < gate_trials; ++t) {
+    PingerWindowResult lossy;
+    lossy.pinger = clean.pinger;
+    lossy.reports.push_back(PathReport{static_cast<PathId>(rng() % num_paths),
+                                       ft.Server(0, 0, 1), 500, 400});
+    diagnoser.Ingest(lossy);
+    // Full first: it reads the totals without consuming the dirty set the incremental
+    // diagnosis needs.
+    WallTimer full_timer;
+    const LocalizeResult full = diagnoser.DiagnoseRunningFull(matrix, watchdog);
+    full_ms.Add(full_timer.ElapsedSeconds() * 1e3);
+    WallTimer inc_timer;
+    const LocalizeResult incremental = diagnoser.DiagnoseRunning(matrix, watchdog);
+    incremental_ms.Add(inc_timer.ElapsedSeconds() * 1e3);
+    identical &= incremental.links == full.links;
+  }
+  const double speedup =
+      incremental_ms.mean() > 0.0 ? full_ms.mean() / incremental_ms.mean() : 0.0;
+  std::printf("per-boundary diagnosis: full %.3f ms, incremental %.3f ms => %.1fx speedup\n",
+              full_ms.mean(), incremental_ms.mean(), speedup);
+  if (!identical) {
+    std::printf("FAIL: incremental diverged from full PLL in the speedup gate\n");
+    return false;
+  }
+  if (build_seconds > build_budget) {
+    std::printf("speedup gate SKIPPED: build+warm took %.1f s (> %.0f s budget); the >= 5x "
+                "gate only binds on hosts that can build fat-tree(%d) in time\n",
+                build_seconds, build_budget, gate_k);
+    return true;
+  }
+  if (speedup < 5.0) {
+    std::printf("FAIL: %.1fx < 5x single-dirty-component speedup gate\n", speedup);
+    return false;
+  }
+  std::printf("speedup gate PASS: %.1fx >= 5x\n", speedup);
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace detector;
   Flags flags;
   flags.Describe("k", "fat-tree arity (default 16)");
   flags.Describe("trials", "failure scenarios per cadence (default 10)");
   flags.Describe("pps", "probe packets per second per pinger (default 200)");
   flags.Describe("segments", "probe slices per window (default 10)");
   flags.Describe("cadences", "comma-separated diagnosis cadences in segments (default 1,5)");
+  flags.Describe("mode", "mid-window diagnosis mode: incremental|full|sliding (default "
+                 "incremental; incremental also gates bit-exactness vs full)");
+  flags.Describe("sliding-window", "trailing window for --mode=sliding, in segments (default 4)");
   flags.Describe("alpha", "coverage target (default 1)");
   flags.Describe("beta", "identifiability target (default 1)");
   flags.Describe("seed", "rng seed (default 1)");
+  flags.Describe("speedup-gate", "run the fat-tree(--gate-k) single-dirty-component gate");
+  flags.Describe("gate-k", "arity for --speedup-gate (default 48)");
+  flags.Describe("gate-trials", "boundaries measured by --speedup-gate (default 20)");
+  flags.Describe("gate-build-budget",
+                 "seconds the gate host may spend building before the 5x check is skipped");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -49,6 +155,11 @@ int main(int argc, char** argv) {
   const double pps = static_cast<double>(flags.GetInt("pps", 200));
   const int segments = std::max(1, static_cast<int>(flags.GetInt("segments", 10)));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const std::string mode = flags.GetString("mode", "incremental");
+  if (mode != "incremental" && mode != "full" && mode != "sliding") {
+    std::fprintf(stderr, "--mode must be incremental, full or sliding\n");
+    return 1;
+  }
   std::vector<int> cadences;
   for (const std::string& token : bench::SplitList(flags.GetString("cadences", "1,5"))) {
     const int c = static_cast<int>(std::strtol(token.c_str(), nullptr, 10));
@@ -62,11 +173,16 @@ int main(int argc, char** argv) {
   }
 
   bench::PrintHeader(
-      "Continuous diagnosis: time-to-first-correct-localization vs cadence, Fattree(" +
-          std::to_string(k) + ")",
-      "RunWindowStreaming diagnoses on the ObservationStore running totals every N probe\n"
-      "segments; batch diagnoses once at window end (latency = the 30 s window by\n"
-      "construction). Gate: each streaming final must be bit-identical to its batch window.");
+      "Continuous diagnosis (" + mode +
+          "): time-to-first-correct-localization vs cadence, Fattree(" + std::to_string(k) +
+          ")",
+      "RunWindowStreaming diagnoses every N probe segments; batch diagnoses once at window\n"
+      "end (latency = the 30 s window by construction). Gate: each streaming final must be\n"
+      "bit-identical to its batch window" +
+          std::string(mode == "incremental"
+                          ? ", and every incremental mid-window diagnosis must be\n"
+                            "bit-identical to full PLL on the same totals."
+                          : "."));
 
   const FatTree ft(k);
   const FatTreeRouting routing(ft);
@@ -75,6 +191,12 @@ int main(int argc, char** argv) {
   options.pmc.beta = static_cast<int>(flags.GetInt("beta", 1));
   options.controller.packets_per_second = pps;
   options.segments_per_window = segments;
+  options.sliding_window_segments =
+      std::max(1, static_cast<int>(flags.GetInt("sliding-window", 4)));
+  if (mode == "sliding") {
+    options.streaming_view = StreamingViewMode::kSliding;
+  }
+  options.incremental_diagnosis = mode != "full";
   WallTimer build_timer;
   DetectorSystem system(routing, options);
   const double window = options.window_seconds;
@@ -114,6 +236,8 @@ int main(int argc, char** argv) {
                 TablePrinter::Fmt(window, 1), "-", "1"});
 
   bool all_identical = true;
+  bool incremental_matches_full = true;
+  OnlineStats full_reference_ms;  // incremental mode: the full-PLL cost on the same seeds
   for (const int cadence : cadences) {
     system.set_diagnose_every_segments(cadence);
     std::vector<double> latencies;
@@ -126,6 +250,28 @@ int main(int argc, char** argv) {
           system.RunWindowStreaming(scenarios[static_cast<size_t>(t)], {}, rng);
       if (streamed.window.localization.links != batch_finals[static_cast<size_t>(t)].links) {
         all_identical = false;
+      }
+      if (mode == "incremental") {
+        // The oracle run: same seeds, full PLL at every boundary — every timeline entry must
+        // match the incremental run bit for bit.
+        system.set_incremental_diagnosis(false);
+        Rng full_rng(seed + 100 + static_cast<uint64_t>(t));
+        const auto full_streamed =
+            system.RunWindowStreaming(scenarios[static_cast<size_t>(t)], {}, full_rng);
+        system.set_incremental_diagnosis(true);
+        if (full_streamed.timeline.size() != streamed.timeline.size()) {
+          incremental_matches_full = false;
+        } else {
+          for (size_t d = 0; d < streamed.timeline.size(); ++d) {
+            if (streamed.timeline[d].localization.links !=
+                full_streamed.timeline[d].localization.links) {
+              incremental_matches_full = false;
+            }
+          }
+        }
+        for (size_t d = 0; d + 1 < full_streamed.timeline.size(); ++d) {
+          full_reference_ms.Add(full_streamed.timeline[d].localization.seconds * 1e3);
+        }
       }
       const LinkId injected = scenarios[static_cast<size_t>(t)].failures[0].link;
       const double first = streamed.FirstDetectionSeconds(injected);
@@ -142,19 +288,36 @@ int main(int argc, char** argv) {
     }
     const double median =
         latencies.empty() ? 0.0 : PercentileInPlace(latencies, 50.0);
-    table.AddRow({"streaming/" + TablePrinter::FmtInt(cadence),
+    table.AddRow({mode + "/" + TablePrinter::FmtInt(cadence),
                   TablePrinter::Fmt(cadence * segment_seconds, 1),
                   TablePrinter::FmtInt(detected) + "/" + TablePrinter::FmtInt(trials),
                   latencies.empty() ? "-" : TablePrinter::Fmt(median, 1),
-                  pll_ms.count() == 0 ? "-" : TablePrinter::Fmt(pll_ms.mean(), 2),
+                  pll_ms.count() == 0 ? "-" : TablePrinter::Fmt(pll_ms.mean(), 3),
                   TablePrinter::Fmt(diagnoses / trials, 1)});
   }
   table.Print();
+  if (mode == "incremental" && full_reference_ms.count() > 0) {
+    std::printf("\nfull-PLL reference on the same boundaries: %.3f ms/diagnosis\n",
+                full_reference_ms.mean());
+  }
 
+  bool ok = true;
   if (!all_identical) {
     std::printf("\nFAIL: a streaming final localization diverged from its batch window\n");
-    return 2;
+    ok = false;
+  } else {
+    std::printf("\nbit-exactness PASS: every streaming final matched its batch window\n");
   }
-  std::printf("\nbit-exactness PASS: every streaming final matched its batch window\n");
-  return 0;
+  if (mode == "incremental") {
+    if (!incremental_matches_full) {
+      std::printf("FAIL: an incremental mid-window diagnosis diverged from full PLL\n");
+      ok = false;
+    } else {
+      std::printf("incremental-vs-full PASS: every mid-window diagnosis matched full PLL\n");
+    }
+  }
+  if (flags.GetBool("speedup-gate", false)) {
+    ok &= RunSpeedupGate(flags, seed);
+  }
+  return ok ? 0 : 2;
 }

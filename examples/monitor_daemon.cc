@@ -9,7 +9,8 @@
 // the 10-minute re-plan would. Prints a timeline of alarms and churn activity.
 //
 //   ./monitor_daemon [--k=6] [--windows-per-phase=2] [--churn-windows=4]
-//                    [--churn-per-minute=4] [--segments=10] [--diagnose-every=2] [--seed=9]
+//                    [--churn-per-minute=4] [--segments=10] [--diagnose-every=2]
+//                    [--sliding-window=2] [--seed=9]
 #include <algorithm>
 #include <cstdio>
 
@@ -50,6 +51,8 @@ int main(int argc, char** argv) {
   flags.Describe("churn-per-minute", "link churn events per minute in the churn phase");
   flags.Describe("segments", "probe slices per window in the streaming phase (default 10)");
   flags.Describe("diagnose-every", "streaming diagnosis cadence in segments (default 2)");
+  flags.Describe("sliding-window",
+                 "trailing window of the loss-episode phase, in segments (default 2)");
   flags.Describe("seed", "rng seed (default 9)");
   if (!flags.Parse(argc, argv)) {
     return 1;
@@ -117,6 +120,40 @@ int main(int argc, char** argv) {
                 first_seen, options.window_seconds);
   }
   PrintWindow(topo, window++, streamed.window, "blackhole (streaming)");
+
+  // Phase 2b: an appear-and-clear full-loss episode inside one otherwise-healthy window,
+  // watched with the sliding-segment view — mid-window diagnoses localize over the trailing
+  // `sliding-window` segment deltas, so the alarm raises while the episode is live and drops
+  // once it leaves the trailing window, instead of the whole-window totals alarming for the
+  // rest of the window after the failure already cleared.
+  const double segment_seconds = options.window_seconds / segments;
+  FailureScenario episode_scenario;
+  FailureEpisode episode;
+  episode.failure.link = fattree.EdgeAggLink(2, 1, 0);
+  episode.failure.type = FailureType::kFullLoss;
+  episode.start_seconds = 2.0 * segment_seconds;
+  episode.end_seconds = 4.0 * segment_seconds;
+  episode_scenario.episodes.push_back(episode);
+  system.set_streaming_view(StreamingViewMode::kSliding);
+  system.set_sliding_window_segments(static_cast<int>(flags.GetInt("sliding-window", 2)));
+  const auto sliding = system.RunWindowStreaming(episode_scenario, {}, rng);
+  // The timeline's last entry is the window-end cumulative diagnosis; the trailing-view story
+  // is in the mid-window entries.
+  double last_seen = -1.0;
+  for (size_t i = 0; i + 1 < sliding.timeline.size(); ++i) {
+    for (const auto& s : sliding.timeline[i].localization.links) {
+      if (s.link == episode.failure.link) {
+        last_seen = sliding.timeline[i].time_seconds;
+      }
+    }
+  }
+  const double episode_first = sliding.FirstDetectionSeconds(episode.failure.link);
+  std::printf("--- episode [%.0f s, %.0f s): sliding view first saw it at %.1f s and last "
+              "named it at %.1f s (clear once it left the trailing window) ---\n",
+              episode.start_seconds, episode.end_seconds, episode_first, last_seen);
+  PrintWindow(topo, window++, sliding.window, "loss episode (sliding view)");
+  system.set_streaming_view(StreamingViewMode::kCumulative);
+
   system.set_segments_per_window(1);
   system.set_diagnose_every_segments(1);
   run_phase("blackhole on agg-core", gray);

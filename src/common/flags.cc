@@ -7,6 +7,21 @@
 namespace detector {
 
 bool Flags::Parse(int argc, char** argv) {
+  // Help wins over validation: when --help appears anywhere (before the "--" terminator),
+  // Parse succeeds no matter what else is on the line, so every binary can print its usage
+  // and exit 0 even when other flags are malformed, unknown, or required ones are absent.
+  // The help-before-validation ordering is unit-tested in tests/common_test.cc.
+  bool help_requested = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--") {
+      break;
+    }
+    if (arg == "--help" || arg.rfind("--help=", 0) == 0) {
+      help_requested = true;
+      break;
+    }
+  }
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -24,6 +39,9 @@ bool Flags::Parse(int argc, char** argv) {
     const size_t eq = arg.find('=');
     const std::string name = eq == std::string::npos ? arg : arg.substr(0, eq);
     if (!IsKnown(name)) {
+      if (help_requested) {
+        continue;  // usage is about to be printed; an unknown flag must not pre-empt it
+      }
       std::fprintf(stderr, "unknown flag --%s (see --help)\n", name.c_str());
       return false;
     }

@@ -1,7 +1,9 @@
 // Tiny command-line flag parser for benches and examples. Accepts --name=value forms plus
 // bare --bool-flag. Once any flag has been registered via Describe, unknown flags are a parse
-// error so typos in experiment sweeps fail loudly ("--help" is always accepted); a parser with
-// no registered flags accepts anything, for ad-hoc use.
+// error so typos in experiment sweeps fail loudly; a parser with no registered flags accepts
+// anything, for ad-hoc use. "--help" is always accepted and wins over validation: with it on
+// the line, Parse succeeds regardless of unknown flags, so binaries print usage and exit 0
+// before any flag validation of their own.
 #ifndef SRC_COMMON_FLAGS_H_
 #define SRC_COMMON_FLAGS_H_
 

@@ -18,6 +18,20 @@ std::vector<NodeId> HealthyUnder(const Topology& topo, NodeId tor, const Watchdo
   return servers;
 }
 
+// The deterministic intra-rack pinger choice: any pinger under the ToR other than the target
+// itself, rotated by target id (a pinger's own server link is exercised by its outgoing
+// matrix probes anyway). Shared by BuildPinglists and the delta re-add path so a recovered
+// server gets its entry back under the same rule that placed it originally.
+NodeId ChooseIntraRackPinger(const std::vector<NodeId>& pingers, NodeId target) {
+  for (size_t i = 0; i < pingers.size(); ++i) {
+    const NodeId candidate = pingers[(static_cast<size_t>(target) + i) % pingers.size()];
+    if (candidate != target) {
+      return candidate;
+    }
+  }
+  return kInvalidNode;
+}
+
 // Pinger/target choices per ToR, cached for one BuildPinglists/UpdatePinglists invocation.
 class PingersOfTor {
  public:
@@ -103,9 +117,10 @@ std::string PinglistDiff::ToXml() const {
   w.Open("pinglistdiff");
   w.Attribute("pinger", static_cast<int64_t>(pinger));
   w.Attribute("version", static_cast<int64_t>(version));
-  for (const PathId path : removed_paths) {
+  for (const PinglistRemoval& removal : removed) {
     w.Open("remove");
-    w.Attribute("path", static_cast<int64_t>(path));
+    w.Attribute("path", static_cast<int64_t>(removal.path));
+    w.Attribute("target", static_cast<int64_t>(removal.target));
     w.Close();
   }
   for (const PinglistEntry& entry : added) {
@@ -122,7 +137,9 @@ PinglistDiff PinglistDiff::FromXml(const std::string& xml) {
   diff.pinger = static_cast<NodeId>(root->AttrInt("pinger", kInvalidNode));
   diff.version = static_cast<int>(root->AttrInt("version", 0));
   for (const XmlNode* remove : root->Children("remove")) {
-    diff.removed_paths.push_back(static_cast<PathId>(remove->AttrInt("path", -1)));
+    diff.removed.push_back(
+        PinglistRemoval{static_cast<PathId>(remove->AttrInt("path", -1)),
+                        static_cast<NodeId>(remove->AttrInt("target", kInvalidNode))});
   }
   for (const XmlNode* probe : root->Children("probe")) {
     diff.added.push_back(ProbeEntryFromXml(*probe));
@@ -136,11 +153,25 @@ PathPingerIndex PathPingerIndex::Build(std::span<const Pinglist> lists) {
     for (const PinglistEntry& entry : list.entries) {
       if (entry.path_id >= 0) {
         index.Add(entry.path_id, list.pinger);
+      } else if (entry.path_id == PinglistEntry::kIntraRackPath) {
+        index.AddIntra(entry.target_server, list.pinger);
       }
     }
   }
   return index;
 }
+
+std::span<const NodeId> PathPingerIndex::PingersOfIntra(NodeId target) const {
+  static const std::vector<NodeId> kNone;
+  const auto it = intra_pingers_of_target_.find(target);
+  return it == intra_pingers_of_target_.end() ? kNone : it->second;
+}
+
+void PathPingerIndex::AddIntra(NodeId target, NodeId pinger) {
+  intra_pingers_of_target_[target].push_back(pinger);
+}
+
+void PathPingerIndex::ClearIntra(NodeId target) { intra_pingers_of_target_.erase(target); }
 
 void PathPingerIndex::Add(PathId path, NodeId pinger) {
   CHECK(path >= 0);
@@ -207,17 +238,7 @@ std::vector<Pinglist> Controller::BuildPinglists(const ProbeMatrix& matrix,
         if (!topo_.IsServer(nb.node) || !watchdog.IsHealthy(nb.node)) {
           continue;
         }
-        // Any pinger other than the target itself (a pinger's own server link is exercised by
-        // its outgoing matrix probes anyway).
-        NodeId pinger = kInvalidNode;
-        for (size_t i = 0; i < pingers.size(); ++i) {
-          const NodeId candidate =
-              pingers[(static_cast<size_t>(nb.node) + i) % pingers.size()];
-          if (candidate != nb.node) {
-            pinger = candidate;
-            break;
-          }
-        }
+        const NodeId pinger = ChooseIntraRackPinger(pingers, nb.node);
         if (pinger == kInvalidNode) {
           continue;
         }
@@ -243,9 +264,12 @@ PinglistUpdate Controller::UpdatePinglists(std::vector<Pinglist>& lists,
                                            const ProbeMatrix& matrix, const Watchdog& watchdog,
                                            std::span<const PathId> removed_paths,
                                            std::span<const PathId> added_paths,
+                                           std::span<const NodeId> downed_targets,
+                                           std::span<const NodeId> recovered_targets,
                                            PathPingerIndex* index) const {
   PinglistUpdate update;
-  if (removed_paths.empty() && added_paths.empty()) {
+  if (removed_paths.empty() && added_paths.empty() && downed_targets.empty() &&
+      recovered_targets.empty()) {
     return update;
   }
 
@@ -255,19 +279,23 @@ PinglistUpdate Controller::UpdatePinglists(std::vector<Pinglist>& lists,
   }
   std::map<NodeId, PinglistDiff> diffs;  // ordered by pinger for determinism
 
-  // Removals: drop every entry measuring a removed path. kIntraRackPath entries never match
-  // (slot ids are non-negative). With an index, only the lists holding a replica of a removed
-  // slot are visited; the blind path scans them all.
+  // Removals: drop every entry measuring a removed path, plus every intra-rack entry towards
+  // a downed target — both diffed under their (path, target) key. With an index, only the
+  // lists holding a matching entry are visited; the blind path scans them all.
   const std::unordered_set<PathId> removed(removed_paths.begin(), removed_paths.end());
+  const std::unordered_set<NodeId> downed(downed_targets.begin(), downed_targets.end());
   auto remove_from_list = [&](Pinglist& list) {
     auto keep = list.entries.begin();
     PinglistDiff* diff = nullptr;
     for (auto it = list.entries.begin(); it != list.entries.end(); ++it) {
-      if (it->path_id >= 0 && removed.count(it->path_id) > 0) {
+      const bool matrix_hit = it->path_id >= 0 && removed.count(it->path_id) > 0;
+      const bool intra_hit = it->path_id == PinglistEntry::kIntraRackPath &&
+                             downed.count(it->target_server) > 0;
+      if (matrix_hit || intra_hit) {
         if (diff == nullptr) {
           diff = &diffs.try_emplace(list.pinger).first->second;
         }
-        diff->removed_paths.push_back(it->path_id);
+        diff->removed.push_back(PinglistRemoval{it->path_id, it->target_server});
         ++update.entries_removed;
         continue;
       }
@@ -278,11 +306,16 @@ PinglistUpdate Controller::UpdatePinglists(std::vector<Pinglist>& lists,
     }
     list.entries.erase(keep, list.entries.end());
   };
-  if (!removed.empty()) {
+  if (!removed.empty() || !downed.empty()) {
     if (index != nullptr) {
       std::set<NodeId> touched;  // ordered so removal order matches the blind path
       for (const PathId pid : removed_paths) {
         for (const NodeId pinger : index->PingersOf(pid)) {
+          touched.insert(pinger);
+        }
+      }
+      for (const NodeId target : downed_targets) {
+        for (const NodeId pinger : index->PingersOfIntra(target)) {
           touched.insert(pinger);
         }
       }
@@ -294,6 +327,9 @@ PinglistUpdate Controller::UpdatePinglists(std::vector<Pinglist>& lists,
       for (const PathId pid : removed_paths) {
         index->ClearPath(pid);
       }
+      for (const NodeId target : downed_targets) {
+        index->ClearIntra(target);
+      }
     } else {
       for (Pinglist& list : lists) {
         remove_from_list(list);
@@ -303,27 +339,84 @@ PinglistUpdate Controller::UpdatePinglists(std::vector<Pinglist>& lists,
 
   // Additions: same assignment rules as BuildPinglists; a pinger that had no list yet gets a
   // fresh one (version 0, bumped to 1 below — its diff carries the full initial contents).
+  auto list_index_of = [&](NodeId pinger) {
+    auto [it, inserted] = list_of_pinger.try_emplace(pinger, lists.size());
+    if (inserted) {
+      Pinglist fresh;
+      fresh.version = 0;
+      fresh.pinger = pinger;
+      fresh.packets_per_second = options_.packets_per_second;
+      fresh.port_count = options_.port_count;
+      lists.push_back(std::move(fresh));
+    }
+    return it->second;
+  };
   PingersOfTor pingers_of_tor(topo_, watchdog, options_);
   std::vector<std::pair<NodeId, PinglistEntry>> assignments;
   for (const PathId pid : added_paths) {
     assignments.clear();
     EntriesForPath(topo_, options_, watchdog, matrix.paths(), pid, pingers_of_tor, assignments);
     for (auto& [pinger, entry] : assignments) {
-      auto [it, inserted] = list_of_pinger.try_emplace(pinger, lists.size());
-      if (inserted) {
-        Pinglist fresh;
-        fresh.version = 0;
-        fresh.pinger = pinger;
-        fresh.packets_per_second = options_.packets_per_second;
-        fresh.port_count = options_.port_count;
-        lists.push_back(std::move(fresh));
-      }
+      const size_t li = list_index_of(pinger);
       PinglistDiff& diff = diffs.try_emplace(pinger).first->second;
       diff.added.push_back(entry);
       if (index != nullptr) {
         index->Add(pid, pinger);
       }
-      lists[it->second].entries.push_back(std::move(entry));
+      lists[li].entries.push_back(std::move(entry));
+      ++update.entries_added;
+    }
+  }
+
+  // Intra-rack re-adds for recovered servers: the deterministic BuildPinglists choice, unless
+  // an entry towards the target already stands (the recovery raced a full rebuild).
+  if (options_.intra_rack_probes) {
+    for (const NodeId target : recovered_targets) {
+      if (!watchdog.IsHealthy(target)) {
+        continue;  // flagged again before the delta dispatched
+      }
+      bool standing = false;
+      if (index != nullptr) {
+        standing = !index->PingersOfIntra(target).empty();
+      } else {
+        for (const Pinglist& list : lists) {
+          for (const PinglistEntry& entry : list.entries) {
+            standing |= entry.path_id == PinglistEntry::kIntraRackPath &&
+                        entry.target_server == target;
+          }
+        }
+      }
+      if (standing) {
+        continue;
+      }
+      NodeId tor = kInvalidNode;
+      LinkId rack_link = kInvalidLink;
+      for (const Neighbor& nb : topo_.NeighborsOf(target)) {
+        if (!topo_.IsServer(nb.node)) {
+          tor = nb.node;
+          rack_link = nb.link;
+          break;
+        }
+      }
+      if (tor == kInvalidNode) {
+        continue;
+      }
+      const NodeId pinger = ChooseIntraRackPinger(pingers_of_tor.Under(tor), target);
+      if (pinger == kInvalidNode) {
+        continue;
+      }
+      PinglistEntry entry;
+      entry.path_id = PinglistEntry::kIntraRackPath;
+      entry.target_server = target;
+      entry.route.push_back(topo_.FindLink(pinger, tor));
+      entry.route.push_back(rack_link);
+      const size_t li = list_index_of(pinger);
+      PinglistDiff& diff = diffs.try_emplace(pinger).first->second;
+      diff.added.push_back(entry);
+      if (index != nullptr) {
+        index->AddIntra(target, pinger);
+      }
+      lists[li].entries.push_back(std::move(entry));
       ++update.entries_added;
     }
   }
@@ -334,7 +427,7 @@ PinglistUpdate Controller::UpdatePinglists(std::vector<Pinglist>& lists,
     auto it = list_of_pinger.find(pinger);
     CHECK(it != list_of_pinger.end());
     diff.version = ++lists[it->second].version;
-    std::sort(diff.removed_paths.begin(), diff.removed_paths.end());
+    std::sort(diff.removed.begin(), diff.removed.end());
     update.diffs.push_back(std::move(diff));
   }
   update.lists_touched = update.diffs.size();

@@ -10,6 +10,7 @@
 #ifndef SRC_DETECTOR_CONTROLLER_H_
 #define SRC_DETECTOR_CONTROLLER_H_
 
+#include <map>
 #include <span>
 #include <vector>
 
@@ -27,14 +28,28 @@ struct ControllerOptions {
   bool intra_rack_probes = true;
 };
 
-// Per-pinger pinglist change: entries dropped (by matrix path id) and entries appended, plus
-// the pinglist version after applying the diff. Serialized/applied in this order: removals,
-// then additions. The XML wire format mirrors the full-pinglist one, so a real pinger can
-// fetch deltas over the same channel it fetches lists.
+// One removal in a pinglist diff, keyed by (path, target) — the same key that identifies an
+// entry. Matrix entries are named by their slot id (a pinger holds at most one replica per
+// slot; the target records which one it was), and intra-rack entries (path ==
+// PinglistEntry::kIntraRackPath) are named by their target server — which is what lets a
+// delta withdraw the intra-rack entries towards a downed server instead of leaving them to
+// age out at the next full rebuild.
+struct PinglistRemoval {
+  PathId path = -1;
+  NodeId target = kInvalidNode;
+
+  bool operator==(const PinglistRemoval&) const = default;
+  auto operator<=>(const PinglistRemoval&) const = default;
+};
+
+// Per-pinger pinglist change: entries dropped (by (path, target) key) and entries appended,
+// plus the pinglist version after applying the diff. Serialized/applied in this order:
+// removals, then additions. The XML wire format mirrors the full-pinglist one, so a real
+// pinger can fetch deltas over the same channel it fetches lists.
 struct PinglistDiff {
   NodeId pinger = kInvalidNode;
   int version = 0;
-  std::vector<PathId> removed_paths;
+  std::vector<PinglistRemoval> removed;
   std::vector<PinglistEntry> added;
 
   std::string ToXml() const;
@@ -44,8 +59,9 @@ struct PinglistDiff {
 // Maintained path -> pinger replica index over a set of standing pinglists. With it,
 // UpdatePinglists dispatches a probe-matrix delta by consulting only the removed slots'
 // replica pingers instead of scanning every pinglist entry — the dispatch analogue of the
-// component-restricted matrix repair, sized for fat-tree(48) churn. Matrix (non-negative)
-// slots only; intra-rack entries are never delta-dispatched.
+// component-restricted matrix repair, sized for fat-tree(48) churn. Intra-rack entries are
+// indexed separately by target server, so server churn can withdraw/restore them without a
+// list scan either.
 class PathPingerIndex {
  public:
   PathPingerIndex() = default;
@@ -60,14 +76,22 @@ class PathPingerIndex {
     return path >= 0 && p < pingers_of_path_.size() ? pingers_of_path_[p] : kNone;
   }
 
+  // Pingers holding an intra-rack entry towards the given target server (empty when none).
+  std::span<const NodeId> PingersOfIntra(NodeId target) const;
+
   void Add(PathId path, NodeId pinger);
   // Drops every replica record for the slot (the slot left the standing lists entirely).
   void ClearPath(PathId path);
+
+  void AddIntra(NodeId target, NodeId pinger);
+  // Drops every intra-rack record towards the target (its entries left the standing lists).
+  void ClearIntra(NodeId target);
 
   size_t NumIndexedPaths() const;
 
  private:
   std::vector<std::vector<NodeId>> pingers_of_path_;  // indexed by matrix slot
+  std::map<NodeId, std::vector<NodeId>> intra_pingers_of_target_;
 };
 
 struct PinglistUpdate {
@@ -93,14 +117,24 @@ class Controller {
   // once and returns the per-pinger diffs. A pinger with no surviving entries keeps its (empty)
   // pinglist so a later delta can repopulate it without renumbering versions.
   //
+  // Server churn rides the same delta: every intra-rack entry targeting a server in
+  // `downed_targets` is removed (diffed as a (kIntraRackPath, target) removal), and for each
+  // server in `recovered_targets` the intra-rack entry towards it is re-added under the same
+  // deterministic pinger choice BuildPinglists makes — unless one already stands. So the
+  // standing pinglists never carry an intra-rack entry towards a watchdog-downed server
+  // past the delta that downed it; the probe-time skip in the pinger stays as
+  // defense-in-depth for servers flagged outside the delta flow.
+  //
   // With `index` (built over these lists and kept current across calls), removal dispatch
-  // visits only the lists the index names for the removed slots and the index is updated in
-  // place; without it, every pinglist entry is scanned. Both paths produce identical lists and
-  // diffs.
+  // visits only the lists the index names for the removed slots / downed targets and the
+  // index is updated in place; without it, every pinglist entry is scanned. Both paths
+  // produce identical lists and diffs.
   PinglistUpdate UpdatePinglists(std::vector<Pinglist>& lists, const ProbeMatrix& matrix,
                                  const Watchdog& watchdog,
                                  std::span<const PathId> removed_paths,
                                  std::span<const PathId> added_paths,
+                                 std::span<const NodeId> downed_targets = {},
+                                 std::span<const NodeId> recovered_targets = {},
                                  PathPingerIndex* index = nullptr) const;
 
   const ControllerOptions& options() const { return options_; }

@@ -1,8 +1,43 @@
 #include "src/detector/diagnoser.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace detector {
+
+void Diagnoser::DirtyAccum::Merge(const ObservationStore::DirtySlots& taken) {
+  if (all) {
+    return;
+  }
+  if (taken.all) {
+    Reset(/*to_all=*/true);
+    return;
+  }
+  for (const PathId slot : taken.slots) {
+    Add(static_cast<size_t>(slot));
+  }
+}
+
+void Diagnoser::DirtyAccum::Add(size_t slot) {
+  if (all) {
+    return;
+  }
+  if (slot >= mark.size()) {
+    mark.resize(slot + 1, 0);
+  }
+  if (!mark[slot]) {
+    mark[slot] = 1;
+    slots.push_back(static_cast<PathId>(slot));
+  }
+}
+
+void Diagnoser::DirtyAccum::Reset(bool to_all) {
+  all = to_all;
+  for (const PathId slot : slots) {
+    mark[static_cast<size_t>(slot)] = 0;
+  }
+  slots.clear();
+}
 
 void Diagnoser::Ingest(const PingerWindowResult& window) {
   PathId max_slot = -1;
@@ -20,6 +55,13 @@ void Diagnoser::Ingest(const PingerWindowResult& window) {
       shard.RecordPath(report.path_id, report.target, report.sent, report.lost);
     }
   }
+}
+
+void Diagnoser::InvalidateLocalizeCache() {
+  running_state_.structure_valid = false;
+  trailing_state_.structure_valid = false;
+  running_dirty_.Reset(/*to_all=*/true);
+  trailing_dirty_.Reset(/*to_all=*/true);
 }
 
 Observations Diagnoser::AggregatedObservations(const ProbeMatrix& matrix,
@@ -43,15 +85,162 @@ std::vector<ServerLinkAlarm> Diagnoser::ServerLinkAlarms(const Watchdog& watchdo
   return alarms;
 }
 
+ObservationView Diagnoser::RefreshTotals(const ProbeMatrix& matrix, const Watchdog& watchdog,
+                                         ObservationStore::DirtySlots* taken) {
+  const ObservationView view = store_.RunningTotals(matrix.NumPaths(), watchdog);
+  ObservationStore::DirtySlots dirty = store_.TakeDirtySlots();
+  running_dirty_.Merge(dirty);
+  if (taken != nullptr) {
+    *taken = std::move(dirty);
+  }
+  return view;
+}
+
+void Diagnoser::AdvanceSegment(const ProbeMatrix& matrix, const Watchdog& watchdog) {
+  ObservationStore::DirtySlots segment_dirty;
+  const ObservationView view = RefreshTotals(matrix, watchdog, &segment_dirty);
+  const size_t num_slots = view.size();
+  if (sliding_segments_ <= 0 && decay_factor_ <= 0.0) {
+    return;
+  }
+  if (boundary_totals_.size() < num_slots) {
+    boundary_totals_.resize(num_slots, PathObservation{});
+    trailing_.resize(num_slots, PathObservation{});
+  }
+
+  // The boundary's sparse delta: totals now minus totals at the previous boundary, nonzero
+  // only on slots the store marked dirty this segment.
+  std::vector<DeltaEntry> delta;
+  auto fold_slot = [&](size_t slot) {
+    const int64_t d_sent = view[slot].sent - boundary_totals_[slot].sent;
+    const int64_t d_lost = view[slot].lost - boundary_totals_[slot].lost;
+    if (d_sent != 0 || d_lost != 0) {
+      delta.push_back(DeltaEntry{static_cast<PathId>(slot), d_sent, d_lost});
+      boundary_totals_[slot] = view[slot];
+    }
+  };
+  if (segment_dirty.all) {
+    for (size_t slot = 0; slot < num_slots; ++slot) {
+      fold_slot(slot);
+    }
+  } else {
+    for (const PathId slot : segment_dirty.slots) {
+      if (slot >= 0 && static_cast<size_t>(slot) < num_slots) {
+        fold_slot(static_cast<size_t>(slot));
+      }
+    }
+  }
+
+  if (decay_factor_ > 0.0) {
+    if (decayed_sent_.size() < num_slots) {
+      decayed_sent_.resize(num_slots, 0.0);
+      decayed_lost_.resize(num_slots, 0.0);
+      decay_active_mark_.resize(num_slots, 0);
+    }
+    for (const size_t slot : decay_active_) {
+      decayed_sent_[slot] *= decay_factor_;
+      decayed_lost_[slot] *= decay_factor_;
+    }
+    for (const DeltaEntry& entry : delta) {
+      const size_t slot = static_cast<size_t>(entry.slot);
+      decayed_sent_[slot] += static_cast<double>(entry.sent);
+      decayed_lost_[slot] += static_cast<double>(entry.lost);
+      if (!decay_active_mark_[slot]) {
+        decay_active_mark_[slot] = 1;
+        decay_active_.push_back(slot);
+      }
+    }
+  }
+
+  if (sliding_segments_ > 0) {
+    for (const DeltaEntry& entry : delta) {
+      const size_t slot = static_cast<size_t>(entry.slot);
+      trailing_[slot].sent += entry.sent;
+      trailing_[slot].lost += entry.lost;
+      trailing_dirty_.Add(slot);
+    }
+    ring_.push_back(std::move(delta));
+    if (static_cast<int>(ring_.size()) > sliding_segments_) {
+      for (const DeltaEntry& entry : ring_.front()) {
+        const size_t slot = static_cast<size_t>(entry.slot);
+        trailing_[slot].sent -= entry.sent;
+        trailing_[slot].lost -= entry.lost;
+        trailing_dirty_.Add(slot);
+      }
+      ring_.pop_front();
+    }
+  }
+}
+
 LocalizeResult Diagnoser::DiagnoseRunning(const ProbeMatrix& matrix, const Watchdog& watchdog) {
+  const ObservationView view = RefreshTotals(matrix, watchdog, nullptr);
+  LocalizeResult result = pll_.LocalizeIncremental(matrix, view, running_dirty_.slots,
+                                                   running_dirty_.all, running_state_);
+  running_dirty_.Reset(/*to_all=*/false);
+  return result;
+}
+
+LocalizeResult Diagnoser::DiagnoseRunningFull(const ProbeMatrix& matrix,
+                                              const Watchdog& watchdog) {
+  // RunningTotals folds pending records (marking their slots dirty for later incremental
+  // consumers); the full localization itself reads the view statelessly.
   return pll_.LocalizeView(matrix, store_.RunningTotals(matrix.NumPaths(), watchdog));
+}
+
+LocalizeResult Diagnoser::DiagnoseTrailing(const ProbeMatrix& matrix,
+                                           const Watchdog& /*watchdog*/) {
+  // The watchdog filter is already reflected in the totals the segment deltas were cut from.
+  const size_t num_slots = matrix.NumPaths();
+  if (trailing_.size() < num_slots) {
+    boundary_totals_.resize(num_slots, PathObservation{});
+    trailing_.resize(num_slots, PathObservation{});
+  }
+  const ObservationView view(trailing_.data(), num_slots);
+  LocalizeResult result = pll_.LocalizeIncremental(matrix, view, trailing_dirty_.slots,
+                                                   trailing_dirty_.all, trailing_state_);
+  trailing_dirty_.Reset(/*to_all=*/false);
+  return result;
+}
+
+LocalizeResult Diagnoser::DiagnoseDecayed(const ProbeMatrix& matrix,
+                                          const Watchdog& /*watchdog*/) {
+  // As in DiagnoseTrailing: the filter is already applied to the deltas' source totals.
+  const size_t num_slots = matrix.NumPaths();
+  decayed_rounded_.assign(num_slots, PathObservation{});
+  for (const size_t slot : decay_active_) {
+    if (slot < num_slots) {
+      decayed_rounded_[slot].sent = std::llround(decayed_sent_[slot]);
+      decayed_rounded_[slot].lost = std::llround(decayed_lost_[slot]);
+    }
+  }
+  return pll_.LocalizeView(matrix, ObservationView(decayed_rounded_.data(), num_slots));
 }
 
 LocalizeResult Diagnoser::Diagnose(const ProbeMatrix& matrix, const Watchdog& watchdog) {
   LocalizeResult result =
       pll_.LocalizeView(matrix, store_.RunningTotals(matrix.NumPaths(), watchdog));
   store_.Clear();
+  ResetWindowState();
   return result;
+}
+
+void Diagnoser::ResetWindowState() {
+  running_dirty_.Reset(/*to_all=*/true);
+  trailing_dirty_.Reset(/*to_all=*/true);
+  ring_.clear();
+  boundary_totals_.assign(boundary_totals_.size(), PathObservation{});
+  trailing_.assign(trailing_.size(), PathObservation{});
+  decayed_sent_.assign(decayed_sent_.size(), 0.0);
+  decayed_lost_.assign(decayed_lost_.size(), 0.0);
+  for (const size_t slot : decay_active_) {
+    decay_active_mark_[slot] = 0;
+  }
+  decay_active_.clear();
+}
+
+void Diagnoser::Clear() {
+  store_.Clear();
+  ResetWindowState();
 }
 
 }  // namespace detector

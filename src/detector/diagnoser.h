@@ -2,12 +2,32 @@
 // the probe plane (or Ingest'ed as whole reports by callers without a shard runtime), merges
 // replicas (a path is probed by >= 2 pingers), discards records from servers the watchdog
 // flagged, and runs PLL over a zero-copy view of the store's running totals. Diagnose()
-// consumes the window; DiagnoseRunning() is the continuous-diagnosis entry point — it reads
-// the same totals mid-window at segment cadence without consuming anything. Also tracks
-// intra-rack probe results for server-link alarms.
+// consumes the window; the continuous-diagnosis entry points read the same totals mid-window
+// at segment cadence without consuming anything:
+//
+//  - DiagnoseRunning(): incremental PLL over the whole accumulated window. The store's
+//    dirty-slot tracker names the matrix slots whose totals changed since the last boundary;
+//    only the components of the PLL partition containing a dirty slot are re-scored, the rest
+//    reuse their cached verdicts — bit-identical to DiagnoseRunningFull() on the same totals
+//    (ctest-gated), at O(dirty components) instead of O(matrix) per boundary.
+//  - DiagnoseRunningFull(): the full-PLL reference on the same totals. Leaves the dirty
+//    tracker untouched, so it can be interleaved with incremental calls as the test oracle.
+//  - AdvanceSegment() + DiagnoseTrailing(): the sliding-segment view. AdvanceSegment, called
+//    at every segment boundary, turns the boundary's dirty slots into a sparse per-segment
+//    (sent, lost) delta, pushes it into a ring of the trailing `sliding_segments` deltas, and
+//    maintains their running sum; DiagnoseTrailing localizes over that trailing sum — so a
+//    loss episode that appears *and clears* inside one window stands out instead of being
+//    diluted into the whole-window totals. Also incremental (its own PLL state, dirtied by
+//    delta pushes and ring evictions).
+//  - DiagnoseDecayed(): optional exponential-decay view — AdvanceSegment folds each segment
+//    delta into decayed per-slot totals (decayed = decay_factor * decayed + delta), and the
+//    diagnosis runs full PLL over their rounded values.
+//
+// Also tracks intra-rack probe results for server-link alarms.
 #ifndef SRC_DETECTOR_DIAGNOSER_H_
 #define SRC_DETECTOR_DIAGNOSER_H_
 
+#include <deque>
 #include <span>
 #include <vector>
 
@@ -35,6 +55,14 @@ class Diagnoser {
   ObservationStore& store() { return store_; }
   const ObservationStore& store() const { return store_; }
 
+  // Sliding-segment window width, in segments (0 disables the ring; then AdvanceSegment only
+  // feeds the cumulative dirty set and DiagnoseTrailing degenerates to empty observations).
+  void set_sliding_segments(int segments) { sliding_segments_ = segments < 0 ? 0 : segments; }
+  int sliding_segments() const { return sliding_segments_; }
+  // Per-segment decay factor in (0, 1) for DiagnoseDecayed; <= 0 disables the decayed totals.
+  void set_decay_factor(double factor) { decay_factor_ = factor; }
+  double decay_factor() const { return decay_factor_; }
+
   // Bulk ingestion of a finished pinger report into the store — the non-streaming path used by
   // standalone pingers and tests.
   void Ingest(const PingerWindowResult& window);
@@ -45,6 +73,12 @@ class Diagnoser {
   // attributed to the slot's new occupant at Diagnose time.
   void DropReports(std::span<const PathId> paths) { store_.InvalidateSlots(paths); }
 
+  // Drops the cached PLL partitions and component verdicts. Must be called whenever the probe
+  // matrix changes structurally (incremental repair rewires slots, RecomputeCycle rebuilds):
+  // the partition is keyed to the matrix, and slot reuse preserves dimensions, so the caches
+  // cannot detect staleness themselves. The next diagnosis rebuilds and re-scores everything.
+  void InvalidateLocalizeCache();
+
   // Merged per-path observations for the current window (replica reports summed). Copies the
   // store snapshot; Diagnose itself consumes the running-totals view without copying.
   Observations AggregatedObservations(const ProbeMatrix& matrix, const Watchdog& watchdog) const;
@@ -52,23 +86,87 @@ class Diagnoser {
   // Intra-rack (server-link) losses above the preprocessing threshold.
   std::vector<ServerLinkAlarm> ServerLinkAlarms(const Watchdog& watchdog) const;
 
-  // Streaming diagnosis (segment cadence): runs PLL over the store's maintained running
-  // totals without consuming the window — accumulation continues and a later Diagnose() sees
-  // everything. Cost per call is PLL plus O(records since the last serial read), not a full
-  // dense rebuild.
+  // Segment-boundary bookkeeping for the streaming views: folds the boundary's dirty slots
+  // into the pending cumulative dirty set and (when enabled) advances the sliding ring and the
+  // decayed totals by one segment. Call exactly once per segment boundary, before any
+  // boundary diagnosis. O(slots changed this segment).
+  void AdvanceSegment(const ProbeMatrix& matrix, const Watchdog& watchdog);
+
+  // Streaming diagnosis (segment cadence): incremental PLL over the store's maintained
+  // running totals without consuming the window — accumulation continues and a later
+  // Diagnose() sees everything. Cost per call is O(records since the last serial read + dirty
+  // components), not a full dense rebuild plus a full PLL pass.
   LocalizeResult DiagnoseRunning(const ProbeMatrix& matrix, const Watchdog& watchdog);
 
-  // Runs PLL on everything accumulated since the last call, then clears the buffer. Reads the
+  // Full-PLL diagnosis over the same running totals, also non-consuming. The reference
+  // semantics for DiagnoseRunning (does not touch the dirty tracker or the verdict caches, so
+  // both can run at the same boundary and must agree bit-for-bit).
+  LocalizeResult DiagnoseRunningFull(const ProbeMatrix& matrix, const Watchdog& watchdog);
+
+  // Localizes over the trailing sliding_segments() segment deltas (see AdvanceSegment).
+  // Non-consuming. Slots retroactively retracted (watchdog flips, slot invalidation) can
+  // carry transiently negative deltas; preprocessing treats sent <= 0 as unusable, so such
+  // slots are simply not diagnosable until the retraction leaves the trailing window.
+  LocalizeResult DiagnoseTrailing(const ProbeMatrix& matrix, const Watchdog& watchdog);
+
+  // Localizes over the exponentially-decayed totals (full PLL; the decayed values change on
+  // every slot every segment, so there is nothing incremental to exploit). Non-consuming.
+  LocalizeResult DiagnoseDecayed(const ProbeMatrix& matrix, const Watchdog& watchdog);
+
+  // Runs PLL on everything accumulated since the last call, then clears the buffer (and all
+  // per-window streaming state: pending dirty sets, sliding ring, decayed totals). Reads the
   // same running totals the streaming path maintains, so a window's final diagnosis is
   // bit-identical whether or not mid-window diagnoses were taken.
   LocalizeResult Diagnose(const ProbeMatrix& matrix, const Watchdog& watchdog);
 
-  void Clear() { store_.Clear(); }
+  void Clear();
 
  private:
+  // Dedup'ed accumulator for dirty slots across segment boundaries between diagnoses.
+  struct DirtyAccum {
+    bool all = true;  // until first taken: everything dirty
+    std::vector<uint8_t> mark;
+    std::vector<PathId> slots;
+
+    void Merge(const ObservationStore::DirtySlots& taken);
+    void Add(size_t slot);
+    void Reset(bool to_all);
+  };
+  struct DeltaEntry {
+    PathId slot;
+    int64_t sent;
+    int64_t lost;
+  };
+
+  // Drops accumulated per-window view state (ring, trailing/decayed totals, pending dirty).
+  void ResetWindowState();
+  // RunningTotals + TakeDirtySlots, merged into the cumulative pending set; returns the view.
+  ObservationView RefreshTotals(const ProbeMatrix& matrix, const Watchdog& watchdog,
+                                ObservationStore::DirtySlots* taken);
+
   PllLocalizer pll_;
   PllOptions options_;
   ObservationStore store_;
+
+  // Incremental cumulative diagnosis.
+  PllIncrementalState running_state_;
+  DirtyAccum running_dirty_;
+
+  // Sliding-segment view.
+  int sliding_segments_ = 0;
+  std::deque<std::vector<DeltaEntry>> ring_;  // most recent sliding_segments_ segment deltas
+  Observations boundary_totals_;              // running totals at the last AdvanceSegment
+  Observations trailing_;                     // sum of the ring's deltas
+  PllIncrementalState trailing_state_;
+  DirtyAccum trailing_dirty_;
+
+  // Exponential-decay view.
+  double decay_factor_ = 0.0;
+  std::vector<double> decayed_sent_;
+  std::vector<double> decayed_lost_;
+  std::vector<uint8_t> decay_active_mark_;
+  std::vector<size_t> decay_active_;  // slots with a nonzero decayed value
+  Observations decayed_rounded_;      // materialized int64 view for PLL
 };
 
 }  // namespace detector

@@ -17,9 +17,34 @@ void ObservationStore::Shard::RecordIntraRack(NodeId target, int64_t sent, int64
 
 void ObservationStore::EnsureSlots(size_t num_slots) {
   if (num_slots > slot_epoch_.size()) {
+    const size_t old_size = slot_epoch_.size();
     slot_epoch_.resize(num_slots, 0);
     running_.resize(num_slots, PathObservation{});
+    slot_dirty_.resize(num_slots, 0);
+    for (size_t slot = old_size; slot < num_slots; ++slot) {
+      MarkDirty(slot);  // new slots enter the diagnosable domain: treat as changed
+    }
   }
+}
+
+void ObservationStore::MarkDirty(size_t slot) {
+  if (all_dirty_ || slot_dirty_[slot]) {
+    return;
+  }
+  slot_dirty_[slot] = 1;
+  dirty_slots_.push_back(static_cast<PathId>(slot));
+}
+
+ObservationStore::DirtySlots ObservationStore::TakeDirtySlots() {
+  DirtySlots taken;
+  taken.all = all_dirty_;
+  taken.slots = std::move(dirty_slots_);
+  dirty_slots_.clear();
+  for (const PathId slot : taken.slots) {
+    slot_dirty_[static_cast<size_t>(slot)] = 0;
+  }
+  all_dirty_ = false;
+  return taken;
 }
 
 ObservationStore::Shard& ObservationStore::OpenShard(NodeId pinger) {
@@ -38,6 +63,7 @@ void ObservationStore::InvalidateSlots(std::span<const PathId> slots) {
       // are skipped at fold time by the epoch check.
       ++slot_epoch_[static_cast<size_t>(slot)];
       running_[static_cast<size_t>(slot)] = PathObservation{};
+      MarkDirty(static_cast<size_t>(slot));
     }
   }
 }
@@ -71,6 +97,7 @@ void ObservationStore::AdjustForNode(NodeId node, int sign) {
     }
     running_[slot].sent += sign * record.sent;
     running_[slot].lost += sign * record.lost;
+    MarkDirty(slot);
   };
   // Pinger role: the node's own shard, minus records excluded by a still-filtered target.
   const auto shard_it = shard_of_pinger_.find(node);
@@ -120,6 +147,7 @@ void ObservationStore::FoldNewRecords() {
           applied_down_.count(record.target) == 0) {
         running_[slot].sent += record.sent;
         running_[slot].lost += record.lost;
+        MarkDirty(slot);
       }
       // Filtered and orphaned records still count as folded (and indexed): if their
       // pinger/target later recovers, AdjustForNode(+1) re-adds exactly the ones whose epoch
@@ -182,6 +210,9 @@ void ObservationStore::Clear() {
   applied_down_.clear();
   records_by_target_.clear();
   target_index_built_ = false;
+  all_dirty_ = true;
+  dirty_slots_.clear();
+  slot_dirty_.assign(slot_dirty_.size(), 0);
 }
 
 }  // namespace detector

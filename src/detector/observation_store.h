@@ -110,6 +110,18 @@ class ObservationStore {
   // from or towards watchdog-flagged servers.
   std::vector<IntraRackObservation> IntraRackObservations(const Watchdog& watchdog) const;
 
+  // Slots whose running totals changed since the previous TakeDirtySlots call — folded
+  // records, slot invalidations, watchdog retractions/re-adds, and table growth all mark their
+  // slots. `all` short-circuits the list: everything must be treated as changed (initial
+  // state, and after Clear). Consumed after RunningTotals at a diagnosis boundary, this is
+  // exactly the dirty set incremental diagnosis needs; taking it resets the tracker. Serial
+  // phase only.
+  struct DirtySlots {
+    bool all = false;
+    std::vector<PathId> slots;  // unordered, duplicate-free
+  };
+  DirtySlots TakeDirtySlots();
+
   // Drops every shard and resets all epochs and running totals (end of an aggregation window).
   void Clear();
 
@@ -142,6 +154,12 @@ class ObservationStore {
   void BuildTargetIndex();
   bool target_index_built_ = false;
   std::map<NodeId, std::vector<std::pair<const Shard*, size_t>>> records_by_target_;
+
+  // Marks a slot's running total as changed since the last TakeDirtySlots. O(1), dedup'ed.
+  void MarkDirty(size_t slot);
+  bool all_dirty_ = true;             // nothing taken yet / Clear(): treat everything as changed
+  std::vector<uint8_t> slot_dirty_;   // parallel to slot_epoch_
+  std::vector<PathId> dirty_slots_;
 };
 
 }  // namespace detector

@@ -6,11 +6,13 @@ namespace detector {
 
 namespace {
 
-// Intra-rack entries towards a watchdog-flagged server are skipped at execution time: the
-// standing pinglist carries them until the next full rebuild (open item: diffs cannot key
-// intra-rack entries yet), but probing a downed server only burns budget and records counters
-// the diagnoser would discard anyway. Matrix entries are not filtered here — server churn
-// re-dispatches them off downed endpoints through UpdatePinglists.
+// Intra-rack entries towards a watchdog-flagged server are skipped at execution time. Server
+// churn dispatched through UpdatePinglists removes such entries from the standing pinglists
+// outright (diffs key them by (path, target)); this probe-time skip is defense-in-depth for
+// servers flagged outside the delta flow (e.g. a watchdog MarkDown with no topology delta) —
+// probing a downed server only burns budget and records counters the diagnoser would discard
+// anyway. Matrix entries are not filtered here — server churn re-dispatches them off downed
+// endpoints through UpdatePinglists.
 bool EntryEligible(const PinglistEntry& entry, const Watchdog* watchdog) {
   return entry.path_id != PinglistEntry::kIntraRackPath || watchdog == nullptr ||
          watchdog->IsHealthy(entry.target_server);
@@ -32,14 +34,25 @@ PingerTraffic Pinger::RunEntries(const ProbeEngine& engine, double window_second
   const int64_t budget =
       std::max<int64_t>(1, static_cast<int64_t>(pinglist_.packets_per_second * window_seconds));
   const int64_t per_entry = std::max<int64_t>(1, budget / eligible);
+  // When filtering skipped entries, their budget share is redistributed over the live ones;
+  // the integer split truncates, so the remainder goes one extra packet at a time to the
+  // first eligible entries in pinglist order. The assignment depends only on this pinglist's
+  // own entry order — never on shard scheduling or thread count, which the 1/2/8-thread
+  // bit-exactness oracle in tests/parallel_window_test.cc covers with filtering active.
+  const bool redistributing = eligible < static_cast<int64_t>(pinglist_.entries.size());
+  const int64_t extra_packets =
+      redistributing ? std::max<int64_t>(0, budget - per_entry * eligible) : 0;
 
+  int64_t eligible_index = 0;
   for (const PinglistEntry& entry : pinglist_.entries) {
     if (!EntryEligible(entry, watchdog)) {
       continue;
     }
+    const int64_t packets = per_entry + (eligible_index < extra_packets ? 1 : 0);
+    ++eligible_index;
     PathObservation obs = engine.SimulatePath(entry.route, pinglist_.pinger,
                                               entry.target_server,
-                                              static_cast<int>(per_entry), rng);
+                                              static_cast<int>(packets), rng);
     if (obs.lost > 0 && confirm_packets_ > 0) {
       // Confirm the loss pattern with extra probes of the same content (§3.1).
       const PathObservation confirm = engine.SimulatePath(

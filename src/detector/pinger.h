@@ -47,9 +47,10 @@ class Pinger {
 
   // Executes one aggregation window: the packet budget (pps x seconds) is spread round-robin
   // over the pinglist entries. With a watchdog, intra-rack entries targeting flagged servers
-  // are skipped — the standing pinglist keeps them until the next full rebuild, but a downed
-  // server draws no probes and records no counters, and the skipped entries' budget share is
-  // redistributed over the live ones.
+  // are skipped (defense-in-depth: churn deltas remove such entries from standing pinglists,
+  // this covers servers flagged outside the delta flow) — a downed server draws no probes and
+  // records no counters, and the skipped entries' budget share, remainder included, is
+  // redistributed deterministically over the live ones in entry order.
   PingerWindowResult RunWindow(const ProbeEngine& engine, double window_seconds, Rng& rng,
                                const Watchdog* watchdog = nullptr) const;
 

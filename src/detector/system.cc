@@ -19,6 +19,7 @@ DetectorSystem::DetectorSystem(const PathProvider& provider, DetectorSystemOptio
       watchdog_(topo_),
       controller_(topo_, options.controller),
       diagnoser_(options.pll) {
+  ConfigureDiagnoserViews();
   pinglists_ = controller_.BuildPinglists(matrix_, watchdog_);
   path_index_ = PathPingerIndex::Build(pinglists_);
   for (const Pinglist& list : pinglists_) {
@@ -35,11 +36,20 @@ DetectorSystem::DetectorSystem(const Topology& topo, ProbeMatrix matrix,
       watchdog_(topo_),
       controller_(topo_, options.controller),
       diagnoser_(options.pll) {
+  ConfigureDiagnoserViews();
   pinglists_ = controller_.BuildPinglists(matrix_, watchdog_);
   path_index_ = PathPingerIndex::Build(pinglists_);
   for (const Pinglist& list : pinglists_) {
     version_floor_[list.pinger] = list.version;
   }
+}
+
+void DetectorSystem::ConfigureDiagnoserViews() {
+  diagnoser_.set_sliding_segments(options_.streaming_view == StreamingViewMode::kSliding
+                                      ? std::max(1, options_.sliding_window_segments)
+                                      : 0);
+  diagnoser_.set_decay_factor(
+      options_.streaming_view == StreamingViewMode::kDecay ? options_.decay_factor : 0.0);
 }
 
 void DetectorSystem::EnforceVersionFloors(std::vector<PinglistDiff>& diffs) {
@@ -65,6 +75,8 @@ void DetectorSystem::RecomputeCycle() {
   if (incremental_ != nullptr) {
     pmc_stats_ = incremental_->FullResolve();
     matrix_ = incremental_->BuildMatrix();
+    // The rebuilt matrix rewires slots; the diagnoser's cached PLL partition is stale.
+    diagnoser_.InvalidateLocalizeCache();
   }
   pinglists_ = controller_.BuildPinglists(matrix_, watchdog_);
   path_index_ = PathPingerIndex::Build(pinglists_);
@@ -83,7 +95,8 @@ void DetectorSystem::RecomputeCycle() {
     }
     std::sort(dead_paths.begin(), dead_paths.end());
     dead_paths.erase(std::unique(dead_paths.begin(), dead_paths.end()), dead_paths.end());
-    controller_.UpdatePinglists(pinglists_, matrix_, watchdog_, dead_paths, {}, &path_index_);
+    controller_.UpdatePinglists(pinglists_, matrix_, watchdog_, dead_paths, {}, {}, {},
+                                &path_index_);
   }
 
   // A full rebuild is a new pinglist generation for every pinger: versions must move strictly
@@ -101,8 +114,14 @@ DetectorSystem::ChurnApplyResult DetectorSystem::ApplyTopologyDelta(const Topolo
 
   // Server churn routes to the watchdog (pinger eligibility); the affected paths are
   // re-dispatched below so replicas move off a downed pinger immediately instead of waiting
-  // for the next recompute cycle.
+  // for the next recompute cycle, and intra-rack entries targeting the server are withdrawn
+  // from (on recovery: restored to) the standing pinglists. Deliberately NOT gated on a
+  // health transition: the delta may be confirming a server the watchdog already flagged
+  // out-of-band (health telemetry), whose entries still stand and must be moved now. Both
+  // directions are idempotent — removal finds nothing the second time, and the re-add
+  // dedups against standing entries — so a repeated delta is a no-op.
   std::vector<NodeId> downed_servers;
+  std::vector<NodeId> recovered_servers;
   for (const NodeChurn& ev : delta.nodes) {
     if (!topo_.IsServer(ev.node)) {
       continue;
@@ -112,6 +131,7 @@ DetectorSystem::ChurnApplyResult DetectorSystem::ApplyTopologyDelta(const Topolo
       downed_servers.push_back(ev.node);
     } else {
       watchdog_.MarkUp(ev.node);
+      recovered_servers.push_back(ev.node);
     }
   }
 
@@ -130,6 +150,9 @@ DetectorSystem::ChurnApplyResult DetectorSystem::ApplyTopologyDelta(const Topolo
     added = std::move(outcome.added_slots);
     if (!removed.empty() || !added.empty()) {
       matrix_ = incremental_->BuildMatrix();
+      // Slot reuse keeps the matrix dimensions while rewiring paths, so the diagnoser's
+      // cached PLL partition cannot detect the change itself — drop it explicitly.
+      diagnoser_.InvalidateLocalizeCache();
     }
   } else {
     // Fixed-matrix mode: no candidate set to repair from. Entries on dead links are withdrawn
@@ -175,7 +198,7 @@ DetectorSystem::ChurnApplyResult DetectorSystem::ApplyTopologyDelta(const Topolo
       const bool pinger_down = down.count(list.pinger) > 0;
       for (const PinglistEntry& entry : list.entries) {
         if (entry.path_id < 0) {
-          continue;  // intra-rack probes age out at the next full rebuild
+          continue;  // intra-rack entries are keyed by target and removed by UpdatePinglists
         }
         if (pinger_down || down.count(entry.target_server) > 0) {
           removed.push_back(entry.path_id);
@@ -204,13 +227,49 @@ DetectorSystem::ChurnApplyResult DetectorSystem::ApplyTopologyDelta(const Topolo
   }
 
   PinglistUpdate update =
-      controller_.UpdatePinglists(pinglists_, matrix_, watchdog_, removed, added, &path_index_);
+      controller_.UpdatePinglists(pinglists_, matrix_, watchdog_, removed, added,
+                                  downed_servers, recovered_servers, &path_index_);
   out.pinglists_touched = update.lists_touched;
   out.entries_removed = update.entries_removed;
   out.entries_added = update.entries_added;
   out.diffs = std::move(update.diffs);
   EnforceVersionFloors(out.diffs);
   return out;
+}
+
+void DetectorSystem::RunSpan(const FailureScenario& scenario, double t0, double t1, Rng& rng,
+                             WindowResult& result) {
+  if (scenario.episodes.empty()) {
+    RunSegment(scenario, t1 - t0, rng, result);
+    return;
+  }
+  // Cut [t0, t1) at the episode boundaries inside it; each piece probes under the failure set
+  // active at its start (fixed across the piece by construction).
+  std::vector<double> cuts;
+  for (const FailureEpisode& episode : scenario.episodes) {
+    for (const double t : {episode.start_seconds, episode.end_seconds}) {
+      if (t > t0 + 1e-9 && t < t1 - 1e-9) {
+        cuts.push_back(t);
+      }
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.push_back(t1);
+  double at = t0;
+  for (const double cut : cuts) {
+    if (cut - at <= 1e-9) {
+      continue;
+    }
+    FailureScenario active = scenario;
+    active.episodes.clear();
+    for (const FailureEpisode& episode : scenario.episodes) {
+      if (episode.start_seconds <= at + 1e-9 && at + 1e-9 < episode.end_seconds) {
+        active.failures.push_back(episode.failure);
+      }
+    }
+    RunSegment(active, cut - at, rng, result);
+    at = cut;
+  }
 }
 
 FailureScenario DetectorSystem::OverlaidScenario(const FailureScenario& scenario) const {
@@ -307,6 +366,19 @@ DetectorSystem::StreamingWindowResult DetectorSystem::RunWindowStreaming(
   return RunWindowImpl(scenario, churn, rng, /*streaming=*/true);
 }
 
+LocalizeResult DetectorSystem::DiagnoseBoundary() {
+  switch (options_.streaming_view) {
+    case StreamingViewMode::kSliding:
+      return diagnoser_.DiagnoseTrailing(matrix_, watchdog_);
+    case StreamingViewMode::kDecay:
+      return diagnoser_.DiagnoseDecayed(matrix_, watchdog_);
+    case StreamingViewMode::kCumulative:
+      break;
+  }
+  return options_.incremental_diagnosis ? diagnoser_.DiagnoseRunning(matrix_, watchdog_)
+                                        : diagnoser_.DiagnoseRunningFull(matrix_, watchdog_);
+}
+
 double DetectorSystem::StreamingWindowResult::FirstDetectionSeconds(LinkId link) const {
   for (const SegmentDiagnosis& d : timeline) {
     for (const SuspectLink& suspect : d.localization.links) {
@@ -337,9 +409,8 @@ DetectorSystem::StreamingWindowResult DetectorSystem::RunWindowImpl(
     while (next_event < churn.size() && churn[next_event].time_seconds < window &&
            churn[next_event].time_seconds < boundary) {
       const ChurnEvent& event = churn[next_event];
-      const double span = event.time_seconds - t;
-      if (span > 1e-9) {
-        RunSegment(scenario, span, rng, result);
+      if (event.time_seconds - t > 1e-9) {
+        RunSpan(scenario, t, event.time_seconds, rng, result);
       }
       const ChurnApplyResult applied = ApplyTopologyDelta(event.delta);
       // Earlier slices may have reported on the vacated slots; repair can reuse them within
@@ -352,18 +423,23 @@ DetectorSystem::StreamingWindowResult DetectorSystem::RunWindowImpl(
       ++next_event;
     }
     if (boundary - t > 1e-9) {
-      RunSegment(scenario, boundary - t, rng, result);
+      RunSpan(scenario, t, boundary, rng, result);
       t = boundary;
     }
-    if (streaming && seg < segments && seg % cadence == 0) {
-      // Non-consuming diagnosis on the running totals: the window keeps accumulating, and the
-      // final Diagnose below sees exactly what a batch window would.
-      SegmentDiagnosis diagnosis;
-      diagnosis.segment = seg;
-      diagnosis.time_seconds = boundary;
-      diagnosis.localization = diagnoser_.DiagnoseRunning(matrix_, watchdog_);
-      diagnosis.server_link_alarms = diagnoser_.ServerLinkAlarms(watchdog_);
-      out.timeline.push_back(std::move(diagnosis));
+    if (streaming && seg < segments) {
+      // Every boundary advances the streaming views (cumulative dirty set, sliding ring,
+      // decayed totals) — O(slots changed this segment) — whether or not it diagnoses.
+      diagnoser_.AdvanceSegment(matrix_, watchdog_);
+      if (seg % cadence == 0) {
+        // Non-consuming diagnosis: the window keeps accumulating, and the final Diagnose
+        // below sees exactly what a batch window would.
+        SegmentDiagnosis diagnosis;
+        diagnosis.segment = seg;
+        diagnosis.time_seconds = boundary;
+        diagnosis.localization = DiagnoseBoundary();
+        diagnosis.server_link_alarms = diagnoser_.ServerLinkAlarms(watchdog_);
+        out.timeline.push_back(std::move(diagnosis));
+      }
     }
   }
   result.server_link_alarms = diagnoser_.ServerLinkAlarms(watchdog_);

@@ -42,6 +42,16 @@
 
 namespace detector {
 
+// What the mid-window diagnoses of RunWindowStreaming localize over. The window-end diagnosis
+// is always the cumulative whole-window one, so the batch/streaming bit-exactness gate holds
+// in every mode.
+enum class StreamingViewMode {
+  kCumulative,  // the whole accumulated window (incremental PLL over dirty components)
+  kSliding,     // the trailing sliding_window_segments segment deltas — localizes loss
+                // episodes that appear and clear inside one window
+  kDecay,       // exponentially-decayed per-slot totals (decay_factor per segment)
+};
+
 struct DetectorSystemOptions {
   ControllerOptions controller;
   PmcOptions pmc;
@@ -60,6 +70,15 @@ struct DetectorSystemOptions {
   // trajectory, so results are comparable only between runs with the same slicing.
   int segments_per_window = 1;
   int diagnose_every_segments = 1;
+  // Mid-window diagnosis view (see StreamingViewMode) and its parameters. The ring/decay
+  // state behind the non-cumulative views is only maintained while its view is selected, so
+  // the default cumulative view pays nothing for them.
+  StreamingViewMode streaming_view = StreamingViewMode::kCumulative;
+  int sliding_window_segments = 4;  // trailing window width, in segments (kSliding only)
+  double decay_factor = 0.5;        // per-segment decay (kDecay only)
+  // Cumulative mid-window diagnoses use incremental PLL (re-score only dirty components).
+  // false = full PLL at every boundary — the bit-exactness oracle and the bench baseline.
+  bool incremental_diagnosis = true;
 };
 
 class DetectorSystem {
@@ -164,6 +183,21 @@ class DetectorSystem {
   void set_diagnose_every_segments(int n) {
     options_.diagnose_every_segments = std::max(1, n);
   }
+  // Switches what mid-window diagnoses localize over (takes effect at the next window; the
+  // window-end diagnosis is always cumulative). Probing and the final result are unaffected.
+  void set_streaming_view(StreamingViewMode mode) {
+    options_.streaming_view = mode;
+    ConfigureDiagnoserViews();
+  }
+  void set_sliding_window_segments(int n) {
+    options_.sliding_window_segments = std::max(1, n);
+    ConfigureDiagnoserViews();
+  }
+  // Toggles incremental vs full PLL for cumulative mid-window diagnoses (bit-identical by
+  // contract; the toggle exists so tests and benches can price one against the other).
+  void set_incremental_diagnosis(bool incremental) {
+    options_.incremental_diagnosis = incremental;
+  }
 
  private:
   // Shared window driver: slices [0, window_seconds) at segment boundaries and churn-event
@@ -172,8 +206,19 @@ class DetectorSystem {
   StreamingWindowResult RunWindowImpl(const FailureScenario& scenario,
                                       std::span<const ChurnEvent> churn, Rng& rng,
                                       bool streaming);
+  // Runs [t0, t1), further sliced at the scenario's episode boundaries so every probe slice
+  // sees a fixed failure set. With no episodes this is exactly one RunSegment — same RNG
+  // trajectory as before episodes existed.
+  void RunSpan(const FailureScenario& scenario, double t0, double t1, Rng& rng,
+               WindowResult& result);
   void RunSegment(const FailureScenario& scenario, double seconds, Rng& rng,
                   WindowResult& result);
+  // The localization for one mid-window boundary, per options_.streaming_view.
+  LocalizeResult DiagnoseBoundary();
+  // Enables exactly the diagnoser view state the selected streaming_view reads: the sliding
+  // ring and the decayed totals cost O(changed slots) per segment boundary, so the default
+  // cumulative view must not maintain them.
+  void ConfigureDiagnoserViews();
   FailureScenario OverlaidScenario(const FailureScenario& scenario) const;
   // For each diffed pinglist: raises its version above the pinger's recorded high-water mark
   // (a pinger reappearing after an absence would otherwise restart at the default), patches

@@ -6,6 +6,22 @@
 #include "src/common/timer.h"
 
 namespace detector {
+namespace {
+
+// Strict total orders for suspect lists: ties on explained losses are broken by link id, so
+// the merged output of per-component scoring is bit-identical to the monolithic pass no
+// matter which order components were processed in.
+bool WeakerSuspect(const SuspectLink& a, const SuspectLink& b) {
+  return a.explained_losses != b.explained_losses ? a.explained_losses < b.explained_losses
+                                                  : a.link < b.link;
+}
+
+bool StrongerSuspect(const SuspectLink& a, const SuspectLink& b) {
+  return a.explained_losses != b.explained_losses ? a.explained_losses > b.explained_losses
+                                                  : a.link < b.link;
+}
+
+}  // namespace
 
 double InvertRoundTripLoss(double path_loss_ratio) {
   const double clamped = std::clamp(path_loss_ratio, 0.0, 1.0);
@@ -22,6 +38,12 @@ LocalizeResult PllLocalizer::LocalizeWithOutliers(const ProbeMatrix& matrix,
   return LocalizeView(matrix, obs, outlier_paths);
 }
 
+// NOTE: this monolithic pass and RescoreComponent below are deliberately two independent
+// implementations of the same scoring rules. LocalizeView is the reference the incremental
+// path is gated against (tests/incremental_diagnosis_test.cc and the bench_detection_latency
+// incremental mode compare them bit-for-bit on every boundary), so folding one into the
+// other would turn the oracle into a self-comparison. A change to the thresholds, tie-breaks
+// or redundancy rule must land in both; the gates trip loudly if the copies drift.
 LocalizeResult PllLocalizer::LocalizeView(const ProbeMatrix& matrix, ObservationView obs,
                                           std::span<const uint8_t> outlier_paths) const {
   WallTimer timer;
@@ -156,10 +178,7 @@ LocalizeResult PllLocalizer::LocalizeView(const ProbeMatrix& matrix, Observation
         ++cover_count[p];
       }
     }
-    std::sort(result.links.begin(), result.links.end(),
-              [](const SuspectLink& a, const SuspectLink& b) {
-                return a.explained_losses < b.explained_losses;
-              });
+    std::sort(result.links.begin(), result.links.end(), WeakerSuspect);
     std::vector<SuspectLink> kept;
     for (const SuspectLink& s : result.links) {
       const std::vector<size_t> paths = lossy_paths_of(s.link);
@@ -181,10 +200,220 @@ LocalizeResult PllLocalizer::LocalizeView(const ProbeMatrix& matrix, Observation
     result.links = std::move(kept);
   }
 
-  std::sort(result.links.begin(), result.links.end(),
-            [](const SuspectLink& a, const SuspectLink& b) {
-              return a.explained_losses > b.explained_losses;
-            });
+  std::sort(result.links.begin(), result.links.end(), StrongerSuspect);
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+// Component-restricted mirror of LocalizeView's steps 2-5 + redundancy elimination. Kept as
+// a separate implementation on purpose — see the NOTE above LocalizeView: the monolithic
+// pass is the oracle this one is bit-exactness-gated against, so edits to the scoring rules
+// must be made in both places.
+void PllLocalizer::RescoreComponent(const ProbeMatrix& matrix, ObservationView obs,
+                                    std::span<const PathId> paths,
+                                    std::span<const int32_t> links,
+                                    PllIncrementalState& state,
+                                    std::vector<SuspectLink>& out) const {
+  out.clear();
+  // Per-component preprocessing (the per-path rule of Preprocess, restricted to this
+  // component) plus the explained-paths reset for the greedy below.
+  int64_t remaining_lossy = 0;
+  for (const PathId p : paths) {
+    const size_t pi = static_cast<size_t>(p);
+    uint8_t valid = 0;
+    uint8_t lossy = 0;
+    if (obs[pi].sent > 0) {
+      valid = 1;
+      if (obs[pi].lost >= options_.preprocess.min_lost_packets &&
+          obs[pi].LossRatio() > options_.preprocess.path_loss_ratio_threshold) {
+        lossy = 1;
+      }
+    }
+    state.valid[pi] = valid;
+    state.lossy[pi] = lossy;
+    state.explained[pi] = 0;
+    remaining_lossy += lossy;
+  }
+  if (remaining_lossy == 0) {
+    return;
+  }
+
+  std::vector<int32_t> candidates;
+  for (const int32_t l : links) {
+    const size_t li = static_cast<size_t>(l);
+    state.hit_ratio[li] = 0.0;
+    state.chosen[li] = 0;
+    int64_t valid_through = 0;
+    int64_t lossy_through = 0;
+    for (const PathId p : matrix.PathsThroughDense(l)) {
+      const size_t pi = static_cast<size_t>(p);
+      valid_through += state.valid[pi];
+      lossy_through += state.lossy[pi];
+    }
+    if (valid_through == 0 || lossy_through == 0) {
+      continue;
+    }
+    state.hit_ratio[li] =
+        static_cast<double>(lossy_through) / static_cast<double>(valid_through);
+    if (state.hit_ratio[li] > options_.hit_ratio_threshold) {
+      candidates.push_back(l);
+    }
+  }
+
+  auto recompute_score = [&](int32_t l) {
+    int64_t s = 0;
+    for (const PathId p : matrix.PathsThroughDense(l)) {
+      const size_t pi = static_cast<size_t>(p);
+      if (state.lossy[pi] && !state.explained[pi]) {
+        s += obs[pi].lost;
+      }
+    }
+    state.score[static_cast<size_t>(l)] = s;
+  };
+  for (const int32_t l : candidates) {
+    recompute_score(l);
+  }
+
+  while (remaining_lossy > 0) {
+    int32_t best = -1;
+    int64_t best_score = 0;
+    double best_hit = 0.0;
+    for (const int32_t l : candidates) {
+      if (state.chosen[static_cast<size_t>(l)]) {
+        continue;
+      }
+      const int64_t s = state.score[static_cast<size_t>(l)];
+      const double h = state.hit_ratio[static_cast<size_t>(l)];
+      if (s > best_score || (s == best_score && s > 0 && h > best_hit)) {
+        best = l;
+        best_score = s;
+        best_hit = h;
+      }
+    }
+    if (best < 0) {
+      break;
+    }
+    state.chosen[static_cast<size_t>(best)] = 1;
+
+    int64_t sent_through = 0;
+    int64_t lost_through = 0;
+    int64_t newly_explained = 0;
+    for (const PathId p : matrix.PathsThroughDense(best)) {
+      const size_t pi = static_cast<size_t>(p);
+      if (!state.valid[pi]) {
+        continue;
+      }
+      sent_through += obs[pi].sent;
+      lost_through += obs[pi].lost;
+      if (state.lossy[pi] && !state.explained[pi]) {
+        state.explained[pi] = 1;
+        newly_explained += obs[pi].lost;
+        --remaining_lossy;
+      }
+    }
+    SuspectLink suspect;
+    suspect.link = matrix.links().Link(best);
+    suspect.hit_ratio = state.hit_ratio[static_cast<size_t>(best)];
+    suspect.explained_losses = newly_explained;
+    suspect.estimated_loss_rate = InvertRoundTripLoss(
+        sent_through == 0 ? 0.0
+                          : static_cast<double>(lost_through) / static_cast<double>(sent_through));
+    out.push_back(suspect);
+
+    for (const int32_t l : candidates) {
+      if (!state.chosen[static_cast<size_t>(l)]) {
+        recompute_score(l);
+      }
+    }
+  }
+
+  // Redundancy elimination, confined to this component (a suspect's lossy paths never span
+  // components) — same rule and deterministic order as LocalizeView's global pass.
+  if (out.size() > 1) {
+    std::vector<int64_t> cover_count(obs.size(), 0);  // sparse in practice: component paths
+    auto lossy_paths_of = [&](LinkId link) {
+      std::vector<size_t> lossy_paths;
+      for (const PathId p : matrix.PathsThrough(link)) {
+        if (state.lossy[static_cast<size_t>(p)]) {
+          lossy_paths.push_back(static_cast<size_t>(p));
+        }
+      }
+      return lossy_paths;
+    };
+    for (const SuspectLink& s : out) {
+      for (const size_t p : lossy_paths_of(s.link)) {
+        ++cover_count[p];
+      }
+    }
+    std::sort(out.begin(), out.end(), WeakerSuspect);
+    std::vector<SuspectLink> kept;
+    for (const SuspectLink& s : out) {
+      const std::vector<size_t> lossy_paths = lossy_paths_of(s.link);
+      bool redundant = !lossy_paths.empty();
+      for (const size_t p : lossy_paths) {
+        if (cover_count[p] < 2) {
+          redundant = false;
+          break;
+        }
+      }
+      if (redundant) {
+        for (const size_t p : lossy_paths) {
+          --cover_count[p];
+        }
+      } else {
+        kept.push_back(s);
+      }
+    }
+    out = std::move(kept);
+  }
+}
+
+LocalizeResult PllLocalizer::LocalizeIncremental(const ProbeMatrix& matrix, ObservationView obs,
+                                                 std::span<const PathId> dirty_slots,
+                                                 bool all_dirty,
+                                                 PllIncrementalState& state) const {
+  WallTimer timer;
+  CHECK_EQ(obs.size(), matrix.NumPaths());
+  if (!state.structure_valid || state.partition.num_paths != matrix.NumPaths() ||
+      state.partition.num_links != matrix.NumLinks()) {
+    state.partition = BuildMatrixPartition(matrix);
+    state.structure_valid = true;
+    all_dirty = true;
+  }
+  const MatrixPartition& part = state.partition;
+  const size_t num_components = static_cast<size_t>(part.num_components);
+  if (all_dirty) {
+    state.verdicts.assign(num_components, {});
+    state.valid.assign(obs.size(), 0);
+    state.lossy.assign(obs.size(), 0);
+    state.hit_ratio.assign(static_cast<size_t>(matrix.NumLinks()), 0.0);
+    state.score.assign(static_cast<size_t>(matrix.NumLinks()), 0);
+    state.chosen.assign(static_cast<size_t>(matrix.NumLinks()), 0);
+    state.explained.assign(obs.size(), 0);
+  }
+
+  std::vector<uint8_t> component_dirty(num_components, all_dirty ? 1 : 0);
+  if (!all_dirty) {
+    for (const PathId slot : dirty_slots) {
+      if (slot >= 0 && static_cast<size_t>(slot) < part.component_of_path.size()) {
+        const int32_t c = part.component_of_path[static_cast<size_t>(slot)];
+        if (c >= 0) {
+          component_dirty[static_cast<size_t>(c)] = 1;
+        }
+      }
+    }
+  }
+
+  LocalizeResult result;
+  for (size_t c = 0; c < num_components; ++c) {
+    if (component_dirty[c]) {
+      RescoreComponent(matrix, obs, part.paths_of_component[c], part.links_of_component[c],
+                       state, state.verdicts[c]);
+    }
+    result.links.insert(result.links.end(), state.verdicts[c].begin(),
+                        state.verdicts[c].end());
+  }
+  std::sort(result.links.begin(), result.links.end(), StrongerSuspect);
   result.seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -17,6 +17,26 @@ struct PllOptions {
   PreprocessOptions preprocess;
 };
 
+// Carried-over state for LocalizeIncremental: the matrix's component partition, the
+// per-component suspect verdicts from the previous boundary, per-path valid/lossy bits as of
+// each component's last re-score, and scratch buffers reused across re-scores so a
+// single-dirty-component call allocates nothing proportional to the matrix. The owner must
+// clear `structure_valid` whenever the probe matrix changes structurally (slot reuse after an
+// incremental repair keeps the dimensions but rewires paths, so a dimension check alone is not
+// enough) — the next call then rebuilds the partition and re-scores everything.
+struct PllIncrementalState {
+  bool structure_valid = false;
+  MatrixPartition partition;
+  std::vector<std::vector<SuspectLink>> verdicts;  // by component id
+  std::vector<uint8_t> valid;                      // by path, as of the last re-score
+  std::vector<uint8_t> lossy;
+  // Scratch, sized to the matrix; only the touched component's entries are (re)written.
+  std::vector<double> hit_ratio;
+  std::vector<int64_t> score;
+  std::vector<uint8_t> chosen;
+  std::vector<uint8_t> explained;
+};
+
 class PllLocalizer : public Localizer {
  public:
   explicit PllLocalizer(PllOptions options = PllOptions{}) : options_(options) {}
@@ -33,7 +53,24 @@ class PllLocalizer : public Localizer {
   LocalizeResult LocalizeView(const ProbeMatrix& matrix, ObservationView obs,
                               std::span<const uint8_t> outlier_paths = {}) const;
 
+  // Incremental localization over the matrix's component partition: re-scores only components
+  // containing a slot in `dirty_slots` (or everything when `all_dirty`), reuses the verdicts
+  // cached in `state` for clean components, and merges in deterministic component order.
+  // Bit-identical to LocalizeView on the same observations — the greedy never interacts
+  // across components, and both paths order suspects by (explained losses desc, link asc) —
+  // which tests/incremental_diagnosis_test.cc gates. No outlier-path support: callers filter
+  // at the ObservationStore level. Cost per call: O(dirty component sizes), not O(matrix).
+  LocalizeResult LocalizeIncremental(const ProbeMatrix& matrix, ObservationView obs,
+                                     std::span<const PathId> dirty_slots, bool all_dirty,
+                                     PllIncrementalState& state) const;
+
  private:
+  // Steps 2-5 plus redundancy elimination, restricted to one component's paths/links. Writes
+  // state.valid/state.lossy for the component's paths and uses the state scratch buffers.
+  void RescoreComponent(const ProbeMatrix& matrix, ObservationView obs,
+                        std::span<const PathId> paths, std::span<const int32_t> links,
+                        PllIncrementalState& state, std::vector<SuspectLink>& out) const;
+
   PllOptions options_;
 };
 

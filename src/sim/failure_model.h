@@ -15,14 +15,28 @@
 
 namespace detector {
 
+// A failure active only inside a window-relative time interval [start, end) — the paper's
+// gray-failure motivation: a loss episode that appears and clears inside one aggregation
+// window. DetectorSystem slices probe segments at episode boundaries, so a probe slice either
+// fully sees or fully misses the episode; only the sliding-segment diagnosis view can localize
+// one whose losses are diluted in the whole-window totals.
+struct FailureEpisode {
+  LinkFailure failure;
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+};
+
 struct FailureScenario {
   std::vector<LinkFailure> failures;
   std::vector<NodeId> down_switches;  // recorded for reporting; links already in `failures`
+  // Time-bounded failures on top of the persistent `failures` (see FailureEpisode). Not
+  // reported by FailedLinks(): an episode is ground truth only while it is active.
+  std::vector<FailureEpisode> episodes;
   // Transient failures disappear before any post-alarm playback round (§2): tools like
   // Netbouncer/fbtracert that re-probe after detection cannot see them.
   bool transient = false;
 
-  // Ground-truth failed links (unique, sorted).
+  // Ground-truth failed links (unique, sorted; persistent failures only).
   std::vector<LinkId> FailedLinks() const;
 };
 

@@ -392,10 +392,12 @@ TEST_F(PinglistUpdateTest, MinimalDiffWithVersionBump) {
   // Remove one path: only its pingers' lists change, each bumped to version 2.
   const PathId victim = 0;
   std::set<NodeId> expected_touched;
+  NodeId victim_target = kInvalidNode;
   for (const Pinglist& list : lists) {
     for (const PinglistEntry& entry : list.entries) {
       if (entry.path_id == victim) {
         expected_touched.insert(list.pinger);
+        victim_target = entry.target_server;  // replicas share the path's responder
       }
     }
   }
@@ -410,7 +412,8 @@ TEST_F(PinglistUpdateTest, MinimalDiffWithVersionBump) {
   for (const PinglistDiff& diff : update.diffs) {
     EXPECT_TRUE(expected_touched.count(diff.pinger) > 0);
     EXPECT_EQ(diff.version, 2);
-    EXPECT_EQ(diff.removed_paths, removed);
+    // Removals carry the full (path, target) key of the entry they drop.
+    EXPECT_EQ(diff.removed, (std::vector<PinglistRemoval>{{victim, victim_target}}));
   }
   for (const Pinglist& list : lists) {
     const bool touched = expected_touched.count(list.pinger) > 0;
@@ -449,7 +452,7 @@ TEST_F(PinglistUpdateTest, DiffXmlRoundTrip) {
     const PinglistDiff parsed = PinglistDiff::FromXml(diff.ToXml());
     EXPECT_EQ(parsed.pinger, diff.pinger);
     EXPECT_EQ(parsed.version, diff.version);
-    EXPECT_EQ(parsed.removed_paths, diff.removed_paths);
+    EXPECT_EQ(parsed.removed, diff.removed);
     ASSERT_EQ(parsed.added.size(), diff.added.size());
     for (size_t i = 0; i < diff.added.size(); ++i) {
       EXPECT_EQ(parsed.added[i].path_id, diff.added[i].path_id);
@@ -464,7 +467,7 @@ TEST_F(PinglistUpdateTest, DiffXmlRoundTrip) {
       controller.UpdatePinglists(lists, matrix_, watchdog_, re_added, {});
   ASSERT_FALSE(removal_only.diffs.empty());
   const PinglistDiff parsed = PinglistDiff::FromXml(removal_only.diffs[0].ToXml());
-  EXPECT_EQ(parsed.removed_paths, removal_only.diffs[0].removed_paths);
+  EXPECT_EQ(parsed.removed, removal_only.diffs[0].removed);
   EXPECT_TRUE(parsed.added.empty());
 }
 
@@ -483,7 +486,7 @@ TEST_F(PinglistUpdateTest, IndexedDispatchMatchesBlindScan) {
     for (size_t i = 0; i < a.diffs.size(); ++i) {
       EXPECT_EQ(a.diffs[i].pinger, b.diffs[i].pinger);
       EXPECT_EQ(a.diffs[i].version, b.diffs[i].version);
-      EXPECT_EQ(a.diffs[i].removed_paths, b.diffs[i].removed_paths);
+      EXPECT_EQ(a.diffs[i].removed, b.diffs[i].removed);
       EXPECT_EQ(a.diffs[i].added.size(), b.diffs[i].added.size());
     }
     ASSERT_EQ(blind.size(), indexed.size());
@@ -502,20 +505,20 @@ TEST_F(PinglistUpdateTest, IndexedDispatchMatchesBlindScan) {
   // lists and diffs while keeping the index current across calls.
   const std::vector<PathId> batch = {0, 3, 7};
   expect_same(controller.UpdatePinglists(blind, matrix_, watchdog_, batch, {}),
-              controller.UpdatePinglists(indexed, matrix_, watchdog_, batch, {}, &index));
+              controller.UpdatePinglists(indexed, matrix_, watchdog_, batch, {}, {}, {}, &index));
   for (const PathId pid : batch) {
     EXPECT_TRUE(index.PingersOf(pid).empty());
   }
   const std::vector<PathId> back = {0, 3};
   expect_same(controller.UpdatePinglists(blind, matrix_, watchdog_, {}, back),
-              controller.UpdatePinglists(indexed, matrix_, watchdog_, {}, back, &index));
+              controller.UpdatePinglists(indexed, matrix_, watchdog_, {}, back, {}, {}, &index));
   // A repair-shaped mixed delta: one standing slot vacated, one absent slot re-selected.
   const std::vector<PathId> removed_again = {0};
   const std::vector<PathId> added_again = {7};
   expect_same(
       controller.UpdatePinglists(blind, matrix_, watchdog_, removed_again, added_again),
-      controller.UpdatePinglists(indexed, matrix_, watchdog_, removed_again, added_again,
-                                 &index));
+      controller.UpdatePinglists(indexed, matrix_, watchdog_, removed_again, added_again, {},
+                                 {}, &index));
   EXPECT_EQ(index.NumIndexedPaths(), matrix_.NumPaths() - 1);  // path 0 still out
 }
 
@@ -650,12 +653,135 @@ TEST(DetectorSystemChurn, ServerChurnMovesEntriesOffDownedPinger) {
       continue;
     }
     for (const PinglistEntry& entry : list.entries) {
-      if (entry.path_id == PinglistEntry::kIntraRackPath) {
-        // Intra-rack probes towards the downed server linger until the next full rebuild;
-        // the diagnoser drops their reports (unhealthy target), so they raise no alarms.
+      // No entry of any kind — matrix or intra-rack — may still target the downed server
+      // once the delta has dispatched: matrix entries are redispatched, intra-rack entries
+      // are removed outright (keyed by (path, target) in the diffs).
+      EXPECT_NE(entry.target_server, down);
+    }
+  }
+}
+
+TEST(DetectorSystemChurn, StaleIntraRackEntriesRemovedAndRestored) {
+  // ROADMAP open item 1, second half: a downed server's intra-rack entries must leave the
+  // standing pinglists with the delta that downed it — not age out at the next full rebuild —
+  // and return when it recovers. FatTree(6) has 3 servers per rack with 2 pingers, so
+  // non-pinger intra-rack targets exist.
+  const FatTree ft(6);
+  const FatTreeRouting routing(ft);
+  DetectorSystemOptions options;
+  options.pmc.alpha = 1;
+  options.pmc.beta = 1;
+  DetectorSystem system(routing, options);
+
+  // Pick a server that is an intra-rack target but not a pinger, so the delta's only work is
+  // the intra-rack withdrawal (no matrix redispatch noise).
+  NodeId victim = kInvalidNode;
+  NodeId victim_pinger = kInvalidNode;
+  for (const Pinglist& list : system.pinglists()) {
+    for (const PinglistEntry& entry : list.entries) {
+      if (entry.path_id != PinglistEntry::kIntraRackPath) {
         continue;
       }
-      EXPECT_NE(entry.target_server, down);
+      bool is_pinger = false;
+      for (const Pinglist& other : system.pinglists()) {
+        is_pinger |= other.pinger == entry.target_server && !other.entries.empty();
+      }
+      if (!is_pinger) {
+        victim = entry.target_server;
+        victim_pinger = list.pinger;
+      }
+    }
+  }
+  ASSERT_NE(victim, kInvalidNode);
+
+  const auto down = system.ApplyTopologyDelta(TopologyDelta::NodeDown(victim));
+  EXPECT_GT(down.entries_removed, 0u);
+  // The diff names the withdrawn entry by its (kIntraRackPath, target) key.
+  bool removal_diffed = false;
+  for (const PinglistDiff& diff : down.diffs) {
+    for (const PinglistRemoval& removal : diff.removed) {
+      if (removal.path == PinglistEntry::kIntraRackPath && removal.target == victim) {
+        removal_diffed = true;
+        EXPECT_EQ(diff.pinger, victim_pinger);
+      }
+    }
+  }
+  EXPECT_TRUE(removal_diffed);
+  // The gate: no standing pinglist entry targets the downed server once the delta dispatched.
+  for (const Pinglist& list : system.pinglists()) {
+    for (const PinglistEntry& entry : list.entries) {
+      EXPECT_NE(entry.target_server, victim);
+    }
+  }
+
+  // Recovery restores the entry (same deterministic pinger choice), exactly once.
+  const auto up = system.ApplyTopologyDelta(TopologyDelta::NodeUp(victim));
+  EXPECT_GT(up.entries_added, 0u);
+  bool readd_diffed = false;
+  for (const PinglistDiff& diff : up.diffs) {
+    for (const PinglistEntry& entry : diff.added) {
+      readd_diffed |= entry.path_id == PinglistEntry::kIntraRackPath &&
+                      entry.target_server == victim;
+    }
+  }
+  EXPECT_TRUE(readd_diffed);
+  int standing = 0;
+  for (const Pinglist& list : system.pinglists()) {
+    for (const PinglistEntry& entry : list.entries) {
+      if (entry.path_id == PinglistEntry::kIntraRackPath && entry.target_server == victim) {
+        ++standing;
+        EXPECT_EQ(list.pinger, victim_pinger);
+        ASSERT_EQ(entry.route.size(), 2u);
+      }
+    }
+  }
+  EXPECT_EQ(standing, 1);
+
+  // A repeated down delta has nothing left to withdraw; a repeated up adds no duplicate.
+  system.ApplyTopologyDelta(TopologyDelta::NodeDown(victim));
+  const auto re_down = system.ApplyTopologyDelta(TopologyDelta::NodeDown(victim));
+  EXPECT_EQ(re_down.entries_removed, 0u);
+  system.ApplyTopologyDelta(TopologyDelta::NodeUp(victim));
+  const auto re_up = system.ApplyTopologyDelta(TopologyDelta::NodeUp(victim));
+  EXPECT_EQ(re_up.entries_added, 0u);
+}
+
+TEST(DetectorSystemChurn, DeltaConfirmsOutOfBandWatchdogFlag) {
+  // The watchdog can flag a server before any topology delta names it (health telemetry —
+  // the flow the pinger-side probe-time skip exists for). The delta that later confirms the
+  // failure must still do the full dispatch: redispatch matrix entries off the dead endpoint
+  // and withdraw the intra-rack entries towards it, exactly as if the flag were fresh.
+  const FatTree ft(6);
+  const FatTreeRouting routing(ft);
+  DetectorSystemOptions options;
+  options.pmc.alpha = 1;
+  options.pmc.beta = 1;
+  DetectorSystem system(routing, options);
+
+  NodeId victim = kInvalidNode;
+  for (const Pinglist& list : system.pinglists()) {
+    for (const PinglistEntry& entry : list.entries) {
+      if (entry.path_id == PinglistEntry::kIntraRackPath) {
+        victim = entry.target_server;
+      }
+    }
+  }
+  ASSERT_NE(victim, kInvalidNode);
+
+  system.watchdog().MarkDown(victim);  // out-of-band: no delta dispatched yet
+  size_t standing_before = 0;
+  for (const Pinglist& list : system.pinglists()) {
+    for (const PinglistEntry& entry : list.entries) {
+      standing_before += entry.target_server == victim ? 1 : 0;
+    }
+  }
+  EXPECT_GT(standing_before, 0u);  // the flag alone moves nothing
+
+  const auto result = system.ApplyTopologyDelta(TopologyDelta::NodeDown(victim));
+  EXPECT_GT(result.entries_removed, 0u);
+  for (const Pinglist& list : system.pinglists()) {
+    for (const PinglistEntry& entry : list.entries) {
+      EXPECT_NE(entry.target_server, victim);
     }
   }
 }

@@ -230,6 +230,25 @@ TEST(Flags, RejectsUnknownFlagsOnceRegistered) {
   EXPECT_EQ(loose.GetInt("whatever", 0), 1);
 }
 
+TEST(Flags, HelpWinsOverValidation) {
+  // Help-before-validation ordering: with --help anywhere on the line, Parse must succeed so
+  // the binary prints usage and exits 0 — even when other flags are unknown (and, by the
+  // standard "if (flags.Has("help")) { print; return 0; }" prologue every bench uses before
+  // its own flag validation, even when required flags are absent or malformed).
+  const char* argv[] = {"prog", "--bogus=3", "--help", "--also-bogus"};
+  Flags flags;
+  flags.Describe("trials", "trial count");
+  ASSERT_TRUE(flags.Parse(4, const_cast<char**>(argv)));
+  EXPECT_TRUE(flags.Has("help"));
+  EXPECT_FALSE(flags.Has("bogus"));  // unknown flags are dropped, not recorded
+
+  // --help after the "--" terminator is positional, so unknown flags fail loudly again.
+  const char* late[] = {"prog", "--bogus=3", "--", "--help"};
+  Flags strict;
+  strict.Describe("trials", "trial count");
+  EXPECT_FALSE(strict.Parse(4, const_cast<char**>(late)));
+}
+
 TEST(Table, RendersAligned) {
   TablePrinter t({"name", "value"});
   t.AddRow({"a", "1"});

@@ -1,0 +1,302 @@
+// Incremental sliding-segment diagnosis tests (PR 4). Two oracles:
+//
+//  - Bit-exactness: DiagnoseRunning (incremental PLL over dirty components) must equal
+//    DiagnoseRunningFull (full PLL over the same running totals) at every cadence boundary —
+//    through record ingest, slot invalidation, watchdog flips, mid-window churn (matrix
+//    rewiring + cache invalidation), recompute cycles, and window clears.
+//  - The sliding-segment view must localize a loss episode that appears and clears inside one
+//    window — one the whole-window totals dilute below the loss threshold — and must report
+//    it gone once it leaves the trailing window.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/detector/diagnoser.h"
+#include "src/detector/system.h"
+#include "src/localize/preprocess.h"
+#include "src/routing/fattree_routing.h"
+#include "src/sim/churn.h"
+#include "src/topo/fattree.h"
+#include "tests/window_equality.h"
+
+namespace detector {
+namespace {
+
+TEST(MatrixPartition, ComponentsAreConsistent) {
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  PmcOptions pmc;
+  pmc.alpha = 1;
+  pmc.beta = 1;
+  const ProbeMatrix matrix = BuildProbeMatrix(routing, PathEnumMode::kFull, pmc).matrix;
+  const MatrixPartition part = BuildMatrixPartition(matrix);
+
+  ASSERT_GT(part.num_components, 0);
+  EXPECT_EQ(part.num_paths, matrix.NumPaths());
+  EXPECT_EQ(part.num_links, matrix.NumLinks());
+
+  // Every path lands in the component of every link it traverses.
+  for (size_t p = 0; p < matrix.NumPaths(); ++p) {
+    const int32_t c = part.component_of_path[p];
+    ASSERT_GE(c, 0) << "path " << p;
+    for (const LinkId link : matrix.paths().Links(static_cast<PathId>(p))) {
+      const int32_t dense = matrix.links().Dense(link);
+      if (dense >= 0) {
+        EXPECT_EQ(part.component_of_link[static_cast<size_t>(dense)], c)
+            << "path " << p << " link " << link;
+      }
+    }
+  }
+  // The member lists partition the domains exactly.
+  size_t paths_total = 0;
+  size_t links_total = 0;
+  for (int32_t c = 0; c < part.num_components; ++c) {
+    paths_total += part.paths_of_component[static_cast<size_t>(c)].size();
+    links_total += part.links_of_component[static_cast<size_t>(c)].size();
+  }
+  EXPECT_EQ(paths_total, matrix.NumPaths());
+  EXPECT_EQ(links_total, static_cast<size_t>(matrix.NumLinks()));
+}
+
+// Drives a Diagnoser through ingest, invalidation, and watchdog flips, asserting at every
+// step that the incremental diagnosis equals the full-PLL diagnosis on the same totals.
+TEST(IncrementalDiagnosis, MatchesFullAtEveryBoundary) {
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  PmcOptions pmc;
+  pmc.alpha = 1;
+  pmc.beta = 1;
+  const ProbeMatrix matrix = BuildProbeMatrix(routing, PathEnumMode::kFull, pmc).matrix;
+  Watchdog wd(ft.topology());
+  Diagnoser diagnoser;
+
+  const NodeId p1 = ft.Server(0, 0, 0);
+  const NodeId p2 = ft.Server(1, 0, 0);
+  const NodeId t1 = ft.Server(2, 0, 0);
+
+  auto expect_match = [&](const char* when) {
+    // Full first: it reads the totals without consuming the dirty tracker the incremental
+    // diagnosis is about to take.
+    const LocalizeResult full = diagnoser.DiagnoseRunningFull(matrix, wd);
+    const LocalizeResult incremental = diagnoser.DiagnoseRunning(matrix, wd);
+    EXPECT_EQ(incremental.links, full.links) << when;
+  };
+
+  auto ingest = [&](NodeId pinger, PathId slot, int64_t sent, int64_t lost) {
+    PingerWindowResult report;
+    report.pinger = pinger;
+    report.reports.push_back(PathReport{slot, t1, sent, lost});
+    diagnoser.Ingest(report);
+  };
+
+  expect_match("empty store");
+  ingest(p1, 0, 200, 0);
+  ingest(p1, 3, 200, 150);
+  ingest(p2, 3, 200, 140);  // replica
+  expect_match("first losses");
+
+  // A clean boundary (no new observations): everything served from cached verdicts.
+  expect_match("no-op boundary");
+
+  // More loss on other slots, then a retroactive pinger drop and recovery.
+  ingest(p2, 7, 300, 60);
+  expect_match("second component lossy");
+  wd.MarkDown(p2);
+  expect_match("pinger flagged");
+  ingest(p2, 7, 100, 100);  // streamed while down: filtered out of the totals
+  expect_match("ingest while flagged");
+  wd.MarkUp(p2);
+  expect_match("pinger recovered");
+
+  // Mid-window slot invalidation (no matrix change: the partition stays valid).
+  const std::vector<PathId> vacated = {3};
+  diagnoser.DropReports(vacated);
+  expect_match("slot vacated");
+  ingest(p1, 3, 50, 50);
+  expect_match("slot reused");
+
+  // Window end consumes everything; the next window starts from all-dirty.
+  diagnoser.Diagnose(matrix, wd);
+  expect_match("after window clear");
+  ingest(p1, 5, 120, 80);
+  expect_match("next window");
+}
+
+// End-to-end: streaming windows with mid-window churn (matrix rewiring included), once with
+// incremental diagnosis and once with full PLL at every boundary — identical timelines, and
+// tier-1 streaming-vs-batch behavior preserved across a RecomputeCycle.
+TEST(IncrementalDiagnosis, SystemTimelinesMatchFullUnderChurn) {
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  DetectorSystemOptions options;
+  options.pmc.alpha = 1;
+  options.pmc.beta = 1;
+  options.controller.packets_per_second = 60;
+  options.segments_per_window = 6;
+  options.diagnose_every_segments = 1;
+
+  const LinkId flapper = ft.AggCoreLink(3, 1, 1);
+  const NodeId dying_server = ft.Server(2, 1, 0);
+  std::vector<ChurnEvent> churn;
+  churn.push_back(ChurnEvent{7.0, TopologyDelta::LinkDown(flapper)});
+  churn.push_back(ChurnEvent{13.0, TopologyDelta::NodeDown(dying_server)});
+  churn.push_back(ChurnEvent{22.0, TopologyDelta::LinkUp(flapper)});
+
+  FailureScenario scenario;
+  LinkFailure f;
+  f.link = ft.EdgeAggLink(1, 0, 1);
+  f.type = FailureType::kFullLoss;
+  scenario.failures.push_back(f);
+
+  DetectorSystemOptions full_options = options;
+  full_options.incremental_diagnosis = false;
+
+  DetectorSystem incremental(routing, options);
+  DetectorSystem full(routing, full_options);
+  Rng inc_rng(4242);
+  Rng full_rng(4242);
+
+  for (int window = 0; window < 3; ++window) {
+    const auto churn_slice = window == 0 ? churn : std::vector<ChurnEvent>{};
+    const auto inc_result = incremental.RunWindowStreaming(scenario, churn_slice, inc_rng);
+    const auto full_result = full.RunWindowStreaming(scenario, churn_slice, full_rng);
+
+    ExpectIdenticalWindows(inc_result.window, full_result.window,
+                           "window " + std::to_string(window));
+    ASSERT_EQ(inc_result.timeline.size(), full_result.timeline.size());
+    for (size_t i = 0; i < inc_result.timeline.size(); ++i) {
+      EXPECT_EQ(inc_result.timeline[i].segment, full_result.timeline[i].segment);
+      ExpectIdenticalLocalizations(
+          inc_result.timeline[i].localization, full_result.timeline[i].localization,
+          "window " + std::to_string(window) + " boundary " + std::to_string(i));
+    }
+    if (window == 0) {
+      // The injected failure is seen mid-window by both.
+      EXPECT_GT(inc_result.FirstDetectionSeconds(f.link), 0.0);
+      EXPECT_EQ(inc_result.FirstDetectionSeconds(f.link),
+                full_result.FirstDetectionSeconds(f.link));
+    }
+    if (window == 1) {
+      // A full re-plan between windows: both caches must survive the matrix replacement.
+      incremental.RecomputeCycle();
+      full.RecomputeCycle();
+    }
+  }
+}
+
+// The headline scenario: a full-loss episode spanning two of fifteen segments. Whole-window
+// totals dilute it below the loss threshold (4 s of loss over 30 s ~ 13% < the 20% threshold
+// used here), so batch diagnosis and the window-end diagnosis miss it; the trailing
+// two-segment view sees ~100% loss while the episode is in window and nothing once it leaves.
+TEST(SlidingSegmentDiagnosis, LocalizesAppearAndClearEpisode) {
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  DetectorSystemOptions options;
+  options.pmc.alpha = 1;
+  options.pmc.beta = 1;
+  options.controller.packets_per_second = 120;
+  options.confirm_packets = 0;          // confirmation retries would re-shape the loss ratios
+  options.probe.base_loss_rate = 0.0;   // keep the arithmetic of the dilution argument exact
+  options.pll.preprocess.path_loss_ratio_threshold = 0.2;
+  options.segments_per_window = 15;     // 2 s slices
+  options.diagnose_every_segments = 1;
+  options.streaming_view = StreamingViewMode::kSliding;
+  options.sliding_window_segments = 2;  // trailing 4 s
+
+  const LinkId episode_link = ft.EdgeAggLink(1, 0, 1);
+  FailureScenario scenario;
+  FailureEpisode episode;
+  episode.failure.link = episode_link;
+  episode.failure.type = FailureType::kFullLoss;
+  episode.start_seconds = 4.0;  // segments [3, 4]: loss from t=4 s, cleared at t=8 s
+  episode.end_seconds = 8.0;
+  scenario.episodes.push_back(episode);
+
+  DetectorSystem system(routing, options);
+  Rng rng(77);
+  const auto streamed = system.RunWindowStreaming(scenario, {}, rng);
+
+  auto contains = [&](const LocalizeResult& result) {
+    for (const SuspectLink& s : result.links) {
+      if (s.link == episode_link) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Whole-window diagnosis (the window result and the final timeline entry) misses it.
+  EXPECT_FALSE(contains(streamed.window.localization))
+      << "whole-window totals should dilute the episode below the loss threshold";
+
+  // The sliding view localizes it while it is inside the trailing window...
+  const double first = streamed.FirstDetectionSeconds(episode_link);
+  EXPECT_GT(first, episode.start_seconds);
+  EXPECT_LE(first, 8.0 + 1e-9);
+
+  // ...and reports it gone at every boundary after it leaves the trailing window
+  // (episode end 8 s + trailing width 4 s).
+  bool seen_during = false;
+  for (const auto& d : streamed.timeline) {
+    const bool hit = contains(d.localization);
+    if (d.time_seconds > episode.start_seconds && d.time_seconds <= 12.0) {
+      seen_during |= hit;
+    } else {
+      EXPECT_FALSE(hit) << "boundary at " << d.time_seconds
+                        << " s still names the cleared episode";
+    }
+  }
+  EXPECT_TRUE(seen_during);
+
+  // The cumulative view on the same probing tells the wrong story on both ends: its
+  // accumulated ratio decays only slowly after the episode clears, so it keeps alarming for
+  // many boundaries past t = 12 s where the sliding view already reports clear — and by the
+  // window end the dilution flips it to a miss (asserted above on window.localization, which
+  // is the cumulative final). The trailing view is what tracks the episode's actual extent.
+  DetectorSystemOptions cumulative_options = options;
+  cumulative_options.streaming_view = StreamingViewMode::kCumulative;
+  DetectorSystem cumulative(routing, cumulative_options);
+  Rng cumulative_rng(77);
+  const auto cumulative_streamed = cumulative.RunWindowStreaming(scenario, {}, cumulative_rng);
+  ExpectIdenticalWindows(streamed.window, cumulative_streamed.window,
+                         "probing is view-independent");
+  double cumulative_last_named = -1.0;
+  for (const auto& d : cumulative_streamed.timeline) {
+    if (contains(d.localization)) {
+      cumulative_last_named = d.time_seconds;
+    }
+  }
+  EXPECT_GT(cumulative_last_named, 12.0)
+      << "cumulative diagnosis should still name the episode after the sliding view cleared";
+}
+
+TEST(SlidingSegmentDiagnosis, DecayViewSeesPersistentFailure) {
+  // Smoke for the optional exponential-decay view: a persistent failure keeps showing up in
+  // decayed totals, and the final window result stays the cumulative one.
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  DetectorSystemOptions options;
+  options.pmc.alpha = 1;
+  options.pmc.beta = 1;
+  options.controller.packets_per_second = 60;
+  options.segments_per_window = 6;
+  options.diagnose_every_segments = 2;
+  options.streaming_view = StreamingViewMode::kDecay;
+  options.decay_factor = 0.5;
+
+  FailureScenario scenario;
+  LinkFailure f;
+  f.link = ft.AggCoreLink(0, 1, 0);
+  f.type = FailureType::kFullLoss;
+  scenario.failures.push_back(f);
+
+  DetectorSystem system(routing, options);
+  Rng rng(11);
+  const auto streamed = system.RunWindowStreaming(scenario, {}, rng);
+  EXPECT_GT(streamed.FirstDetectionSeconds(f.link), 0.0);
+  ExpectIdenticalLocalizations(streamed.timeline.back().localization,
+                               streamed.window.localization, "final entry is cumulative");
+}
+
+}  // namespace
+}  // namespace detector

@@ -88,6 +88,99 @@ TEST(ParallelWindow, BitIdenticalUnderMidWindowChurn) {
   EXPECT_EQ(results[0].localization.links[0].link, f.link);
 }
 
+TEST(ParallelWindow, BudgetRemainderRedistributionIsDeterministic) {
+  // When watchdog filtering skips entries, the skipped budget is redistributed and the
+  // integer-split remainder goes to the first eligible entries in pinglist order — a rule
+  // that depends only on the shard's own list, never on scheduling.
+  const FatTree ft(6);  // 3 servers per rack: a pinger plus two distinct intra-rack targets
+  Watchdog wd(ft.topology());
+  const NodeId pinger_node = ft.Server(0, 0, 0);
+  const NodeId healthy = ft.Server(0, 0, 1);
+  const NodeId downed = ft.Server(0, 0, 2);
+
+  Pinglist list;
+  list.pinger = pinger_node;
+  list.packets_per_second = 10.04;  // 301-packet budget over 30 s: odd, so the split leaves r=1
+  auto intra_entry = [&](NodeId target) {
+    PinglistEntry entry;
+    entry.path_id = PinglistEntry::kIntraRackPath;
+    entry.target_server = target;
+    entry.route = {ft.topology().FindLink(pinger_node, ft.Tor(0, 0)),
+                   ft.topology().FindLink(ft.Tor(0, 0), target)};
+    return entry;
+  };
+  list.entries = {intra_entry(healthy), intra_entry(downed), intra_entry(healthy),
+                  intra_entry(downed)};
+
+  ProbeConfig probe;
+  probe.base_loss_rate = 0.0;
+  const ProbeEngine engine(ft.topology(), FailureScenario{}, probe);
+  const Pinger pinger(list, /*confirm_packets=*/0);
+
+  wd.MarkDown(downed);
+  Rng rng(5);
+  const auto filtered = pinger.RunWindow(engine, 30.0, rng, &wd);
+  // Budget 301 over 2 eligible entries: 150 each plus the 1-packet remainder to the first.
+  ASSERT_EQ(filtered.reports.size(), 2u);
+  EXPECT_EQ(filtered.reports[0].sent, 151);
+  EXPECT_EQ(filtered.reports[1].sent, 301 - 151);
+  EXPECT_EQ(filtered.probes_sent, 301);  // the full budget, nothing truncated away
+
+  // Without filtering, the classic round-robin split stands (no remainder spreading).
+  Rng rng2(5);
+  const auto unfiltered = pinger.RunWindow(engine, 30.0, rng2);
+  ASSERT_EQ(unfiltered.reports.size(), 4u);
+  for (const PathReport& report : unfiltered.reports) {
+    EXPECT_EQ(report.sent, 75);  // 301 / 4, remainder left on the floor as before
+  }
+}
+
+TEST(ParallelWindow, BitIdenticalAcrossThreadsWithFilteringActive) {
+  // The redistribution (remainder included) must be independent of shard execution order:
+  // a window with watchdog filtering active — a downed intra-rack target whose entries still
+  // stand because the flag landed outside the churn-delta flow — is bit-identical at 1, 2,
+  // and 8 threads. FatTree(6): 3 servers per rack, 2 pingers, so non-pinger targets exist.
+  const FatTree ft(6);
+  const FatTreeRouting routing(ft);
+  DetectorSystemOptions options;
+  options.pmc.alpha = 1;
+  options.pmc.beta = 1;
+  options.controller.packets_per_second = 47;  // odd budget => nonzero remainder when split
+
+  std::vector<DetectorSystem::WindowResult> results;
+  for (const size_t threads : {1u, 2u, 8u}) {
+    DetectorSystemOptions opts = options;
+    opts.probe_threads = threads;
+    DetectorSystem system(routing, opts);
+
+    // Flag a target directly (no topology delta): its intra-rack entries stay in the
+    // standing pinglists and the probe-time skip + budget redistribution kick in.
+    NodeId victim = kInvalidNode;
+    for (const Pinglist& list : system.pinglists()) {
+      for (const PinglistEntry& entry : list.entries) {
+        if (entry.path_id == PinglistEntry::kIntraRackPath) {
+          victim = entry.target_server;
+        }
+      }
+    }
+    ASSERT_NE(victim, kInvalidNode);
+    system.watchdog().MarkDown(victim);
+
+    FailureScenario scenario;
+    LinkFailure f;
+    f.link = ft.AggCoreLink(1, 0, 1);
+    f.type = FailureType::kRandomPartial;
+    f.loss_rate = 0.1;
+    scenario.failures.push_back(f);
+
+    Rng rng(2024);
+    results.push_back(system.RunWindow(scenario, rng));
+    EXPECT_GT(results.back().probes_sent, 0);
+  }
+  ExpectIdenticalAtThreads(results[0], results[1], 2);
+  ExpectIdenticalAtThreads(results[0], results[2], 8);
+}
+
 TEST(ObservationStore, StreamsMergesAndFilters) {
   const FatTree ft(4);
   Watchdog wd(ft.topology());

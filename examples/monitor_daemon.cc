@@ -8,15 +8,32 @@
 // mid-window through the incremental repair path, and a RecomputeCycle closes the run like
 // the 10-minute re-plan would. Prints a timeline of alarms and churn activity.
 //
-//   ./monitor_daemon [--k=6] [--windows-per-phase=2] [--churn-windows=4]
-//                    [--churn-per-minute=4] [--segments=10] [--diagnose-every=2]
-//                    [--sliding-window=2] [--seed=9]
+// PR 5 adds the split deployment shape from the paper's real system: `--mode=agent` runs the
+// pinger side alone — every pinglist probes its window and ships the counters as CRC-framed
+// varint reports over real UDP to 127.0.0.1:--port — and `--mode=collector` binds that port,
+// folds arriving frames into an ObservationStore (idempotent per (pinger, window, seq)), and
+// runs the PLL diagnosis whenever the reporters advance to the next window. Run one of each
+// in two terminals:
+//
+//   ./monitor_daemon --mode=collector --port=9477
+//   ./monitor_daemon --mode=agent --port=9477 --report-windows=3
+//
+//   ./monitor_daemon [--mode=demo|agent|collector] [--k=6] [--windows-per-phase=2]
+//                    [--churn-windows=4] [--churn-per-minute=4] [--segments=10]
+//                    [--diagnose-every=2] [--sliding-window=2] [--port=9477]
+//                    [--report-windows=3] [--batch=64] [--idle-ms=2000]
+//                    [--listen-seconds=120] [--seed=9]
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "src/common/flags.h"
 #include "src/detector/system.h"
 #include "src/localize/metrics.h"
+#include "src/net/udp.h"
+#include "src/report/collector.h"
+#include "src/report/emitter.h"
 #include "src/routing/fattree_routing.h"
 #include "src/sim/churn.h"
 
@@ -40,11 +57,169 @@ void PrintWindow(const detector::Topology& topo, int window,
   std::printf("\n");
 }
 
+// Both halves of the split deployment build the same system deterministically, so the agent's
+// slot numbering and the collector's probe matrix agree without any config exchange.
+detector::DetectorSystemOptions SplitModeOptions() {
+  detector::DetectorSystemOptions options;
+  options.pmc.alpha = 2;
+  options.pmc.beta = 1;
+  return options;
+}
+
+// The failure the agent's network exhibits and the collector should localize: the demo's gray
+// failure, a 50% packet blackhole on an agg-core link.
+detector::FailureScenario SplitModeScenario(const detector::FatTree& fattree) {
+  detector::FailureScenario scenario;
+  detector::LinkFailure f;
+  f.link = fattree.AggCoreLink(1, 0, 1);
+  f.type = detector::FailureType::kDeterministicPartial;
+  f.match_fraction = 0.5;
+  f.rule_seed = 1234;
+  scenario.failures.push_back(f);
+  return scenario;
+}
+
+// --mode=agent: the pinger side alone. Probes every pinglist's window and ships the counters
+// as wire frames over UDP; no local store, no diagnosis — the collector process owns those.
+int RunAgent(const detector::Flags& flags) {
+  using namespace detector;
+  const int k = static_cast<int>(flags.GetInt("k", 6));
+  const uint16_t port = static_cast<uint16_t>(flags.GetInt("port", 9477));
+  const int windows = std::max(1, static_cast<int>(flags.GetInt("report-windows", 3)));
+  const size_t batch = static_cast<size_t>(flags.GetInt("batch", 64));
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 9)));
+
+  std::string error;
+  auto transport = UdpTransport::Connect(port, &error);
+  if (transport == nullptr) {
+    std::printf("NOTICE: UDP sockets unavailable (%s) — agent mode skipped\n", error.c_str());
+    return 0;
+  }
+  const FatTree fattree(k);
+  const FatTreeRouting routing(fattree);
+  const DetectorSystemOptions options = SplitModeOptions();
+  DetectorSystem system(routing, options);
+  const ProbeEngine engine(fattree.topology(), SplitModeScenario(fattree), options.probe);
+  std::printf("agent on Fattree(%d): %zu pinglists -> 127.0.0.1:%u, %d windows\n", k,
+              system.pinglists().size(), port, windows);
+
+  for (int w = 1; w <= windows; ++w) {
+    const uint64_t window_seed = rng();
+    uint64_t frames = 0;
+    uint64_t observations = 0;
+    for (const Pinglist& list : system.pinglists()) {
+      if (list.entries.empty()) {
+        continue;
+      }
+      // No local store: every record ships with epoch 0, the fresh-store default the
+      // collector's window starts at.
+      ReportEmitter emitter(list.pinger, static_cast<uint64_t>(w), 0, {}, *transport, batch);
+      Rng shard_rng = ProbeEngine::ShardRng(window_seed, static_cast<uint64_t>(list.pinger));
+      const Pinger pinger(list, options.confirm_packets);
+      pinger.RunWindowTo(engine, options.window_seconds, shard_rng, emitter);
+      emitter.Flush();
+      frames += emitter.stats().frames_emitted;
+      observations += emitter.stats().observations_emitted;
+    }
+    const TransportStats wire = transport->stats();
+    std::printf("agent window %d: %llu frames / %llu observations shipped (%llu wire bytes"
+                " total)\n",
+                w, static_cast<unsigned long long>(frames),
+                static_cast<unsigned long long>(observations),
+                static_cast<unsigned long long>(wire.bytes_sent));
+    // A breath between windows keeps localhost socket buffers comfortable at large k.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("agent done\n");
+  return 0;
+}
+
+// --mode=collector: binds the UDP port, folds arriving frames into an ObservationStore, and
+// diagnoses a window as soon as the reporters advance past it (plus the final window once
+// traffic goes idle).
+int RunCollector(const detector::Flags& flags) {
+  using namespace detector;
+  const int k = static_cast<int>(flags.GetInt("k", 6));
+  const uint16_t port = static_cast<uint16_t>(flags.GetInt("port", 9477));
+  const int idle_ms = static_cast<int>(flags.GetInt("idle-ms", 2000));
+  const double listen_seconds = static_cast<double>(flags.GetInt("listen-seconds", 120));
+
+  std::string error;
+  auto transport = UdpTransport::Bind(port, &error);
+  if (transport == nullptr) {
+    std::printf("NOTICE: UDP sockets unavailable (%s) — collector mode skipped\n",
+                error.c_str());
+    return 0;
+  }
+  const FatTree fattree(k);
+  const FatTreeRouting routing(fattree);
+  const DetectorSystemOptions options = SplitModeOptions();
+  DetectorSystem system(routing, options);
+  const Topology& topo = fattree.topology();
+  Watchdog watchdog(topo);
+  Diagnoser diagnoser(options.pll);
+  diagnoser.store().EnsureSlots(system.probe_matrix().NumPaths());
+  Collector collector(diagnoser.store());
+  collector.BeginWindow(1);
+  std::printf("collector on Fattree(%d): listening on 127.0.0.1:%u (%zu slots)\n", k,
+              transport->port(), system.probe_matrix().NumPaths());
+
+  auto diagnose_window = [&](uint64_t window) {
+    const CollectorStats& stats = collector.stats();
+    const auto result = diagnoser.Diagnose(system.probe_matrix(), watchdog);
+    std::printf("collector window %llu: %llu frames folded so far, alarms=%zu",
+                static_cast<unsigned long long>(window),
+                static_cast<unsigned long long>(stats.frames_folded), result.links.size());
+    for (const auto& s : result.links) {
+      std::printf("  %s(est=%.3f)", topo.LinkName(s.link).c_str(), s.estimated_loss_rate);
+    }
+    std::printf("\n");
+  };
+  collector.set_on_window_advance(
+      [&](uint64_t closed, uint64_t /*opened*/) { diagnose_window(closed); });
+
+  const auto start = std::chrono::steady_clock::now();
+  auto last_activity = start;
+  bool any_frames = false;
+  for (;;) {
+    std::vector<uint8_t> frame;
+    if (transport->ReceiveTimeout(frame, 200)) {
+      collector.Offer(std::move(frame));
+      collector.Drain();
+      last_activity = std::chrono::steady_clock::now();
+      any_frames = true;
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (any_frames && std::chrono::duration<double, std::milli>(now - last_activity).count() >
+                          idle_ms) {
+      break;  // the reporters went quiet: close out the last window below
+    }
+    if (std::chrono::duration<double>(now - start).count() > listen_seconds) {
+      break;
+    }
+  }
+  if (any_frames) {
+    diagnose_window(collector.current_window());
+  }
+  const CollectorStats& stats = collector.stats();
+  std::printf("collector done: %llu frames folded, %llu duplicates, %llu decode errors, "
+              "%llu stale\n",
+              static_cast<unsigned long long>(stats.frames_folded),
+              static_cast<unsigned long long>(stats.duplicates_dropped),
+              static_cast<unsigned long long>(stats.decode_errors),
+              static_cast<unsigned long long>(stats.stale_window_dropped));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace detector;
   Flags flags;
+  flags.Describe("mode",
+                 "demo (default, single process), agent (probe + report over UDP), or "
+                 "collector (ingest + diagnose)");
   flags.Describe("k", "fat-tree arity (default 6)");
   flags.Describe("windows-per-phase", "30 s windows per failure phase (default 2)");
   flags.Describe("churn-windows", "windows of continuous topology churn (default 4)");
@@ -53,6 +228,12 @@ int main(int argc, char** argv) {
   flags.Describe("diagnose-every", "streaming diagnosis cadence in segments (default 2)");
   flags.Describe("sliding-window",
                  "trailing window of the loss-episode phase, in segments (default 2)");
+  flags.Describe("port", "UDP port of the split agent/collector pair (default 9477)");
+  flags.Describe("report-windows", "windows the agent reports before exiting (default 3)");
+  flags.Describe("batch", "observations per wire frame in agent mode (default 64)");
+  flags.Describe("idle-ms",
+                 "collector exits after this long without traffic, once any arrived");
+  flags.Describe("listen-seconds", "collector's overall listening deadline (default 120)");
   flags.Describe("seed", "rng seed (default 9)");
   if (!flags.Parse(argc, argv)) {
     return 1;
@@ -60,6 +241,18 @@ int main(int argc, char** argv) {
   if (flags.Has("help")) {
     std::printf("%s", flags.HelpText(argv[0]).c_str());
     return 0;
+  }
+  const std::string mode = flags.GetString("mode", "demo");
+  if (mode == "agent") {
+    return RunAgent(flags);
+  }
+  if (mode == "collector") {
+    return RunCollector(flags);
+  }
+  if (mode != "demo") {
+    std::fprintf(stderr, "unknown --mode=%s (expected demo, agent, or collector)\n",
+                 mode.c_str());
+    return 1;
   }
   const int k = static_cast<int>(flags.GetInt("k", 6));
   const int per_phase = static_cast<int>(flags.GetInt("windows-per-phase", 2));
@@ -168,6 +361,21 @@ int main(int argc, char** argv) {
     two.failures.push_back(f);
   }
   run_phase("blackhole + 5% random loss", two);
+
+  // Phase 3b: the same traffic with the report plane on — shard counters leave the pingers as
+  // CRC-framed varint reports over the in-process loopback and fold back through the
+  // collector. Lossless loopback makes these windows bit-identical to direct-mode windows on
+  // the same seed (the ctest gate); here it just shows the wire in the single-process demo.
+  system.set_report_plane(true);
+  run_phase("blackhole + loss (report plane)", two);
+  const CollectorStats& report_stats = system.collector()->stats();
+  std::printf("--- report plane: %llu frames / %llu observations folded, %llu duplicates, "
+              "%llu decode errors ---\n",
+              static_cast<unsigned long long>(report_stats.frames_folded),
+              static_cast<unsigned long long>(report_stats.observations_folded),
+              static_cast<unsigned long long>(report_stats.duplicates_dropped),
+              static_cast<unsigned long long>(report_stats.decode_errors));
+  system.set_report_plane(false);
 
   // Phase 4: a pinger dies; the watchdog flags it and the next cycle re-plans around it.
   const NodeId dead = system.pinglists().front().pinger;

@@ -1,0 +1,41 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven. Used by the report
+// plane's wire frames so a corrupted or truncated datagram is rejected before any of its
+// contents reach the observation store.
+#ifndef SRC_COMMON_CRC32_H_
+#define SRC_COMMON_CRC32_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace detector {
+
+namespace internal {
+
+constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+
+}  // namespace internal
+
+inline uint32_t Crc32(std::span<const uint8_t> bytes, uint32_t seed = 0) {
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const uint8_t byte : bytes) {
+    c = internal::kCrc32Table[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace detector
+
+#endif  // SRC_COMMON_CRC32_H_

@@ -105,6 +105,7 @@ void Diagnoser::AdvanceSegment(const ProbeMatrix& matrix, const Watchdog& watchd
   }
   if (boundary_totals_.size() < num_slots) {
     boundary_totals_.resize(num_slots, PathObservation{});
+    boundary_epoch_.resize(num_slots, 0);
     trailing_.resize(num_slots, PathObservation{});
   }
 
@@ -112,10 +113,21 @@ void Diagnoser::AdvanceSegment(const ProbeMatrix& matrix, const Watchdog& watchd
   // only on slots the store marked dirty this segment.
   std::vector<DeltaEntry> delta;
   auto fold_slot = [&](size_t slot) {
+    const uint32_t epoch = store_.SlotEpoch(slot);
+    if (epoch != boundary_epoch_[slot]) {
+      // The slot was invalidated (and possibly reused by repair) since the last boundary:
+      // the store zeroed its running total, so a plain totals-vs-boundary delta would mix
+      // the retraction with the new occupant's counters and leave the trailing sum negative.
+      // Purge the dead epoch's deltas from the ring and cut this delta against zero, so the
+      // trailing view sees exactly the new occupant's observations — no blind spot.
+      PurgeStaleRingEntries(slot, epoch);
+      boundary_totals_[slot] = PathObservation{};
+      boundary_epoch_[slot] = epoch;
+    }
     const int64_t d_sent = view[slot].sent - boundary_totals_[slot].sent;
     const int64_t d_lost = view[slot].lost - boundary_totals_[slot].lost;
     if (d_sent != 0 || d_lost != 0) {
-      delta.push_back(DeltaEntry{static_cast<PathId>(slot), d_sent, d_lost});
+      delta.push_back(DeltaEntry{static_cast<PathId>(slot), epoch, d_sent, d_lost});
       boundary_totals_[slot] = view[slot];
     }
   };
@@ -169,6 +181,22 @@ void Diagnoser::AdvanceSegment(const ProbeMatrix& matrix, const Watchdog& watchd
       }
       ring_.pop_front();
     }
+  }
+}
+
+void Diagnoser::PurgeStaleRingEntries(size_t slot, uint32_t current_epoch) {
+  for (std::vector<DeltaEntry>& segment : ring_) {
+    size_t kept = 0;
+    for (const DeltaEntry& entry : segment) {
+      if (static_cast<size_t>(entry.slot) == slot && entry.epoch != current_epoch) {
+        trailing_[slot].sent -= entry.sent;
+        trailing_[slot].lost -= entry.lost;
+        trailing_dirty_.Add(slot);
+      } else {
+        segment[kept++] = entry;
+      }
+    }
+    segment.resize(kept);
   }
 }
 
@@ -229,6 +257,7 @@ void Diagnoser::ResetWindowState() {
   trailing_dirty_.Reset(/*to_all=*/true);
   ring_.clear();
   boundary_totals_.assign(boundary_totals_.size(), PathObservation{});
+  boundary_epoch_.assign(boundary_epoch_.size(), 0);  // store epochs reset with the window
   trailing_.assign(trailing_.size(), PathObservation{});
   decayed_sent_.assign(decayed_sent_.size(), 0.0);
   decayed_lost_.assign(decayed_lost_.size(), 0.0);

@@ -104,9 +104,12 @@ class Diagnoser {
   LocalizeResult DiagnoseRunningFull(const ProbeMatrix& matrix, const Watchdog& watchdog);
 
   // Localizes over the trailing sliding_segments() segment deltas (see AdvanceSegment).
-  // Non-consuming. Slots retroactively retracted (watchdog flips, slot invalidation) can
-  // carry transiently negative deltas; preprocessing treats sent <= 0 as unusable, so such
-  // slots are simply not diagnosable until the retraction leaves the trailing window.
+  // Non-consuming. Ring deltas are keyed by (slot, epoch): a mid-window invalidation purges
+  // the dead epoch's deltas outright, so a repaired-and-reused slot is diagnosable from its
+  // first post-repair segment instead of being blinded for up to W segments. Watchdog flips
+  // still retract without an epoch bump and can leave transiently negative deltas;
+  // preprocessing treats sent <= 0 as unusable, so such slots are simply not diagnosable
+  // until the retraction leaves the trailing window.
   LocalizeResult DiagnoseTrailing(const ProbeMatrix& matrix, const Watchdog& watchdog);
 
   // Localizes over the exponentially-decayed totals (full PLL; the decayed values change on
@@ -134,6 +137,7 @@ class Diagnoser {
   };
   struct DeltaEntry {
     PathId slot;
+    uint32_t epoch;  // slot epoch the delta was cut under — keys ring purges on slot reuse
     int64_t sent;
     int64_t lost;
   };
@@ -152,10 +156,15 @@ class Diagnoser {
   PllIncrementalState running_state_;
   DirtyAccum running_dirty_;
 
-  // Sliding-segment view.
+  // Sliding-segment view. Ring deltas are keyed by (slot, epoch): when a mid-window repair
+  // invalidates (and possibly reuses) a slot, the dead epoch's deltas are purged from the
+  // ring outright instead of lingering as a negative retraction that would blind
+  // DiagnoseTrailing on the slot for up to W segments.
+  void PurgeStaleRingEntries(size_t slot, uint32_t current_epoch);
   int sliding_segments_ = 0;
   std::deque<std::vector<DeltaEntry>> ring_;  // most recent sliding_segments_ segment deltas
   Observations boundary_totals_;              // running totals at the last AdvanceSegment
+  std::vector<uint32_t> boundary_epoch_;      // slot epochs those totals were cut under
   Observations trailing_;                     // sum of the ring's deltas
   PllIncrementalState trailing_state_;
   DirtyAccum trailing_dirty_;

@@ -11,6 +11,12 @@ void ObservationStore::Shard::RecordPath(PathId slot, NodeId target, int64_t sen
                               store_->slot_epoch_[static_cast<size_t>(slot)]});
 }
 
+void ObservationStore::Shard::RecordPathAtEpoch(PathId slot, uint32_t epoch, NodeId target,
+                                                int64_t sent, int64_t lost) {
+  DCHECK(slot >= 0 && static_cast<size_t>(slot) < store_->slot_epoch_.size());
+  paths_.push_back(PathRecord{slot, target, sent, lost, epoch});
+}
+
 void ObservationStore::Shard::RecordIntraRack(NodeId target, int64_t sent, int64_t lost) {
   intra_.push_back(IntraRackObservation{pinger_, target, sent, lost});
 }

@@ -52,6 +52,12 @@ class ObservationStore {
     // Streams one probe-matrix observation. `slot` must be < the EnsureSlots bound; the record
     // is stamped with the slot's current epoch so a later invalidation orphans it.
     void RecordPath(PathId slot, NodeId target, int64_t sent, int64_t lost);
+    // Streams one observation carrying an explicit epoch stamp — the report plane's fold path,
+    // where the stamp is the epoch the emitter observed at probe time. A frame delivered
+    // after the slot was invalidated therefore orphans exactly like a direct record written
+    // before the invalidation would have.
+    void RecordPathAtEpoch(PathId slot, uint32_t epoch, NodeId target, int64_t sent,
+                           int64_t lost);
     // Streams one intra-rack (server-link) observation.
     void RecordIntraRack(NodeId target, int64_t sent, int64_t lost);
 
@@ -127,6 +133,14 @@ class ObservationStore {
 
   size_t num_slots() const { return slot_epoch_.size(); }
   size_t num_shards() const { return shards_.size(); }
+
+  // Read-only view of the per-slot epochs, for report emitters stamping records with the
+  // epoch current at probe time. Epochs mutate only at serial points, so the view may be read
+  // during the parallel phase; it is invalidated by EnsureSlots growth and Clear.
+  std::span<const uint32_t> slot_epochs() const { return slot_epoch_; }
+  // Epoch of one slot (serial phase; slot must be < num_slots()). The diagnoser's sliding
+  // ring keys its per-segment deltas by (slot, epoch) through this.
+  uint32_t SlotEpoch(size_t slot) const { return slot_epoch_[slot]; }
 
  private:
   // Adds (`sign` = +1) or retracts (-1) the folded, current-epoch records involving `node` —

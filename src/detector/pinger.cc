@@ -97,4 +97,16 @@ PingerTraffic Pinger::RunWindowInto(const ProbeEngine& engine, double window_sec
                     });
 }
 
+PingerTraffic Pinger::RunWindowTo(const ProbeEngine& engine, double window_seconds, Rng& rng,
+                                  ReportSink& sink, const Watchdog* watchdog) const {
+  return RunEntries(engine, window_seconds, rng, watchdog,
+                    [&](PathId path_id, NodeId target, int64_t sent, int64_t lost) {
+                      if (path_id == PinglistEntry::kIntraRackPath) {
+                        sink.OnIntraRack(target, sent, lost);
+                      } else if (path_id >= 0) {
+                        sink.OnPath(path_id, target, sent, lost);
+                      }
+                    });
+}
+
 }  // namespace detector

@@ -40,6 +40,16 @@ struct PingerTraffic {
   int64_t bytes_sent = 0;
 };
 
+// Destination for streamed per-entry counters when the pinger reports somewhere other than a
+// local ObservationStore shard — the report plane's emitter encodes these into wire frames.
+// Calls arrive in pinglist-entry order from the single thread running the window.
+class ReportSink {
+ public:
+  virtual ~ReportSink() = default;
+  virtual void OnPath(PathId slot, NodeId target, int64_t sent, int64_t lost) = 0;
+  virtual void OnIntraRack(NodeId target, int64_t sent, int64_t lost) = 0;
+};
+
 class Pinger {
  public:
   explicit Pinger(Pinglist pinglist, int confirm_packets = 2)
@@ -61,6 +71,13 @@ class Pinger {
   PingerTraffic RunWindowInto(const ProbeEngine& engine, double window_seconds, Rng& rng,
                               ObservationStore::Shard& shard,
                               const Watchdog* watchdog = nullptr) const;
+
+  // Same window, streamed into a ReportSink instead of a local shard — the report-plane
+  // execution mode, where counters leave the pinger as encoded wire frames. Identical probe
+  // trajectory to RunWindowInto on the same rng (both run the same entry loop), so the two
+  // modes are bit-identical when every report is delivered.
+  PingerTraffic RunWindowTo(const ProbeEngine& engine, double window_seconds, Rng& rng,
+                            ReportSink& sink, const Watchdog* watchdog = nullptr) const;
 
   const Pinglist& pinglist() const { return pinglist_; }
 

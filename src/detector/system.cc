@@ -6,6 +6,9 @@
 #include <thread>
 #include <unordered_set>
 
+#include "src/net/loopback.h"
+#include "src/report/emitter.h"
+
 namespace detector {
 
 DetectorSystem::DetectorSystem(const PathProvider& provider, DetectorSystemOptions options)
@@ -42,6 +45,10 @@ DetectorSystem::DetectorSystem(const Topology& topo, ProbeMatrix matrix,
   for (const Pinglist& list : pinglists_) {
     version_floor_[list.pinger] = list.version;
   }
+}
+
+void DetectorSystem::SetReportTransport(std::unique_ptr<Transport> transport) {
+  report_transport_ = std::move(transport);
 }
 
 void DetectorSystem::ConfigureDiagnoserViews() {
@@ -298,28 +305,51 @@ void DetectorSystem::RunSegment(const FailureScenario& scenario, double seconds,
   ObservationStore& store = diagnoser_.store();
   store.EnsureSlots(matrix_.NumPaths());
   const uint64_t window_seed = rng();
+  const bool report = options_.report_plane;
   struct ShardWork {
     const Pinglist* list;
     ObservationStore::Shard* shard;
+    std::unique_ptr<ReportEmitter> emitter;  // report-plane sink; null in direct mode
   };
   std::vector<ShardWork> work;
   work.reserve(pinglists_.size());
   for (const Pinglist& list : pinglists_) {
-    if (!list.entries.empty()) {
-      work.push_back(ShardWork{&list, &store.OpenShard(list.pinger)});
+    if (list.entries.empty()) {
+      continue;
     }
+    // Report mode opens the shards here too: the collector folds into shards looked up by
+    // pinger id, and opening them at this serial point in pinglist order keeps shard creation
+    // order — and with it intra-rack record order — identical to direct mode.
+    ShardWork shard_work{&list, &store.OpenShard(list.pinger), nullptr};
+    if (report) {
+      shard_work.emitter = std::make_unique<ReportEmitter>(
+          list.pinger, report_window_id_, report_seq_[list.pinger], store.slot_epochs(),
+          *report_transport_, options_.report_batch_entries);
+    }
+    work.push_back(std::move(shard_work));
   }
 
   // Parallel phase: each shard is written by exactly one worker; traffic totals land in a
-  // per-shard array and are reduced in shard order afterwards.
+  // per-shard array and are reduced in shard order afterwards. In report mode the worker
+  // writes wire frames to the transport instead of the store, and the collector is the
+  // store's only writer.
   std::vector<PingerTraffic> traffic(work.size());
+  std::atomic<size_t> shards_left{work.size()};
   auto run_shard = [&](size_t i) {
     Rng shard_rng = ProbeEngine::ShardRng(window_seed, static_cast<uint64_t>(
                                                            work[i].list->pinger));
     Pinger pinger(*work[i].list, options_.confirm_packets);
     // The watchdog filters intra-rack entries towards downed servers (it mutates only at
     // serial points, so concurrent shards may read it).
-    traffic[i] = pinger.RunWindowInto(engine, seconds, shard_rng, *work[i].shard, &watchdog_);
+    if (work[i].emitter != nullptr) {
+      traffic[i] =
+          pinger.RunWindowTo(engine, seconds, shard_rng, *work[i].emitter, &watchdog_);
+      work[i].emitter->Flush();
+    } else {
+      traffic[i] =
+          pinger.RunWindowInto(engine, seconds, shard_rng, *work[i].shard, &watchdog_);
+    }
+    shards_left.fetch_sub(1, std::memory_order_release);
   };
   // The pool is sized by the configured thread count alone — shard-count fluctuations across
   // segments (churn emptying a pinglist) must not tear workers down and restart them.
@@ -335,7 +365,24 @@ void DetectorSystem::RunSegment(const FailureScenario& scenario, double seconds,
       pool_ = std::make_unique<ThreadPool>(configured);
     }
     std::atomic<size_t> next{0};
-    const size_t tasks = std::min(configured, work.size());
+    if (report) {
+      // Concurrent ingest on the same pool, submitted FIRST so it holds a worker for the
+      // whole segment: frames decode and fold while the remaining workers probe, instead of
+      // piling up in the transport until the barrier below. Store safety holds because this
+      // task is the store's only writer, and it terminates unconditionally once every shard
+      // finished — even if it somehow only got scheduled after them.
+      pool_->Submit([&] {
+        while (shards_left.load(std::memory_order_acquire) > 0) {
+          if (collector_->PumpFrom(*report_transport_) == 0) {
+            std::this_thread::yield();
+          }
+        }
+      });
+    }
+    // In report mode one worker is the pump; the shard loop tasks share the rest (configured
+    // >= 2 here, so at least one).
+    const size_t shard_workers = report ? configured - 1 : configured;
+    const size_t tasks = std::min(shard_workers, work.size());
     for (size_t t = 0; t < tasks; ++t) {
       pool_->Submit([&] {
         for (size_t i = next.fetch_add(1); i < work.size(); i = next.fetch_add(1)) {
@@ -344,6 +391,16 @@ void DetectorSystem::RunSegment(const FailureScenario& scenario, double seconds,
       });
     }
     pool_->WaitAll();
+  }
+  if (report) {
+    // Ingest barrier: everything sent and not dropped folds before the segment closes, which
+    // is what makes the lossless loopback bit-identical to direct mode — no report straddles
+    // a diagnosis boundary or a churn-driven slot invalidation.
+    report_transport_->Flush();
+    collector_->PumpFrom(*report_transport_);
+    for (const ShardWork& shard_work : work) {
+      report_seq_[shard_work.list->pinger] = shard_work.emitter->next_seq();
+    }
   }
   for (const PingerTraffic& t : traffic) {
     result.probes_sent += t.probes_sent;
@@ -398,6 +455,21 @@ DetectorSystem::StreamingWindowResult DetectorSystem::RunWindowImpl(
   const int segments = std::max(1, options_.segments_per_window);
   const int cadence = std::max(1, options_.diagnose_every_segments);
   const double window = options_.window_seconds;
+
+  if (options_.report_plane) {
+    // Open the report-plane window: a fresh id namespaces this window's frame sequence
+    // numbers, so a straggler from the previous window is recognized as stale instead of
+    // folding into the wrong aggregation period.
+    if (report_transport_ == nullptr) {
+      report_transport_ = std::make_unique<LoopbackTransport>();  // lossless default
+    }
+    if (collector_ == nullptr) {
+      collector_ = std::make_unique<Collector>(diagnoser_.store());
+    }
+    ++report_window_id_;
+    report_seq_.clear();
+    collector_->BeginWindow(report_window_id_);
+  }
 
   // The window is sliced at segment boundaries and churn-event timestamps; every slice is one
   // RunSegment (own shard seed). With segments == 1 and no streaming this is exactly the

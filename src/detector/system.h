@@ -32,8 +32,10 @@
 #include "src/detector/diagnoser.h"
 #include "src/detector/pinger.h"
 #include "src/localize/pll.h"
+#include "src/net/transport.h"
 #include "src/pmc/incremental.h"
 #include "src/pmc/pmc.h"
+#include "src/report/collector.h"
 #include "src/routing/path_provider.h"
 #include "src/sim/churn.h"
 #include "src/sim/probe_engine.h"
@@ -79,6 +81,17 @@ struct DetectorSystemOptions {
   // Cumulative mid-window diagnoses use incremental PLL (re-score only dirty components).
   // false = full PLL at every boundary — the bit-exactness oracle and the bench baseline.
   bool incremental_diagnosis = true;
+  // Report plane: shards emit their counters as encoded wire frames (src/report) over a
+  // transport (src/net) into a Collector that folds them back into the ObservationStore,
+  // instead of writing the store directly — the deployed pinger -> analyzer seam. Under the
+  // default lossless in-process loopback this is bit-identical to direct mode (ctest-gated);
+  // SetReportTransport installs a fault-injecting loopback. (The in-process plane needs a
+  // transport whose Send round-trips to its own Receive; the split UDP deployment instead
+  // pairs a Connect-side emitter process with a Bind-side collector process — see
+  // examples/monitor_daemon.cc --mode=agent|collector.)
+  bool report_plane = false;
+  // Observations batched per wire frame before the emitter seals and sends it.
+  size_t report_batch_entries = 64;
 };
 
 class DetectorSystem {
@@ -198,6 +211,18 @@ class DetectorSystem {
   void set_incremental_diagnosis(bool incremental) {
     options_.incremental_diagnosis = incremental;
   }
+  // Routes shard observations through the wire-format report plane (takes effect at the next
+  // window). Bit-identical to direct mode under the default lossless loopback transport.
+  void set_report_plane(bool on) { options_.report_plane = on; }
+  // Installs the wire backend report-plane windows run over (owned; replaces the default
+  // lossless LoopbackTransport). The transport must round-trip its own Send to its own
+  // Receive — in practice a LoopbackTransport, usually with injected faults. Install before
+  // the first report-plane window or between windows — frames in flight on the old
+  // transport are gone with it.
+  void SetReportTransport(std::unique_ptr<Transport> transport);
+  // Null until the first report-plane window ran.
+  const Collector* collector() const { return collector_.get(); }
+  Transport* report_transport() { return report_transport_.get(); }
 
  private:
   // Shared window driver: slices [0, window_seconds) at segment boundaries and churn-event
@@ -241,6 +266,13 @@ class DetectorSystem {
   // Persistent shard workers, created lazily at the first parallel segment and resized when
   // probe_threads changes — window execution must not pay thread start-up per segment.
   std::unique_ptr<ThreadPool> pool_;
+  // Report plane (created lazily at the first report-plane window): the wire backend frames
+  // travel over, the collector folding them into the diagnoser's store, a per-window id, and
+  // per-pinger frame sequence counters continuing across a window's probe segments.
+  std::unique_ptr<Transport> report_transport_;
+  std::unique_ptr<Collector> collector_;
+  uint64_t report_window_id_ = 0;
+  std::map<NodeId, uint64_t> report_seq_;
   // Per-pinger version high-water marks. Outlives the pinglists themselves: a pinger whose
   // list vanishes for a cycle (unhealthy, no entries) must not restart at version 1, or a
   // diff consumer would discard everything after its return as stale.

@@ -1,0 +1,58 @@
+// UdpTransport: real UDP datagrams over localhost — the first real-I/O backend. A collector
+// binds 127.0.0.1:port and Receive()s non-blocking (or with a poll timeout for daemon loops);
+// an agent opens an unbound socket and Send()s to the collector's port. One Send is one
+// datagram is one Receive; the kernel may drop or reorder, which the report codec and
+// collector already tolerate (CRC frames, (pinger, window, seq) idempotence).
+//
+// Factory functions return null with a human-readable error when the environment forbids
+// sockets (sandboxes); callers print a notice and skip rather than fail.
+#ifndef SRC_NET_UDP_H_
+#define SRC_NET_UDP_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/net/transport.h"
+
+namespace detector {
+
+class UdpTransport final : public Transport {
+ public:
+  // Collector side: binds 127.0.0.1:port (0 picks an ephemeral port, reported by port()).
+  static std::unique_ptr<UdpTransport> Bind(uint16_t port, std::string* error);
+  // Agent side: unbound socket whose Send() targets 127.0.0.1:port.
+  static std::unique_ptr<UdpTransport> Connect(uint16_t port, std::string* error);
+
+  ~UdpTransport() override;
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  bool Send(std::span<const uint8_t> frame) override;
+  bool Receive(std::vector<uint8_t>& out) override;
+  TransportStats stats() const override;
+
+  // Blocking receive with a poll timeout, for daemon loops that should not spin.
+  bool ReceiveTimeout(std::vector<uint8_t>& out, int timeout_ms);
+
+  uint16_t port() const { return port_; }
+
+  // Largest frame Send accepts: a safely-deliverable localhost datagram. The report emitter's
+  // default batch size keeps encoded frames far below this.
+  static constexpr size_t kMaxDatagramBytes = 60000;
+
+ private:
+  UdpTransport(int fd, uint16_t port, bool connected)
+      : fd_(fd), port_(port), connected_(connected) {}
+
+  const int fd_;
+  const uint16_t port_;        // bound (collector) or destination (agent) port
+  const bool connected_;       // agent side: sends allowed, dest fixed
+  mutable std::mutex mu_;      // guards stats_ only; the fd itself is datagram-atomic
+  TransportStats stats_;
+};
+
+}  // namespace detector
+
+#endif  // SRC_NET_UDP_H_

@@ -1,0 +1,199 @@
+#include "src/report/codec.h"
+
+#include <limits>
+
+#include "src/common/crc32.h"
+
+namespace detector {
+
+void PutVarint(std::vector<uint8_t>& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+bool GetVarint(std::span<const uint8_t> bytes, size_t& pos, uint64_t& value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (pos >= bytes.size()) {
+      return false;
+    }
+    const uint8_t byte = bytes[pos++];
+    // The 10th byte may only carry the top bit of a 64-bit value.
+    if (shift == 63 && (byte & ~uint8_t{1}) != 0) {
+      return false;
+    }
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* DecodeStatusName(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kTooShort: return "too-short";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kBadVersion: return "bad-version";
+    case DecodeStatus::kBadCrc: return "bad-crc";
+    case DecodeStatus::kTruncated: return "truncated";
+    case DecodeStatus::kMalformed: return "malformed";
+  }
+  return "unknown";
+}
+
+void ReportCodec::Encode(const ReportFrame& frame, std::vector<uint8_t>& out) {
+  out.clear();
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kVersion);
+  PutVarint(out, static_cast<uint64_t>(frame.pinger));
+  PutVarint(out, frame.window_id);
+  PutVarint(out, frame.seq);
+  PutVarint(out, frame.paths.size());
+  PutVarint(out, frame.intra.size());
+  PathId prev_slot = 0;
+  for (const WirePathDelta& record : frame.paths) {
+    PutVarint(out, ZigzagEncode(static_cast<int64_t>(record.slot) - prev_slot));
+    prev_slot = record.slot;
+    PutVarint(out, record.epoch);
+    PutVarint(out, static_cast<uint64_t>(record.target));
+    PutVarint(out, static_cast<uint64_t>(record.sent));
+    PutVarint(out, static_cast<uint64_t>(record.lost));
+  }
+  for (const WireIntraDelta& record : frame.intra) {
+    PutVarint(out, static_cast<uint64_t>(record.target));
+    PutVarint(out, static_cast<uint64_t>(record.sent));
+    PutVarint(out, static_cast<uint64_t>(record.lost));
+  }
+  const uint32_t crc = Crc32(out);
+  out.push_back(static_cast<uint8_t>(crc));
+  out.push_back(static_cast<uint8_t>(crc >> 8));
+  out.push_back(static_cast<uint8_t>(crc >> 16));
+  out.push_back(static_cast<uint8_t>(crc >> 24));
+}
+
+namespace {
+
+// Narrowing readers over the validated byte range. All ids and counters are non-negative and
+// bounded on the wire; anything outside its domain fails the whole frame.
+bool ReadCount(std::span<const uint8_t> bytes, size_t& pos, size_t limit, uint64_t& value) {
+  return GetVarint(bytes, pos, value) && value <= limit;
+}
+
+bool ReadI64(std::span<const uint8_t> bytes, size_t& pos, int64_t& value) {
+  uint64_t raw = 0;
+  if (!GetVarint(bytes, pos, raw) ||
+      raw > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+    return false;
+  }
+  value = static_cast<int64_t>(raw);
+  return true;
+}
+
+bool ReadI32(std::span<const uint8_t> bytes, size_t& pos, int32_t& value) {
+  uint64_t raw = 0;
+  if (!GetVarint(bytes, pos, raw) ||
+      raw > static_cast<uint64_t>(std::numeric_limits<int32_t>::max())) {
+    return false;
+  }
+  value = static_cast<int32_t>(raw);
+  return true;
+}
+
+}  // namespace
+
+DecodeStatus ReportCodec::Decode(std::span<const uint8_t> bytes, ReportFrame& out) {
+  // magic(2) + version(1) + 5 one-byte header varints + crc(4)
+  if (bytes.size() < 12) {
+    return DecodeStatus::kTooShort;
+  }
+  if (bytes[0] != kMagic0 || bytes[1] != kMagic1) {
+    return DecodeStatus::kBadMagic;
+  }
+  if (bytes[2] != kVersion) {
+    return DecodeStatus::kBadVersion;
+  }
+  const size_t body_size = bytes.size() - 4;
+  const uint32_t wire_crc = static_cast<uint32_t>(bytes[body_size]) |
+                            static_cast<uint32_t>(bytes[body_size + 1]) << 8 |
+                            static_cast<uint32_t>(bytes[body_size + 2]) << 16 |
+                            static_cast<uint32_t>(bytes[body_size + 3]) << 24;
+  if (Crc32(bytes.subspan(0, body_size)) != wire_crc) {
+    return DecodeStatus::kBadCrc;
+  }
+
+  const std::span<const uint8_t> body = bytes.subspan(0, body_size);
+  size_t pos = 3;
+  ReportFrame frame;
+  if (!ReadI32(body, pos, frame.pinger)) {
+    return DecodeStatus::kMalformed;
+  }
+  if (!GetVarint(body, pos, frame.window_id) || !GetVarint(body, pos, frame.seq)) {
+    return DecodeStatus::kTruncated;
+  }
+  // A record costs >= 4 bytes on the wire (5 for paths); counts claiming more records than
+  // the remaining bytes could hold are rejected before any allocation.
+  uint64_t n_paths = 0;
+  uint64_t n_intra = 0;
+  if (!ReadCount(body, pos, body_size, n_paths) || !ReadCount(body, pos, body_size, n_intra)) {
+    return DecodeStatus::kMalformed;
+  }
+  if (n_paths * 5 + n_intra * 3 > body_size - pos) {
+    return DecodeStatus::kTruncated;
+  }
+  frame.paths.reserve(n_paths);
+  frame.intra.reserve(n_intra);
+  int64_t prev_slot = 0;
+  for (uint64_t i = 0; i < n_paths; ++i) {
+    WirePathDelta record;
+    uint64_t slot_delta = 0;
+    uint64_t epoch = 0;
+    if (!GetVarint(body, pos, slot_delta) || !GetVarint(body, pos, epoch)) {
+      return DecodeStatus::kTruncated;
+    }
+    const int64_t slot = prev_slot + ZigzagDecode(slot_delta);
+    if (slot < 0 || slot > std::numeric_limits<int32_t>::max() ||
+        epoch > std::numeric_limits<uint32_t>::max()) {
+      return DecodeStatus::kMalformed;
+    }
+    prev_slot = slot;
+    record.slot = static_cast<PathId>(slot);
+    record.epoch = static_cast<uint32_t>(epoch);
+    if (!ReadI32(body, pos, record.target)) {
+      return DecodeStatus::kMalformed;
+    }
+    if (!ReadI64(body, pos, record.sent) || !ReadI64(body, pos, record.lost)) {
+      return DecodeStatus::kMalformed;
+    }
+    frame.paths.push_back(record);
+  }
+  for (uint64_t i = 0; i < n_intra; ++i) {
+    WireIntraDelta record;
+    if (!ReadI32(body, pos, record.target)) {
+      return DecodeStatus::kMalformed;
+    }
+    if (!ReadI64(body, pos, record.sent) || !ReadI64(body, pos, record.lost)) {
+      return DecodeStatus::kMalformed;
+    }
+    frame.intra.push_back(record);
+  }
+  if (pos != body_size) {
+    return DecodeStatus::kMalformed;  // trailing garbage that somehow CRC'd clean
+  }
+  out = std::move(frame);
+  return DecodeStatus::kOk;
+}
+
+size_t ReportCodec::FixedWidthBytes(const ReportFrame& frame) {
+  // pinger(4) + window(8) + seq(8) + two counts(4+4) fixed header, magic/version/crc as ours.
+  return 3 + 4 + 8 + 8 + 4 + 4 + frame.paths.size() * (4 + 4 + 4 + 8 + 8) +
+         frame.intra.size() * (4 + 8 + 8) + 4;
+}
+
+}  // namespace detector

@@ -1,0 +1,105 @@
+#include "src/report/collector.h"
+
+namespace detector {
+
+Collector::Collector(ObservationStore& store, CollectorOptions options)
+    : store_(store), options_(options) {}
+
+void Collector::BeginWindow(uint64_t window_id) {
+  current_window_ = window_id;
+  folded_seqs_.clear();
+}
+
+bool Collector::Offer(std::vector<uint8_t> frame) {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  if (queue_.size() >= options_.queue_capacity) {
+    ++stats_.queue_overflow_dropped;
+    return false;
+  }
+  queue_.push_back(std::move(frame));
+  return true;
+}
+
+size_t Collector::Drain() {
+  size_t folded = 0;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (queue_.empty()) {
+        return folded;
+      }
+      raw_ = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const DecodeStatus status = ReportCodec::Decode(raw_, decoded_);
+    if (status != DecodeStatus::kOk) {
+      ++stats_.decode_errors;
+      continue;
+    }
+    if (decoded_.window_id < current_window_) {
+      ++stats_.stale_window_dropped;
+      continue;
+    }
+    if (decoded_.window_id > current_window_) {
+      // The reporters moved on to a newer window. In-process the system opens windows
+      // explicitly, so this only happens across processes (daemon); close the old window
+      // through the hook and follow the reporters.
+      if (on_window_advance_ != nullptr) {
+        on_window_advance_(current_window_, decoded_.window_id);
+      }
+      BeginWindow(decoded_.window_id);
+      ++stats_.window_advances;
+    }
+    auto& seen = folded_seqs_[decoded_.pinger];
+    if (!seen.insert(decoded_.seq).second) {
+      ++stats_.duplicates_dropped;
+      continue;
+    }
+    FoldFrame(decoded_);
+    ++folded;
+  }
+}
+
+void Collector::FoldFrame(const ReportFrame& frame) {
+  ObservationStore::Shard& shard = store_.OpenShard(frame.pinger);
+  const size_t num_slots = store_.num_slots();
+  for (const WirePathDelta& record : frame.paths) {
+    if (record.slot < 0 || static_cast<size_t>(record.slot) >= num_slots) {
+      // A structurally-valid frame from a reporter ahead of (or behind) our matrix build:
+      // skip the record, keep the rest of the frame.
+      ++stats_.unknown_slot_dropped;
+      continue;
+    }
+    shard.RecordPathAtEpoch(record.slot, record.epoch, record.target, record.sent,
+                            record.lost);
+    ++stats_.observations_folded;
+  }
+  for (const WireIntraDelta& record : frame.intra) {
+    shard.RecordIntraRack(record.target, record.sent, record.lost);
+    ++stats_.observations_folded;
+  }
+  ++stats_.frames_folded;
+}
+
+size_t Collector::PumpFrom(Transport& transport) {
+  size_t folded = 0;
+  std::vector<uint8_t> frame;
+  while (transport.Receive(frame)) {
+    // The pump owns the consumer side too, so a filling queue drains instead of dropping —
+    // queue_capacity bounds memory against a stalled drain, and must not turn a lossless
+    // transport into a lossy one when one thread both receives and folds.
+    if (queued() >= options_.queue_capacity) {
+      folded += Drain();
+    }
+    Offer(std::move(frame));
+    frame.clear();
+  }
+  return folded + Drain();
+}
+
+size_t Collector::queued() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size();
+}
+
+}  // namespace detector

@@ -1,0 +1,103 @@
+// Collector: the analyzer-side half of the report plane. Raw frames from many pingers land in
+// a bounded MPSC queue (Offer is thread-safe; a full queue drops the frame, like a saturated
+// ingest stage should); the single drain side decodes each frame whole and folds its records
+// into the ObservationStore — so decoding can run concurrently with probing on the system's
+// thread pool while store writes stay single-threaded.
+//
+// Delivery tolerance, in line with what a real report network does to frames:
+//  - corrupted / truncated: ReportCodec rejects the frame before any record is touched —
+//    a frame folds whole or not at all;
+//  - duplicated: frames are idempotent by (pinger, window, seq); a re-delivery is counted
+//    and discarded, so totals stay bit-identical to exactly-once delivery;
+//  - reordered: folding is order-independent (integer sums; epoch stamps ride each record),
+//    so any arrival order of a window's frames produces the same totals;
+//  - delayed past its window: a frame whose window_id predates the current window is stale
+//    and discarded — its observations aggregated nowhere rather than into the wrong window;
+//  - dropped: simply never arrives; the window diagnoses on what did.
+#ifndef SRC_REPORT_COLLECTOR_H_
+#define SRC_REPORT_COLLECTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/detector/observation_store.h"
+#include "src/net/transport.h"
+#include "src/report/codec.h"
+
+namespace detector {
+
+struct CollectorOptions {
+  size_t queue_capacity = 1024;  // frames the ingest queue holds before Offer drops
+};
+
+struct CollectorStats {
+  uint64_t frames_folded = 0;
+  uint64_t observations_folded = 0;
+  uint64_t duplicates_dropped = 0;     // (pinger, window, seq) already folded
+  uint64_t decode_errors = 0;          // CRC mismatches, truncation, malformed frames
+  uint64_t stale_window_dropped = 0;   // frame.window_id older than the current window
+  uint64_t queue_overflow_dropped = 0; // bounded queue was full at Offer time
+  uint64_t unknown_slot_dropped = 0;   // records beyond the store's slot table (skipped)
+  uint64_t window_advances = 0;        // frames that moved the current window forward
+};
+
+class Collector {
+ public:
+  explicit Collector(ObservationStore& store, CollectorOptions options = {});
+
+  // Opens aggregation window `window_id`: later frames carrying an older id are stale.
+  // Dedup state of closed windows is pruned here. Single-consumer side.
+  void BeginWindow(uint64_t window_id);
+  uint64_t current_window() const { return current_window_; }
+
+  // Called (from the drain side) just before the first frame of a window newer than the
+  // current one folds — the standalone daemon hooks this to diagnose-and-clear the finished
+  // window. Without a hook the collector just advances.
+  void set_on_window_advance(std::function<void(uint64_t closed, uint64_t opened)> hook) {
+    on_window_advance_ = std::move(hook);
+  }
+
+  // Producer side (thread-safe, any thread): enqueues one raw frame; false = queue full,
+  // frame dropped and counted.
+  bool Offer(std::vector<uint8_t> frame);
+
+  // Consumer side (one thread at a time — the store's serial-writer contract): decodes and
+  // folds every queued frame; returns frames folded.
+  size_t Drain();
+
+  // Receives everything the transport has pending into the queue and Drain()s it, draining
+  // early whenever the queue fills — the pump owns both sides, so a bounded queue never
+  // forces it to drop a delivered frame. Returns frames folded. Consumer side.
+  size_t PumpFrom(Transport& transport);
+
+  const CollectorStats& stats() const { return stats_; }
+  size_t queued() const;
+
+ private:
+  void FoldFrame(const ReportFrame& frame);
+
+  ObservationStore& store_;
+  const CollectorOptions options_;
+
+  mutable std::mutex queue_mu_;
+  std::deque<std::vector<uint8_t>> queue_;
+
+  uint64_t current_window_ = 0;
+  // Folded frame seqs per pinger for the current window — the idempotence filter. Pruned at
+  // BeginWindow; seq ranges are small (frames per pinger per window), so a set is fine.
+  std::map<NodeId, std::set<uint64_t>> folded_seqs_;
+  std::function<void(uint64_t, uint64_t)> on_window_advance_;
+  CollectorStats stats_;
+  std::vector<uint8_t> raw_;   // drain scratch
+  ReportFrame decoded_;        // drain scratch
+};
+
+}  // namespace detector
+
+#endif  // SRC_REPORT_COLLECTOR_H_

@@ -298,5 +298,119 @@ TEST(SlidingSegmentDiagnosis, DecayViewSeesPersistentFailure) {
                                streamed.window.localization, "final entry is cumulative");
 }
 
+// ROADMAP open item, closed in PR 5: the trailing ring keys its per-segment deltas by
+// (slot, epoch), so a mid-window repair that vacates and reuses a slot purges the dead
+// epoch's deltas instead of leaving a retraction that blinds DiagnoseTrailing on the slot
+// for up to W segments. This is the surgical pre/post-fix discriminator: before the fix the
+// reused slot's trailing total was 0 sent / 100 lost (unusable), and the episode on it was
+// invisible at the first post-repair boundary.
+TEST(SlidingSegmentDiagnosis, SlotReuseDoesNotBlindTrailingView) {
+  // Three chained links, one single-link probe path per link: slot i covers exactly link i.
+  Topology topo("toy");
+  std::vector<NodeId> nodes;
+  for (int i = 0; i <= 3; ++i) {
+    nodes.push_back(topo.AddNode(NodeKind::kTor, 0, i, "n" + std::to_string(i)));
+  }
+  std::vector<LinkId> links;
+  for (int i = 0; i < 3; ++i) {
+    links.push_back(topo.AddLink(nodes[static_cast<size_t>(i)],
+                                 nodes[static_cast<size_t>(i) + 1], 1));
+  }
+  PathStore paths;
+  for (int i = 0; i < 3; ++i) {
+    const std::vector<LinkId> path_links = {links[static_cast<size_t>(i)]};
+    paths.Add(0, 1, path_links);
+  }
+  const ProbeMatrix matrix(std::move(paths), LinkIndex::ForMonitored(topo));
+  Watchdog wd(topo);
+
+  Diagnoser diagnoser;
+  diagnoser.set_sliding_segments(2);
+  ObservationStore& store = diagnoser.store();
+  store.EnsureSlots(3);
+  ObservationStore::Shard& shard = store.OpenShard(nodes[0]);
+
+  auto record_segment = [&](int64_t slot1_sent, int64_t slot1_lost) {
+    shard.RecordPath(0, nodes[1], 100, 0);
+    shard.RecordPath(1, nodes[2], slot1_sent, slot1_lost);
+    shard.RecordPath(2, nodes[3], 100, 0);
+    diagnoser.AdvanceSegment(matrix, wd);
+  };
+
+  // Two healthy segments fill the trailing ring and the boundary totals.
+  record_segment(100, 0);
+  record_segment(100, 0);
+  EXPECT_TRUE(diagnoser.DiagnoseTrailing(matrix, wd).links.empty());
+
+  // Mid-window repair vacates slot 1 (epoch bump retracts its 200 folded packets) and reuses
+  // it; the new occupant's first segment observes full loss on link 1.
+  const std::vector<PathId> vacated = {1};
+  diagnoser.DropReports(vacated);
+  record_segment(100, 100);
+
+  // Exactly the episode link, at full loss — the untouched slots' clean trailing traffic
+  // raises nothing, and the reused slot is diagnosable at the first post-repair boundary.
+  const LocalizeResult result = diagnoser.DiagnoseTrailing(matrix, wd);
+  ASSERT_EQ(result.links.size(), 1u) << "reused slot still blind in the trailing view";
+  EXPECT_EQ(result.links[0].link, links[1]);
+  EXPECT_GT(result.links[0].estimated_loss_rate, 0.9);
+}
+
+// End-to-end churn-during-episode gate: a loss episode is live while a topology delta forces
+// an incremental repair (slot vacate + reuse) on the same probe plane. The sliding view must
+// localize the episode despite the mid-episode churn and report it gone after it leaves the
+// trailing window.
+TEST(SlidingSegmentDiagnosis, ChurnDuringEpisodeStillLocalized) {
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  DetectorSystemOptions options;
+  options.pmc.alpha = 1;
+  options.pmc.beta = 1;
+  options.controller.packets_per_second = 120;
+  options.confirm_packets = 0;
+  options.probe.base_loss_rate = 0.0;
+  options.pll.preprocess.path_loss_ratio_threshold = 0.2;
+  options.segments_per_window = 15;  // 2 s slices
+  options.diagnose_every_segments = 1;
+  options.streaming_view = StreamingViewMode::kSliding;
+  options.sliding_window_segments = 2;
+
+  // The churn (an agg-core link in the episode's pod flaps down) lands at 6 s; the repair
+  // vacates every path through it and reuses their slots. The episode then runs [8 s, 12 s)
+  // — entirely after the churn, where a blinded reused slot would still be inside its
+  // retraction window without epoch-keyed ring deltas.
+  std::vector<ChurnEvent> churn;
+  churn.push_back(ChurnEvent{6.0, TopologyDelta::LinkDown(ft.AggCoreLink(1, 0, 1))});
+
+  const LinkId episode_link = ft.EdgeAggLink(1, 0, 1);
+  FailureScenario scenario;
+  FailureEpisode episode;
+  episode.failure.link = episode_link;
+  episode.failure.type = FailureType::kFullLoss;
+  episode.start_seconds = 8.0;
+  episode.end_seconds = 12.0;
+  scenario.episodes.push_back(episode);
+
+  DetectorSystem system(routing, options);
+  Rng rng(303);
+  const auto streamed = system.RunWindowStreaming(scenario, churn, rng);
+  EXPECT_EQ(streamed.window.churn_events_applied, 1u);
+
+  // Localized while live or within the trailing window behind it...
+  const double first = streamed.FirstDetectionSeconds(episode_link);
+  ASSERT_GT(first, episode.start_seconds) << "episode never localized under churn";
+  EXPECT_LE(first, episode.end_seconds + 1e-9);
+  // ...and clear at every boundary after it leaves the trailing window (12 s + 4 s).
+  for (const auto& d : streamed.timeline) {
+    if (d.time_seconds <= 16.0 + 1e-9 || &d == &streamed.timeline.back()) {
+      continue;  // the final entry is the cumulative window-end diagnosis
+    }
+    for (const SuspectLink& s : d.localization.links) {
+      EXPECT_NE(s.link, episode_link)
+          << "boundary at " << d.time_seconds << " s still names the cleared episode";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace detector

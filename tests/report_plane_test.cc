@@ -1,0 +1,474 @@
+// Report-plane tests: wire-format round-trips and robustness (truncated / corrupted / short
+// frames must decode to an error, never crash or partially fold), collector tolerance
+// (duplicate and out-of-order delivery keep totals bit-identical; stale windows and queue
+// overflow drop cleanly), transport fault injection, the report-vs-direct bit-exactness gate
+// at 1, 2 and 8 probe threads, and real UDP over localhost (skipped with a notice when the
+// sandbox forbids sockets).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "src/detector/system.h"
+#include "src/net/loopback.h"
+#include "src/net/udp.h"
+#include "src/report/codec.h"
+#include "src/report/collector.h"
+#include "src/report/emitter.h"
+#include "src/routing/fattree_routing.h"
+#include "src/sim/churn.h"
+#include "src/topo/fattree.h"
+#include "tests/window_equality.h"
+
+namespace detector {
+namespace {
+
+ReportFrame SampleFrame() {
+  ReportFrame frame;
+  frame.pinger = 42;
+  frame.window_id = 7;
+  frame.seq = 3;
+  frame.paths.push_back(WirePathDelta{5, 0, 101, 120, 4});
+  frame.paths.push_back(WirePathDelta{2, 1, 99, 64, 0});  // out-of-order slot (zigzag delta)
+  frame.paths.push_back(WirePathDelta{700, 0, 101, 1, 1});
+  frame.intra.push_back(WireIntraDelta{43, 30, 2});
+  return frame;
+}
+
+TEST(ReportCodec, VarintZigzagRoundTrip) {
+  const std::vector<uint64_t> values = {0, 1, 127, 128, 300, 1ULL << 20, 1ULL << 40,
+                                        ~0ULL};
+  std::vector<uint8_t> buf;
+  for (const uint64_t v : values) {
+    PutVarint(buf, v);
+  }
+  size_t pos = 0;
+  for (const uint64_t v : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(GetVarint(buf, pos, got));
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_EQ(pos, buf.size());
+  for (const int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1}, int64_t{-123456789},
+                          int64_t{1} << 40}) {
+    EXPECT_EQ(ZigzagDecode(ZigzagEncode(v)), v);
+  }
+}
+
+TEST(ReportCodec, FrameRoundTrip) {
+  const ReportFrame frame = SampleFrame();
+  std::vector<uint8_t> wire;
+  ReportCodec::Encode(frame, wire);
+  ReportFrame decoded;
+  ASSERT_EQ(ReportCodec::Decode(wire, decoded), DecodeStatus::kOk);
+  EXPECT_EQ(decoded, frame);
+  // Varint packing earns its keep even on this small frame.
+  EXPECT_LT(wire.size(), ReportCodec::FixedWidthBytes(frame));
+}
+
+TEST(ReportCodec, EmptyFrameRoundTrip) {
+  ReportFrame frame;
+  frame.pinger = 0;
+  frame.window_id = 0;
+  frame.seq = 0;
+  std::vector<uint8_t> wire;
+  ReportCodec::Encode(frame, wire);
+  ReportFrame decoded;
+  ASSERT_EQ(ReportCodec::Decode(wire, decoded), DecodeStatus::kOk);
+  EXPECT_EQ(decoded, frame);
+}
+
+TEST(ReportCodec, EveryTruncationIsAnError) {
+  std::vector<uint8_t> wire;
+  ReportCodec::Encode(SampleFrame(), wire);
+  for (size_t len = 0; len < wire.size(); ++len) {
+    ReportFrame decoded;
+    decoded.pinger = -7;  // sentinel: decode must not touch the output on error
+    const DecodeStatus status =
+        ReportCodec::Decode(std::span<const uint8_t>(wire.data(), len), decoded);
+    EXPECT_NE(status, DecodeStatus::kOk) << "prefix of length " << len << " decoded";
+    EXPECT_EQ(decoded.pinger, -7) << "output mutated on error at length " << len;
+  }
+}
+
+TEST(ReportCodec, EverySingleByteCorruptionIsAnError) {
+  std::vector<uint8_t> wire;
+  ReportCodec::Encode(SampleFrame(), wire);
+  for (size_t i = 0; i < wire.size(); ++i) {
+    for (const uint8_t flip : {uint8_t{0x01}, uint8_t{0x80}, uint8_t{0xFF}}) {
+      std::vector<uint8_t> corrupted = wire;
+      corrupted[i] ^= flip;
+      ReportFrame decoded;
+      EXPECT_NE(ReportCodec::Decode(corrupted, decoded), DecodeStatus::kOk)
+          << "corruption at byte " << i << " xor " << int{flip} << " decoded";
+    }
+  }
+}
+
+TEST(ReportCodec, GarbageAndShortBuffersNeverCrash) {
+  ReportFrame decoded;
+  EXPECT_EQ(ReportCodec::Decode({}, decoded), DecodeStatus::kTooShort);
+  const std::vector<uint8_t> noise(64, 0xAB);
+  EXPECT_EQ(ReportCodec::Decode(noise, decoded), DecodeStatus::kBadMagic);
+  Rng rng(11);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<uint8_t> random(rng.NextBounded(64));
+    for (auto& byte : random) {
+      byte = static_cast<uint8_t>(rng());
+    }
+    EXPECT_NE(ReportCodec::Decode(random, decoded), DecodeStatus::kOk);
+  }
+}
+
+// Fold `frames` (in the given order) through a collector into a fresh store and return the
+// resulting totals over `num_slots`.
+Observations FoldedTotals(const std::vector<std::vector<uint8_t>>& frames, size_t num_slots,
+                          const Watchdog& watchdog, CollectorStats* stats = nullptr) {
+  ObservationStore store;
+  store.EnsureSlots(num_slots);
+  Collector collector(store);
+  collector.BeginWindow(1);
+  for (const auto& frame : frames) {
+    collector.Offer(frame);
+  }
+  collector.Drain();
+  if (stats != nullptr) {
+    *stats = collector.stats();
+  }
+  const ObservationView view = store.RunningTotals(num_slots, watchdog);
+  return Observations(view.begin(), view.end());
+}
+
+TEST(Collector, DuplicateAndReorderedDeliveryIsIdempotent) {
+  const FatTree ft(4);
+  Watchdog wd(ft.topology());
+  // Two pingers, two frames each, all in window 1.
+  std::vector<std::vector<uint8_t>> frames;
+  for (NodeId pinger : {ft.Server(0, 0, 0), ft.Server(1, 0, 0)}) {
+    for (uint64_t seq = 0; seq < 2; ++seq) {
+      ReportFrame frame;
+      frame.pinger = pinger;
+      frame.window_id = 1;
+      frame.seq = seq;
+      frame.paths.push_back(
+          WirePathDelta{static_cast<PathId>(seq), 0, ft.Server(1, 1, 0), 100, 10});
+      frame.paths.push_back(WirePathDelta{3, 0, ft.Server(1, 1, 1), 50, 0});
+      frames.push_back({});
+      ReportCodec::Encode(frame, frames.back());
+    }
+  }
+  const Observations once = FoldedTotals(frames, 4, wd);
+
+  // Every frame delivered three times, interleaved and reversed: totals must not move.
+  std::vector<std::vector<uint8_t>> noisy;
+  for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+    noisy.push_back(*it);
+  }
+  noisy.insert(noisy.end(), frames.begin(), frames.end());
+  noisy.insert(noisy.end(), frames.rbegin(), frames.rend());
+  CollectorStats stats;
+  const Observations replayed = FoldedTotals(noisy, 4, wd, &stats);
+  EXPECT_EQ(stats.frames_folded, frames.size());
+  EXPECT_EQ(stats.duplicates_dropped, 2 * frames.size());
+  ASSERT_EQ(replayed.size(), once.size());
+  for (size_t slot = 0; slot < once.size(); ++slot) {
+    EXPECT_EQ(replayed[slot].sent, once[slot].sent) << "slot " << slot;
+    EXPECT_EQ(replayed[slot].lost, once[slot].lost) << "slot " << slot;
+  }
+}
+
+TEST(Collector, CorruptFramesFoldNothing) {
+  const FatTree ft(4);
+  Watchdog wd(ft.topology());
+  ReportFrame frame;
+  frame.pinger = ft.Server(0, 0, 0);
+  frame.window_id = 1;
+  frame.seq = 0;
+  frame.paths.push_back(WirePathDelta{0, 0, ft.Server(1, 0, 0), 100, 10});
+  std::vector<uint8_t> wire;
+  ReportCodec::Encode(frame, wire);
+
+  std::vector<std::vector<uint8_t>> corrupted;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    corrupted.push_back(wire);
+    corrupted.back()[i] ^= 0x40;
+  }
+  CollectorStats stats;
+  const Observations totals = FoldedTotals(corrupted, 2, wd, &stats);
+  EXPECT_EQ(stats.frames_folded, 0u);
+  EXPECT_EQ(stats.decode_errors, corrupted.size());
+  for (const PathObservation& obs : totals) {
+    EXPECT_EQ(obs.sent, 0);
+    EXPECT_EQ(obs.lost, 0);
+  }
+}
+
+TEST(Collector, StaleWindowAndOverflowDropCleanly) {
+  ObservationStore store;
+  store.EnsureSlots(2);
+  Collector collector(store, CollectorOptions{.queue_capacity = 2});
+  collector.BeginWindow(5);
+
+  ReportFrame stale;
+  stale.pinger = 1;
+  stale.window_id = 4;  // older than the open window
+  stale.seq = 0;
+  stale.paths.push_back(WirePathDelta{0, 0, 2, 10, 1});
+  std::vector<uint8_t> wire;
+  ReportCodec::Encode(stale, wire);
+  ASSERT_TRUE(collector.Offer(wire));
+  EXPECT_EQ(collector.Drain(), 0u);
+  EXPECT_EQ(collector.stats().stale_window_dropped, 1u);
+
+  // Queue holds 2; the third Offer before a drain is dropped and counted.
+  EXPECT_TRUE(collector.Offer(wire));
+  EXPECT_TRUE(collector.Offer(wire));
+  EXPECT_FALSE(collector.Offer(wire));
+  EXPECT_EQ(collector.stats().queue_overflow_dropped, 1u);
+}
+
+TEST(Collector, PumpDrainsInsteadOfDroppingWhenQueueFills) {
+  // The pump owns both queue sides, so a backlog larger than the bounded queue drains early
+  // instead of dropping — a lossless transport must stay lossless through PumpFrom even with
+  // a tiny queue. (External producers racing a stalled drain still hit the Offer bound.)
+  ObservationStore store;
+  store.EnsureSlots(1);
+  Collector collector(store, CollectorOptions{.queue_capacity = 4});
+  collector.BeginWindow(1);
+  LoopbackTransport transport;
+  std::vector<uint8_t> wire;
+  for (uint64_t seq = 0; seq < 64; ++seq) {
+    ReportFrame frame;
+    frame.pinger = 1;
+    frame.window_id = 1;
+    frame.seq = seq;
+    frame.paths.push_back(WirePathDelta{0, 0, 2, 10, 1});
+    ReportCodec::Encode(frame, wire);
+    transport.Send(wire);
+  }
+  EXPECT_EQ(collector.PumpFrom(transport), 64u);
+  EXPECT_EQ(collector.stats().queue_overflow_dropped, 0u);
+  const Topology empty_topo("x");
+  Watchdog wd(empty_topo);
+  const ObservationView totals = store.RunningTotals(1, wd);
+  EXPECT_EQ(totals[0].sent, 640);
+  EXPECT_EQ(totals[0].lost, 64);
+}
+
+TEST(Collector, WireEpochStampsOrphanLikeDirectWrites) {
+  // A frame carrying an old epoch (probe happened before a mid-window invalidation, delivery
+  // after) must fold to nothing, exactly like a direct record written before the bump.
+  ObservationStore store;
+  store.EnsureSlots(2);
+  const Topology empty_topo("empty");
+  Watchdog wd(empty_topo);
+  Collector collector(store);
+  collector.BeginWindow(1);
+
+  ReportFrame frame;
+  frame.pinger = 1;
+  frame.window_id = 1;
+  frame.seq = 0;
+  frame.paths.push_back(WirePathDelta{0, /*epoch=*/0, 2, 100, 10});
+  std::vector<uint8_t> wire;
+  ReportCodec::Encode(frame, wire);
+
+  const std::vector<PathId> vacated = {0};
+  store.InvalidateSlots(vacated);  // epoch 0 -> 1 before the frame arrives
+  collector.Offer(wire);
+  collector.Drain();
+  const ObservationView totals = store.RunningTotals(2, wd);
+  EXPECT_EQ(totals[0].sent, 0);
+  EXPECT_EQ(totals[0].lost, 0);
+}
+
+TEST(LoopbackTransport, DeterministicDropAndReorder) {
+  LoopbackOptions options;
+  options.drop_rate = 0.3;
+  options.reorder_rate = 0.5;
+  options.seed = 17;
+  auto run = [&] {
+    LoopbackTransport transport(options);
+    for (uint8_t i = 0; i < 50; ++i) {
+      const uint8_t frame[2] = {i, uint8_t(i ^ 0xFF)};
+      transport.Send(frame);
+    }
+    std::vector<std::vector<uint8_t>> delivered;
+    std::vector<uint8_t> out;
+    while (transport.Receive(out)) {
+      delivered.push_back(out);
+    }
+    return delivered;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b) << "same seed and send order must deliver identically";
+  EXPECT_LT(a.size(), 50u) << "drop injection delivered everything";
+  EXPECT_GT(a.size(), 10u);
+}
+
+DetectorSystemOptions ReportTestOptions(double pps) {
+  DetectorSystemOptions options;
+  options.pmc.alpha = 1;
+  options.pmc.beta = 1;
+  options.controller.packets_per_second = pps;
+  options.segments_per_window = 6;
+  options.diagnose_every_segments = 2;
+  return options;
+}
+
+std::vector<ChurnEvent> MidWindowChurn(const FatTree& ft) {
+  std::vector<ChurnEvent> churn;
+  churn.push_back(ChurnEvent{8.0, TopologyDelta::LinkDown(ft.AggCoreLink(1, 0, 1))});
+  churn.push_back(ChurnEvent{14.0, TopologyDelta::NodeDown(ft.Server(2, 0, 1))});
+  churn.push_back(ChurnEvent{23.0, TopologyDelta::LinkUp(ft.AggCoreLink(1, 0, 1))});
+  return churn;
+}
+
+// The acceptance gate: under the lossless in-process loopback, report-plane streaming windows
+// are bit-identical to direct-mode windows — totals, verdicts, alarms, traffic — at 1, 2 and
+// 8 probe threads, including mid-window churn (slot invalidation + reuse under live frames).
+TEST(ReportPlane, BitIdenticalToDirectModeAt1_2_8Threads) {
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  FailureScenario scenario;
+  LinkFailure f;
+  f.link = ft.EdgeAggLink(0, 1, 0);
+  f.type = FailureType::kRandomPartial;
+  f.loss_rate = 0.08;
+  scenario.failures.push_back(f);
+  const std::vector<ChurnEvent> churn = MidWindowChurn(ft);
+
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    auto run = [&](bool report_plane) {
+      DetectorSystemOptions options = ReportTestOptions(150);
+      options.probe_threads = threads;
+      options.report_plane = report_plane;
+      DetectorSystem system(routing, options);
+      Rng rng(99);
+      std::vector<DetectorSystem::StreamingWindowResult> out;
+      out.push_back(system.RunWindowStreaming(scenario, churn, rng));
+      out.push_back(system.RunWindowStreaming(scenario, {}, rng));
+      if (report_plane) {
+        // Sanity: the window actually rode the wire.
+        EXPECT_NE(system.collector(), nullptr);
+        if (system.collector() != nullptr) {
+          EXPECT_GT(system.collector()->stats().frames_folded, 0u);
+          EXPECT_EQ(system.collector()->stats().decode_errors, 0u);
+          EXPECT_EQ(system.collector()->stats().duplicates_dropped, 0u);
+        }
+      }
+      return out;
+    };
+    const auto direct = run(false);
+    const auto report = run(true);
+    ASSERT_EQ(direct.size(), report.size());
+    for (size_t w = 0; w < direct.size(); ++w) {
+      const std::string when =
+          "threads=" + std::to_string(threads) + " window=" + std::to_string(w);
+      ExpectIdenticalWindows(direct[w].window, report[w].window, when);
+      ASSERT_EQ(direct[w].timeline.size(), report[w].timeline.size()) << when;
+      for (size_t i = 0; i < direct[w].timeline.size(); ++i) {
+        ExpectIdenticalLocalizations(direct[w].timeline[i].localization,
+                                     report[w].timeline[i].localization,
+                                     when + " boundary " + std::to_string(i));
+        EXPECT_EQ(direct[w].timeline[i].server_link_alarms,
+                  report[w].timeline[i].server_link_alarms)
+            << when << " boundary " << i;
+      }
+    }
+  }
+}
+
+// With injected drop and reorder the collector must degrade, never corrupt: every folded
+// counter is a real observation (per-slot totals bounded by the lossless run), no decode
+// errors or duplicate folds appear, and diagnosis still runs.
+TEST(ReportPlane, InjectedDropReorderNeverCorruptsTotals) {
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  FailureScenario scenario;
+  LinkFailure f;
+  f.link = ft.AggCoreLink(0, 0, 0);
+  f.type = FailureType::kFullLoss;
+  scenario.failures.push_back(f);
+
+  auto run = [&](double drop, double reorder) {
+    DetectorSystemOptions options = ReportTestOptions(120);
+    options.probe_threads = 1;  // deterministic send order for the faulty-channel run
+    options.report_plane = true;
+    DetectorSystem system(routing, options);
+    LoopbackOptions loopback;
+    loopback.drop_rate = drop;
+    loopback.reorder_rate = reorder;
+    loopback.seed = 23;
+    system.SetReportTransport(std::make_unique<LoopbackTransport>(loopback));
+    Rng rng(5);
+    // Diagnose consumes the store at window end, so compare totals before it: run the
+    // window's probing via streaming segments, then read the diagnoser's aggregate.
+    const auto result = system.RunWindowStreaming(scenario, {}, rng);
+    CollectorStats stats = system.collector()->stats();
+    return std::make_pair(result, stats);
+  };
+
+  const auto [lossless, lossless_stats] = run(0.0, 0.0);
+  const auto [faulty, faulty_stats] = run(0.25, 0.5);
+
+  EXPECT_EQ(faulty_stats.decode_errors, 0u) << "reorder/drop must not corrupt frames";
+  EXPECT_EQ(faulty_stats.duplicates_dropped, 0u);
+  EXPECT_LT(faulty_stats.frames_folded, lossless_stats.frames_folded)
+      << "drop injection folded everything — the fault path did not run";
+  // Probing is transport-independent; only aggregation degrades.
+  EXPECT_EQ(faulty.window.probes_sent, lossless.window.probes_sent);
+  // A full-loss core failure survives 25% report loss: plenty of replicas still arrive.
+  bool found = false;
+  for (const SuspectLink& s : faulty.window.localization.links) {
+    found |= s.link == f.link;
+  }
+  EXPECT_TRUE(found) << "failure lost in the report plane";
+}
+
+TEST(ReportPlane, UdpLoopbackDeliversFrames) {
+  std::string error;
+  auto collector_side = UdpTransport::Bind(0, &error);
+  if (collector_side == nullptr) {
+    GTEST_SKIP() << "UDP sockets unavailable in this sandbox (" << error
+                 << ") — skipping the UDP loopback test";
+  }
+  auto agent_side = UdpTransport::Connect(collector_side->port(), &error);
+  ASSERT_NE(agent_side, nullptr) << error;
+
+  ObservationStore store;
+  store.EnsureSlots(8);
+  Collector collector(store);
+  collector.BeginWindow(1);
+
+  // An emitter batching 3 observations per frame: 7 records -> 3 frames over real UDP.
+  ReportEmitter emitter(/*pinger=*/9, /*window_id=*/1, /*start_seq=*/0, store.slot_epochs(),
+                        *agent_side, /*batch_observations=*/3);
+  for (PathId slot = 0; slot < 7; ++slot) {
+    emitter.OnPath(slot, /*target=*/slot + 100, /*sent=*/10 * (slot + 1), /*lost=*/slot);
+  }
+  emitter.Flush();
+  EXPECT_EQ(emitter.stats().frames_emitted, 3u);
+
+  // Localhost UDP is reliable enough in practice, but poll with a deadline regardless.
+  size_t folded = 0;
+  for (int attempt = 0; attempt < 100 && folded < 3; ++attempt) {
+    std::vector<uint8_t> frame;
+    if (collector_side->ReceiveTimeout(frame, 50)) {
+      collector.Offer(std::move(frame));
+      folded += collector.Drain();
+    }
+  }
+  ASSERT_EQ(folded, 3u) << "UDP frames did not arrive within the deadline";
+  const Topology empty_topo("none");
+  Watchdog wd(empty_topo);
+  const ObservationView totals = store.RunningTotals(8, wd);
+  for (PathId slot = 0; slot < 7; ++slot) {
+    EXPECT_EQ(totals[static_cast<size_t>(slot)].sent, 10 * (slot + 1)) << "slot " << slot;
+    EXPECT_EQ(totals[static_cast<size_t>(slot)].lost, slot) << "slot " << slot;
+  }
+}
+
+}  // namespace
+}  // namespace detector

@@ -18,15 +18,30 @@
 //   ./monitor_daemon --mode=collector --port=9477
 //   ./monitor_daemon --mode=agent --port=9477 --report-windows=3
 //
+// PR 6 scales the collector side out: `--mode=collector --partition=i/N` runs collector i of
+// an N-way fabric — it binds port+i, owns the deterministic 1/N partition of the pinger
+// space (both halves derive the same PartitionMap from the same topology, no config
+// exchange), rejects-and-counts misrouted frames, and drains through --ingest-shards
+// pinger-affine queues. The agent routes every pinglist's frames to the owning partition's
+// port when started with the matching --collectors=N. A 2-collector localhost run:
+//
+//   ./monitor_daemon --mode=collector --port=9477 --partition=0/2 &
+//   ./monitor_daemon --mode=collector --port=9477 --partition=1/2 &
+//   ./monitor_daemon --mode=agent --port=9477 --collectors=2 --report-windows=3
+//
 //   ./monitor_daemon [--mode=demo|agent|collector] [--k=6] [--windows-per-phase=2]
 //                    [--churn-windows=4] [--churn-per-minute=4] [--segments=10]
 //                    [--diagnose-every=2] [--sliding-window=2] [--port=9477]
 //                    [--report-windows=3] [--batch=64] [--idle-ms=2000]
-//                    [--listen-seconds=120] [--seed=9]
+//                    [--listen-seconds=120] [--partition=i/N] [--collectors=N]
+//                    [--ingest-shards=K] [--seed=9]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "src/common/flags.h"
 #include "src/detector/system.h"
@@ -34,6 +49,7 @@
 #include "src/net/udp.h"
 #include "src/report/collector.h"
 #include "src/report/emitter.h"
+#include "src/report/partition.h"
 #include "src/routing/fattree_routing.h"
 #include "src/sim/churn.h"
 
@@ -66,6 +82,18 @@ detector::DetectorSystemOptions SplitModeOptions() {
   return options;
 }
 
+// Both halves derive the fabric's ownership map from the same deterministically-built system,
+// so agent-side routing and collector-side rejection agree with no config exchange.
+detector::PartitionMap SplitModePartition(const detector::DetectorSystem& system,
+                                          size_t num_partitions) {
+  std::vector<detector::NodeId> pingers;
+  pingers.reserve(system.pinglists().size());
+  for (const detector::Pinglist& list : system.pinglists()) {
+    pingers.push_back(list.pinger);
+  }
+  return detector::PartitionMap::Build(std::move(pingers), num_partitions);
+}
+
 // The failure the agent's network exhibits and the collector should localize: the demo's gray
 // failure, a 50% packet blackhole on an agg-core link.
 detector::FailureScenario SplitModeScenario(const detector::FatTree& fattree) {
@@ -87,21 +115,30 @@ int RunAgent(const detector::Flags& flags) {
   const uint16_t port = static_cast<uint16_t>(flags.GetInt("port", 9477));
   const int windows = std::max(1, static_cast<int>(flags.GetInt("report-windows", 3)));
   const size_t batch = static_cast<size_t>(flags.GetInt("batch", 64));
+  const size_t collectors = std::max<size_t>(1, static_cast<size_t>(flags.GetInt("collectors", 1)));
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 9)));
 
-  std::string error;
-  auto transport = UdpTransport::Connect(port, &error);
-  if (transport == nullptr) {
-    std::printf("NOTICE: UDP sockets unavailable (%s) — agent mode skipped\n", error.c_str());
-    return 0;
+  // One UDP socket per collector partition: partition i listens on port + i.
+  std::vector<std::unique_ptr<UdpTransport>> transports;
+  for (size_t i = 0; i < collectors; ++i) {
+    std::string error;
+    auto transport = UdpTransport::Connect(static_cast<uint16_t>(port + i), &error);
+    if (transport == nullptr) {
+      std::printf("NOTICE: UDP sockets unavailable (%s) — agent mode skipped\n", error.c_str());
+      return 0;
+    }
+    transports.push_back(std::move(transport));
   }
   const FatTree fattree(k);
   const FatTreeRouting routing(fattree);
   const DetectorSystemOptions options = SplitModeOptions();
   DetectorSystem system(routing, options);
+  const PartitionMap partition = SplitModePartition(system, collectors);
   const ProbeEngine engine(fattree.topology(), SplitModeScenario(fattree), options.probe);
-  std::printf("agent on Fattree(%d): %zu pinglists -> 127.0.0.1:%u, %d windows\n", k,
-              system.pinglists().size(), port, windows);
+  std::printf("agent on Fattree(%d): %zu pinglists -> 127.0.0.1:%u..%u (%zu collectors), "
+              "%d windows\n",
+              k, system.pinglists().size(), port,
+              static_cast<unsigned>(port + collectors - 1), collectors, windows);
 
   for (int w = 1; w <= windows; ++w) {
     const uint64_t window_seed = rng();
@@ -111,9 +148,10 @@ int RunAgent(const detector::Flags& flags) {
       if (list.entries.empty()) {
         continue;
       }
+      Transport& wire_out = *transports[static_cast<size_t>(partition.RouteOf(list.pinger))];
       // No local store: every record ships with epoch 0, the fresh-store default the
       // collector's window starts at.
-      ReportEmitter emitter(list.pinger, static_cast<uint64_t>(w), 0, {}, *transport, batch);
+      ReportEmitter emitter(list.pinger, static_cast<uint64_t>(w), 0, {}, wire_out, batch);
       Rng shard_rng = ProbeEngine::ShardRng(window_seed, static_cast<uint64_t>(list.pinger));
       const Pinger pinger(list, options.confirm_packets);
       pinger.RunWindowTo(engine, options.window_seconds, shard_rng, emitter);
@@ -121,12 +159,15 @@ int RunAgent(const detector::Flags& flags) {
       frames += emitter.stats().frames_emitted;
       observations += emitter.stats().observations_emitted;
     }
-    const TransportStats wire = transport->stats();
+    uint64_t wire_bytes = 0;
+    for (const auto& transport : transports) {
+      wire_bytes += transport->stats().bytes_sent;
+    }
     std::printf("agent window %d: %llu frames / %llu observations shipped (%llu wire bytes"
                 " total)\n",
                 w, static_cast<unsigned long long>(frames),
                 static_cast<unsigned long long>(observations),
-                static_cast<unsigned long long>(wire.bytes_sent));
+                static_cast<unsigned long long>(wire_bytes));
     // A breath between windows keeps localhost socket buffers comfortable at large k.
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
@@ -143,9 +184,23 @@ int RunCollector(const detector::Flags& flags) {
   const uint16_t port = static_cast<uint16_t>(flags.GetInt("port", 9477));
   const int idle_ms = static_cast<int>(flags.GetInt("idle-ms", 2000));
   const double listen_seconds = static_cast<double>(flags.GetInt("listen-seconds", 120));
+  const size_t ingest_shards =
+      std::max<size_t>(1, static_cast<size_t>(flags.GetInt("ingest-shards", 1)));
+
+  // --partition=i/N: this process is collector i of an N-way fabric and binds port + i.
+  int partition_index = 0;
+  int partition_count = 1;
+  const std::string partition_flag = flags.GetString("partition", "0/1");
+  if (std::sscanf(partition_flag.c_str(), "%d/%d", &partition_index, &partition_count) != 2 ||
+      partition_count < 1 || partition_index < 0 || partition_index >= partition_count) {
+    std::fprintf(stderr, "bad --partition=%s (expected i/N with 0 <= i < N)\n",
+                 partition_flag.c_str());
+    return 1;
+  }
 
   std::string error;
-  auto transport = UdpTransport::Bind(port, &error);
+  auto transport =
+      UdpTransport::Bind(static_cast<uint16_t>(port + partition_index), &error);
   if (transport == nullptr) {
     std::printf("NOTICE: UDP sockets unavailable (%s) — collector mode skipped\n",
                 error.c_str());
@@ -155,17 +210,34 @@ int RunCollector(const detector::Flags& flags) {
   const FatTreeRouting routing(fattree);
   const DetectorSystemOptions options = SplitModeOptions();
   DetectorSystem system(routing, options);
+  const PartitionMap partition =
+      SplitModePartition(system, static_cast<size_t>(partition_count));
   const Topology& topo = fattree.topology();
   Watchdog watchdog(topo);
   Diagnoser diagnoser(options.pll);
   diagnoser.store().EnsureSlots(system.probe_matrix().NumPaths());
-  Collector collector(diagnoser.store());
+  CollectorOptions collector_options;
+  collector_options.ingest_shards = ingest_shards;
+  Collector collector(diagnoser.store(), collector_options);
+  collector.SetPartition(&partition, partition_index);
   collector.BeginWindow(1);
-  std::printf("collector on Fattree(%d): listening on 127.0.0.1:%u (%zu slots)\n", k,
-              transport->port(), system.probe_matrix().NumPaths());
+  std::printf("collector %d/%d on Fattree(%d): listening on 127.0.0.1:%u (%zu slots, "
+              "%zu of %zu pingers owned, %zu ingest shards)\n",
+              partition_index, partition_count, k, transport->port(),
+              system.probe_matrix().NumPaths(),
+              [&] {
+                size_t owned = 0;
+                for (const Pinglist& list : system.pinglists()) {
+                  if (partition.RouteOf(list.pinger) == partition_index) {
+                    ++owned;
+                  }
+                }
+                return owned;
+              }(),
+              system.pinglists().size(), ingest_shards);
 
   auto diagnose_window = [&](uint64_t window) {
-    const CollectorStats& stats = collector.stats();
+    const CollectorStats stats = collector.stats();
     const auto result = diagnoser.Diagnose(system.probe_matrix(), watchdog);
     std::printf("collector window %llu: %llu frames folded so far, alarms=%zu",
                 static_cast<unsigned long long>(window),
@@ -202,13 +274,14 @@ int RunCollector(const detector::Flags& flags) {
   if (any_frames) {
     diagnose_window(collector.current_window());
   }
-  const CollectorStats& stats = collector.stats();
+  const CollectorStats stats = collector.stats();
   std::printf("collector done: %llu frames folded, %llu duplicates, %llu decode errors, "
-              "%llu stale\n",
+              "%llu stale, %llu wrong-partition rejected\n",
               static_cast<unsigned long long>(stats.frames_folded),
               static_cast<unsigned long long>(stats.duplicates_dropped),
               static_cast<unsigned long long>(stats.decode_errors),
-              static_cast<unsigned long long>(stats.stale_window_dropped));
+              static_cast<unsigned long long>(stats.stale_window_dropped),
+              static_cast<unsigned long long>(stats.wrong_partition_dropped));
   return 0;
 }
 
@@ -234,6 +307,14 @@ int main(int argc, char** argv) {
   flags.Describe("idle-ms",
                  "collector exits after this long without traffic, once any arrived");
   flags.Describe("listen-seconds", "collector's overall listening deadline (default 120)");
+  flags.Describe("partition",
+                 "i/N — this collector owns partition i of an N-way fabric and binds port+i "
+                 "(default 0/1)");
+  flags.Describe("collectors",
+                 "agent mode: size N of the collector fabric to route frames across "
+                 "(default 1)");
+  flags.Describe("ingest-shards",
+                 "collector mode: pinger-affine decode/fold queues (default 1)");
   flags.Describe("seed", "rng seed (default 9)");
   if (!flags.Parse(argc, argv)) {
     return 1;
@@ -363,19 +444,25 @@ int main(int argc, char** argv) {
   run_phase("blackhole + 5% random loss", two);
 
   // Phase 3b: the same traffic with the report plane on — shard counters leave the pingers as
-  // CRC-framed varint reports over the in-process loopback and fold back through the
-  // collector. Lossless loopback makes these windows bit-identical to direct-mode windows on
-  // the same seed (the ctest gate); here it just shows the wire in the single-process demo.
+  // CRC-framed varint reports over in-process loopbacks and fold back through a 2-collector
+  // fabric (each owning half the pinger space, each draining 2 pinger-affine ingest shards).
+  // Lossless loopback makes these windows bit-identical to direct-mode windows on the same
+  // seed (the ctest gate); here it just shows the wire in the single-process demo.
   system.set_report_plane(true);
+  system.set_report_collectors(2);
+  system.set_report_ingest_shards(2);
   run_phase("blackhole + loss (report plane)", two);
-  const CollectorStats& report_stats = system.collector()->stats();
-  std::printf("--- report plane: %llu frames / %llu observations folded, %llu duplicates, "
-              "%llu decode errors ---\n",
+  const CollectorStats report_stats = system.collector_group()->stats();
+  std::printf("--- report plane (2 collectors x 2 ingest shards): %llu frames / %llu "
+              "observations folded, %llu duplicates, %llu decode errors, %llu misrouted ---\n",
               static_cast<unsigned long long>(report_stats.frames_folded),
               static_cast<unsigned long long>(report_stats.observations_folded),
               static_cast<unsigned long long>(report_stats.duplicates_dropped),
-              static_cast<unsigned long long>(report_stats.decode_errors));
+              static_cast<unsigned long long>(report_stats.decode_errors),
+              static_cast<unsigned long long>(report_stats.wrong_partition_dropped));
   system.set_report_plane(false);
+  system.set_report_collectors(1);
+  system.set_report_ingest_shards(1);
 
   // Phase 4: a pinger dies; the watchdog flags it and the next cycle re-plans around it.
   const NodeId dead = system.pinglists().front().pinger;

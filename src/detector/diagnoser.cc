@@ -109,18 +109,41 @@ void Diagnoser::AdvanceSegment(const ProbeMatrix& matrix, const Watchdog& watchd
     trailing_.resize(num_slots, PathObservation{});
   }
 
+  // Watchdog flips adjust the running totals without an epoch bump, and a retraction is not
+  // probe traffic: pushed as a delta it would ride the ring as transiently negative (sent,
+  // lost) sums that preprocessing must treat as unusable. Restart flipped slots instead —
+  // purge their ring history, re-cut the boundary at the adjusted totals, reset their decayed
+  // values — so the trailing view resumes from the flip carrying real traffic only.
+  std::vector<uint8_t> flipped_mark;
+  if (!segment_dirty.watchdog_flipped.empty()) {
+    flipped_mark.resize(num_slots, 0);
+    for (const PathId slot : segment_dirty.watchdog_flipped) {
+      if (slot >= 0 && static_cast<size_t>(slot) < num_slots) {
+        flipped_mark[static_cast<size_t>(slot)] = 1;
+      }
+    }
+  }
+  std::vector<size_t> restarted;
+
   // The boundary's sparse delta: totals now minus totals at the previous boundary, nonzero
   // only on slots the store marked dirty this segment.
   std::vector<DeltaEntry> delta;
   auto fold_slot = [&](size_t slot) {
     const uint32_t epoch = store_.SlotEpoch(slot);
+    if (!flipped_mark.empty() && flipped_mark[slot]) {
+      PurgeRingEntries(slot, epoch, /*all_epochs=*/true);
+      boundary_totals_[slot] = view[slot];
+      boundary_epoch_[slot] = epoch;
+      restarted.push_back(slot);
+      return;
+    }
     if (epoch != boundary_epoch_[slot]) {
       // The slot was invalidated (and possibly reused by repair) since the last boundary:
       // the store zeroed its running total, so a plain totals-vs-boundary delta would mix
       // the retraction with the new occupant's counters and leave the trailing sum negative.
       // Purge the dead epoch's deltas from the ring and cut this delta against zero, so the
       // trailing view sees exactly the new occupant's observations — no blind spot.
-      PurgeStaleRingEntries(slot, epoch);
+      PurgeRingEntries(slot, epoch, /*all_epochs=*/false);
       boundary_totals_[slot] = PathObservation{};
       boundary_epoch_[slot] = epoch;
     }
@@ -148,6 +171,10 @@ void Diagnoser::AdvanceSegment(const ProbeMatrix& matrix, const Watchdog& watchd
       decayed_sent_.resize(num_slots, 0.0);
       decayed_lost_.resize(num_slots, 0.0);
       decay_active_mark_.resize(num_slots, 0);
+    }
+    for (const size_t slot : restarted) {
+      decayed_sent_[slot] = 0.0;
+      decayed_lost_[slot] = 0.0;
     }
     for (const size_t slot : decay_active_) {
       decayed_sent_[slot] *= decay_factor_;
@@ -184,11 +211,12 @@ void Diagnoser::AdvanceSegment(const ProbeMatrix& matrix, const Watchdog& watchd
   }
 }
 
-void Diagnoser::PurgeStaleRingEntries(size_t slot, uint32_t current_epoch) {
+void Diagnoser::PurgeRingEntries(size_t slot, uint32_t current_epoch, bool all_epochs) {
   for (std::vector<DeltaEntry>& segment : ring_) {
     size_t kept = 0;
     for (const DeltaEntry& entry : segment) {
-      if (static_cast<size_t>(entry.slot) == slot && entry.epoch != current_epoch) {
+      if (static_cast<size_t>(entry.slot) == slot &&
+          (all_epochs || entry.epoch != current_epoch)) {
         trailing_[slot].sent -= entry.sent;
         trailing_[slot].lost -= entry.lost;
         trailing_dirty_.Add(slot);
@@ -213,6 +241,14 @@ LocalizeResult Diagnoser::DiagnoseRunningFull(const ProbeMatrix& matrix,
   // RunningTotals folds pending records (marking their slots dirty for later incremental
   // consumers); the full localization itself reads the view statelessly.
   return pll_.LocalizeView(matrix, store_.RunningTotals(matrix.NumPaths(), watchdog));
+}
+
+ObservationView Diagnoser::TrailingTotals(size_t num_slots) {
+  if (trailing_.size() < num_slots) {
+    boundary_totals_.resize(num_slots, PathObservation{});
+    trailing_.resize(num_slots, PathObservation{});
+  }
+  return ObservationView(trailing_.data(), num_slots);
 }
 
 LocalizeResult Diagnoser::DiagnoseTrailing(const ProbeMatrix& matrix,

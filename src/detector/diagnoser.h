@@ -107,10 +107,16 @@ class Diagnoser {
   // Non-consuming. Ring deltas are keyed by (slot, epoch): a mid-window invalidation purges
   // the dead epoch's deltas outright, so a repaired-and-reused slot is diagnosable from its
   // first post-repair segment instead of being blinded for up to W segments. Watchdog flips
-  // still retract without an epoch bump and can leave transiently negative deltas;
-  // preprocessing treats sent <= 0 as unusable, so such slots are simply not diagnosable
-  // until the retraction leaves the trailing window.
+  // retract without an epoch bump; AdvanceSegment restarts flipped slots (purges their ring
+  // history and re-cuts the boundary at the adjusted totals), so the trailing sums never go
+  // transiently negative — the slot resumes from the flip with real traffic only.
   LocalizeResult DiagnoseTrailing(const ProbeMatrix& matrix, const Watchdog& watchdog);
+
+  // Zero-copy view over the trailing sliding-window totals (the ring's delta sum) that
+  // DiagnoseTrailing localizes — test/bench visibility into ring health, e.g. the invariant
+  // that watchdog flips never leave negative (sent, lost) sums. Valid until the next
+  // AdvanceSegment/Clear.
+  ObservationView TrailingTotals(size_t num_slots);
 
   // Localizes over the exponentially-decayed totals (full PLL; the decayed values change on
   // every slot every segment, so there is nothing incremental to exploit). Non-consuming.
@@ -160,7 +166,9 @@ class Diagnoser {
   // invalidates (and possibly reuses) a slot, the dead epoch's deltas are purged from the
   // ring outright instead of lingering as a negative retraction that would blind
   // DiagnoseTrailing on the slot for up to W segments.
-  void PurgeStaleRingEntries(size_t slot, uint32_t current_epoch);
+  // Removes the slot's ring entries — stale epochs only, or every epoch (`all_epochs`, the
+  // watchdog-flip restart) — keeping the trailing sums consistent.
+  void PurgeRingEntries(size_t slot, uint32_t current_epoch, bool all_epochs);
   int sliding_segments_ = 0;
   std::deque<std::vector<DeltaEntry>> ring_;  // most recent sliding_segments_ segment deltas
   Observations boundary_totals_;              // running totals at the last AdvanceSegment

@@ -27,6 +27,7 @@ void ObservationStore::EnsureSlots(size_t num_slots) {
     slot_epoch_.resize(num_slots, 0);
     running_.resize(num_slots, PathObservation{});
     slot_dirty_.resize(num_slots, 0);
+    slot_flipped_.resize(num_slots, 0);
     for (size_t slot = old_size; slot < num_slots; ++slot) {
       MarkDirty(slot);  // new slots enter the diagnosable domain: treat as changed
     }
@@ -41,6 +42,14 @@ void ObservationStore::MarkDirty(size_t slot) {
   dirty_slots_.push_back(static_cast<PathId>(slot));
 }
 
+void ObservationStore::MarkWatchdogFlipped(size_t slot) {
+  if (slot_flipped_[slot]) {
+    return;
+  }
+  slot_flipped_[slot] = 1;
+  flipped_slots_.push_back(static_cast<PathId>(slot));
+}
+
 ObservationStore::DirtySlots ObservationStore::TakeDirtySlots() {
   DirtySlots taken;
   taken.all = all_dirty_;
@@ -48,6 +57,11 @@ ObservationStore::DirtySlots ObservationStore::TakeDirtySlots() {
   dirty_slots_.clear();
   for (const PathId slot : taken.slots) {
     slot_dirty_[static_cast<size_t>(slot)] = 0;
+  }
+  taken.watchdog_flipped = std::move(flipped_slots_);
+  flipped_slots_.clear();
+  for (const PathId slot : taken.watchdog_flipped) {
+    slot_flipped_[static_cast<size_t>(slot)] = 0;
   }
   all_dirty_ = false;
   return taken;
@@ -104,6 +118,7 @@ void ObservationStore::AdjustForNode(NodeId node, int sign) {
     running_[slot].sent += sign * record.sent;
     running_[slot].lost += sign * record.lost;
     MarkDirty(slot);
+    MarkWatchdogFlipped(slot);
   };
   // Pinger role: the node's own shard, minus records excluded by a still-filtered target.
   const auto shard_it = shard_of_pinger_.find(node);
@@ -219,6 +234,8 @@ void ObservationStore::Clear() {
   all_dirty_ = true;
   dirty_slots_.clear();
   slot_dirty_.assign(slot_dirty_.size(), 0);
+  flipped_slots_.clear();
+  slot_flipped_.assign(slot_flipped_.size(), 0);
 }
 
 }  // namespace detector

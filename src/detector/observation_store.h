@@ -125,6 +125,12 @@ class ObservationStore {
   struct DirtySlots {
     bool all = false;
     std::vector<PathId> slots;  // unordered, duplicate-free
+    // Slots whose running totals were adjusted by a watchdog health flip (retract on down,
+    // re-add on recovery) since the previous take — changes with no epoch bump that are not
+    // probe-time traffic. The diagnoser's sliding ring restarts these slots instead of
+    // ingesting the adjustment as a (possibly negative) segment delta. Subset of the dirty
+    // set; unordered, duplicate-free; tracked even while `all` is set.
+    std::vector<PathId> watchdog_flipped;
   };
   DirtySlots TakeDirtySlots();
 
@@ -171,9 +177,14 @@ class ObservationStore {
 
   // Marks a slot's running total as changed since the last TakeDirtySlots. O(1), dedup'ed.
   void MarkDirty(size_t slot);
+  // Marks a slot as adjusted by a watchdog flip — unlike MarkDirty this records even under
+  // all_dirty_, because the consumer needs to know *which* dirty slots were flip-adjusted.
+  void MarkWatchdogFlipped(size_t slot);
   bool all_dirty_ = true;             // nothing taken yet / Clear(): treat everything as changed
   std::vector<uint8_t> slot_dirty_;   // parallel to slot_epoch_
   std::vector<PathId> dirty_slots_;
+  std::vector<uint8_t> slot_flipped_; // parallel to slot_epoch_
+  std::vector<PathId> flipped_slots_;
 };
 
 }  // namespace detector

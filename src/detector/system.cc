@@ -48,7 +48,49 @@ DetectorSystem::DetectorSystem(const Topology& topo, ProbeMatrix matrix,
 }
 
 void DetectorSystem::SetReportTransport(std::unique_ptr<Transport> transport) {
-  report_transport_ = std::move(transport);
+  report_transport_factory_ = nullptr;
+  report_transports_.clear();
+  report_transports_.push_back(std::move(transport));
+}
+
+void DetectorSystem::SetReportTransportFactory(
+    std::function<std::unique_ptr<Transport>(size_t)> factory) {
+  report_transport_factory_ = std::move(factory);
+  report_transports_.clear();
+}
+
+PartitionMap DetectorSystem::BuildReportPartition() const {
+  std::vector<NodeId> pingers;
+  pingers.reserve(pinglists_.size());
+  for (const Pinglist& list : pinglists_) {
+    pingers.push_back(list.pinger);
+  }
+  return PartitionMap::Build(std::move(pingers), std::max<size_t>(1, options_.report_collectors));
+}
+
+void DetectorSystem::PrepareReportFabric() {
+  const size_t n = std::max<size_t>(1, options_.report_collectors);
+  CollectorGroupOptions group_options;
+  group_options.num_collectors = n;
+  group_options.collector.ingest_shards = std::max<size_t>(1, options_.report_ingest_shards);
+  if (collector_group_ == nullptr || collector_group_->num_collectors() != n ||
+      collector_group_->ingest_shards_per_collector() != group_options.collector.ingest_shards) {
+    collector_group_ = std::make_unique<CollectorGroup>(diagnoser_.store(),
+                                                        BuildReportPartition(), group_options);
+  } else {
+    // Same shape: just refresh the ownership map — pinger churn across windows repartitions
+    // deterministically (PartitionMap::Build is a pure function of the pinger set).
+    collector_group_->Repartition(BuildReportPartition());
+  }
+  if (report_transports_.size() > n) {
+    report_transports_.resize(n);  // shrinking the fabric drops the surplus backends
+  }
+  while (report_transports_.size() < n) {
+    const size_t i = report_transports_.size();
+    report_transports_.push_back(report_transport_factory_ != nullptr
+                                     ? report_transport_factory_(i)
+                                     : std::make_unique<LoopbackTransport>());
+  }
 }
 
 void DetectorSystem::ConfigureDiagnoserViews() {
@@ -322,9 +364,13 @@ void DetectorSystem::RunSegment(const FailureScenario& scenario, double seconds,
     // order — and with it intra-rack record order — identical to direct mode.
     ShardWork shard_work{&list, &store.OpenShard(list.pinger), nullptr};
     if (report) {
+      // Frames route to the transport of the collector partition that owns this pinger —
+      // the agent side of the fabric's partition map.
+      Transport& transport =
+          *report_transports_[static_cast<size_t>(collector_group_->RouteOf(list.pinger))];
       shard_work.emitter = std::make_unique<ReportEmitter>(
           list.pinger, report_window_id_, report_seq_[list.pinger], store.slot_epochs(),
-          *report_transport_, options_.report_batch_entries);
+          transport, options_.report_batch_entries);
     }
     work.push_back(std::move(shard_work));
   }
@@ -365,23 +411,76 @@ void DetectorSystem::RunSegment(const FailureScenario& scenario, double seconds,
       pool_ = std::make_unique<ThreadPool>(configured);
     }
     std::atomic<size_t> next{0};
+    size_t report_workers = 0;
     if (report) {
-      // Concurrent ingest on the same pool, submitted FIRST so it holds a worker for the
+      // Concurrent ingest on the same pool, submitted FIRST so it holds workers for the
       // whole segment: frames decode and fold while the remaining workers probe, instead of
-      // piling up in the transport until the barrier below. Store safety holds because this
-      // task is the store's only writer, and it terminates unconditionally once every shard
+      // piling up in the transports until the barrier below. Store safety holds because the
+      // fold lanes write disjoint store shards (partitioned collectors x pinger-affine
+      // ingest shards), and every ingest task terminates unconditionally once all shards
       // finished — even if it somehow only got scheduled after them.
-      pool_->Submit([&] {
-        while (shards_left.load(std::memory_order_acquire) > 0) {
-          if (collector_->PumpFrom(*report_transport_) == 0) {
-            std::this_thread::yield();
+      const size_t collectors = collector_group_->num_collectors();
+      const size_t lanes = collectors * collector_group_->ingest_shards_per_collector();
+      // With enough workers, split ingest into one receiver (transports -> shard queues,
+      // unbounded so a lossless transport stays lossless) plus drain tasks over disjoint
+      // (collector, ingest shard) lanes; at least one worker must remain for probing.
+      const size_t drainers =
+          (lanes > 1 && configured >= 3) ? std::min(lanes, configured - 2) : 0;
+      if (drainers == 0) {
+        pool_->Submit([&] {
+          while (shards_left.load(std::memory_order_acquire) > 0) {
+            size_t folded = 0;
+            for (size_t c = 0; c < collector_group_->num_collectors(); ++c) {
+              folded += collector_group_->collector(c).PumpFrom(*report_transports_[c]);
+            }
+            if (folded == 0) {
+              std::this_thread::yield();
+            }
           }
+        });
+        report_workers = 1;
+      } else {
+        pool_->Submit([&, collectors] {
+          std::vector<uint8_t> frame;
+          while (shards_left.load(std::memory_order_acquire) > 0) {
+            size_t moved = 0;
+            for (size_t c = 0; c < collectors; ++c) {
+              while (report_transports_[c]->Receive(frame)) {
+                collector_group_->collector(c).OfferUnbounded(std::move(frame));
+                frame.clear();
+                ++moved;
+              }
+            }
+            if (moved == 0) {
+              std::this_thread::yield();
+            }
+          }
+        });
+        const size_t shards_per_collector = collector_group_->ingest_shards_per_collector();
+        for (size_t d = 0; d < drainers; ++d) {
+          pool_->Submit([&, d, drainers, shards_per_collector] {
+            while (shards_left.load(std::memory_order_acquire) > 0) {
+              size_t processed = 0;
+              // Lane d, d + drainers, d + 2*drainers, ... — disjoint across drain tasks.
+              for (size_t lane = d; lane < collector_group_->num_collectors() *
+                                               shards_per_collector;
+                   lane += drainers) {
+                collector_group_->collector(lane / shards_per_collector)
+                    .DrainShardRange(lane % shards_per_collector,
+                                     lane % shards_per_collector + 1, 0, &processed);
+              }
+              if (processed == 0) {
+                std::this_thread::yield();
+              }
+            }
+          });
         }
-      });
+        report_workers = 1 + drainers;
+      }
     }
-    // In report mode one worker is the pump; the shard loop tasks share the rest (configured
-    // >= 2 here, so at least one).
-    const size_t shard_workers = report ? configured - 1 : configured;
+    // In report mode the ingest tasks hold report_workers workers; the shard loop tasks
+    // share the rest (the drainer split above always leaves at least one).
+    const size_t shard_workers = report ? configured - report_workers : configured;
     const size_t tasks = std::min(shard_workers, work.size());
     for (size_t t = 0; t < tasks; ++t) {
       pool_->Submit([&] {
@@ -393,11 +492,29 @@ void DetectorSystem::RunSegment(const FailureScenario& scenario, double seconds,
     pool_->WaitAll();
   }
   if (report) {
-    // Ingest barrier: everything sent and not dropped folds before the segment closes, which
-    // is what makes the lossless loopback bit-identical to direct mode — no report straddles
-    // a diagnosis boundary or a churn-driven slot invalidation.
-    report_transport_->Flush();
-    collector_->PumpFrom(*report_transport_);
+    if (!options_.report_pipeline) {
+      // Ingest barrier: everything sent and not dropped folds before the segment closes,
+      // which is what makes the lossless loopback bit-identical to direct mode — no report
+      // straddles a diagnosis boundary or a churn-driven slot invalidation.
+      for (size_t c = 0; c < collector_group_->num_collectors(); ++c) {
+        report_transports_[c]->Flush();
+        collector_group_->collector(c).PumpFrom(*report_transports_[c]);
+      }
+    } else {
+      // Pipelined: fold what the budget allows and let the rest straddle the boundary —
+      // epoch stamps make the late folds land exactly where on-time folds would have. The
+      // staleness enforcer then folds whatever has aged report_pipeline_depth boundaries
+      // regardless of budget, so max_fold_staleness <= depth is a guarantee, not a hope. The
+      // window end (RunWindowImpl) still drains fully.
+      const auto depth = static_cast<uint64_t>(options_.report_pipeline_depth);
+      for (size_t c = 0; c < collector_group_->num_collectors(); ++c) {
+        Collector& col = collector_group_->collector(c);
+        col.PumpFrom(*report_transports_[c], options_.report_pump_budget);
+        if (col.boundary() >= depth) {
+          col.DrainStale(col.boundary() - depth + 1);
+        }
+      }
+    }
     for (const ShardWork& shard_work : work) {
       report_seq_[shard_work.list->pinger] = shard_work.emitter->next_seq();
     }
@@ -457,18 +574,14 @@ DetectorSystem::StreamingWindowResult DetectorSystem::RunWindowImpl(
   const double window = options_.window_seconds;
 
   if (options_.report_plane) {
-    // Open the report-plane window: a fresh id namespaces this window's frame sequence
-    // numbers, so a straggler from the previous window is recognized as stale instead of
-    // folding into the wrong aggregation period.
-    if (report_transport_ == nullptr) {
-      report_transport_ = std::make_unique<LoopbackTransport>();  // lossless default
-    }
-    if (collector_ == nullptr) {
-      collector_ = std::make_unique<Collector>(diagnoser_.store());
-    }
+    // Open the report-plane window: (re)shape the collector fabric and its partition map to
+    // the current options and pinglists, and open a fresh window id that namespaces this
+    // window's frame sequence numbers — a straggler from the previous window is recognized
+    // as stale instead of folding into the wrong aggregation period.
+    PrepareReportFabric();
     ++report_window_id_;
     report_seq_.clear();
-    collector_->BeginWindow(report_window_id_);
+    collector_group_->BeginWindow(report_window_id_);
   }
 
   // The window is sliced at segment boundaries and churn-event timestamps; every slice is one
@@ -498,6 +611,12 @@ DetectorSystem::StreamingWindowResult DetectorSystem::RunWindowImpl(
       RunSpan(scenario, t, boundary, rng, result);
       t = boundary;
     }
+    if (options_.report_plane && seg < segments) {
+      // Stamp the segment boundary for staleness accounting: frames folding after this point
+      // straddled it (pipelined mode; under the barriered default nothing is ever queued
+      // here). The last pump of the segment already ran, so an on-time fold counts 0.
+      collector_group_->AdvanceBoundary();
+    }
     if (streaming && seg < segments) {
       // Every boundary advances the streaming views (cumulative dirty set, sliding ring,
       // decayed totals) — O(slots changed this segment) — whether or not it diagnoses.
@@ -512,6 +631,14 @@ DetectorSystem::StreamingWindowResult DetectorSystem::RunWindowImpl(
         diagnosis.server_link_alarms = diagnoser_.ServerLinkAlarms(watchdog_);
         out.timeline.push_back(std::move(diagnosis));
       }
+    }
+  }
+  if (options_.report_plane && options_.report_pipeline) {
+    // Pipelined mode defers folds, never past the window: drain everything before the final
+    // diagnosis, so the window-end result over a lossless transport matches barriered mode.
+    for (size_t c = 0; c < collector_group_->num_collectors(); ++c) {
+      report_transports_[c]->Flush();
+      collector_group_->collector(c).PumpFrom(*report_transports_[c]);
     }
   }
   result.server_link_alarms = diagnoser_.ServerLinkAlarms(watchdog_);

@@ -23,9 +23,11 @@
 #define SRC_DETECTOR_SYSTEM_H_
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "src/common/thread_pool.h"
 #include "src/detector/controller.h"
@@ -36,6 +38,8 @@
 #include "src/pmc/incremental.h"
 #include "src/pmc/pmc.h"
 #include "src/report/collector.h"
+#include "src/report/collector_group.h"
+#include "src/report/partition.h"
 #include "src/routing/path_provider.h"
 #include "src/sim/churn.h"
 #include "src/sim/probe_engine.h"
@@ -92,6 +96,26 @@ struct DetectorSystemOptions {
   bool report_plane = false;
   // Observations batched per wire frame before the emitter seals and sends it.
   size_t report_batch_entries = 64;
+  // Collector fabric: the report plane runs N collector instances, each owning a static
+  // partition of the pinger space (a deterministic PartitionMap over the pinglists, rebuilt
+  // at every window open), each with its own transport; emitters route frames by the map.
+  // All N fold into the one diagnosis-tier store — their partitions are disjoint, so they
+  // ingest in parallel with no cross-collector barrier.
+  size_t report_collectors = 1;
+  // Ingest shards per collector instance: pinger-affine decode/fold lanes drained by
+  // concurrent pool tasks when probe_threads allows (see RunSegment's worker split).
+  size_t report_ingest_shards = 1;
+  // Pipelined report plane: drop the per-segment flush-and-drain barrier and let frames
+  // straddle segment boundaries — the (slot, epoch) stamps make late folds land exactly
+  // where an on-time fold would have. Mid-window boundaries fold at most report_pump_budget
+  // frames per collector (0 = everything available); the window end still drains fully, so
+  // the window-end result over a lossless transport stays identical to barriered mode. The
+  // gate for this mode is bounded staleness — every frame folds within report_pipeline_depth
+  // boundaries of arrival (CollectorStats::max_fold_staleness) — not mid-window
+  // bit-exactness; the default barriered mode keeps the 1/2/8-thread bit-identical gates.
+  bool report_pipeline = false;
+  int report_pipeline_depth = 2;
+  size_t report_pump_budget = 0;
 };
 
 class DetectorSystem {
@@ -214,15 +238,36 @@ class DetectorSystem {
   // Routes shard observations through the wire-format report plane (takes effect at the next
   // window). Bit-identical to direct mode under the default lossless loopback transport.
   void set_report_plane(bool on) { options_.report_plane = on; }
+  // Re-sizes the collector fabric / per-collector ingest shards (clamped >= 1; takes effect
+  // at the next window, rebuilding the CollectorGroup and the partition map).
+  void set_report_collectors(size_t n) { options_.report_collectors = std::max<size_t>(1, n); }
+  void set_report_ingest_shards(size_t n) {
+    options_.report_ingest_shards = std::max<size_t>(1, n);
+  }
+  // Toggles the pipelined (boundary-straddling) report plane and its knobs — see the option
+  // comments. Takes effect at the next window.
+  void set_report_pipeline(bool on) { options_.report_pipeline = on; }
+  void set_report_pipeline_depth(int d) { options_.report_pipeline_depth = std::max(1, d); }
+  void set_report_pump_budget(size_t frames) { options_.report_pump_budget = frames; }
   // Installs the wire backend report-plane windows run over (owned; replaces the default
   // lossless LoopbackTransport). The transport must round-trip its own Send to its own
   // Receive — in practice a LoopbackTransport, usually with injected faults. Install before
   // the first report-plane window or between windows — frames in flight on the old
-  // transport are gone with it.
+  // transport are gone with it. Single-collector convenience: with report_collectors > 1 the
+  // other partitions get default lossless loopbacks; use SetReportTransportFactory instead.
   void SetReportTransport(std::unique_ptr<Transport> transport);
-  // Null until the first report-plane window ran.
-  const Collector* collector() const { return collector_.get(); }
-  Transport* report_transport() { return report_transport_.get(); }
+  // Per-partition transport factory for the collector fabric: called once per collector
+  // index when the fabric is (re)built. Replaces any transports already installed.
+  void SetReportTransportFactory(std::function<std::unique_ptr<Transport>(size_t)> factory);
+  // Null until the first report-plane window ran. collector() is the fabric's instance 0 —
+  // the whole plane under the default report_collectors == 1.
+  const Collector* collector() const {
+    return collector_group_ == nullptr ? nullptr : &collector_group_->collector(0);
+  }
+  const CollectorGroup* collector_group() const { return collector_group_.get(); }
+  Transport* report_transport(size_t i = 0) {
+    return i < report_transports_.size() ? report_transports_[i].get() : nullptr;
+  }
 
  private:
   // Shared window driver: slices [0, window_seconds) at segment boundaries and churn-event
@@ -266,11 +311,17 @@ class DetectorSystem {
   // Persistent shard workers, created lazily at the first parallel segment and resized when
   // probe_threads changes — window execution must not pay thread start-up per segment.
   std::unique_ptr<ThreadPool> pool_;
-  // Report plane (created lazily at the first report-plane window): the wire backend frames
-  // travel over, the collector folding them into the diagnoser's store, a per-window id, and
-  // per-pinger frame sequence counters continuing across a window's probe segments.
-  std::unique_ptr<Transport> report_transport_;
-  std::unique_ptr<Collector> collector_;
+  // Rebuilds the collector fabric / transports to match the current options and pinglists —
+  // called at every report-plane window open (Repartition only, when the shape is unchanged).
+  void PrepareReportFabric();
+  PartitionMap BuildReportPartition() const;
+  // Report plane (created lazily at the first report-plane window): one transport per
+  // collector partition, the collector fabric folding frames into the diagnoser's store, a
+  // per-window id, and per-pinger frame sequence counters continuing across a window's probe
+  // segments.
+  std::vector<std::unique_ptr<Transport>> report_transports_;
+  std::function<std::unique_ptr<Transport>(size_t)> report_transport_factory_;
+  std::unique_ptr<CollectorGroup> collector_group_;
   uint64_t report_window_id_ = 0;
   std::map<NodeId, uint64_t> report_seq_;
   // Per-pinger version high-water marks. Outlives the pinglists themselves: a pinger whose

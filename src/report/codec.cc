@@ -190,6 +190,19 @@ DecodeStatus ReportCodec::Decode(std::span<const uint8_t> bytes, ReportFrame& ou
   return DecodeStatus::kOk;
 }
 
+bool ReportCodec::PeekPinger(std::span<const uint8_t> bytes, NodeId& pinger) {
+  if (bytes.size() < 4 || bytes[0] != kMagic0 || bytes[1] != kMagic1 || bytes[2] != kVersion) {
+    return false;
+  }
+  size_t pos = 3;
+  int32_t value = 0;
+  if (!ReadI32(bytes, pos, value)) {
+    return false;
+  }
+  pinger = value;
+  return true;
+}
+
 size_t ReportCodec::FixedWidthBytes(const ReportFrame& frame) {
   // pinger(4) + window(8) + seq(8) + two counts(4+4) fixed header, magic/version/crc as ours.
   return 3 + 4 + 8 + 8 + 4 + 4 + frame.paths.size() * (4 + 4 + 4 + 8 + 8) +

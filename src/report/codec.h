@@ -87,6 +87,12 @@ class ReportCodec {
   // whole or contributes nothing.
   static DecodeStatus Decode(std::span<const uint8_t> bytes, ReportFrame& out);
 
+  // Reads just the pinger id out of the frame header (magic + version + first varint) without
+  // touching the CRC or the records — the sharded collector's ingest router peeks this to pick
+  // a queue. False when the bytes cannot carry a header; a frame that peeks but is otherwise
+  // damaged still lands on a queue and is rejected by the full Decode there.
+  static bool PeekPinger(std::span<const uint8_t> bytes, NodeId& pinger);
+
   // Bytes the same frame would occupy in a naive fixed-width encoding (the bench's packing
   // baseline): per path record slot/epoch/target at 4 bytes and sent/lost at 8, per intra
   // record target at 4 and sent/lost at 8, plus a fixed 35-byte envelope (magic/version,

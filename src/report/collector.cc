@@ -1,105 +1,280 @@
 #include "src/report/collector.h"
 
+#include <algorithm>
+
 namespace detector {
 
 Collector::Collector(ObservationStore& store, CollectorOptions options)
-    : store_(store), options_(options) {}
-
-void Collector::BeginWindow(uint64_t window_id) {
-  current_window_ = window_id;
-  folded_seqs_.clear();
+    : store_(store), options_(options) {
+  const size_t shards = std::max<size_t>(1, options_.ingest_shards);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<IngestShard>());
+  }
 }
 
-bool Collector::Offer(std::vector<uint8_t> frame) {
-  std::lock_guard<std::mutex> lock(queue_mu_);
-  if (queue_.size() >= options_.queue_capacity) {
-    ++stats_.queue_overflow_dropped;
+void Collector::BeginWindow(uint64_t window_id) {
+  current_window_.store(window_id, std::memory_order_release);
+  boundary_.store(0, std::memory_order_release);
+  for (auto& shard : shards_) {
+    shard->folded_seqs.clear();
+    // The diagnosis tier may have Clear()ed the store between windows — cached Shard
+    // pointers do not survive that, so re-resolve lazily.
+    shard->store_shards.clear();
+    shard->has_pending = false;
+  }
+}
+
+void Collector::SetPartition(const PartitionMap* map, int partition) {
+  partition_map_ = map;
+  partition_ = partition;
+}
+
+bool Collector::OfferToShard(size_t index, std::vector<uint8_t> frame, bool bounded) {
+  IngestShard& shard = *shards_[index];
+  const uint64_t stamp = boundary_.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (bounded && shard.queue.size() >= options_.queue_capacity) {
+    // Counted under the shard lock, so racing producers on a full shard each account their
+    // own drop exactly once: folded + dropped == offered.
+    ++shard.stats.queue_overflow_dropped;
     return false;
   }
-  queue_.push_back(std::move(frame));
+  shard.queue.emplace_back(stamp, std::move(frame));
   return true;
 }
 
-size_t Collector::Drain() {
+bool Collector::Offer(std::vector<uint8_t> frame) {
+  NodeId pinger = kInvalidNode;
+  // Frames too damaged to peek route to shard 0, whose full Decode rejects-and-counts them.
+  const size_t index =
+      ReportCodec::PeekPinger(frame, pinger) ? IngestShardOf(pinger) : 0;
+  return OfferToShard(index, std::move(frame), /*bounded=*/true);
+}
+
+void Collector::OfferUnbounded(std::vector<uint8_t> frame) {
+  NodeId pinger = kInvalidNode;
+  const size_t index =
+      ReportCodec::PeekPinger(frame, pinger) ? IngestShardOf(pinger) : 0;
+  OfferToShard(index, std::move(frame), /*bounded=*/false);
+}
+
+size_t Collector::DrainShard(IngestShard& shard, size_t max_frames, size_t& processed,
+                             uint64_t stamp_below) {
   size_t folded = 0;
   for (;;) {
+    if (max_frames != 0 && processed >= max_frames) {
+      return folded;
+    }
+    uint64_t stamp = 0;
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
-      if (queue_.empty()) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (shard.has_pending || shard.queue.empty() ||
+          shard.queue.front().first >= stamp_below) {
         return folded;
       }
-      raw_ = std::move(queue_.front());
-      queue_.pop_front();
+      stamp = shard.queue.front().first;
+      shard.raw = std::move(shard.queue.front().second);
+      shard.queue.pop_front();
     }
-    const DecodeStatus status = ReportCodec::Decode(raw_, decoded_);
+    const DecodeStatus status = ReportCodec::Decode(shard.raw, shard.decoded);
     if (status != DecodeStatus::kOk) {
-      ++stats_.decode_errors;
+      ++shard.stats.decode_errors;
+      ++processed;
       continue;
     }
-    if (decoded_.window_id < current_window_) {
-      ++stats_.stale_window_dropped;
+    if (partition_map_ != nullptr &&
+        partition_map_->RouteOf(shard.decoded.pinger) != partition_) {
+      // Another collector owns this pinger; folding here would double-count across the
+      // fabric once the rightful owner folds the retransmission.
+      ++shard.stats.wrong_partition_dropped;
+      ++processed;
       continue;
     }
-    if (decoded_.window_id > current_window_) {
-      // The reporters moved on to a newer window. In-process the system opens windows
-      // explicitly, so this only happens across processes (daemon); close the old window
-      // through the hook and follow the reporters.
-      if (on_window_advance_ != nullptr) {
-        on_window_advance_(current_window_, decoded_.window_id);
+    const uint64_t window = current_window_.load(std::memory_order_acquire);
+    if (shard.decoded.window_id < window) {
+      ++shard.stats.stale_window_dropped;
+      ++processed;
+      continue;
+    }
+    if (shard.decoded.window_id > window) {
+      // The reporters moved on to a newer window. The flip itself (hook, dedup prune) is a
+      // serial affair, so park the frame at the head and flag the advance for
+      // AdvancePendingWindows; this shard stops until the flip lands.
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (!shard.has_pending || shard.decoded.window_id < shard.pending_window) {
+        shard.pending_window = shard.decoded.window_id;
       }
-      BeginWindow(decoded_.window_id);
-      ++stats_.window_advances;
+      shard.has_pending = true;
+      shard.queue.emplace_front(stamp, std::move(shard.raw));
+      return folded;
     }
-    auto& seen = folded_seqs_[decoded_.pinger];
-    if (!seen.insert(decoded_.seq).second) {
-      ++stats_.duplicates_dropped;
+    auto& seen = shard.folded_seqs[shard.decoded.pinger];
+    if (!seen.insert(shard.decoded.seq).second) {
+      ++shard.stats.duplicates_dropped;
+      ++processed;
       continue;
     }
-    FoldFrame(decoded_);
+    const uint64_t now = boundary_.load(std::memory_order_acquire);
+    FoldFrame(shard, shard.decoded, now > stamp ? now - stamp : 0);
+    ++processed;
     ++folded;
   }
 }
 
-void Collector::FoldFrame(const ReportFrame& frame) {
-  ObservationStore::Shard& shard = store_.OpenShard(frame.pinger);
+size_t Collector::DrainShardRange(size_t begin, size_t end, size_t max_frames,
+                                  size_t* processed) {
+  size_t folded = 0;
+  size_t done = 0;
+  for (size_t i = begin; i < end && i < shards_.size(); ++i) {
+    folded += DrainShard(*shards_[i], max_frames, done, /*stamp_below=*/~uint64_t{0});
+  }
+  if (processed != nullptr) {
+    *processed += done;
+  }
+  return folded;
+}
+
+bool Collector::AdvancePendingWindows() {
+  const uint64_t window = current_window_.load(std::memory_order_acquire);
+  uint64_t next = 0;
+  bool found = false;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (!shard->has_pending) {
+      continue;
+    }
+    if (shard->pending_window <= window) {
+      shard->has_pending = false;  // already reached (another shard advanced past it)
+      continue;
+    }
+    if (!found || shard->pending_window < next) {
+      next = shard->pending_window;
+      found = true;
+    }
+  }
+  if (!found) {
+    return false;
+  }
+  if (on_window_advance_ != nullptr) {
+    on_window_advance_(window, next);
+  }
+  current_window_.store(next, std::memory_order_release);
+  ++window_advances_;
+  for (auto& shard : shards_) {
+    shard->folded_seqs.clear();
+    shard->store_shards.clear();  // the hook may have diagnosed-and-cleared the store
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (shard->has_pending && shard->pending_window <= next) {
+      shard->has_pending = false;
+    }
+  }
+  return true;
+}
+
+size_t Collector::Drain(size_t max_frames) {
+  size_t folded = 0;
+  size_t processed_total = 0;
+  for (;;) {
+    if (max_frames != 0 && processed_total >= max_frames) {
+      return folded;
+    }
+    size_t processed = 0;
+    const size_t budget = max_frames == 0 ? 0 : max_frames - processed_total;
+    folded += DrainShardRange(0, shards_.size(), budget, &processed);
+    processed_total += processed;
+    if (processed == 0 && !AdvancePendingWindows()) {
+      return folded;
+    }
+  }
+}
+
+void Collector::FoldFrame(IngestShard& shard, const ReportFrame& frame, uint64_t staleness) {
+  ObservationStore::Shard* store_shard = nullptr;
+  const auto it = shard.store_shards.find(frame.pinger);
+  if (it != shard.store_shards.end()) {
+    store_shard = it->second;
+  } else {
+    // First frame from this pinger on this lane: OpenShard mutates the store's pinger map,
+    // so all lanes (across the whole CollectorGroup) serialize their opens on one mutex.
+    std::lock_guard<std::mutex> lock(*open_mu_);
+    store_shard = &store_.OpenShard(frame.pinger);
+    shard.store_shards.emplace(frame.pinger, store_shard);
+  }
   const size_t num_slots = store_.num_slots();
   for (const WirePathDelta& record : frame.paths) {
     if (record.slot < 0 || static_cast<size_t>(record.slot) >= num_slots) {
       // A structurally-valid frame from a reporter ahead of (or behind) our matrix build:
       // skip the record, keep the rest of the frame.
-      ++stats_.unknown_slot_dropped;
+      ++shard.stats.unknown_slot_dropped;
       continue;
     }
-    shard.RecordPathAtEpoch(record.slot, record.epoch, record.target, record.sent,
-                            record.lost);
-    ++stats_.observations_folded;
+    store_shard->RecordPathAtEpoch(record.slot, record.epoch, record.target, record.sent,
+                                   record.lost);
+    ++shard.stats.observations_folded;
   }
   for (const WireIntraDelta& record : frame.intra) {
-    shard.RecordIntraRack(record.target, record.sent, record.lost);
-    ++stats_.observations_folded;
+    store_shard->RecordIntraRack(record.target, record.sent, record.lost);
+    ++shard.stats.observations_folded;
   }
-  ++stats_.frames_folded;
+  ++shard.stats.frames_folded;
+  if (staleness > 0) {
+    ++shard.stats.frames_straddled;
+    shard.stats.max_fold_staleness = std::max(shard.stats.max_fold_staleness, staleness);
+  }
 }
 
-size_t Collector::PumpFrom(Transport& transport) {
+size_t Collector::DrainStale(uint64_t min_fresh_stamp) {
   size_t folded = 0;
+  for (;;) {
+    size_t processed = 0;
+    for (auto& shard : shards_) {
+      folded += DrainShard(*shard, /*max_frames=*/0, processed, min_fresh_stamp);
+    }
+    if (processed == 0 && !AdvancePendingWindows()) {
+      return folded;
+    }
+  }
+}
+
+size_t Collector::PumpFrom(Transport& transport, size_t max_fold_frames) {
   std::vector<uint8_t> frame;
   while (transport.Receive(frame)) {
-    // The pump owns the consumer side too, so a filling queue drains instead of dropping —
-    // queue_capacity bounds memory against a stalled drain, and must not turn a lossless
+    // The pump owns the consumer side too, so delivery is unbounded — queue_capacity guards
+    // a standalone collector against runaway producers, and must not turn a lossless
     // transport into a lossy one when one thread both receives and folds.
-    if (queued() >= options_.queue_capacity) {
-      folded += Drain();
-    }
-    Offer(std::move(frame));
+    OfferUnbounded(std::move(frame));
     frame.clear();
   }
-  return folded + Drain();
+  return Drain(max_fold_frames);
+}
+
+CollectorStats Collector::stats() const {
+  CollectorStats total;
+  total.window_advances = window_advances_;
+  for (const auto& shard : shards_) {
+    const CollectorStats& s = shard->stats;
+    total.frames_folded += s.frames_folded;
+    total.observations_folded += s.observations_folded;
+    total.duplicates_dropped += s.duplicates_dropped;
+    total.decode_errors += s.decode_errors;
+    total.stale_window_dropped += s.stale_window_dropped;
+    total.queue_overflow_dropped += s.queue_overflow_dropped;
+    total.unknown_slot_dropped += s.unknown_slot_dropped;
+    total.wrong_partition_dropped += s.wrong_partition_dropped;
+    total.frames_straddled += s.frames_straddled;
+    total.max_fold_staleness = std::max(total.max_fold_staleness, s.max_fold_staleness);
+  }
+  return total;
 }
 
 size_t Collector::queued() const {
-  std::lock_guard<std::mutex> lock(queue_mu_);
-  return queue_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->queue.size();
+  }
+  return total;
 }
 
 }  // namespace detector

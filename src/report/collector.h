@@ -1,8 +1,10 @@
 // Collector: the analyzer-side half of the report plane. Raw frames from many pingers land in
-// a bounded MPSC queue (Offer is thread-safe; a full queue drops the frame, like a saturated
-// ingest stage should); the single drain side decodes each frame whole and folds its records
-// into the ObservationStore — so decoding can run concurrently with probing on the system's
-// thread pool while store writes stay single-threaded.
+// bounded ingest-shard queues (pinger id → shard by a cheap header peek; Offer is thread-safe
+// and a full queue drops-and-counts, like a saturated ingest stage should). Frames from
+// different pingers never touch the same ObservationStore shard, so the drain side splits the
+// same way: each ingest shard decodes and folds independently, and disjoint shard ranges can
+// drain on concurrent pool tasks with no lock between them. Per-shard stats roll up into one
+// CollectorStats view.
 //
 // Delivery tolerance, in line with what a real report network does to frames:
 //  - corrupted / truncated: ReportCodec rejects the frame before any record is touched —
@@ -13,14 +15,25 @@
 //    so any arrival order of a window's frames produces the same totals;
 //  - delayed past its window: a frame whose window_id predates the current window is stale
 //    and discarded — its observations aggregated nowhere rather than into the wrong window;
-//  - dropped: simply never arrives; the window diagnoses on what did.
+//  - dropped: simply never arrives; the window diagnoses on what did;
+//  - misrouted: with a partition installed, a frame whose pinger another collector owns is
+//    rejected-and-counted, never folded — the fabric cannot double-count.
+//
+// Threading contract:
+//  - Offer / OfferUnbounded: any thread, any time.
+//  - DrainShardRange over disjoint ranges: concurrent. A shard has one drainer at a time.
+//  - BeginWindow, AdvancePendingWindows, Drain, PumpFrom, stats(): serial points — call with
+//    no concurrent drainer. A drainer that meets a newer-window frame parks it and stops
+//    (flagging the advance as pending) so the window flip itself always happens serially.
 #ifndef SRC_REPORT_COLLECTOR_H_
 #define SRC_REPORT_COLLECTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <utility>
@@ -29,22 +42,27 @@
 #include "src/detector/observation_store.h"
 #include "src/net/transport.h"
 #include "src/report/codec.h"
+#include "src/report/partition.h"
 
 namespace detector {
 
 struct CollectorOptions {
-  size_t queue_capacity = 1024;  // frames the ingest queue holds before Offer drops
+  size_t queue_capacity = 1024;  // frames each ingest-shard queue holds before Offer drops
+  size_t ingest_shards = 1;      // parallel decode/fold lanes (pinger-affine; clamped >= 1)
 };
 
 struct CollectorStats {
   uint64_t frames_folded = 0;
   uint64_t observations_folded = 0;
-  uint64_t duplicates_dropped = 0;     // (pinger, window, seq) already folded
-  uint64_t decode_errors = 0;          // CRC mismatches, truncation, malformed frames
-  uint64_t stale_window_dropped = 0;   // frame.window_id older than the current window
-  uint64_t queue_overflow_dropped = 0; // bounded queue was full at Offer time
-  uint64_t unknown_slot_dropped = 0;   // records beyond the store's slot table (skipped)
-  uint64_t window_advances = 0;        // frames that moved the current window forward
+  uint64_t duplicates_dropped = 0;      // (pinger, window, seq) already folded
+  uint64_t decode_errors = 0;           // CRC mismatches, truncation, malformed frames
+  uint64_t stale_window_dropped = 0;    // frame.window_id older than the current window
+  uint64_t queue_overflow_dropped = 0;  // bounded shard queue was full at Offer time
+  uint64_t unknown_slot_dropped = 0;    // records beyond the store's slot table (skipped)
+  uint64_t wrong_partition_dropped = 0; // frame's pinger is owned by another collector
+  uint64_t window_advances = 0;         // pending-window flips applied
+  uint64_t frames_straddled = 0;        // folded >= 1 segment boundary after arrival
+  uint64_t max_fold_staleness = 0;      // worst boundaries-crossed-while-queued of any fold
 };
 
 class Collector {
@@ -52,50 +70,125 @@ class Collector {
   explicit Collector(ObservationStore& store, CollectorOptions options = {});
 
   // Opens aggregation window `window_id`: later frames carrying an older id are stale.
-  // Dedup state of closed windows is pruned here. Single-consumer side.
+  // Dedup state of closed windows is pruned here. Serial point.
   void BeginWindow(uint64_t window_id);
-  uint64_t current_window() const { return current_window_; }
+  uint64_t current_window() const {
+    return current_window_.load(std::memory_order_acquire);
+  }
 
-  // Called (from the drain side) just before the first frame of a window newer than the
-  // current one folds — the standalone daemon hooks this to diagnose-and-clear the finished
+  // Called (from a serial point) just before the window advances to a newer id carried by a
+  // queued frame — the standalone daemon hooks this to diagnose-and-clear the finished
   // window. Without a hook the collector just advances.
   void set_on_window_advance(std::function<void(uint64_t closed, uint64_t opened)> hook) {
     on_window_advance_ = std::move(hook);
   }
 
-  // Producer side (thread-safe, any thread): enqueues one raw frame; false = queue full,
-  // frame dropped and counted.
+  // Installs partition ownership: frames whose pinger `map` routes to a partition other than
+  // `partition` are rejected-and-counted at fold time. `map` must outlive the collector (or
+  // the next SetPartition). Serial point; nullptr clears the check.
+  void SetPartition(const PartitionMap* map, int partition);
+
+  // Points the store-OpenShard guard at a shared mutex — CollectorGroup does this so N
+  // collectors folding first-seen pingers concurrently serialize their OpenShard calls.
+  void set_store_open_mutex(std::mutex* mu) { open_mu_ = mu == nullptr ? &own_open_mu_ : mu; }
+
+  // Producer side (thread-safe, any thread): enqueues one raw frame onto its pinger's ingest
+  // shard; false = that shard's queue full, frame dropped and counted under the shard lock.
   bool Offer(std::vector<uint8_t> frame);
 
-  // Consumer side (one thread at a time — the store's serial-writer contract): decodes and
-  // folds every queued frame; returns frames folded.
-  size_t Drain();
+  // Producer side without the capacity bound — for a pump that owns delivery end-to-end
+  // (in-system receiver task, PumpFrom) and must not turn a lossless transport into a lossy
+  // one. Memory is bounded by the transport backlog instead of queue_capacity.
+  void OfferUnbounded(std::vector<uint8_t> frame);
 
-  // Receives everything the transport has pending into the queue and Drain()s it, draining
-  // early whenever the queue fills — the pump owns both sides, so a bounded queue never
-  // forces it to drop a delivered frame. Returns frames folded. Consumer side.
-  size_t PumpFrom(Transport& transport);
+  // Serial consumer: decodes and folds queued frames across all shards, applying pending
+  // window advances between passes. `max_frames` bounds frames *processed* this call
+  // (0 = everything queued); leftovers stay queued for the next call — the pipelined mode's
+  // per-boundary fold budget. Returns frames folded.
+  size_t Drain(size_t max_frames = 0);
 
-  const CollectorStats& stats() const { return stats_; }
+  // Concurrent consumer for ingest shards [begin, end): decodes and folds until the range is
+  // empty, the processed-frame budget runs out, or a newer-window frame parks (the flip is
+  // left pending for a serial AdvancePendingWindows). Ranges given to concurrent callers must
+  // be disjoint. Returns frames folded.
+  size_t DrainShardRange(size_t begin, size_t end, size_t max_frames = 0,
+                         size_t* processed = nullptr);
+
+  // Applies the oldest pending window advance flagged by drainers (hook, then flip, then
+  // dedup prune). Serial point — no concurrent drainer. True if a flip was applied; call
+  // Drain/DrainShardRange again afterwards to fold the parked frames.
+  bool AdvancePendingWindows();
+
+  // Receives everything the transport has pending into the shard queues (unbounded — the
+  // pump owns both sides) and Drain()s with `max_fold_frames` as the processed budget
+  // (0 = drain everything). Returns frames folded. Serial point.
+  size_t PumpFrom(Transport& transport, size_t max_fold_frames = 0);
+
+  // Folds every queued frame stamped before `min_fresh_stamp`, ignoring any fold budget —
+  // the pipelined mode's staleness enforcer. Shard queues are FIFO and stamps non-decreasing,
+  // so calling this each boundary with `boundary() - depth + 1` bounds every fold at
+  // staleness <= depth (CollectorStats::max_fold_staleness) no matter how small the budgeted
+  // pump is. Returns frames folded. Serial point.
+  size_t DrainStale(uint64_t min_fresh_stamp);
+
+  // Stamps a segment boundary for staleness accounting: a frame offered at boundary b and
+  // folded at boundary b+k folded k boundaries stale (frames_straddled / max_fold_staleness).
+  // Any thread, but in practice the serial segment loop.
+  void AdvanceBoundary() { boundary_.fetch_add(1, std::memory_order_acq_rel); }
+  uint64_t boundary() const { return boundary_.load(std::memory_order_acquire); }
+
+  // Rolls per-shard counters up into one view (sums; max for max_fold_staleness). Serial
+  // point with respect to drainers.
+  CollectorStats stats() const;
   size_t queued() const;
 
+  size_t num_ingest_shards() const { return shards_.size(); }
+  // The ingest shard Offer routes `pinger` to — PingerHash-based, stable across processes.
+  size_t IngestShardOf(NodeId pinger) const {
+    return static_cast<size_t>(PingerHash(pinger) % shards_.size());
+  }
+
  private:
-  void FoldFrame(const ReportFrame& frame);
+  // One pinger-affine ingest lane: its own bounded queue, dedup state, stats, and decode
+  // scratch. `mu` guards the queue (and the overflow counter, bumped at Offer under it);
+  // everything else is owned by the shard's single drainer.
+  struct IngestShard {
+    std::mutex mu;
+    std::deque<std::pair<uint64_t, std::vector<uint8_t>>> queue;  // (boundary stamp, frame)
+    // Folded frame seqs per pinger for the current window — the idempotence filter. Pruned
+    // at window flips; seq ranges are small (frames per pinger per window).
+    std::map<NodeId, std::set<uint64_t>> folded_seqs;
+    // Store shards this lane already opened — OpenShard mutates the store's pinger map, so
+    // first-seen pingers go through the open mutex once and are cached after.
+    std::map<NodeId, ObservationStore::Shard*> store_shards;
+    CollectorStats stats;
+    uint64_t pending_window = 0;  // newer window id seen at the queue head
+    bool has_pending = false;
+    std::vector<uint8_t> raw;  // drain scratch
+    ReportFrame decoded;       // drain scratch
+  };
+
+  bool OfferToShard(size_t index, std::vector<uint8_t> frame, bool bounded);
+  // `stamp_below` stops the drain at the first frame stamped >= it (UINT64_MAX = no cutoff).
+  size_t DrainShard(IngestShard& shard, size_t max_frames, size_t& processed,
+                    uint64_t stamp_below);
+  void FoldFrame(IngestShard& shard, const ReportFrame& frame, uint64_t staleness);
 
   ObservationStore& store_;
   const CollectorOptions options_;
 
-  mutable std::mutex queue_mu_;
-  std::deque<std::vector<uint8_t>> queue_;
+  std::vector<std::unique_ptr<IngestShard>> shards_;
 
-  uint64_t current_window_ = 0;
-  // Folded frame seqs per pinger for the current window — the idempotence filter. Pruned at
-  // BeginWindow; seq ranges are small (frames per pinger per window), so a set is fine.
-  std::map<NodeId, std::set<uint64_t>> folded_seqs_;
+  std::atomic<uint64_t> current_window_{0};
+  std::atomic<uint64_t> boundary_{0};
   std::function<void(uint64_t, uint64_t)> on_window_advance_;
-  CollectorStats stats_;
-  std::vector<uint8_t> raw_;   // drain scratch
-  ReportFrame decoded_;        // drain scratch
+  uint64_t window_advances_ = 0;  // serial-point counter (flips happen serially)
+
+  const PartitionMap* partition_map_ = nullptr;
+  int partition_ = 0;
+
+  std::mutex own_open_mu_;
+  std::mutex* open_mu_ = &own_open_mu_;
 };
 
 }  // namespace detector

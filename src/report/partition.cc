@@ -1,0 +1,33 @@
+#include "src/report/partition.h"
+
+#include <algorithm>
+
+namespace detector {
+
+PartitionMap PartitionMap::Build(std::vector<NodeId> pingers, size_t num_partitions) {
+  PartitionMap out;
+  out.num_partitions_ = std::max<size_t>(1, num_partitions);
+  std::sort(pingers.begin(), pingers.end());
+  pingers.erase(std::unique(pingers.begin(), pingers.end()), pingers.end());
+  int next = 0;
+  for (const NodeId pinger : pingers) {
+    out.map_.emplace(pinger, next);
+    next = (next + 1) % static_cast<int>(out.num_partitions_);
+  }
+  return out;
+}
+
+int PartitionMap::PartitionOf(NodeId pinger) const {
+  const auto it = map_.find(pinger);
+  return it == map_.end() ? -1 : it->second;
+}
+
+int PartitionMap::RouteOf(NodeId pinger) const {
+  const int mapped = PartitionOf(pinger);
+  if (mapped >= 0) {
+    return mapped;
+  }
+  return static_cast<int>(PingerHash(pinger) % num_partitions_);
+}
+
+}  // namespace detector

@@ -356,6 +356,97 @@ TEST(SlidingSegmentDiagnosis, SlotReuseDoesNotBlindTrailingView) {
   EXPECT_GT(result.links[0].estimated_loss_rate, 0.9);
 }
 
+// The PR 5 wart, fixed in PR 6: a watchdog flip retracts a node's records from the running
+// totals *without* an epoch bump, so the ring used to ingest the retraction as a negative
+// segment delta. Once the positive pre-flip delta aged out of the trailing window the
+// retraction remained alone and the trailing sums went negative — nonsense observations fed
+// to PLL. The fix restarts flipped slots (purges their ring history, re-cuts the boundary),
+// so the trailing view drops the flipped traffic instantly and resumes from real post-flip
+// traffic only. Pre-fix this test fails at the "+2 segments after flip" step with
+// sent = -100.
+TEST(SlidingSegmentDiagnosis, WatchdogFlipNeverTurnsTrailingTotalsNegative) {
+  // Same toy as SlotReuseDoesNotBlindTrailingView — slot i covers exactly link i — plus a
+  // server node as the pinger: all three slots are reported by that one server, so flipping
+  // it retracts everything (the watchdog only flips servers).
+  Topology topo("toy");
+  std::vector<NodeId> nodes;
+  for (int i = 0; i <= 3; ++i) {
+    nodes.push_back(topo.AddNode(NodeKind::kTor, 0, i, "n" + std::to_string(i)));
+  }
+  std::vector<LinkId> links;
+  for (int i = 0; i < 3; ++i) {
+    links.push_back(topo.AddLink(nodes[static_cast<size_t>(i)],
+                                 nodes[static_cast<size_t>(i) + 1], 1));
+  }
+  const NodeId pinger = topo.AddNode(NodeKind::kServer, 0, 99, "pinger");
+  PathStore paths;
+  for (int i = 0; i < 3; ++i) {
+    const std::vector<LinkId> path_links = {links[static_cast<size_t>(i)]};
+    paths.Add(0, 1, path_links);
+  }
+  const ProbeMatrix matrix(std::move(paths), LinkIndex::ForMonitored(topo));
+  Watchdog wd(topo);
+
+  Diagnoser diagnoser;
+  diagnoser.set_sliding_segments(2);
+  ObservationStore& store = diagnoser.store();
+  store.EnsureSlots(3);
+  ObservationStore::Shard& shard = store.OpenShard(pinger);
+
+  auto expect_trailing = [&](int64_t sent, int64_t lost, const char* when) {
+    const ObservationView trailing = diagnoser.TrailingTotals(3);
+    for (size_t slot = 0; slot < 3; ++slot) {
+      EXPECT_EQ(trailing[slot].sent, sent) << when << " slot " << slot;
+      EXPECT_EQ(trailing[slot].lost, lost) << when << " slot " << slot;
+      EXPECT_GE(trailing[slot].sent, 0) << when << " slot " << slot << " went negative";
+      EXPECT_GE(trailing[slot].lost, 0) << when << " slot " << slot << " went negative";
+    }
+  };
+
+  // One healthy segment: the ring holds its +100 delta per slot.
+  for (PathId slot = 0; slot < 3; ++slot) {
+    shard.RecordPath(slot, nodes[static_cast<size_t>(slot) + 1], 100, 0);
+  }
+  diagnoser.AdvanceSegment(matrix, wd);
+  expect_trailing(100, 0, "healthy segment");
+
+  // The watchdog flags the pinger: its records retract from the totals with no epoch bump.
+  // The flipped slots restart — trailing drops to zero at this boundary, not below it.
+  wd.MarkDown(pinger);
+  diagnoser.AdvanceSegment(matrix, wd);
+  expect_trailing(0, 0, "flip segment");
+  EXPECT_TRUE(diagnoser.DiagnoseTrailing(matrix, wd).links.empty());
+
+  // Two more idle segments age the pre-flip delta fully out of the W=2 ring. Pre-fix the
+  // lone -100 retraction delta now surfaces: trailing sent = -100.
+  diagnoser.AdvanceSegment(matrix, wd);
+  expect_trailing(0, 0, "+1 segment after flip");
+  diagnoser.AdvanceSegment(matrix, wd);
+  expect_trailing(0, 0, "+2 segments after flip");
+
+  // Recovery flips the records back in — another restart, so no phantom +100 spike enters
+  // the ring either; the slot resumes with genuinely new traffic only.
+  wd.MarkUp(pinger);
+  diagnoser.AdvanceSegment(matrix, wd);
+  expect_trailing(0, 0, "recovery segment");
+
+  // Fresh post-recovery traffic is the only thing the trailing view sees, and it is
+  // immediately diagnosable: full loss on link 1 localizes at the very next boundary.
+  shard.RecordPath(0, nodes[1], 100, 0);
+  shard.RecordPath(1, nodes[2], 100, 100);
+  shard.RecordPath(2, nodes[3], 100, 0);
+  diagnoser.AdvanceSegment(matrix, wd);
+  const ObservationView trailing = diagnoser.TrailingTotals(3);
+  EXPECT_EQ(trailing[0].sent, 100);
+  EXPECT_EQ(trailing[0].lost, 0);
+  EXPECT_EQ(trailing[1].sent, 100);
+  EXPECT_EQ(trailing[1].lost, 100);
+  const LocalizeResult result = diagnoser.DiagnoseTrailing(matrix, wd);
+  ASSERT_EQ(result.links.size(), 1u);
+  EXPECT_EQ(result.links[0].link, links[1]);
+  EXPECT_GT(result.links[0].estimated_loss_rate, 0.9);
+}
+
 // End-to-end churn-during-episode gate: a loss episode is live while a topology delta forces
 // an incremental repair (slot vacate + reuse) on the same probe plane. The sliding view must
 // localize the episode despite the mid-episode churn and report it gone after it leaves the

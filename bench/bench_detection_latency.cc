@@ -14,6 +14,10 @@
 //   full         full PLL at every boundary (the PR 3 behavior; the baseline).
 //   sliding      mid-window diagnoses localize over the trailing --sliding-window segment
 //                deltas instead of the whole accumulated window.
+//   decay        mid-window diagnoses localize over exponentially-decayed totals
+//                (--decay-factor per segment); --decay-quantized switches the view to
+//                shift-based halving at fixed boundaries, which rides LocalizeIncremental
+//                instead of running full PLL every boundary.
 //
 // Bit-exactness gate (always enforced): for every trial and cadence, the streaming window's
 // final localization must equal the batch window's on the same seed and slicing — the running
@@ -22,18 +26,28 @@
 // --speedup-gate: measures one-dirty-component incremental vs full diagnosis on a structured
 // fat-tree(--gate-k, default 48) matrix — the north-star scale — and enforces >= 5x (exit 2)
 // unless the host needed more than --gate-build-budget seconds to build and warm the matrix,
-// in which case the gate is printed and skipped.
+// in which case the gate is printed and skipped. In --mode=decay the gate instead compares
+// the quantized decay view (shift-halving + LocalizeIncremental) against the exact view
+// (full PLL every boundary) on the same boundary sequence: the quantized diagnosis must be
+// >= 5x cheaper per boundary and agree with the exact view on the suspect-link set (the
+// quantized totals are an approximation, so the contract is agreement, not bit-exactness).
+// Quantization pays on the boundaries between halvings, so the gate wants a halving period
+// of several segments — gentle factors (the 0.98 default; period 34), not 0.5 (period 1).
 //
 // Flags: --k=16            fat-tree arity
 //        --trials=10       failure scenarios per cadence
 //        --pps=200         probe packets per second per pinger
 //        --segments=10     probe slices per window (diagnosis can only happen on a boundary)
 //        --cadences=1,5    comma-separated diagnosis cadences, in segments
-//        --mode=incremental|full|sliding
+//        --mode=incremental|full|sliding|decay
 //        --sliding-window=4 trailing width for --mode=sliding, in segments
+//        --decay-factor=0.98 per-segment decay for --mode=decay
+//        --decay-quantized  quantized (shift-halving) decay view for --mode=decay
 //        --alpha, --beta   PMC configuration (default 1/1)
 //        --seed
+//        --json=FILE       machine-readable metrics + gate outcomes
 //        --speedup-gate [--gate-k=48] [--gate-trials=20] [--gate-build-budget=180]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -51,7 +65,7 @@ using namespace detector;
 
 // One-dirty-component microbench at --gate-k: every slot carries clean totals, one path turns
 // lossy per trial, and each boundary diagnoses both ways. Returns false on gate failure.
-bool RunSpeedupGate(const Flags& flags, uint64_t seed) {
+bool RunSpeedupGate(const Flags& flags, uint64_t seed, bench::JsonWriter& json) {
   const int gate_k = static_cast<int>(flags.GetInt("gate-k", 48));
   const int gate_trials = std::max(3, static_cast<int>(flags.GetInt("gate-trials", 20)));
   const double build_budget = flags.GetDouble("gate-build-budget", 180.0);
@@ -105,22 +119,137 @@ bool RunSpeedupGate(const Flags& flags, uint64_t seed) {
       incremental_ms.mean() > 0.0 ? full_ms.mean() / incremental_ms.mean() : 0.0;
   std::printf("per-boundary diagnosis: full %.3f ms, incremental %.3f ms => %.1fx speedup\n",
               full_ms.mean(), incremental_ms.mean(), speedup);
+  json.Metric("gate_k", gate_k);
+  json.Metric("gate_full_pll_ms", full_ms.mean());
+  json.Metric("gate_incremental_ms", incremental_ms.mean());
+  json.Metric("gate_incremental_speedup", speedup);
+  json.Gate("incremental-identical", identical ? 1.0 : 0.0, 1.0, true, identical);
   if (!identical) {
     std::printf("FAIL: incremental diverged from full PLL in the speedup gate\n");
+    json.Gate("incremental-5x", speedup, 5.0, true, false);
     return false;
   }
   if (build_seconds > build_budget) {
     std::printf("speedup gate SKIPPED: build+warm took %.1f s (> %.0f s budget); the >= 5x "
                 "gate only binds on hosts that can build fat-tree(%d) in time\n",
                 build_seconds, build_budget, gate_k);
+    json.Gate("incremental-5x", speedup, 5.0, false, true);
     return true;
   }
-  if (speedup < 5.0) {
-    std::printf("FAIL: %.1fx < 5x single-dirty-component speedup gate\n", speedup);
+  const bool pass = speedup >= 5.0;
+  std::printf("speedup gate %s: %.1fx %s 5x\n", pass ? "PASS" : "FAIL", speedup,
+              pass ? ">=" : "<");
+  json.Gate("incremental-5x", speedup, 5.0, true, pass);
+  return pass;
+}
+
+// Sorted link-id view of a localization, for the decay agreement check (scores may differ
+// between the quantized integer totals and the exact decayed doubles; the suspect set is the
+// contract).
+std::vector<LinkId> SuspectSet(const LocalizeResult& result) {
+  std::vector<LinkId> links;
+  links.reserve(result.links.size());
+  for (const SuspectLink& s : result.links) {
+    links.push_back(s.link);
+  }
+  std::sort(links.begin(), links.end());
+  return links;
+}
+
+// Decay-view gate at --gate-k: identical clean totals + one fresh lossy path per boundary
+// through two diagnosers — exact decay (multiplies every active slot every boundary, then
+// full PLL) and quantized decay (delta-touched slots only + LocalizeIncremental, with the
+// all-slot shift-halving amortized over its period). Per-boundary cost is AdvanceSegment +
+// DiagnoseDecayed, measured over whole halving periods so every halving is paid for.
+// Returns false on gate failure.
+bool RunDecayGate(const Flags& flags, uint64_t seed, bench::JsonWriter& json) {
+  const int gate_k = static_cast<int>(flags.GetInt("gate-k", 48));
+  const int gate_trials = std::max(3, static_cast<int>(flags.GetInt("gate-trials", 20)));
+  const double build_budget = flags.GetDouble("gate-build-budget", 180.0);
+  const double factor = flags.GetDouble("decay-factor", 0.98);
+
+  std::printf("\n== decay gate: quantized vs exact decay boundaries at structured "
+              "fat-tree(%d), factor %.2f ==\n", gate_k, factor);
+  WallTimer build_timer;
+  const FatTree ft(gate_k);
+  const ProbeMatrix matrix = StructuredFatTreeProbeMatrix(ft, /*alpha=*/1, /*beta=*/2);
+  const Watchdog watchdog(ft.topology());
+  Diagnoser exact;
+  Diagnoser quantized;
+  exact.set_decay_factor(factor);
+  quantized.set_decay_factor(factor);
+  quantized.set_decay_quantized(true);
+
+  const size_t num_paths = matrix.NumPaths();
+  PingerWindowResult clean;
+  clean.pinger = ft.Server(0, 0, 0);
+  clean.reports.reserve(num_paths);
+  for (size_t p = 0; p < num_paths; ++p) {
+    clean.reports.push_back(PathReport{static_cast<PathId>(p), ft.Server(0, 0, 1), 1000, 0});
+  }
+  exact.Ingest(clean);
+  quantized.Ingest(clean);
+  exact.AdvanceSegment(matrix, watchdog);
+  quantized.AdvanceSegment(matrix, watchdog);
+  (void)exact.DiagnoseDecayed(matrix, watchdog);
+  (void)quantized.DiagnoseDecayed(matrix, watchdog);
+  const double build_seconds = build_timer.ElapsedSeconds();
+  // Whole halving periods only, so the amortized quantized cost includes every all-slot
+  // halving it is responsible for.
+  const int64_t period = quantized.DecayHalvingPeriod();
+  const int64_t cycles = std::max<int64_t>(1, (gate_trials + period - 1) / period);
+  const int64_t boundaries = period * cycles;
+  std::printf("build+warm: %.1f s, %zu paths, halving every %lld boundaries, measuring %lld\n",
+              build_seconds, num_paths, static_cast<long long>(period),
+              static_cast<long long>(boundaries));
+
+  OnlineStats exact_ms;
+  OnlineStats quantized_ms;
+  Rng rng(seed);
+  bool agree = true;
+  for (int64_t t = 0; t < boundaries; ++t) {
+    PingerWindowResult lossy;
+    lossy.pinger = clean.pinger;
+    lossy.reports.push_back(PathReport{static_cast<PathId>(rng() % num_paths),
+                                       ft.Server(0, 0, 1), 500, 400});
+    exact.Ingest(lossy);
+    quantized.Ingest(lossy);
+    WallTimer exact_timer;
+    exact.AdvanceSegment(matrix, watchdog);
+    const LocalizeResult e = exact.DiagnoseDecayed(matrix, watchdog);
+    exact_ms.Add(exact_timer.ElapsedSeconds() * 1e3);
+    WallTimer quantized_timer;
+    quantized.AdvanceSegment(matrix, watchdog);
+    const LocalizeResult q = quantized.DiagnoseDecayed(matrix, watchdog);
+    quantized_ms.Add(quantized_timer.ElapsedSeconds() * 1e3);
+    agree &= SuspectSet(e) == SuspectSet(q);
+  }
+  const double speedup =
+      quantized_ms.mean() > 0.0 ? exact_ms.mean() / quantized_ms.mean() : 0.0;
+  std::printf("per-boundary diagnosis: exact %.3f ms, quantized %.3f ms => %.1fx speedup\n",
+              exact_ms.mean(), quantized_ms.mean(), speedup);
+  json.Metric("decay_gate_k", gate_k);
+  json.Metric("decay_factor", factor);
+  json.Metric("decay_exact_ms", exact_ms.mean());
+  json.Metric("decay_quantized_ms", quantized_ms.mean());
+  json.Metric("decay_quantized_speedup", speedup);
+  json.Gate("decay-agreement", agree ? 1.0 : 0.0, 1.0, true, agree);
+  if (!agree) {
+    std::printf("FAIL: quantized decay disagreed with the exact view on a suspect set\n");
+    json.Gate("decay-quantized-5x", speedup, 5.0, true, false);
     return false;
   }
-  std::printf("speedup gate PASS: %.1fx >= 5x\n", speedup);
-  return true;
+  if (build_seconds > build_budget) {
+    std::printf("decay gate SKIPPED: build+warm took %.1f s (> %.0f s budget)\n",
+                build_seconds, build_budget);
+    json.Gate("decay-quantized-5x", speedup, 5.0, false, true);
+    return true;
+  }
+  const bool pass = speedup >= 5.0;
+  std::printf("decay gate %s: %.1fx %s 5x (suspect sets agree at every boundary)\n",
+              pass ? "PASS" : "FAIL", speedup, pass ? ">=" : "<");
+  json.Gate("decay-quantized-5x", speedup, 5.0, true, pass);
+  return pass;
 }
 
 }  // namespace
@@ -132,9 +261,12 @@ int main(int argc, char** argv) {
   flags.Describe("pps", "probe packets per second per pinger (default 200)");
   flags.Describe("segments", "probe slices per window (default 10)");
   flags.Describe("cadences", "comma-separated diagnosis cadences in segments (default 1,5)");
-  flags.Describe("mode", "mid-window diagnosis mode: incremental|full|sliding (default "
+  flags.Describe("mode", "mid-window diagnosis mode: incremental|full|sliding|decay (default "
                  "incremental; incremental also gates bit-exactness vs full)");
   flags.Describe("sliding-window", "trailing window for --mode=sliding, in segments (default 4)");
+  flags.Describe("decay-factor", "per-segment decay for --mode=decay (default 0.98)");
+  flags.Describe("decay-quantized",
+                 "quantized (shift-halving, incremental-PLL) decay view for --mode=decay");
   flags.Describe("alpha", "coverage target (default 1)");
   flags.Describe("beta", "identifiability target (default 1)");
   flags.Describe("seed", "rng seed (default 1)");
@@ -143,6 +275,7 @@ int main(int argc, char** argv) {
   flags.Describe("gate-trials", "boundaries measured by --speedup-gate (default 20)");
   flags.Describe("gate-build-budget",
                  "seconds the gate host may spend building before the 5x check is skipped");
+  bench::JsonWriter::DescribeFlag(flags);
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -156,10 +289,11 @@ int main(int argc, char** argv) {
   const int segments = std::max(1, static_cast<int>(flags.GetInt("segments", 10)));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   const std::string mode = flags.GetString("mode", "incremental");
-  if (mode != "incremental" && mode != "full" && mode != "sliding") {
-    std::fprintf(stderr, "--mode must be incremental, full or sliding\n");
+  if (mode != "incremental" && mode != "full" && mode != "sliding" && mode != "decay") {
+    std::fprintf(stderr, "--mode must be incremental, full, sliding or decay\n");
     return 1;
   }
+  bench::JsonWriter json(flags, "detection_latency_" + mode);
   std::vector<int> cadences;
   for (const std::string& token : bench::SplitList(flags.GetString("cadences", "1,5"))) {
     const int c = static_cast<int>(std::strtol(token.c_str(), nullptr, 10));
@@ -195,6 +329,10 @@ int main(int argc, char** argv) {
       std::max(1, static_cast<int>(flags.GetInt("sliding-window", 4)));
   if (mode == "sliding") {
     options.streaming_view = StreamingViewMode::kSliding;
+  } else if (mode == "decay") {
+    options.streaming_view = StreamingViewMode::kDecay;
+    options.decay_factor = flags.GetDouble("decay-factor", 0.98);
+    options.decay_quantized = flags.GetBool("decay-quantized", false);
   }
   options.incremental_diagnosis = mode != "full";
   WallTimer build_timer;
@@ -288,6 +426,8 @@ int main(int argc, char** argv) {
     }
     const double median =
         latencies.empty() ? 0.0 : PercentileInPlace(latencies, 50.0);
+    json.Metric("median_first_correct_s_cadence" + std::to_string(cadence), median);
+    json.Metric("mean_pll_ms_cadence" + std::to_string(cadence), pll_ms.mean());
     table.AddRow({mode + "/" + TablePrinter::FmtInt(cadence),
                   TablePrinter::Fmt(cadence * segment_seconds, 1),
                   TablePrinter::FmtInt(detected) + "/" + TablePrinter::FmtInt(trials),
@@ -308,6 +448,7 @@ int main(int argc, char** argv) {
   } else {
     std::printf("\nbit-exactness PASS: every streaming final matched its batch window\n");
   }
+  json.Gate("streaming-final-identical", all_identical ? 1.0 : 0.0, 1.0, true, all_identical);
   if (mode == "incremental") {
     if (!incremental_matches_full) {
       std::printf("FAIL: an incremental mid-window diagnosis diverged from full PLL\n");
@@ -315,9 +456,12 @@ int main(int argc, char** argv) {
     } else {
       std::printf("incremental-vs-full PASS: every mid-window diagnosis matched full PLL\n");
     }
+    json.Gate("incremental-vs-full-identical", incremental_matches_full ? 1.0 : 0.0, 1.0, true,
+              incremental_matches_full);
   }
   if (flags.GetBool("speedup-gate", false)) {
-    ok &= RunSpeedupGate(flags, seed);
+    ok &= mode == "decay" ? RunDecayGate(flags, seed, json) : RunSpeedupGate(flags, seed, json);
   }
+  json.Write();
   return ok ? 0 : 2;
 }

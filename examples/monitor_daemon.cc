@@ -316,6 +316,13 @@ int main(int argc, char** argv) {
   flags.Describe("ingest-shards",
                  "collector mode: pinger-affine decode/fold queues (default 1)");
   flags.Describe("seed", "rng seed (default 9)");
+  flags.Describe("probe-subshards",
+                 "entry-range sub-shards per pinglist in the probe plane (0 = whole-shard "
+                 "per-pinger streams, the default)");
+  flags.Describe("pmc-repair-threads",
+                 "threads for multi-component churn repair (default 1; 0 = hardware)");
+  flags.Describe("decay-quantized",
+                 "quantized (shift-halving, incremental-PLL) exponential-decay view");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -348,6 +355,10 @@ int main(int argc, char** argv) {
   DetectorSystemOptions options;
   options.pmc.alpha = 2;
   options.pmc.beta = 1;
+  options.probe_subshards = std::max(0, static_cast<int>(flags.GetInt("probe-subshards", 0)));
+  options.pmc_repair_threads =
+      std::max(0, static_cast<int>(flags.GetInt("pmc-repair-threads", 1)));
+  options.decay_quantized = flags.GetBool("decay-quantized", false);
   DetectorSystem system(routing, options);
   const Topology& topo = fattree.topology();
   std::printf("deTector daemon on Fattree(%d): %zu probe paths, %zu pingers\n\n", k,

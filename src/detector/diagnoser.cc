@@ -60,8 +60,10 @@ void Diagnoser::Ingest(const PingerWindowResult& window) {
 void Diagnoser::InvalidateLocalizeCache() {
   running_state_.structure_valid = false;
   trailing_state_.structure_valid = false;
+  decay_state_.structure_valid = false;
   running_dirty_.Reset(/*to_all=*/true);
   trailing_dirty_.Reset(/*to_all=*/true);
+  decay_dirty_.Reset(/*to_all=*/true);
 }
 
 Observations Diagnoser::AggregatedObservations(const ProbeMatrix& matrix,
@@ -166,7 +168,48 @@ void Diagnoser::AdvanceSegment(const ProbeMatrix& matrix, const Watchdog& watchd
     }
   }
 
-  if (decay_factor_ > 0.0) {
+  if (decay_factor_ > 0.0 && decay_quantized_) {
+    if (qdecayed_.size() < num_slots) {
+      qdecayed_.resize(num_slots, PathObservation{});
+      decay_active_mark_.resize(num_slots, 0);
+    }
+    for (const size_t slot : restarted) {
+      if (qdecayed_[slot].sent != 0 || qdecayed_[slot].lost != 0) {
+        qdecayed_[slot] = PathObservation{};
+        decay_dirty_.Add(slot);
+      }
+    }
+    // Shift-based halving at fixed boundaries: decay_factor^period ~ 1/2, so one >>= 1 every
+    // `period` boundaries replaces a float multiply over every active slot every boundary.
+    // Only halving boundaries dirty the whole active set; every other boundary perturbs just
+    // the delta's slots, which is what lets DiagnoseDecayed ride LocalizeIncremental.
+    ++decay_boundaries_;
+    if (decay_boundaries_ % DecayHalvingPeriod() == 0) {
+      size_t kept = 0;
+      for (const size_t slot : decay_active_) {
+        PathObservation& totals = qdecayed_[slot];
+        totals.sent >>= 1;
+        totals.lost >>= 1;
+        decay_dirty_.Add(slot);
+        if (totals.sent == 0 && totals.lost == 0) {
+          decay_active_mark_[slot] = 0;  // decayed away — leaves the active set for good
+        } else {
+          decay_active_[kept++] = slot;
+        }
+      }
+      decay_active_.resize(kept);
+    }
+    for (const DeltaEntry& entry : delta) {
+      const size_t slot = static_cast<size_t>(entry.slot);
+      qdecayed_[slot].sent += entry.sent;
+      qdecayed_[slot].lost += entry.lost;
+      decay_dirty_.Add(slot);
+      if (!decay_active_mark_[slot]) {
+        decay_active_mark_[slot] = 1;
+        decay_active_.push_back(slot);
+      }
+    }
+  } else if (decay_factor_ > 0.0) {
     if (decayed_sent_.size() < num_slots) {
       decayed_sent_.resize(num_slots, 0.0);
       decayed_lost_.resize(num_slots, 0.0);
@@ -266,10 +309,27 @@ LocalizeResult Diagnoser::DiagnoseTrailing(const ProbeMatrix& matrix,
   return result;
 }
 
+int64_t Diagnoser::DecayHalvingPeriod() const {
+  if (decay_factor_ <= 0.0 || decay_factor_ >= 1.0) {
+    return 1;
+  }
+  return std::max<int64_t>(1, std::llround(std::log(0.5) / std::log(decay_factor_)));
+}
+
 LocalizeResult Diagnoser::DiagnoseDecayed(const ProbeMatrix& matrix,
                                           const Watchdog& /*watchdog*/) {
   // As in DiagnoseTrailing: the filter is already applied to the deltas' source totals.
   const size_t num_slots = matrix.NumPaths();
+  if (decay_quantized_) {
+    if (qdecayed_.size() < num_slots) {
+      qdecayed_.resize(num_slots, PathObservation{});
+    }
+    const ObservationView view(qdecayed_.data(), num_slots);
+    LocalizeResult result = pll_.LocalizeIncremental(matrix, view, decay_dirty_.slots,
+                                                     decay_dirty_.all, decay_state_);
+    decay_dirty_.Reset(/*to_all=*/false);
+    return result;
+  }
   decayed_rounded_.assign(num_slots, PathObservation{});
   for (const size_t slot : decay_active_) {
     if (slot < num_slots) {
@@ -291,12 +351,15 @@ LocalizeResult Diagnoser::Diagnose(const ProbeMatrix& matrix, const Watchdog& wa
 void Diagnoser::ResetWindowState() {
   running_dirty_.Reset(/*to_all=*/true);
   trailing_dirty_.Reset(/*to_all=*/true);
+  decay_dirty_.Reset(/*to_all=*/true);
   ring_.clear();
   boundary_totals_.assign(boundary_totals_.size(), PathObservation{});
   boundary_epoch_.assign(boundary_epoch_.size(), 0);  // store epochs reset with the window
   trailing_.assign(trailing_.size(), PathObservation{});
   decayed_sent_.assign(decayed_sent_.size(), 0.0);
   decayed_lost_.assign(decayed_lost_.size(), 0.0);
+  qdecayed_.assign(qdecayed_.size(), PathObservation{});
+  decay_boundaries_ = 0;
   for (const size_t slot : decay_active_) {
     decay_active_mark_[slot] = 0;
   }

@@ -21,7 +21,11 @@
 //    delta pushes and ring evictions).
 //  - DiagnoseDecayed(): optional exponential-decay view — AdvanceSegment folds each segment
 //    delta into decayed per-slot totals (decayed = decay_factor * decayed + delta), and the
-//    diagnosis runs full PLL over their rounded values.
+//    diagnosis runs full PLL over their rounded values. In quantized mode (set_decay_quantized)
+//    the decay is instead a shift-based halving (totals >>= 1) applied only every
+//    DecayHalvingPeriod() boundaries — the period where decay_factor^period ~ 1/2 — so
+//    ordinary boundaries perturb only the slots the segment delta touched, dirtiness stays
+//    sparse, and the view rides LocalizeIncremental like the trailing view does.
 //
 // Also tracks intra-rack probe results for server-link alarms.
 #ifndef SRC_DETECTOR_DIAGNOSER_H_
@@ -62,6 +66,15 @@ class Diagnoser {
   // Per-segment decay factor in (0, 1) for DiagnoseDecayed; <= 0 disables the decayed totals.
   void set_decay_factor(double factor) { decay_factor_ = factor; }
   double decay_factor() const { return decay_factor_; }
+  // Quantized decay: integer totals halved by shift every DecayHalvingPeriod() boundaries
+  // instead of multiplied by decay_factor every boundary (see the class comment). An
+  // approximation of the exact exponential view — episode-detection agreement is gated in
+  // tests, not bit-exactness. Toggle between windows; takes effect at the next AdvanceSegment.
+  void set_decay_quantized(bool quantized) { decay_quantized_ = quantized; }
+  bool decay_quantized() const { return decay_quantized_; }
+  // Boundaries between quantized halvings: the period where decay_factor^period ~ 1/2
+  // (>= 1; meaningless when decay is disabled).
+  int64_t DecayHalvingPeriod() const;
 
   // Bulk ingestion of a finished pinger report into the store — the non-streaming path used by
   // standalone pingers and tests.
@@ -118,8 +131,11 @@ class Diagnoser {
   // AdvanceSegment/Clear.
   ObservationView TrailingTotals(size_t num_slots);
 
-  // Localizes over the exponentially-decayed totals (full PLL; the decayed values change on
-  // every slot every segment, so there is nothing incremental to exploit). Non-consuming.
+  // Localizes over the exponentially-decayed totals. Non-consuming. Exact mode runs full PLL
+  // (the decayed doubles change on every active slot every segment, so there is nothing
+  // incremental to exploit); quantized mode runs LocalizeIncremental over the integer totals
+  // with only the slots AdvanceSegment actually perturbed dirty — O(dirty components) on the
+  // boundaries between halvings.
   LocalizeResult DiagnoseDecayed(const ProbeMatrix& matrix, const Watchdog& watchdog);
 
   // Runs PLL on everything accumulated since the last call, then clears the buffer (and all
@@ -184,6 +200,14 @@ class Diagnoser {
   std::vector<uint8_t> decay_active_mark_;
   std::vector<size_t> decay_active_;  // slots with a nonzero decayed value
   Observations decayed_rounded_;      // materialized int64 view for PLL
+
+  // Quantized decay view: int64 totals halved in place at fixed boundaries; between halvings
+  // only delta-touched slots change, so the view localizes incrementally over decay_dirty_.
+  bool decay_quantized_ = false;
+  int64_t decay_boundaries_ = 0;  // AdvanceSegment count, schedules the halvings
+  Observations qdecayed_;
+  PllIncrementalState decay_state_;
+  DirtyAccum decay_dirty_;
 };
 
 }  // namespace detector

@@ -23,6 +23,7 @@ DetectorSystem::DetectorSystem(const PathProvider& provider, DetectorSystemOptio
       controller_(topo_, options.controller),
       diagnoser_(options.pll) {
   ConfigureDiagnoserViews();
+  incremental_->set_repair_threads(std::max(0, options_.pmc_repair_threads));
   pinglists_ = controller_.BuildPinglists(matrix_, watchdog_);
   path_index_ = PathPingerIndex::Build(pinglists_);
   for (const Pinglist& list : pinglists_) {
@@ -44,6 +45,13 @@ DetectorSystem::DetectorSystem(const Topology& topo, ProbeMatrix matrix,
   path_index_ = PathPingerIndex::Build(pinglists_);
   for (const Pinglist& list : pinglists_) {
     version_floor_[list.pinger] = list.version;
+  }
+}
+
+void DetectorSystem::set_pmc_repair_threads(int n) {
+  options_.pmc_repair_threads = std::max(0, n);
+  if (incremental_ != nullptr) {
+    incremental_->set_repair_threads(options_.pmc_repair_threads);
   }
 }
 
@@ -99,6 +107,8 @@ void DetectorSystem::ConfigureDiagnoserViews() {
                                       : 0);
   diagnoser_.set_decay_factor(
       options_.streaming_view == StreamingViewMode::kDecay ? options_.decay_factor : 0.0);
+  diagnoser_.set_decay_quantized(options_.streaming_view == StreamingViewMode::kDecay &&
+                                 options_.decay_quantized);
 }
 
 void DetectorSystem::EnforceVersionFloors(std::vector<PinglistDiff>& diffs) {
@@ -347,6 +357,10 @@ void DetectorSystem::RunSegment(const FailureScenario& scenario, double seconds,
   ObservationStore& store = diagnoser_.store();
   store.EnsureSlots(matrix_.NumPaths());
   const uint64_t window_seed = rng();
+  if (options_.probe_subshards > 0) {
+    RunSegmentSubsharded(engine, seconds, window_seed, result);
+    return;
+  }
   const bool report = options_.report_plane;
   struct ShardWork {
     const Pinglist* list;
@@ -492,29 +506,7 @@ void DetectorSystem::RunSegment(const FailureScenario& scenario, double seconds,
     pool_->WaitAll();
   }
   if (report) {
-    if (!options_.report_pipeline) {
-      // Ingest barrier: everything sent and not dropped folds before the segment closes,
-      // which is what makes the lossless loopback bit-identical to direct mode — no report
-      // straddles a diagnosis boundary or a churn-driven slot invalidation.
-      for (size_t c = 0; c < collector_group_->num_collectors(); ++c) {
-        report_transports_[c]->Flush();
-        collector_group_->collector(c).PumpFrom(*report_transports_[c]);
-      }
-    } else {
-      // Pipelined: fold what the budget allows and let the rest straddle the boundary —
-      // epoch stamps make the late folds land exactly where on-time folds would have. The
-      // staleness enforcer then folds whatever has aged report_pipeline_depth boundaries
-      // regardless of budget, so max_fold_staleness <= depth is a guarantee, not a hope. The
-      // window end (RunWindowImpl) still drains fully.
-      const auto depth = static_cast<uint64_t>(options_.report_pipeline_depth);
-      for (size_t c = 0; c < collector_group_->num_collectors(); ++c) {
-        Collector& col = collector_group_->collector(c);
-        col.PumpFrom(*report_transports_[c], options_.report_pump_budget);
-        if (col.boundary() >= depth) {
-          col.DrainStale(col.boundary() - depth + 1);
-        }
-      }
-    }
+    PumpReportBoundary();
     for (const ShardWork& shard_work : work) {
       report_seq_[shard_work.list->pinger] = shard_work.emitter->next_seq();
     }
@@ -522,6 +514,151 @@ void DetectorSystem::RunSegment(const FailureScenario& scenario, double seconds,
   for (const PingerTraffic& t : traffic) {
     result.probes_sent += t.probes_sent;
     result.bytes_sent += t.bytes_sent;
+  }
+}
+
+void DetectorSystem::PumpReportBoundary() {
+  if (!options_.report_pipeline) {
+    // Ingest barrier: everything sent and not dropped folds before the segment closes,
+    // which is what makes the lossless loopback bit-identical to direct mode — no report
+    // straddles a diagnosis boundary or a churn-driven slot invalidation.
+    for (size_t c = 0; c < collector_group_->num_collectors(); ++c) {
+      report_transports_[c]->Flush();
+      collector_group_->collector(c).PumpFrom(*report_transports_[c]);
+    }
+  } else {
+    // Pipelined: fold what the budget allows and let the rest straddle the boundary —
+    // epoch stamps make the late folds land exactly where on-time folds would have. The
+    // staleness enforcer then folds whatever has aged report_pipeline_depth boundaries
+    // regardless of budget, so max_fold_staleness <= depth is a guarantee, not a hope. The
+    // window end (RunWindowImpl) still drains fully.
+    const auto depth = static_cast<uint64_t>(options_.report_pipeline_depth);
+    for (size_t c = 0; c < collector_group_->num_collectors(); ++c) {
+      Collector& col = collector_group_->collector(c);
+      col.PumpFrom(*report_transports_[c], options_.report_pump_budget);
+      if (col.boundary() >= depth) {
+        col.DrainStale(col.boundary() - depth + 1);
+      }
+    }
+  }
+}
+
+// Sub-sharded segment execution (probe_subshards > 0): every pinglist's entry range is cut
+// into up to probe_subshards contiguous ranges, each an independent pool task drawing
+// per-entry RNG streams — so a giant pinglist spreads across workers instead of pinning the
+// segment's tail to one. Tasks buffer their PathReports; a serial fold in (pinglist, entry)
+// order then writes the store shards (or replays the report emitters), preserving the
+// single-writer shard contract, the legacy record order, and — in report mode — the
+// single-threaded per-pinger frame sequence the emitters require.
+void DetectorSystem::RunSegmentSubsharded(const ProbeEngine& engine, double seconds,
+                                          uint64_t window_seed, WindowResult& result) {
+  ObservationStore& store = diagnoser_.store();
+  const bool report = options_.report_plane;
+  const size_t splits = static_cast<size_t>(std::max(1, options_.probe_subshards));
+
+  // Serial phase: shards open in pinglist order (same creation — and intra-rack record —
+  // order as the legacy path); one Pinger per list, shared const by its sub-shard tasks.
+  struct ListWork {
+    const Pinglist* list;
+    ObservationStore::Shard* shard;
+    std::unique_ptr<Pinger> pinger;
+    size_t first_task = 0;
+    size_t num_tasks = 0;
+  };
+  struct SubShard {
+    size_t list_index;
+    size_t begin;
+    size_t end;
+    std::vector<PathReport> reports;
+    PingerTraffic traffic;
+  };
+  std::vector<ListWork> lists;
+  std::vector<SubShard> tasks;
+  for (const Pinglist& list : pinglists_) {
+    if (list.entries.empty()) {
+      continue;
+    }
+    ListWork list_work{&list, &store.OpenShard(list.pinger),
+                       std::make_unique<Pinger>(list, options_.confirm_packets),
+                       tasks.size(), 0};
+    const size_t n = list.entries.size();
+    const size_t pieces = std::min(splits, n);
+    for (size_t p = 0; p < pieces; ++p) {
+      tasks.push_back(SubShard{lists.size(), n * p / pieces, n * (p + 1) / pieces, {}, {}});
+    }
+    list_work.num_tasks = tasks.size() - list_work.first_task;
+    lists.push_back(std::move(list_work));
+  }
+
+  // Parallel phase: sub-shards only read shared state (pinglist, engine, watchdog at a serial
+  // point) and write their own buffers — any scheduling order yields the same counters.
+  auto run_task = [&](size_t i) {
+    SubShard& task = tasks[i];
+    const ListWork& list_work = lists[task.list_index];
+    task.reports.reserve(task.end - task.begin);
+    task.traffic = list_work.pinger->RunEntryRange(engine, seconds, window_seed, task.begin,
+                                                   task.end, task.reports, &watchdog_);
+  };
+  const size_t configured = options_.probe_threads != 0
+                                ? options_.probe_threads
+                                : std::max<size_t>(1, std::thread::hardware_concurrency());
+  if (configured <= 1 || tasks.size() <= 1) {
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      run_task(i);
+    }
+  } else {
+    if (pool_ == nullptr || pool_->num_threads() != configured) {
+      pool_ = std::make_unique<ThreadPool>(configured);
+    }
+    std::atomic<size_t> next{0};
+    const size_t workers = std::min(configured, tasks.size());
+    for (size_t t = 0; t < workers; ++t) {
+      pool_->Submit([&] {
+        for (size_t i = next.fetch_add(1); i < tasks.size(); i = next.fetch_add(1)) {
+          run_task(i);
+        }
+      });
+    }
+    pool_->WaitAll();
+  }
+
+  // Serial fold, in (pinglist, entry) order.
+  for (const ListWork& list_work : lists) {
+    std::unique_ptr<ReportEmitter> emitter;
+    if (report) {
+      Transport& transport = *report_transports_[static_cast<size_t>(
+          collector_group_->RouteOf(list_work.list->pinger))];
+      emitter = std::make_unique<ReportEmitter>(
+          list_work.list->pinger, report_window_id_, report_seq_[list_work.list->pinger],
+          store.slot_epochs(), transport, options_.report_batch_entries);
+    }
+    for (size_t p = 0; p < list_work.num_tasks; ++p) {
+      SubShard& task = tasks[list_work.first_task + p];
+      result.probes_sent += task.traffic.probes_sent;
+      result.bytes_sent += task.traffic.bytes_sent;
+      for (const PathReport& r : task.reports) {
+        if (r.path_id == PinglistEntry::kIntraRackPath) {
+          if (emitter != nullptr) {
+            emitter->OnIntraRack(r.target, r.sent, r.lost);
+          } else {
+            list_work.shard->RecordIntraRack(r.target, r.sent, r.lost);
+          }
+        } else if (r.path_id >= 0) {
+          if (emitter != nullptr) {
+            emitter->OnPath(r.path_id, r.target, r.sent, r.lost);
+          } else {
+            list_work.shard->RecordPath(r.path_id, r.target, r.sent, r.lost);
+          }
+        }
+      }
+    }
+    if (emitter != nullptr) {
+      emitter->Flush();
+      report_seq_[list_work.list->pinger] = emitter->next_seq();
+    }
+  }
+  if (report) {
+    PumpReportBoundary();
   }
 }
 

@@ -70,6 +70,20 @@ struct DetectorSystemOptions {
   // many threads (0 = hardware concurrency). Results are bit-identical at any thread count —
   // every shard draws from its own RNG stream keyed by (window seed, pinger id).
   size_t probe_threads = 0;
+  // Sub-sharded probe execution: > 0 splits every pinglist's entry range into up to this many
+  // contiguous sub-shards, each an independent pool task, so one giant pinglist no longer
+  // pins the parallel-window tail to a single worker. Sub-shards draw per-entry RNG streams
+  // keyed by (window seed, pinger, entry index), making counters invariant to both the
+  // sub-shard count and the thread count (gated in tests/parallel_window_test.cc); their
+  // reports are buffered and folded serially in (pinglist, entry) order, preserving the
+  // store's single-writer shard contract and the legacy record order. 0 (the default) keeps
+  // the one-stream-per-pinger legacy path bit-for-bit; note >= 1 is a different — equally
+  // deterministic — RNG trajectory than 0, so compare like with like.
+  int probe_subshards = 0;
+  // Threads IncrementalPmc::ApplyDelta may repair touched decomposition components on when a
+  // maintenance wave dirties several at once (0 = hardware concurrency). Bit-identical to
+  // serial repair at any value. Ignored in fixed-matrix mode (no solver to parallelize).
+  int pmc_repair_threads = 1;
   // Continuous diagnosis: probe slices per window (1 = the classic monolithic batch window;
   // higher values execute the same window in equal time slices, each on its own shard seed)
   // and, for RunWindowStreaming, how often to diagnose, in slices. Slicing changes the RNG
@@ -82,6 +96,11 @@ struct DetectorSystemOptions {
   StreamingViewMode streaming_view = StreamingViewMode::kCumulative;
   int sliding_window_segments = 4;  // trailing window width, in segments (kSliding only)
   double decay_factor = 0.5;        // per-segment decay (kDecay only)
+  // kDecay only: quantize the decay to shift-based halving at fixed boundaries (totals >>= 1
+  // every ~log(0.5)/log(decay_factor) segments) so ordinary boundaries perturb only dirty
+  // slots and the decay view localizes incrementally. An approximation — episode-detection
+  // agreement with the exact view is test-gated, not bit-exactness.
+  bool decay_quantized = false;
   // Cumulative mid-window diagnoses use incremental PLL (re-score only dirty components).
   // false = full PLL at every boundary — the bit-exactness oracle and the bench baseline.
   bool incremental_diagnosis = true;
@@ -213,6 +232,12 @@ class DetectorSystem {
   // Re-sizes the probe-plane shard pool (0 = hardware concurrency). Takes effect at the next
   // window; does not change results, only wall-clock.
   void set_probe_threads(size_t n) { options_.probe_threads = n; }
+  // Re-splits pinglists into entry-range sub-shards (see the option comment; takes effect at
+  // the next segment). Any value >= 1 yields identical results; 0 restores the legacy path.
+  void set_probe_subshards(int n) { options_.probe_subshards = std::max(0, n); }
+  // Re-sizes the incremental-repair worker count (no-op in fixed-matrix mode). Deltas stay
+  // bit-identical at any value; only repair wall-clock changes.
+  void set_pmc_repair_threads(int n);
   // Re-slices window execution / re-paces streaming diagnosis (both clamped to >= 1). Takes
   // effect at the next window. Changing the slicing changes the RNG trajectory — results are
   // comparable only between runs with equal segments_per_window.
@@ -228,6 +253,12 @@ class DetectorSystem {
   }
   void set_sliding_window_segments(int n) {
     options_.sliding_window_segments = std::max(1, n);
+    ConfigureDiagnoserViews();
+  }
+  // Toggles quantized vs exact exponential decay (kDecay view; takes effect at the next
+  // window — the quantized state is rebuilt from the window's segment deltas).
+  void set_decay_quantized(bool quantized) {
+    options_.decay_quantized = quantized;
     ConfigureDiagnoserViews();
   }
   // Toggles incremental vs full PLL for cumulative mid-window diagnoses (bit-identical by
@@ -283,6 +314,14 @@ class DetectorSystem {
                WindowResult& result);
   void RunSegment(const FailureScenario& scenario, double seconds, Rng& rng,
                   WindowResult& result);
+  // RunSegment's probe_subshards > 0 body: entry-range sub-shards probe into per-task report
+  // buffers on the pool, then a serial fold in (pinglist, entry) order writes the store
+  // shards (or the report emitters).
+  void RunSegmentSubsharded(const ProbeEngine& engine, double seconds, uint64_t window_seed,
+                            WindowResult& result);
+  // End-of-segment report-plane handling, shared by both segment bodies: the barriered
+  // flush-and-drain, or the pipelined budgeted pump + staleness enforcement.
+  void PumpReportBoundary();
   // The localization for one mid-window boundary, per options_.streaming_view.
   LocalizeResult DiagnoseBoundary();
   // Enables exactly the diagnoser view state the selected streaming_view reads: the sliding

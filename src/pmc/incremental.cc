@@ -95,8 +95,10 @@ void IncrementalPmc::SetLinkLive(int32_t dense, bool live) {
   }
 }
 
-void IncrementalPmc::SelectIntoSlot(PathId candidate, std::vector<PathId>* added_slots) {
-  DCHECK(!selected_[static_cast<size_t>(candidate)]);
+// Slot assignment half of selecting a candidate: runs serially (merge phase), after the
+// collect phase has already applied the candidate's weight/selected/undercovered effects.
+void IncrementalPmc::AssignSlot(PathId candidate, std::vector<PathId>* added_slots) {
+  DCHECK(selected_[static_cast<size_t>(candidate)]);
   PathId slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -107,21 +109,20 @@ void IncrementalPmc::SelectIntoSlot(PathId candidate, std::vector<PathId>* added
     slots_.push_back(candidate);
   }
   slot_of_.emplace(candidate, slot);
-  selected_[static_cast<size_t>(candidate)] = 1;
   ++num_selected_;
-  for (const LinkId link : candidates_.Links(candidate)) {
-    const int32_t dense = links_.Dense(link);
-    if (dense < 0) {
-      continue;
-    }
-    const size_t d = static_cast<size_t>(dense);
-    ++w_[d];
-    if (options_.alpha > 0 && live_[d] && comp_of_link_[d] >= 0 && w_[d] == options_.alpha) {
-      --num_undercovered_;
-    }
-  }
   if (added_slots != nullptr) {
     added_slots->push_back(slot);
+  }
+}
+
+void IncrementalPmc::set_repair_threads(int threads) {
+  if (threads == 0) {
+    threads = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  CHECK(threads >= 1) << "repair_threads must be >= 0";
+  if (threads != repair_threads_) {
+    repair_threads_ = threads;
+    repair_pool_.reset();  // respawned at the right size on the next parallel repair
   }
 }
 
@@ -196,8 +197,13 @@ void IncrementalPmc::RefreshComponentResolution() {
   }
 }
 
-void IncrementalPmc::RepairComponent(int32_t comp, ChurnRepairStats& stats,
-                                     std::vector<PathId>* added_slots) {
+// Greedy repair of one component, collect phase. Thread-safe across distinct components:
+// every write lands either in component-owned state (w_/selected_ entries of the component's
+// own links and candidates, comp_resolved_[comp]) or in `out`. The replay below reads the
+// pre-repair slots_ — equivalent to the serial interleaving because additions from other
+// components are filtered out by comp_of_path_ anyway.
+void IncrementalPmc::RepairComponentCollect(int32_t comp, ComponentRepair& out) {
+  ChurnRepairStats& stats = out.stats;
   const bool track_sets = options_.beta >= 1;
 
   // Local dense domain: live links of the component.
@@ -395,7 +401,23 @@ void IncrementalPmc::RepairComponent(int32_t comp, ChurnRepairStats& stats,
     if (track_sets) {
       part.ApplySplit(pool_links_of(static_cast<size_t>(i)));
     }
-    SelectIntoSlot(pool[static_cast<size_t>(i)], added_slots);
+    // Weight/selected half of the selection; the slot itself is assigned in the serial
+    // merge (AssignSlot), in component-id order, so slot ids match serial repair exactly.
+    const PathId candidate = pool[static_cast<size_t>(i)];
+    DCHECK(!selected_[static_cast<size_t>(candidate)]);
+    selected_[static_cast<size_t>(candidate)] = 1;
+    for (const LinkId link : candidates_.Links(candidate)) {
+      const int32_t dense = links_.Dense(link);
+      if (dense < 0) {
+        continue;
+      }
+      const size_t d = static_cast<size_t>(dense);
+      ++w_[d];
+      if (options_.alpha > 0 && live_[d] && comp_of_link_[d] >= 0 && w_[d] == options_.alpha) {
+        --out.undercovered_delta;
+      }
+    }
+    out.picked.push_back(candidate);
     ++stats.added_paths;
   }
 
@@ -444,12 +466,38 @@ IncrementalPmc::DeltaOutcome IncrementalPmc::ApplyDelta(const LinkStateOverlay::
     }
   }
 
-  // 3. Greedy repair, restricted to the touched components.
+  // 3. Greedy repair, restricted to the touched components. Collect runs per component —
+  // concurrently when a maintenance wave touches several and repair_threads_ allows — then a
+  // serial merge in ascending component-id order assigns slots and folds the counters,
+  // reproducing the serial repair bit-for-bit (same free_slots_ LIFO walk, same slot ids).
   std::sort(dirty_comps.begin(), dirty_comps.end());
   dirty_comps.erase(std::unique(dirty_comps.begin(), dirty_comps.end()), dirty_comps.end());
   out.stats.touched_components = static_cast<int>(dirty_comps.size());
-  for (const int32_t comp : dirty_comps) {
-    RepairComponent(comp, out.stats, &out.added_slots);
+  std::vector<ComponentRepair> repairs(dirty_comps.size());
+  if (repair_threads_ > 1 && dirty_comps.size() > 1) {
+    if (repair_pool_ == nullptr) {
+      repair_pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(repair_threads_));
+    }
+    for (size_t i = 0; i < dirty_comps.size(); ++i) {
+      repair_pool_->Submit(
+          [this, &dirty_comps, &repairs, i] { RepairComponentCollect(dirty_comps[i], repairs[i]); });
+    }
+    repair_pool_->WaitAll();
+  } else {
+    for (size_t i = 0; i < dirty_comps.size(); ++i) {
+      RepairComponentCollect(dirty_comps[i], repairs[i]);
+    }
+  }
+  for (ComponentRepair& repair : repairs) {
+    num_undercovered_ += repair.undercovered_delta;
+    for (const PathId pid : repair.picked) {
+      AssignSlot(pid, &out.added_slots);
+    }
+    out.stats.added_paths += repair.stats.added_paths;
+    out.stats.repaired_links += repair.stats.repaired_links;
+    out.stats.pool_candidates += repair.stats.pool_candidates;
+    out.stats.score_evaluations += repair.stats.score_evaluations;
+    out.stats.uncoverable_live_links += repair.stats.uncoverable_live_links;
   }
 
   out.stats.alpha_satisfied = AlphaSatisfied();

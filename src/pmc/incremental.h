@@ -23,9 +23,11 @@
 #define SRC_PMC_INCREMENTAL_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/pmc/pmc.h"
 #include "src/pmc/probe_matrix.h"
 #include "src/routing/path_liveness.h"
@@ -60,6 +62,15 @@ class IncrementalPmc {
 
   // Applies the effective link transitions of one topology delta (from LinkStateOverlay).
   DeltaOutcome ApplyDelta(const LinkStateOverlay::Effect& effect);
+
+  // Number of threads the repair phase of ApplyDelta may use when a delta touches more than
+  // one decomposition component (maintenance waves). Components are disjoint over links and
+  // candidates, so the greedy repairs run concurrently against component-owned state; slot
+  // assignment stays a serial merge in component-id order, so the outcome is bit-identical
+  // to serial repair at any thread count. 1 (the default) repairs inline; 0 picks
+  // hardware_concurrency.
+  void set_repair_threads(int threads);
+  int repair_threads() const { return repair_threads_; }
 
   // From-scratch re-solve over the current live topology — the expensive alternative that
   // ApplyDelta is benchmarked against, and what a 10-minute RecomputeCycle uses. Renumbers
@@ -107,11 +118,22 @@ class IncrementalPmc {
     std::vector<int32_t> dense_links;  // ascending
   };
 
+  // Result of one component-restricted greedy repair. During the (possibly parallel) collect
+  // phase a repair mutates only component-owned state — w_/selected_/comp_resolved_ entries of
+  // its own component — and records everything cross-component here: picked candidates in
+  // greedy order, partial stats counters, and the net change to num_undercovered_. The merge
+  // phase applies these serially in ascending component-id order.
+  struct ComponentRepair {
+    std::vector<PathId> picked;  // candidate ids in greedy selection order
+    ChurnRepairStats stats;      // counter fields only (added_paths, pool_candidates, ...)
+    int64_t undercovered_delta = 0;
+  };
+
   void AdoptSelection(const std::vector<PathId>& candidate_ids, bool solver_fully_resolved);
-  void SelectIntoSlot(PathId candidate, std::vector<PathId>* added_slots);
+  void AssignSlot(PathId candidate, std::vector<PathId>* added_slots);
   void Unselect(PathId candidate, std::vector<PathId>* removed_slots);
   void SetLinkLive(int32_t dense, bool live);
-  void RepairComponent(int32_t comp, ChurnRepairStats& stats, std::vector<PathId>* added_slots);
+  void RepairComponentCollect(int32_t comp, ComponentRepair& out);
   bool ComponentResolved(int32_t comp) const;
   void RefreshComponentResolution();
   std::vector<LinkId> LiveMonitoredLinks() const;
@@ -139,6 +161,9 @@ class IncrementalPmc {
   std::unordered_map<PathId, PathId> slot_of_;  // candidate id -> slot
   std::vector<uint8_t> selected_;               // per candidate
   size_t num_selected_ = 0;
+
+  int repair_threads_ = 1;
+  std::unique_ptr<ThreadPool> repair_pool_;  // lazily spawned on the first parallel repair
 };
 
 }  // namespace detector

@@ -235,6 +235,76 @@ TEST(IncrementalPmc, BcubeSingleComponentRepair) {
   EXPECT_TRUE(inc.AlphaSatisfied());
 }
 
+TEST(IncrementalPmc, ParallelRepairIsBitIdenticalToSerial) {
+  // A maintenance wave through a ToR dirties every core-group component at once (its k/2
+  // uplinks reach one agg — and so one core group — each); the parallel collect phase plus
+  // the ordered slot merge must reproduce the serial repair bit-for-bit: same outcome slots,
+  // same stats counters, same selection, same slot layout — at any thread count, including
+  // more threads than components.
+  const FatTree ft(8);
+  const FatTreeRouting routing(ft);
+  PmcOptions options;
+  options.alpha = 2;
+  options.beta = 1;
+
+  const std::vector<TopologyDelta> wave = {
+      TopologyDelta::NodeDown(ft.Tor(2, 1)),
+      TopologyDelta::NodeDown(ft.Agg(5, 0)),
+      TopologyDelta::NodeUp(ft.Tor(2, 1)),
+      TopologyDelta::NodeUp(ft.Agg(5, 0)),
+  };
+
+  struct RunTrace {
+    std::vector<IncrementalPmc::DeltaOutcome> outcomes;
+    std::vector<PathId> slot_layout;
+    std::vector<PathId> selected;
+    bool alpha_satisfied = false;
+  };
+  auto run = [&](int threads) {
+    IncrementalPmc inc(ft.topology(), routing.Enumerate(PathEnumMode::kFull), options);
+    inc.set_repair_threads(threads);
+    LinkStateOverlay overlay(ft.topology());
+    RunTrace trace;
+    bool saw_multi_component = false;
+    for (const TopologyDelta& delta : wave) {
+      trace.outcomes.push_back(inc.ApplyDelta(overlay.Apply(delta)));
+      saw_multi_component |= trace.outcomes.back().stats.touched_components > 1;
+    }
+    EXPECT_TRUE(saw_multi_component) << "wave never exercised a multi-component repair";
+    CheckIncrementalInvariants(inc, overlay);
+    for (size_t s = 0; s < inc.NumSlots(); ++s) {
+      trace.slot_layout.push_back(inc.SlotCandidate(static_cast<PathId>(s)));
+    }
+    trace.selected = inc.SelectedCandidateIds();
+    trace.alpha_satisfied = inc.AlphaSatisfied();
+    return trace;
+  };
+
+  const RunTrace serial = run(1);
+  for (const int threads : {2, 4, 8}) {
+    const RunTrace parallel = run(threads);
+    ASSERT_EQ(serial.outcomes.size(), parallel.outcomes.size());
+    for (size_t i = 0; i < serial.outcomes.size(); ++i) {
+      const auto& a = serial.outcomes[i];
+      const auto& b = parallel.outcomes[i];
+      EXPECT_EQ(a.removed_slots, b.removed_slots) << "threads=" << threads << " delta " << i;
+      EXPECT_EQ(a.added_slots, b.added_slots) << "threads=" << threads << " delta " << i;
+      EXPECT_EQ(a.stats.dropped_paths, b.stats.dropped_paths);
+      EXPECT_EQ(a.stats.added_paths, b.stats.added_paths);
+      EXPECT_EQ(a.stats.repaired_links, b.stats.repaired_links);
+      EXPECT_EQ(a.stats.pool_candidates, b.stats.pool_candidates);
+      EXPECT_EQ(a.stats.score_evaluations, b.stats.score_evaluations);
+      EXPECT_EQ(a.stats.touched_components, b.stats.touched_components);
+      EXPECT_EQ(a.stats.uncoverable_live_links, b.stats.uncoverable_live_links);
+      EXPECT_EQ(a.stats.alpha_satisfied, b.stats.alpha_satisfied);
+      EXPECT_EQ(a.stats.fully_resolved, b.stats.fully_resolved);
+    }
+    EXPECT_EQ(serial.slot_layout, parallel.slot_layout) << "threads=" << threads;
+    EXPECT_EQ(serial.selected, parallel.selected) << "threads=" << threads;
+    EXPECT_EQ(serial.alpha_satisfied, parallel.alpha_satisfied);
+  }
+}
+
 TEST(IncrementalPmc, SlotsAreStableAcrossDeltas) {
   const FatTree ft(4);
   const FatTreeRouting routing(ft);

@@ -298,6 +298,83 @@ TEST(SlidingSegmentDiagnosis, DecayViewSeesPersistentFailure) {
                                streamed.window.localization, "final entry is cumulative");
 }
 
+TEST(SlidingSegmentDiagnosis, QuantizedDecayHalvingPeriod) {
+  Diagnoser diagnoser;
+  diagnoser.set_decay_factor(0.5);
+  EXPECT_EQ(diagnoser.DecayHalvingPeriod(), 1);  // halve every boundary
+  diagnoser.set_decay_factor(0.9);
+  EXPECT_EQ(diagnoser.DecayHalvingPeriod(), 7);  // 0.9^7 ~ 0.478
+  diagnoser.set_decay_factor(0.99);
+  EXPECT_EQ(diagnoser.DecayHalvingPeriod(), 69);
+}
+
+TEST(SlidingSegmentDiagnosis, QuantizedDecayAgreesWithExactOnEpisodes) {
+  // Quantized decay (integer totals, shift-halving at fixed boundaries) is an approximation
+  // of the exact per-boundary multiply — the contract is episode-detection agreement, not
+  // bit-exactness: both views must see an appear-and-clear loss episode while its decayed
+  // residue is above threshold and report it gone at (nearly) the same boundary after.
+  const FatTree ft(4);
+  const FatTreeRouting routing(ft);
+  DetectorSystemOptions options;
+  options.pmc.alpha = 1;
+  options.pmc.beta = 1;
+  options.controller.packets_per_second = 120;
+  options.confirm_packets = 0;
+  options.probe.base_loss_rate = 0.0;
+  options.pll.preprocess.path_loss_ratio_threshold = 0.2;
+  options.segments_per_window = 15;  // 2 s slices
+  options.diagnose_every_segments = 1;
+  options.streaming_view = StreamingViewMode::kDecay;
+  options.decay_factor = 0.5;
+
+  const LinkId episode_link = ft.EdgeAggLink(1, 0, 1);
+  FailureScenario scenario;
+  FailureEpisode episode;
+  episode.failure.link = episode_link;
+  episode.failure.type = FailureType::kFullLoss;
+  episode.start_seconds = 4.0;
+  episode.end_seconds = 8.0;
+  scenario.episodes.push_back(episode);
+
+  auto detection_interval = [&](bool quantized) {
+    DetectorSystemOptions opts = options;
+    opts.decay_quantized = quantized;
+    DetectorSystem system(routing, opts);
+    Rng rng(77);
+    const auto streamed = system.RunWindowStreaming(scenario, {}, rng);
+    double first = -1.0;
+    double last = -1.0;
+    for (const auto& d : streamed.timeline) {
+      for (const SuspectLink& s : d.localization.links) {
+        if (s.link == episode_link) {
+          if (first < 0.0) {
+            first = d.time_seconds;
+          }
+          last = d.time_seconds;
+        }
+      }
+    }
+    return std::pair<double, double>{first, last};
+  };
+
+  const auto [exact_first, exact_last] = detection_interval(false);
+  const auto [quant_first, quant_last] = detection_interval(true);
+
+  // Both views detect the episode while it is live...
+  EXPECT_GT(exact_first, episode.start_seconds);
+  EXPECT_GT(quant_first, episode.start_seconds);
+  EXPECT_LE(exact_first, episode.end_seconds + 1e-9);
+  EXPECT_LE(quant_first, episode.end_seconds + 1e-9);
+  // ...both report it cleared before the window ends (decayed residue under threshold)...
+  EXPECT_LT(exact_last, options.window_seconds - 1e-9);
+  EXPECT_LT(quant_last, options.window_seconds - 1e-9);
+  // ...and the detection interval endpoints agree to within one segment boundary (the only
+  // divergence quantization can introduce here is integer-vs-rounded-double residue).
+  const double segment = options.window_seconds / options.segments_per_window;
+  EXPECT_NEAR(exact_first, quant_first, segment + 1e-9);
+  EXPECT_NEAR(exact_last, quant_last, segment + 1e-9);
+}
+
 // ROADMAP open item, closed in PR 5: the trailing ring keys its per-segment deltas by
 // (slot, epoch), so a mid-window repair that vacates and reuses a slot purges the dead
 // epoch's deltas instead of leaving a retraction that blinds DiagnoseTrailing on the slot

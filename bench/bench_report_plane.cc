@@ -15,7 +15,15 @@
 //        --segments=6            probe slices per window
 //        --rates=0,0.05,0.25     injected frame drop rates (reorder runs at 2x drop)
 //        --threads=1,2,8         thread counts for the exactness check (exit 2 on divergence)
+//        --hostile-gate          exit 2 unless the hardened plane holds under a hostile
+//                                profile: seeded ~30% burst loss + reorder + duplication + 1%
+//                                corruption with pipelined folds must keep staleness <= depth,
+//                                fold zero tampered/corrupt frames (exact per-cause
+//                                accounting), and agree with direct mode's suspect set at
+//                                every window end; plus lossless-impairment bit-identity
+//                                across --threads
 //        --seed
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -24,6 +32,7 @@
 
 #include "bench/harness.h"
 #include "src/detector/system.h"
+#include "src/net/impairment.h"
 #include "src/net/loopback.h"
 #include "src/report/codec.h"
 #include "src/routing/fattree_routing.h"
@@ -118,6 +127,9 @@ int main(int argc, char** argv) {
   flags.Describe("segments", "probe slices per window (default 6)");
   flags.Describe("rates", "comma-separated injected frame drop rates");
   flags.Describe("threads", "comma-separated thread counts for the exactness check");
+  flags.Describe("hostile-gate",
+                 "exit 2 unless the hardened plane holds under burst loss + reorder + "
+                 "duplication + corruption (see header comment)");
   flags.Describe("seed", "rng seed (default 1)");
   if (!flags.Parse(argc, argv)) {
     return 1;
@@ -261,6 +273,176 @@ int main(int argc, char** argv) {
     std::printf("\nvarint packing gate: %.2fx vs fixed-width — %s (gate: >= 2x)\n", packing,
                 pass ? "PASS" : "FAIL");
     return pass ? 0 : 2;
+  }
+
+  // ---- Hostile gate: the hardened plane under a LinkEm-style impairment schedule ---------
+  if (flags.Has("hostile-gate")) {
+    bool gate_pass = true;
+
+    // Part 1: pipelined folds over the hostile profile — seeded bursty loss around 30% of
+    // frames (entry rate 0.1 x run length 4), 30% reorder underneath, 5% duplication, 1%
+    // corruption. Authentication and CRC must keep every damaged frame out of the store with
+    // exact per-cause accounting, staleness must stay within the pipeline depth, and the
+    // suspect set at each window end must agree with a direct (no report plane) run.
+    const int depth = 2;
+    auto hostile_run = [&](bool report_plane) {
+      DetectorSystemOptions options = base_options();
+      options.report_plane = report_plane;
+      options.report_pipeline = report_plane;
+      options.report_pipeline_depth = depth;
+      DetectorSystem system(routing, options);
+      if (report_plane) {
+        system.SetReportTransportFactory([&](size_t i) -> std::unique_ptr<Transport> {
+          LoopbackOptions wire;
+          wire.reorder_rate = 0.3;
+          wire.seed = seed + 17 + i;
+          ImpairmentProfile profile;
+          profile.burst_loss_rate = 0.1;
+          profile.burst_length = 4;
+          profile.dup_rate = 0.05;
+          profile.corrupt_rate = 0.01;
+          profile.delay_ticks = 1;
+          profile.jitter_ticks = 3;
+          profile.seed = seed + 31 + i;
+          return std::make_unique<ImpairmentTransport>(
+              std::make_unique<LoopbackTransport>(wire), profile);
+        });
+      }
+      Rng rng(seed + 43);
+      std::vector<std::vector<LinkId>> suspects;
+      for (int w = 0; w < windows; ++w) {
+        const auto streamed = system.RunWindowStreaming(scenario, {}, rng);
+        std::vector<LinkId> links;
+        for (const SuspectLink& s : streamed.window.localization.links) {
+          links.push_back(s.link);
+        }
+        std::sort(links.begin(), links.end());
+        suspects.push_back(std::move(links));
+      }
+      CollectorStats stats;
+      uint64_t received = 0;
+      uint64_t corrupted_in_flight = 0;
+      if (report_plane) {
+        stats = system.collector_group()->stats();
+        for (size_t i = 0; system.report_transport(i) != nullptr; ++i) {
+          auto* impaired = static_cast<ImpairmentTransport*>(system.report_transport(i));
+          received += impaired->stats().frames_received;
+          corrupted_in_flight += impaired->impairment_stats().frames_corrupted +
+                                 impaired->impairment_stats().frames_truncated;
+        }
+      }
+      return std::make_tuple(std::move(suspects), stats, received, corrupted_in_flight);
+    };
+    const auto [direct_suspects, unused_stats, unused_rx, unused_corrupt] = hostile_run(false);
+    const auto [hostile_suspects, stats, received, corrupted] = hostile_run(true);
+    (void)unused_stats;
+    (void)unused_rx;
+    (void)unused_corrupt;
+
+    const uint64_t accounted = stats.frames_folded + stats.duplicates_dropped +
+                               stats.decode_errors + stats.tampered_dropped +
+                               stats.stale_window_dropped + stats.queue_overflow_dropped +
+                               stats.wrong_partition_dropped;
+    TablePrinter hostile_table({"metric", "value", "gate"});
+    hostile_table.AddRow({"frames folded",
+                          TablePrinter::FmtInt(static_cast<int64_t>(stats.frames_folded)),
+                          "> 0"});
+    hostile_table.AddRow({"corrupted in flight",
+                          TablePrinter::FmtInt(static_cast<int64_t>(corrupted)), "> 0"});
+    hostile_table.AddRow({"decode errors",
+                          TablePrinter::FmtInt(static_cast<int64_t>(stats.decode_errors)),
+                          "== corrupted arrivals"});
+    hostile_table.AddRow({"tampered folds", "0",
+                          stats.tampered_dropped == 0 ? "0 (same key)" : "VIOLATED"});
+    hostile_table.AddRow({"max fold staleness",
+                          TablePrinter::FmtInt(static_cast<int64_t>(stats.max_fold_staleness)),
+                          "<= " + TablePrinter::FmtInt(depth)});
+    hostile_table.Print();
+
+    if (stats.frames_folded == 0 || corrupted == 0 || stats.decode_errors == 0) {
+      std::printf("hostile gate: profile under-exercised (folded=%llu corrupted=%llu "
+                  "decode_errors=%llu)\n",
+                  static_cast<unsigned long long>(stats.frames_folded),
+                  static_cast<unsigned long long>(corrupted),
+                  static_cast<unsigned long long>(stats.decode_errors));
+      gate_pass = false;
+    }
+    if (stats.tampered_dropped != 0) {
+      std::printf("hostile gate: same-key fleet counted %llu tampered frames\n",
+                  static_cast<unsigned long long>(stats.tampered_dropped));
+      gate_pass = false;
+    }
+    if (stats.max_fold_staleness > static_cast<uint64_t>(depth)) {
+      std::printf("hostile gate: fold staleness %llu exceeds pipeline depth %d\n",
+                  static_cast<unsigned long long>(stats.max_fold_staleness), depth);
+      gate_pass = false;
+    }
+    if (accounted != received) {
+      std::printf("hostile gate: accounting leak — %llu frames received, %llu accounted "
+                  "(folded + per-cause drops)\n",
+                  static_cast<unsigned long long>(received),
+                  static_cast<unsigned long long>(accounted));
+      gate_pass = false;
+    }
+    if (hostile_suspects != direct_suspects) {
+      std::printf("hostile gate: suspect sets diverge from direct mode at a window end\n");
+      gate_pass = false;
+    } else {
+      std::printf("suspect sets agree with direct mode at all %d window ends; "
+                  "%llu of %llu received frames folded, every reject accounted by cause\n",
+                  windows, static_cast<unsigned long long>(stats.frames_folded),
+                  static_cast<unsigned long long>(received));
+    }
+
+    // Part 2: a lossless impairment schedule (delay + jitter + rate limiting + duplication
+    // over a reordering wire — nothing dropped or damaged) must stay bit-identical to direct
+    // mode at every thread count, same as the plain loopback gate above.
+    for (const std::string& token :
+         bench::SplitList(flags.GetString("threads", "1,2,8"))) {
+      const size_t threads = static_cast<size_t>(std::strtoull(token.c_str(), nullptr, 10));
+      auto run = [&](bool report_plane) {
+        DetectorSystemOptions options = base_options();
+        options.report_plane = report_plane;
+        options.probe_threads = threads;
+        DetectorSystem system(routing, options);
+        if (report_plane) {
+          system.SetReportTransportFactory([&](size_t i) -> std::unique_ptr<Transport> {
+            LoopbackOptions wire;
+            wire.reorder_rate = 0.3;
+            wire.seed = seed + 57 + i;
+            ImpairmentProfile profile;
+            profile.delay_ticks = 2;
+            profile.jitter_ticks = 4;
+            profile.rate_limit_per_tick = 8;
+            profile.dup_rate = 0.1;
+            profile.seed = seed + 71 + i;
+            return std::make_unique<ImpairmentTransport>(
+                std::make_unique<LoopbackTransport>(wire), profile);
+          });
+        }
+        Rng rng(seed + 21);
+        std::vector<DetectorSystem::WindowResult> out;
+        for (int w = 0; w < windows; ++w) {
+          out.push_back(system.RunWindowStreaming(scenario, {}, rng).window);
+        }
+        return out;
+      };
+      const auto direct = run(false);
+      const auto report = run(true);
+      bool identical = direct.size() == report.size();
+      for (size_t w = 0; identical && w < direct.size(); ++w) {
+        identical = direct[w].localization.links == report[w].localization.links &&
+                    direct[w].server_link_alarms == report[w].server_link_alarms &&
+                    direct[w].probes_sent == report[w].probes_sent &&
+                    direct[w].bytes_sent == report[w].bytes_sent;
+      }
+      gate_pass = gate_pass && identical;
+      std::printf("threads=%zu: lossless impairment schedule %s direct mode\n", threads,
+                  identical ? "bit-identical to" : "DIVERGES from");
+    }
+
+    std::printf("\nhostile gate: %s\n", gate_pass ? "PASS" : "FAIL");
+    return gate_pass ? 0 : 2;
   }
   return 0;
 }

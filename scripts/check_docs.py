@@ -25,8 +25,8 @@ DOCS = [REPO / "README.md", REPO / "ROADMAP.md", *sorted((REPO / "docs").glob("*
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 CODE_SPAN_RE = re.compile(r"`([^`]+)`")
 REPO_PATH_RE = re.compile(r"^(?:src|tests|bench|examples|docs|scripts)/[\w./{},-]+$")
-BINARY_RE = re.compile(r"^(bench_\w+|monitor_daemon|quickstart|gray_failure_hunt|"
-                       r"probe_matrix_explorer)$")
+BINARY_RE = re.compile(r"^(bench_\w+|monitor_daemon|fleet_runner|quickstart|"
+                       r"gray_failure_hunt|probe_matrix_explorer)$")
 
 
 def expand_braces(path: str):

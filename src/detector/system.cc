@@ -81,7 +81,14 @@ void DetectorSystem::PrepareReportFabric() {
   CollectorGroupOptions group_options;
   group_options.num_collectors = n;
   group_options.collector.ingest_shards = std::max<size_t>(1, options_.report_ingest_shards);
-  if (collector_group_ == nullptr || collector_group_->num_collectors() != n ||
+  group_options.collector.key = options_.report_key;
+  group_options.collector.liveness_horizon = options_.report_liveness_horizon;
+  const bool hardening_changed = applied_report_key_ != options_.report_key ||
+                                 applied_liveness_horizon_ != options_.report_liveness_horizon;
+  applied_report_key_ = options_.report_key;
+  applied_liveness_horizon_ = options_.report_liveness_horizon;
+  if (collector_group_ == nullptr || hardening_changed ||
+      collector_group_->num_collectors() != n ||
       collector_group_->ingest_shards_per_collector() != group_options.collector.ingest_shards) {
     collector_group_ = std::make_unique<CollectorGroup>(diagnoser_.store(),
                                                         BuildReportPartition(), group_options);
@@ -384,7 +391,7 @@ void DetectorSystem::RunSegment(const FailureScenario& scenario, double seconds,
           *report_transports_[static_cast<size_t>(collector_group_->RouteOf(list.pinger))];
       shard_work.emitter = std::make_unique<ReportEmitter>(
           list.pinger, report_window_id_, report_seq_[list.pinger], store.slot_epochs(),
-          transport, options_.report_batch_entries);
+          transport, options_.report_batch_entries, options_.report_key);
     }
     work.push_back(std::move(shard_work));
   }
@@ -630,7 +637,7 @@ void DetectorSystem::RunSegmentSubsharded(const ProbeEngine& engine, double seco
           collector_group_->RouteOf(list_work.list->pinger))];
       emitter = std::make_unique<ReportEmitter>(
           list_work.list->pinger, report_window_id_, report_seq_[list_work.list->pinger],
-          store.slot_epochs(), transport, options_.report_batch_entries);
+          store.slot_epochs(), transport, options_.report_batch_entries, options_.report_key);
     }
     for (size_t p = 0; p < list_work.num_tasks; ++p) {
       SubShard& task = tasks[list_work.first_task + p];

@@ -135,6 +135,13 @@ struct DetectorSystemOptions {
   bool report_pipeline = false;
   int report_pipeline_depth = 2;
   size_t report_pump_budget = 0;
+  // Frame-authentication key shared by every emitter and collector in this system (see
+  // ReportKey) — frames tagged under any other key are rejected kBadAuth and counted as
+  // tampered, never folded.
+  ReportKey report_key;
+  // Collector liveness horizon in clock ticks (every window open and segment boundary is a
+  // tick): a pinger silent longer than this is reported stale via CollectorStats. 0 = off.
+  uint64_t report_liveness_horizon = 0;
 };
 
 class DetectorSystem {
@@ -277,6 +284,10 @@ class DetectorSystem {
   }
   // Toggles the pipelined (boundary-straddling) report plane and its knobs — see the option
   // comments. Takes effect at the next window.
+  void set_report_key(const ReportKey& key) { options_.report_key = key; }
+  void set_report_liveness_horizon(uint64_t ticks) {
+    options_.report_liveness_horizon = ticks;
+  }
   void set_report_pipeline(bool on) { options_.report_pipeline = on; }
   void set_report_pipeline_depth(int d) { options_.report_pipeline_depth = std::max(1, d); }
   void set_report_pump_budget(size_t frames) { options_.report_pump_budget = frames; }
@@ -363,6 +374,10 @@ class DetectorSystem {
   std::unique_ptr<CollectorGroup> collector_group_;
   uint64_t report_window_id_ = 0;
   std::map<NodeId, uint64_t> report_seq_;
+  // Hardening options the live collector group was built with — a change forces a rebuild in
+  // PrepareReportFabric (collector key/horizon are fixed at construction).
+  ReportKey applied_report_key_;
+  uint64_t applied_liveness_horizon_ = 0;
   // Per-pinger version high-water marks. Outlives the pinglists themselves: a pinger whose
   // list vanishes for a cycle (unhealthy, no entries) must not restart at version 1, or a
   // diff consumer would discard everything after its return as stale.

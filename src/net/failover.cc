@@ -1,0 +1,69 @@
+#include "src/net/failover.h"
+
+#include <algorithm>
+
+namespace detector {
+
+FailoverTransport::FailoverTransport(std::vector<std::unique_ptr<Transport>> backends,
+                                     FailoverOptions options)
+    : options_(options), backends_(std::move(backends)) {}
+
+bool FailoverTransport::Send(std::span<const uint8_t> frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t threshold = std::max<uint64_t>(1, options_.failover_after);
+  // At most one full lap: primary (or current active), then each backup once.
+  for (size_t attempt = 0; attempt < std::max<size_t>(1, backends_.size()); ++attempt) {
+    if (backends_[active_]->Send(frame)) {
+      consecutive_failures_ = 0;
+      return true;
+    }
+    if (++consecutive_failures_ < threshold || backends_.size() < 2) {
+      return false;  // under threshold: report the failure, stay put
+    }
+    active_ = (active_ + 1) % backends_.size();
+    consecutive_failures_ = 0;
+    ++failovers_;
+    // Re-send the tripping frame on the new backend (idempotent fold makes a double
+    // delivery safe) by looping.
+  }
+  return false;
+}
+
+bool FailoverTransport::Receive(std::vector<uint8_t>& out) {
+  for (auto& backend : backends_) {
+    if (backend->Receive(out)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FailoverTransport::Flush() {
+  for (auto& backend : backends_) {
+    backend->Flush();
+  }
+}
+
+TransportStats FailoverTransport::stats() const {
+  TransportStats total;
+  for (const auto& backend : backends_) {
+    const TransportStats s = backend->stats();
+    total.frames_sent += s.frames_sent;
+    total.bytes_sent += s.bytes_sent;
+    total.frames_dropped += s.frames_dropped;
+    total.frames_received += s.frames_received;
+  }
+  return total;
+}
+
+size_t FailoverTransport::active_index() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+uint64_t FailoverTransport::failovers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failovers_;
+}
+
+}  // namespace detector

@@ -1,0 +1,64 @@
+// FailoverTransport: agent-side collector failover. Wraps an ordered list of backend
+// transports (primary first, then backups); Sends go to the active backend until it fails
+// `failover_after` consecutive times, at which point the agent cycles to the next backend and
+// re-sends the frame that tripped the switch. Re-sending is safe because the collector fold
+// is idempotent by (pinger, window, seq): a frame that actually landed before the "failure"
+// was observed folds once and the re-delivery is counted as a duplicate, so
+// folded + dropped == offered stays exact across a handover.
+//
+// Failure here means Send() returned false — a hard, sender-observable backend error (e.g. a
+// connected UDP socket returning ECONNREFUSED because the collector process died). Silent
+// in-flight loss is invisible to any sender and does not trip failover; that is what the
+// liveness horizon at the collector is for.
+#ifndef SRC_NET_FAILOVER_H_
+#define SRC_NET_FAILOVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/net/transport.h"
+
+namespace detector {
+
+struct FailoverOptions {
+  uint64_t failover_after = 3;  // consecutive Send failures before cycling (clamped >= 1)
+};
+
+class FailoverTransport final : public Transport {
+ public:
+  FailoverTransport(std::vector<std::unique_ptr<Transport>> backends,
+                    FailoverOptions options = {});
+
+  // Sends on the active backend; on the failure that crosses the threshold, cycles to the
+  // next backend (round-robin) and re-sends there. False only when every cycle-and-retry
+  // this call attempted failed (at most one full lap over the backends).
+  bool Send(std::span<const uint8_t> frame) override;
+
+  // Drains every backend in order — frames queued on a backend whose send side died must
+  // still reach the consumer.
+  bool Receive(std::vector<uint8_t>& out) override;
+  void Flush() override;
+  // Sums across backends: a frame sent-then-resent during a handover counts once per
+  // attempt, exactly like the per-backend stats it aggregates.
+  TransportStats stats() const override;
+
+  size_t active_index() const;
+  uint64_t failovers() const;
+  size_t num_backends() const { return backends_.size(); }
+  Transport& backend(size_t i) { return *backends_[i]; }
+
+ private:
+  const FailoverOptions options_;
+  std::vector<std::unique_ptr<Transport>> backends_;
+
+  mutable std::mutex mu_;
+  size_t active_ = 0;
+  uint64_t consecutive_failures_ = 0;
+  uint64_t failovers_ = 0;
+};
+
+}  // namespace detector
+
+#endif  // SRC_NET_FAILOVER_H_

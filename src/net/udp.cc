@@ -102,9 +102,12 @@ bool UdpTransport::Send(std::span<const uint8_t> frame) {
   ++stats_.frames_sent;
   stats_.bytes_sent += frame.size();
   if (sent < 0) {
-    // ECONNREFUSED (no collector yet) and buffer pressure are real datagram losses.
+    // Buffer pressure (EAGAIN) is a real datagram loss no sender can act on. ECONNREFUSED
+    // on a connected localhost socket is different: the kernel is telling us nothing listens
+    // on that port — the collector is down — and that hard signal must reach the caller so a
+    // FailoverTransport can cycle to a backup instead of shoveling frames into a dead port.
     ++stats_.frames_dropped;
-    return send_errno == EAGAIN || send_errno == EWOULDBLOCK || send_errno == ECONNREFUSED;
+    return send_errno == EAGAIN || send_errno == EWOULDBLOCK;
   }
   return true;
 }

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "src/common/crc32.h"
+#include "src/common/siphash.h"
 
 namespace detector {
 
@@ -41,17 +42,20 @@ const char* DecodeStatusName(DecodeStatus status) {
     case DecodeStatus::kBadMagic: return "bad-magic";
     case DecodeStatus::kBadVersion: return "bad-version";
     case DecodeStatus::kBadCrc: return "bad-crc";
+    case DecodeStatus::kBadAuth: return "bad-auth";
     case DecodeStatus::kTruncated: return "truncated";
     case DecodeStatus::kMalformed: return "malformed";
   }
   return "unknown";
 }
 
-void ReportCodec::Encode(const ReportFrame& frame, std::vector<uint8_t>& out) {
+void ReportCodec::Encode(const ReportFrame& frame, std::vector<uint8_t>& out,
+                         const ReportKey& key) {
   out.clear();
   out.push_back(kMagic0);
   out.push_back(kMagic1);
   out.push_back(kVersion);
+  out.resize(kHeaderPos, 0);  // reserve the tag slot; filled once the payload is complete
   PutVarint(out, static_cast<uint64_t>(frame.pinger));
   PutVarint(out, frame.window_id);
   PutVarint(out, frame.seq);
@@ -70,6 +74,11 @@ void ReportCodec::Encode(const ReportFrame& frame, std::vector<uint8_t>& out) {
     PutVarint(out, static_cast<uint64_t>(record.target));
     PutVarint(out, static_cast<uint64_t>(record.sent));
     PutVarint(out, static_cast<uint64_t>(record.lost));
+  }
+  const uint64_t tag =
+      SipHash24(key.k0, key.k1, std::span<const uint8_t>(out).subspan(kHeaderPos));
+  for (size_t b = 0; b < 8; ++b) {
+    out[kTagOffset + b] = static_cast<uint8_t>(tag >> (8 * b));
   }
   const uint32_t crc = Crc32(out);
   out.push_back(static_cast<uint8_t>(crc));
@@ -108,9 +117,10 @@ bool ReadI32(std::span<const uint8_t> bytes, size_t& pos, int32_t& value) {
 
 }  // namespace
 
-DecodeStatus ReportCodec::Decode(std::span<const uint8_t> bytes, ReportFrame& out) {
-  // magic(2) + version(1) + 5 one-byte header varints + crc(4)
-  if (bytes.size() < 12) {
+DecodeStatus ReportCodec::Decode(std::span<const uint8_t> bytes, ReportFrame& out,
+                                 const ReportKey& key) {
+  // magic(2) + version(1) + tag(8) + 5 one-byte header varints + crc(4)
+  if (bytes.size() < 20) {
     return DecodeStatus::kTooShort;
   }
   if (bytes[0] != kMagic0 || bytes[1] != kMagic1) {
@@ -127,9 +137,21 @@ DecodeStatus ReportCodec::Decode(std::span<const uint8_t> bytes, ReportFrame& ou
   if (Crc32(bytes.subspan(0, body_size)) != wire_crc) {
     return DecodeStatus::kBadCrc;
   }
+  // CRC clean but tag mismatched: the payload (or the tag itself) was modified by someone
+  // who could recompute the CRC but not the keyed tag. Verified before any payload parsing,
+  // with a constant-time compare.
+  const uint64_t expect =
+      SipHash24(key.k0, key.k1, bytes.subspan(kHeaderPos, body_size - kHeaderPos));
+  uint8_t expect_bytes[8];
+  for (size_t b = 0; b < 8; ++b) {
+    expect_bytes[b] = static_cast<uint8_t>(expect >> (8 * b));
+  }
+  if (!ConstantTimeEqual8(bytes.data() + kTagOffset, expect_bytes)) {
+    return DecodeStatus::kBadAuth;
+  }
 
   const std::span<const uint8_t> body = bytes.subspan(0, body_size);
-  size_t pos = 3;
+  size_t pos = kHeaderPos;
   ReportFrame frame;
   if (!ReadI32(body, pos, frame.pinger)) {
     return DecodeStatus::kMalformed;
@@ -191,10 +213,11 @@ DecodeStatus ReportCodec::Decode(std::span<const uint8_t> bytes, ReportFrame& ou
 }
 
 bool ReportCodec::PeekPinger(std::span<const uint8_t> bytes, NodeId& pinger) {
-  if (bytes.size() < 4 || bytes[0] != kMagic0 || bytes[1] != kMagic1 || bytes[2] != kVersion) {
+  if (bytes.size() < kHeaderPos + 1 || bytes[0] != kMagic0 || bytes[1] != kMagic1 ||
+      bytes[2] != kVersion) {
     return false;
   }
-  size_t pos = 3;
+  size_t pos = kHeaderPos;  // skip the auth tag; the full Decode on the shard verifies it
   int32_t value = 0;
   if (!ReadI32(bytes, pos, value)) {
     return false;
@@ -204,8 +227,9 @@ bool ReportCodec::PeekPinger(std::span<const uint8_t> bytes, NodeId& pinger) {
 }
 
 size_t ReportCodec::FixedWidthBytes(const ReportFrame& frame) {
-  // pinger(4) + window(8) + seq(8) + two counts(4+4) fixed header, magic/version/crc as ours.
-  return 3 + 4 + 8 + 8 + 4 + 4 + frame.paths.size() * (4 + 4 + 4 + 8 + 8) +
+  // pinger(4) + window(8) + seq(8) + two counts(4+4) fixed header, magic/version/tag/crc as
+  // ours (both encodings carry the 8-byte auth tag).
+  return 3 + 8 + 4 + 8 + 8 + 4 + 4 + frame.paths.size() * (4 + 4 + 4 + 8 + 8) +
          frame.intra.size() * (4 + 8 + 8) + 4;
 }
 

@@ -6,18 +6,26 @@
 // Frame layout (all multi-byte integers varint-packed, LEB128; signed values zigzag):
 //
 //   [0]  magic      0xD7 0x52                  ("deTector Report")
-//   [2]  version    0x01
-//   [3]  header     varint pinger | varint window_id | varint seq
+//   [2]  version    0x02
+//   [3]  auth       8-byte little-endian SipHash-2-4 tag over the payload ([11, -4)) under
+//                   the 128-bit deployment key
+//   [11] header     varint pinger | varint window_id | varint seq
 //                   varint n_paths | varint n_intra
 //        paths      n_paths x { zigzag slot_delta   (vs the previous record's slot)
 //                               varint epoch | varint target | varint sent | varint lost }
 //        intra      n_intra x { varint target | varint sent | varint lost }
-//   [-4] crc32      little-endian CRC-32 (IEEE) over every byte before it
+//   [-4] crc32      little-endian CRC-32 (IEEE) over every byte before it (tag included)
 //
 // Varint packing prices small values at one byte — a typical observation costs ~7-9 bytes
 // against 28 for the naive fixed-width struct (gated in bench_report_plane). Decode is
-// all-or-nothing: any structural problem or CRC mismatch yields a DecodeStatus error and an
-// untouched output frame, never a partial one.
+// all-or-nothing: any structural problem, CRC mismatch, or authentication failure yields a
+// DecodeStatus error and an untouched output frame, never a partial one.
+//
+// CRC and MAC answer different questions and both run: the CRC (checked first) catches
+// random in-flight damage cheaply, so kBadCrc means "the network mangled this"; the keyed
+// tag (checked second, constant-time) catches deliberate modification — a forger can
+// recompute the CRC but not the tag — so kBadAuth means "someone who doesn't hold the key
+// touched this". Collectors count the two separately (decode_errors vs tampered_dropped).
 #ifndef SRC_REPORT_CODEC_H_
 #define SRC_REPORT_CODEC_H_
 
@@ -65,27 +73,45 @@ struct ReportFrame {
 
 enum class DecodeStatus {
   kOk = 0,
-  kTooShort,    // shorter than the minimal frame (magic + version + empty header + crc)
+  kTooShort,    // shorter than the minimal frame (magic + version + tag + empty header + crc)
   kBadMagic,
   kBadVersion,
   kBadCrc,      // checksum mismatch — corruption or truncation in flight
+  kBadAuth,     // CRC passed but the keyed tag does not verify — deliberate tamper or key skew
   kTruncated,   // CRC passed but a varint or record ran off the end (malformed encoder)
   kMalformed,   // CRC passed but a value is out of domain (negative id, varint overflow, ...)
 };
 const char* DecodeStatusName(DecodeStatus status);
 
+// The 128-bit per-deployment frame-authentication key. Every emitter and collector in one
+// deployment shares it; frames tagged under a different key (or modified in flight) decode
+// kBadAuth. The default is a fixed, documented key so single-process and test topologies
+// agree without plumbing — real deployments override it (DetectorSystemOptions::report_key,
+// monitor_daemon/fleet_runner --key).
+struct ReportKey {
+  uint64_t k0 = 0x6465546563746f72ULL;  // "deTector"
+  uint64_t k1 = 0x5265706f72744b31ULL;  // "ReportK1"
+
+  bool operator==(const ReportKey&) const = default;
+};
+
 class ReportCodec {
  public:
   static constexpr uint8_t kMagic0 = 0xD7;
   static constexpr uint8_t kMagic1 = 0x52;
-  static constexpr uint8_t kVersion = 1;
+  static constexpr uint8_t kVersion = 2;
+  static constexpr size_t kTagOffset = 3;   // 8-byte SipHash tag lives at [3, 11)
+  static constexpr size_t kHeaderPos = 11;  // payload varints start here
 
-  // Serializes `frame`, replacing `out`'s contents.
-  static void Encode(const ReportFrame& frame, std::vector<uint8_t>& out);
+  // Serializes `frame`, replacing `out`'s contents, tagging the payload under `key`.
+  static void Encode(const ReportFrame& frame, std::vector<uint8_t>& out,
+                     const ReportKey& key = {});
 
-  // Parses `bytes` into `out`. On any error `out` is left untouched — a frame either decodes
+  // Parses `bytes` into `out`, verifying the tag under `key` (constant-time compare) before
+  // any payload byte is parsed. On any error `out` is left untouched — a frame either decodes
   // whole or contributes nothing.
-  static DecodeStatus Decode(std::span<const uint8_t> bytes, ReportFrame& out);
+  static DecodeStatus Decode(std::span<const uint8_t> bytes, ReportFrame& out,
+                             const ReportKey& key = {});
 
   // Reads just the pinger id out of the frame header (magic + version + first varint) without
   // touching the CRC or the records — the sharded collector's ingest router peeks this to pick
@@ -95,8 +121,9 @@ class ReportCodec {
 
   // Bytes the same frame would occupy in a naive fixed-width encoding (the bench's packing
   // baseline): per path record slot/epoch/target at 4 bytes and sent/lost at 8, per intra
-  // record target at 4 and sent/lost at 8, plus a fixed 35-byte envelope (magic/version,
-  // pinger, window, seq, two counts, CRC).
+  // record target at 4 and sent/lost at 8, plus a fixed 43-byte envelope (magic/version,
+  // auth tag, pinger, window, seq, two counts, CRC — both encodings carry the tag, so the
+  // packing comparison stays apples-to-apples).
   static size_t FixedWidthBytes(const ReportFrame& frame);
 };
 

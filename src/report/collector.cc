@@ -16,6 +16,7 @@ Collector::Collector(ObservationStore& store, CollectorOptions options)
 void Collector::BeginWindow(uint64_t window_id) {
   current_window_.store(window_id, std::memory_order_release);
   boundary_.store(0, std::memory_order_release);
+  liveness_clock_.fetch_add(1, std::memory_order_acq_rel);
   for (auto& shard : shards_) {
     shard->folded_seqs.clear();
     // The diagnosis tier may have Clear()ed the store between windows — cached Shard
@@ -77,9 +78,14 @@ size_t Collector::DrainShard(IngestShard& shard, size_t max_frames, size_t& proc
       shard.raw = std::move(shard.queue.front().second);
       shard.queue.pop_front();
     }
-    const DecodeStatus status = ReportCodec::Decode(shard.raw, shard.decoded);
+    const DecodeStatus status = ReportCodec::Decode(shard.raw, shard.decoded, options_.key);
     if (status != DecodeStatus::kOk) {
-      ++shard.stats.decode_errors;
+      // Tamper (CRC-clean, tag-failed) is an attack signal; everything else is damage.
+      if (status == DecodeStatus::kBadAuth) {
+        ++shard.stats.tampered_dropped;
+      } else {
+        ++shard.stats.decode_errors;
+      }
       ++processed;
       continue;
     }
@@ -90,6 +96,17 @@ size_t Collector::DrainShard(IngestShard& shard, size_t max_frames, size_t& proc
       ++shard.stats.wrong_partition_dropped;
       ++processed;
       continue;
+    }
+    // Any authenticated frame from a pinger we own refreshes its liveness — even a duplicate
+    // or a stale-window straggler proves the agent is alive.
+    {
+      PingerLiveness& live = shard.last_seen[shard.decoded.pinger];
+      if (shard.decoded.window_id > live.window ||
+          (shard.decoded.window_id == live.window && shard.decoded.seq > live.seq)) {
+        live.window = shard.decoded.window_id;
+        live.seq = shard.decoded.seq;
+      }
+      live.tick = liveness_clock_.load(std::memory_order_acquire);
     }
     const uint64_t window = current_window_.load(std::memory_order_acquire);
     if (shard.decoded.window_id < window) {
@@ -252,20 +269,47 @@ size_t Collector::PumpFrom(Transport& transport, size_t max_fold_frames) {
 CollectorStats Collector::stats() const {
   CollectorStats total;
   total.window_advances = window_advances_;
+  const uint64_t clock = liveness_clock_.load(std::memory_order_acquire);
   for (const auto& shard : shards_) {
     const CollectorStats& s = shard->stats;
     total.frames_folded += s.frames_folded;
     total.observations_folded += s.observations_folded;
     total.duplicates_dropped += s.duplicates_dropped;
     total.decode_errors += s.decode_errors;
+    total.tampered_dropped += s.tampered_dropped;
     total.stale_window_dropped += s.stale_window_dropped;
     total.queue_overflow_dropped += s.queue_overflow_dropped;
     total.unknown_slot_dropped += s.unknown_slot_dropped;
     total.wrong_partition_dropped += s.wrong_partition_dropped;
     total.frames_straddled += s.frames_straddled;
     total.max_fold_staleness = std::max(total.max_fold_staleness, s.max_fold_staleness);
+    total.pingers_tracked += shard->last_seen.size();
+    if (options_.liveness_horizon > 0) {
+      for (const auto& [pinger, live] : shard->last_seen) {
+        if (clock - live.tick > options_.liveness_horizon) {
+          ++total.stale_pingers;
+        }
+      }
+    }
   }
   return total;
+}
+
+std::vector<NodeId> Collector::StalePingers() const {
+  std::vector<NodeId> stale;
+  if (options_.liveness_horizon == 0) {
+    return stale;
+  }
+  const uint64_t clock = liveness_clock_.load(std::memory_order_acquire);
+  for (const auto& shard : shards_) {
+    for (const auto& [pinger, live] : shard->last_seen) {
+      if (clock - live.tick > options_.liveness_horizon) {
+        stale.push_back(pinger);
+      }
+    }
+  }
+  std::sort(stale.begin(), stale.end());
+  return stale;
 }
 
 size_t Collector::queued() const {

@@ -49,6 +49,11 @@ namespace detector {
 struct CollectorOptions {
   size_t queue_capacity = 1024;  // frames each ingest-shard queue holds before Offer drops
   size_t ingest_shards = 1;      // parallel decode/fold lanes (pinger-affine; clamped >= 1)
+  ReportKey key;                 // frame-authentication key (must match the emitters')
+  // Liveness ticks of silence (the clock advances at every BeginWindow and every segment
+  // boundary) after which a known pinger counts as stale. 0 disables the stale flagging;
+  // last-seen tracking itself always runs.
+  uint64_t liveness_horizon = 0;
 };
 
 struct CollectorStats {
@@ -56,6 +61,7 @@ struct CollectorStats {
   uint64_t observations_folded = 0;
   uint64_t duplicates_dropped = 0;      // (pinger, window, seq) already folded
   uint64_t decode_errors = 0;           // CRC mismatches, truncation, malformed frames
+  uint64_t tampered_dropped = 0;        // CRC-clean frames failing the keyed-tag verify
   uint64_t stale_window_dropped = 0;    // frame.window_id older than the current window
   uint64_t queue_overflow_dropped = 0;  // bounded shard queue was full at Offer time
   uint64_t unknown_slot_dropped = 0;    // records beyond the store's slot table (skipped)
@@ -63,6 +69,17 @@ struct CollectorStats {
   uint64_t window_advances = 0;         // pending-window flips applied
   uint64_t frames_straddled = 0;        // folded >= 1 segment boundary after arrival
   uint64_t max_fold_staleness = 0;      // worst boundaries-crossed-while-queued of any fold
+  uint64_t pingers_tracked = 0;         // gauge: pingers with liveness state (ever heard)
+  uint64_t stale_pingers = 0;           // gauge: tracked pingers silent past the horizon
+};
+
+// Last authenticated word from one pinger: the newest (window, seq) decoded from it and the
+// liveness-clock tick it arrived at. A pinger whose tick falls `liveness_horizon` behind the
+// clock is stale — a silent agent is an alarm, not a blind spot.
+struct PingerLiveness {
+  uint64_t window = 0;
+  uint64_t seq = 0;
+  uint64_t tick = 0;
 };
 
 class Collector {
@@ -134,13 +151,22 @@ class Collector {
   // Stamps a segment boundary for staleness accounting: a frame offered at boundary b and
   // folded at boundary b+k folded k boundaries stale (frames_straddled / max_fold_staleness).
   // Any thread, but in practice the serial segment loop.
-  void AdvanceBoundary() { boundary_.fetch_add(1, std::memory_order_acq_rel); }
+  void AdvanceBoundary() {
+    boundary_.fetch_add(1, std::memory_order_acq_rel);
+    liveness_clock_.fetch_add(1, std::memory_order_acq_rel);
+  }
   uint64_t boundary() const { return boundary_.load(std::memory_order_acquire); }
 
-  // Rolls per-shard counters up into one view (sums; max for max_fold_staleness). Serial
-  // point with respect to drainers.
+  // Rolls per-shard counters up into one view (sums; max for max_fold_staleness; liveness
+  // gauges computed against the current clock). Serial point with respect to drainers.
   CollectorStats stats() const;
   size_t queued() const;
+
+  // Pingers this collector has heard from (any authenticated frame it owns, including
+  // duplicates and stale-window arrivals) whose last word is more than liveness_horizon
+  // ticks old — sorted, empty when the horizon is 0. Serial point.
+  std::vector<NodeId> StalePingers() const;
+  uint64_t liveness_clock() const { return liveness_clock_.load(std::memory_order_acquire); }
 
   size_t num_ingest_shards() const { return shards_.size(); }
   // The ingest shard Offer routes `pinger` to — PingerHash-based, stable across processes.
@@ -161,6 +187,10 @@ class Collector {
     // Store shards this lane already opened — OpenShard mutates the store's pinger map, so
     // first-seen pingers go through the open mutex once and are cached after.
     std::map<NodeId, ObservationStore::Shard*> store_shards;
+    // Per-pinger liveness (pinger-affine, so exactly one lane tracks each pinger). Written
+    // only by this shard's drainer; read at the stats()/StalePingers() serial points. NOT
+    // pruned at window flips — silence is precisely what it must remember across windows.
+    std::map<NodeId, PingerLiveness> last_seen;
     CollectorStats stats;
     uint64_t pending_window = 0;  // newer window id seen at the queue head
     bool has_pending = false;
@@ -181,6 +211,9 @@ class Collector {
 
   std::atomic<uint64_t> current_window_{0};
   std::atomic<uint64_t> boundary_{0};
+  // Monotonic liveness clock: ticks at every BeginWindow and every AdvanceBoundary (the
+  // per-window boundary_ resets and cannot serve). Never reset.
+  std::atomic<uint64_t> liveness_clock_{0};
   std::function<void(uint64_t, uint64_t)> on_window_advance_;
   uint64_t window_advances_ = 0;  // serial-point counter (flips happen serially)
 

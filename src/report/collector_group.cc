@@ -47,6 +47,7 @@ CollectorStats CollectorGroup::stats() const {
     total.observations_folded += s.observations_folded;
     total.duplicates_dropped += s.duplicates_dropped;
     total.decode_errors += s.decode_errors;
+    total.tampered_dropped += s.tampered_dropped;
     total.stale_window_dropped += s.stale_window_dropped;
     total.queue_overflow_dropped += s.queue_overflow_dropped;
     total.unknown_slot_dropped += s.unknown_slot_dropped;
@@ -54,8 +55,21 @@ CollectorStats CollectorGroup::stats() const {
     total.window_advances += s.window_advances;
     total.frames_straddled += s.frames_straddled;
     total.max_fold_staleness = std::max(total.max_fold_staleness, s.max_fold_staleness);
+    total.pingers_tracked += s.pingers_tracked;
+    total.stale_pingers += s.stale_pingers;
   }
   return total;
+}
+
+std::vector<NodeId> CollectorGroup::StalePingers() const {
+  std::vector<NodeId> stale;
+  for (const auto& collector : collectors_) {
+    const std::vector<NodeId> s = collector->StalePingers();
+    stale.insert(stale.end(), s.begin(), s.end());
+  }
+  // Partitions are disjoint, so this is a merge, not a dedup.
+  std::sort(stale.begin(), stale.end());
+  return stale;
 }
 
 size_t CollectorGroup::queued() const {

@@ -49,6 +49,10 @@ class CollectorGroup {
   CollectorStats stats() const;
   size_t queued() const;
 
+  // Union of every instance's stale-pinger report (partitions are disjoint), sorted. Serial
+  // point wrt drainers.
+  std::vector<NodeId> StalePingers() const;
+
  private:
   PartitionMap map_;
   std::mutex store_open_mu_;  // shared OpenShard guard across all instances' fold lanes

@@ -4,12 +4,13 @@ namespace detector {
 
 ReportEmitter::ReportEmitter(NodeId pinger, uint64_t window_id, uint64_t start_seq,
                              std::span<const uint32_t> slot_epochs, Transport& transport,
-                             size_t batch_observations)
+                             size_t batch_observations, const ReportKey& key)
     : pinger_(pinger),
       window_id_(window_id),
       slot_epochs_(slot_epochs),
       transport_(transport),
       batch_observations_(batch_observations == 0 ? 1 : batch_observations),
+      key_(key),
       next_seq_(start_seq) {
   pending_.pinger = pinger_;
   pending_.window_id = window_id_;
@@ -37,7 +38,7 @@ void ReportEmitter::Flush() {
     return;
   }
   pending_.seq = next_seq_++;
-  ReportCodec::Encode(pending_, encode_buf_);
+  ReportCodec::Encode(pending_, encode_buf_, key_);
   if (!transport_.Send(encode_buf_)) {
     ++stats_.frames_send_failed;
   }

@@ -31,9 +31,10 @@ class ReportEmitter final : public ReportSink {
   // `slot_epochs` is the store's per-slot epoch view (may be empty: every record then carries
   // epoch 0, the fresh-store default — what a remote agent without a local store sends).
   // `start_seq` continues the pinger's per-window frame numbering across probe segments.
+  // `key` tags each frame; it must match the collectors' key or every frame lands kBadAuth.
   ReportEmitter(NodeId pinger, uint64_t window_id, uint64_t start_seq,
                 std::span<const uint32_t> slot_epochs, Transport& transport,
-                size_t batch_observations = 64);
+                size_t batch_observations = 64, const ReportKey& key = {});
   ~ReportEmitter() override = default;
 
   void OnPath(PathId slot, NodeId target, int64_t sent, int64_t lost) override;
@@ -53,6 +54,7 @@ class ReportEmitter final : public ReportSink {
   const std::span<const uint32_t> slot_epochs_;
   Transport& transport_;
   const size_t batch_observations_;
+  const ReportKey key_;
   uint64_t next_seq_;
   ReportFrame pending_;
   std::vector<uint8_t> encode_buf_;

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "src/common/crc32.h"
 #include "src/detector/system.h"
 #include "src/net/loopback.h"
 #include "src/net/udp.h"
@@ -103,6 +104,76 @@ TEST(ReportCodec, EverySingleByteCorruptionIsAnError) {
           << "corruption at byte " << i << " xor " << int{flip} << " decoded";
     }
   }
+}
+
+// Flip one bit and recompute the trailing CRC so only the auth layer can catch the change —
+// the forged-frame shape (a tamperer can always fix the checksum; only the keyed tag stops
+// them).
+std::vector<uint8_t> FlipWithCrcFixup(std::vector<uint8_t> bytes, size_t index, int bit) {
+  bytes[index] ^= static_cast<uint8_t>(1u << bit);
+  const size_t body = bytes.size() - 4;
+  const uint32_t crc = Crc32({bytes.data(), body});
+  for (size_t b = 0; b < 4; ++b) {
+    bytes[body + b] = static_cast<uint8_t>(crc >> (8 * b));
+  }
+  return bytes;
+}
+
+// The structured fuzz over the authenticated frame layout: every single-bit flip across
+// header, auth tag, payload, and CRC is rejected, and the *classification* is right — raw
+// flips read as in-flight damage (kBadCrc; magic/version have their own earlier checks),
+// CRC-fixed flips read as tamper (kBadAuth) everywhere the tag protects. The distinction is
+// what the collector counts (decode_errors vs tampered_dropped), so it is load-bearing.
+TEST(ReportCodec, EverySingleBitFlipIsRejectedAndClassified) {
+  std::vector<uint8_t> wire;
+  ReportCodec::Encode(SampleFrame(), wire);
+  const size_t body = wire.size() - 4;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      // Raw flip: random corruption. The CRC (or an earlier magic/version check) catches it.
+      std::vector<uint8_t> corrupted = wire;
+      corrupted[i] ^= static_cast<uint8_t>(1u << bit);
+      ReportFrame decoded;
+      decoded.pinger = -7;
+      const DecodeStatus raw_status = ReportCodec::Decode(corrupted, decoded);
+      EXPECT_NE(raw_status, DecodeStatus::kOk) << "bit " << bit << " of byte " << i;
+      if (i >= 3) {
+        EXPECT_EQ(raw_status, DecodeStatus::kBadCrc)
+            << "raw flip at byte " << i << " bit " << bit << " misclassified as "
+            << DecodeStatusName(raw_status);
+      }
+      EXPECT_EQ(decoded.pinger, -7) << "output mutated on error";
+
+      // CRC-fixed flip: deliberate tamper. Skip the CRC bytes themselves (the fixup would
+      // undo the flip) — magic/version keep their own statuses, everything else must land
+      // kBadAuth: the tag covers tag-and-payload, and is verified before any parsing.
+      if (i >= body) {
+        continue;
+      }
+      const std::vector<uint8_t> forged = FlipWithCrcFixup(wire, i, bit);
+      const DecodeStatus forged_status = ReportCodec::Decode(forged, decoded);
+      if (i < 2) {
+        EXPECT_EQ(forged_status, DecodeStatus::kBadMagic) << "byte " << i << " bit " << bit;
+      } else if (i == 2) {
+        EXPECT_EQ(forged_status, DecodeStatus::kBadVersion) << "bit " << bit;
+      } else {
+        EXPECT_EQ(forged_status, DecodeStatus::kBadAuth)
+            << "forged bit " << bit << " of byte " << i << " classified as "
+            << DecodeStatusName(forged_status);
+      }
+      EXPECT_EQ(decoded.pinger, -7) << "output mutated on tamper";
+    }
+  }
+}
+
+TEST(ReportCodec, WrongKeyIsBadAuth) {
+  std::vector<uint8_t> wire;
+  ReportCodec::Encode(SampleFrame(), wire, ReportKey{1, 2});
+  ReportFrame decoded;
+  EXPECT_EQ(ReportCodec::Decode(wire, decoded, ReportKey{1, 2}), DecodeStatus::kOk);
+  EXPECT_EQ(ReportCodec::Decode(wire, decoded, ReportKey{1, 3}), DecodeStatus::kBadAuth);
+  EXPECT_EQ(ReportCodec::Decode(wire, decoded), DecodeStatus::kBadAuth)
+      << "default-key collector accepted a foreign deployment's frame";
 }
 
 TEST(ReportCodec, GarbageAndShortBuffersNeverCrash) {
@@ -435,7 +506,12 @@ TEST(ReportPlane, UdpLoopbackDeliversFrames) {
                  << ") — skipping the UDP loopback test";
   }
   auto agent_side = UdpTransport::Connect(collector_side->port(), &error);
-  ASSERT_NE(agent_side, nullptr) << error;
+  if (agent_side == nullptr) {
+    // Some sandboxes allow bind but refuse connect — surface the factory's reason in the
+    // CI log instead of failing a test the environment cannot run.
+    GTEST_SKIP() << "UDP connect unavailable in this sandbox (" << error
+                 << ") — skipping the UDP loopback test";
+  }
 
   ObservationStore store;
   store.EnsureSlots(8);

@@ -15,8 +15,8 @@
 // wins on conflict) — the IRON-style config-generated experiment shape.
 //
 // The runner re-execs its own binary for each fleet member (--role=agent|collector --index=i)
-// with stdout redirected to a per-member log, so member output is attributable and the parent
-// can assert on it. In sandboxes without UDP sockets the parent probes one Bind up front and
+// with stdout redirected to a per-member log under --out-dir (default out/fleet), so member
+// output is attributable and the parent can assert on it. In sandboxes without UDP sockets the parent probes one Bind up front and
 // exits 0 with a NOTICE, mirroring the UDP tests' skip path.
 #include <sys/wait.h>
 #include <unistd.h>
@@ -26,6 +26,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -370,6 +371,16 @@ int RunFleet(const Flags& flags, const char* self) {
       std::max<size_t>(1, static_cast<size_t>(flags.GetInt("collectors", 2)));
   const int k = static_cast<int>(flags.GetInt("k", 4));
 
+  // Per-member logs land under --out-dir instead of littering the CWD; out/ is gitignored.
+  const std::string out_dir = flags.GetString("out-dir", "out/fleet");
+  std::error_code dir_error;
+  std::filesystem::create_directories(out_dir, dir_error);
+  if (dir_error) {
+    std::fprintf(stderr, "fleet_runner: cannot create --out-dir=%s: %s\n", out_dir.c_str(),
+                 dir_error.message().c_str());
+    return 1;
+  }
+
   // Validate the impairment spec up front — a typo should fail the run, not every member.
   ImpairmentProfile profile;
   std::string impair_error;
@@ -409,7 +420,7 @@ int RunFleet(const Flags& flags, const char* self) {
   for (size_t i = 0; i < collectors; ++i) {
     FleetMember member;
     member.name = "collector-" + std::to_string(i);
-    member.log_path = "fleet_collector_" + std::to_string(i) + ".log";
+    member.log_path = out_dir + "/fleet_collector_" + std::to_string(i) + ".log";
     std::vector<std::string> args = shared;
     args.push_back("--role=collector");
     args.push_back("--index=" + std::to_string(i));
@@ -422,7 +433,7 @@ int RunFleet(const Flags& flags, const char* self) {
   for (size_t j = 0; j < agents; ++j) {
     FleetMember member;
     member.name = "agent-" + std::to_string(j);
-    member.log_path = "fleet_agent_" + std::to_string(j) + ".log";
+    member.log_path = out_dir + "/fleet_agent_" + std::to_string(j) + ".log";
     std::vector<std::string> args = shared;
     args.push_back("--role=agent");
     args.push_back("--index=" + std::to_string(j));
@@ -539,6 +550,7 @@ int main(int argc, char** argv) {
   flags.Describe("horizon", "collector liveness horizon in windows of silence (default 2)");
   flags.Describe("idle-ms", "collector exit after this long idle, once any frame arrived");
   flags.Describe("listen-seconds", "collector overall listening deadline (default 60)");
+  flags.Describe("out-dir", "directory for per-member log files (default out/fleet)");
   flags.Describe("config", "flag file, one key=value per line; command line wins");
   flags.Describe("role", "internal: child role (agent|collector)");
   flags.Describe("index", "internal: child index within its role");

@@ -29,12 +29,24 @@
 //   ./monitor_daemon --mode=collector --port=9477 --partition=1/2 &
 //   ./monitor_daemon --mode=agent --port=9477 --collectors=2 --report-windows=3
 //
-//   ./monitor_daemon [--mode=demo|agent|collector] [--k=6] [--windows-per-phase=2]
+// PR 9 separates ingest from retention: `--history-dir=DIR` makes every mode seal its
+// aggregation windows into an append-only WindowLog there (demo/direct windows with their full
+// diagnosis timeline, the split collector its per-window diagnoses, the split agent its local
+// shipped-counter totals), and `--mode=query` answers forensic questions over a recorded
+// directory — retained range, top suspect links, loss episodes, per-rack rollups, and replay
+// of the logged windows at an altered hit-ratio threshold, without re-running a single probe:
+//
+//   ./monitor_daemon --history-dir=out/history
+//   ./monitor_daemon --mode=query --history-dir=out/history --replay-threshold=0.3
+//
+//   ./monitor_daemon [--mode=demo|agent|collector|query] [--k=6] [--windows-per-phase=2]
 //                    [--churn-windows=4] [--churn-per-minute=4] [--segments=10]
 //                    [--diagnose-every=2] [--sliding-window=2] [--port=9477]
 //                    [--report-windows=3] [--batch=64] [--idle-ms=2000]
 //                    [--listen-seconds=120] [--partition=i/N] [--collectors=N]
-//                    [--ingest-shards=K] [--seed=9]
+//                    [--ingest-shards=K] [--seed=9] [--history-dir=DIR]
+//                    [--history-segments=N] [--horizon=W] [--last-n=N]
+//                    [--replay-threshold=X]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -45,6 +57,8 @@
 
 #include "src/common/flags.h"
 #include "src/detector/system.h"
+#include "src/history/query.h"
+#include "src/history/window_log.h"
 #include "src/localize/metrics.h"
 #include "src/net/udp.h"
 #include "src/report/collector.h"
@@ -107,6 +121,30 @@ detector::FailureScenario SplitModeScenario(const detector::FatTree& fattree) {
   return scenario;
 }
 
+// Tees the counters an agent ships into dense per-window totals, so agent mode can retain its
+// local contribution in a WindowLog (shipped counters only — the collector owns diagnosis).
+class TeeReportSink final : public detector::ReportSink {
+ public:
+  TeeReportSink(detector::ReportSink& inner, detector::Observations& totals)
+      : inner_(inner), totals_(totals) {}
+  void OnPath(detector::PathId slot, detector::NodeId target, int64_t sent,
+              int64_t lost) override {
+    inner_.OnPath(slot, target, sent, lost);
+    if (static_cast<size_t>(slot) >= totals_.size()) {
+      totals_.resize(static_cast<size_t>(slot) + 1);
+    }
+    totals_[static_cast<size_t>(slot)].sent += sent;
+    totals_[static_cast<size_t>(slot)].lost += lost;
+  }
+  void OnIntraRack(detector::NodeId target, int64_t sent, int64_t lost) override {
+    inner_.OnIntraRack(target, sent, lost);
+  }
+
+ private:
+  detector::ReportSink& inner_;
+  detector::Observations& totals_;
+};
+
 // --mode=agent: the pinger side alone. Probes every pinglist's window and ships the counters
 // as wire frames over UDP; no local store, no diagnosis — the collector process owns those.
 int RunAgent(const detector::Flags& flags) {
@@ -116,6 +154,7 @@ int RunAgent(const detector::Flags& flags) {
   const int windows = std::max(1, static_cast<int>(flags.GetInt("report-windows", 3)));
   const size_t batch = static_cast<size_t>(flags.GetInt("batch", 64));
   const size_t collectors = std::max<size_t>(1, static_cast<size_t>(flags.GetInt("collectors", 1)));
+  const std::string history_dir = flags.GetString("history-dir", "");
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 9)));
 
   // One UDP socket per collector partition: partition i listens on port + i.
@@ -135,15 +174,29 @@ int RunAgent(const detector::Flags& flags) {
   DetectorSystem system(routing, options);
   const PartitionMap partition = SplitModePartition(system, collectors);
   const ProbeEngine engine(fattree.topology(), SplitModeScenario(fattree), options.probe);
+  std::unique_ptr<WindowLogWriter> history;
+  WindowSealer sealer;
+  if (!history_dir.empty()) {
+    WindowLogOptions log_options;
+    log_options.max_segments = static_cast<size_t>(flags.GetInt("history-segments", 0));
+    history = std::make_unique<WindowLogWriter>(history_dir, log_options);
+    if (!history->ok()) {
+      std::fprintf(stderr, "history disabled: %s\n", history->error().c_str());
+      history.reset();
+    }
+  }
   std::printf("agent on Fattree(%d): %zu pinglists -> 127.0.0.1:%u..%u (%zu collectors), "
-              "%d windows\n",
+              "%d windows%s\n",
               k, system.pinglists().size(), port,
-              static_cast<unsigned>(port + collectors - 1), collectors, windows);
+              static_cast<unsigned>(port + collectors - 1), collectors, windows,
+              history != nullptr ? " (retaining shipped counters)" : "");
 
+  uint64_t prev_wire_bytes = 0;
   for (int w = 1; w <= windows; ++w) {
     const uint64_t window_seed = rng();
     uint64_t frames = 0;
     uint64_t observations = 0;
+    Observations shipped(system.probe_matrix().NumPaths());
     for (const Pinglist& list : system.pinglists()) {
       if (list.entries.empty()) {
         continue;
@@ -152,9 +205,11 @@ int RunAgent(const detector::Flags& flags) {
       // No local store: every record ships with epoch 0, the fresh-store default the
       // collector's window starts at.
       ReportEmitter emitter(list.pinger, static_cast<uint64_t>(w), 0, {}, wire_out, batch);
+      TeeReportSink tee(emitter, shipped);
+      ReportSink& sink = history != nullptr ? static_cast<ReportSink&>(tee) : emitter;
       Rng shard_rng = ProbeEngine::ShardRng(window_seed, static_cast<uint64_t>(list.pinger));
       const Pinger pinger(list, options.confirm_packets);
-      pinger.RunWindowTo(engine, options.window_seconds, shard_rng, emitter);
+      pinger.RunWindowTo(engine, options.window_seconds, shard_rng, sink);
       emitter.Flush();
       frames += emitter.stats().frames_emitted;
       observations += emitter.stats().observations_emitted;
@@ -163,6 +218,20 @@ int RunAgent(const detector::Flags& flags) {
     for (const auto& transport : transports) {
       wire_bytes += transport->stats().bytes_sent;
     }
+    if (history != nullptr) {
+      // One sealed boundary per window: the agent's local view of what it shipped. No
+      // diagnosis attaches — the collector's log owns the suspect timeline.
+      sealer.BeginWindow(static_cast<uint64_t>(w - 1));
+      sealer.CutBoundary(/*segment=*/1, options.window_seconds, shipped);
+      int64_t probes = 0;
+      for (const PathObservation& obs : shipped) {
+        probes += obs.sent;
+      }
+      history->OnWindowSealed(sealer.Finish(shipped.size(), /*churn_events=*/0,
+                                            /*dead_links=*/0, probes,
+                                            static_cast<int64_t>(wire_bytes - prev_wire_bytes)));
+    }
+    prev_wire_bytes = wire_bytes;
     std::printf("agent window %d: %llu frames / %llu observations shipped (%llu wire bytes"
                 " total)\n",
                 w, static_cast<unsigned long long>(frames),
@@ -170,6 +239,11 @@ int RunAgent(const detector::Flags& flags) {
                 static_cast<unsigned long long>(wire_bytes));
     // A breath between windows keeps localhost socket buffers comfortable at large k.
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (history != nullptr) {
+    std::printf("agent history: %llu windows sealed to %s\n",
+                static_cast<unsigned long long>(history->records_appended()),
+                history->dir().c_str());
   }
   std::printf("agent done\n");
   return 0;
@@ -186,6 +260,8 @@ int RunCollector(const detector::Flags& flags) {
   const double listen_seconds = static_cast<double>(flags.GetInt("listen-seconds", 120));
   const size_t ingest_shards =
       std::max<size_t>(1, static_cast<size_t>(flags.GetInt("ingest-shards", 1)));
+  const std::string history_dir = flags.GetString("history-dir", "");
+  const uint64_t horizon = static_cast<uint64_t>(flags.GetInt("horizon", 3));
 
   // --partition=i/N: this process is collector i of an N-way fabric and binds port + i.
   int partition_index = 0;
@@ -218,9 +294,23 @@ int RunCollector(const detector::Flags& flags) {
   diagnoser.store().EnsureSlots(system.probe_matrix().NumPaths());
   CollectorOptions collector_options;
   collector_options.ingest_shards = ingest_shards;
+  // Liveness in window units: the clock ticks once per window advance, so a pinger silent
+  // for `horizon` windows shows up in StalePingers().
+  collector_options.liveness_horizon = horizon;
   Collector collector(diagnoser.store(), collector_options);
   collector.SetPartition(&partition, partition_index);
   collector.BeginWindow(1);
+  std::unique_ptr<WindowLogWriter> history;
+  WindowSealer sealer;
+  if (!history_dir.empty()) {
+    WindowLogOptions log_options;
+    log_options.max_segments = static_cast<size_t>(flags.GetInt("history-segments", 0));
+    history = std::make_unique<WindowLogWriter>(history_dir, log_options);
+    if (!history->ok()) {
+      std::fprintf(stderr, "history disabled: %s\n", history->error().c_str());
+      history.reset();
+    }
+  }
   std::printf("collector %d/%d on Fattree(%d): listening on 127.0.0.1:%u (%zu slots, "
               "%zu of %zu pingers owned, %zu ingest shards)\n",
               partition_index, partition_count, k, transport->port(),
@@ -238,7 +328,21 @@ int RunCollector(const detector::Flags& flags) {
 
   auto diagnose_window = [&](uint64_t window) {
     const CollectorStats stats = collector.stats();
+    // Seal before Diagnose: the window-end delta must be cut while the store still holds the
+    // totals (Diagnose consumes them); the diagnosis attaches afterwards.
+    if (history != nullptr) {
+      sealer.BeginWindow(window > 0 ? window - 1 : 0);
+      sealer.CutBoundary(/*segment=*/1, options.window_seconds,
+                         diagnoser.store().RunningTotals(system.probe_matrix().NumPaths(),
+                                                         watchdog));
+    }
     const auto result = diagnoser.Diagnose(system.probe_matrix(), watchdog);
+    if (history != nullptr) {
+      sealer.AttachDiagnosis(result.links, {});
+      history->OnWindowSealed(sealer.Finish(system.probe_matrix().NumPaths(),
+                                            /*churn_events=*/0, /*dead_links=*/0,
+                                            /*probes_sent=*/0, /*bytes_sent=*/0));
+    }
     std::printf("collector window %llu: %llu frames folded so far, alarms=%zu",
                 static_cast<unsigned long long>(window),
                 static_cast<unsigned long long>(stats.frames_folded), result.links.size());
@@ -247,8 +351,10 @@ int RunCollector(const detector::Flags& flags) {
     }
     std::printf("\n");
   };
-  collector.set_on_window_advance(
-      [&](uint64_t closed, uint64_t /*opened*/) { diagnose_window(closed); });
+  collector.set_on_window_advance([&](uint64_t closed, uint64_t /*opened*/) {
+    diagnose_window(closed);
+    collector.AdvanceBoundary();  // liveness clock ticks in window units
+  });
 
   const auto start = std::chrono::steady_clock::now();
   auto last_activity = start;
@@ -276,12 +382,136 @@ int RunCollector(const detector::Flags& flags) {
   }
   const CollectorStats stats = collector.stats();
   std::printf("collector done: %llu frames folded, %llu duplicates, %llu decode errors, "
-              "%llu stale, %llu wrong-partition rejected\n",
+              "%llu tampered, %llu stale-window, %llu wrong-partition rejected\n",
               static_cast<unsigned long long>(stats.frames_folded),
               static_cast<unsigned long long>(stats.duplicates_dropped),
               static_cast<unsigned long long>(stats.decode_errors),
+              static_cast<unsigned long long>(stats.tampered_dropped),
               static_cast<unsigned long long>(stats.stale_window_dropped),
               static_cast<unsigned long long>(stats.wrong_partition_dropped));
+  std::printf("collector liveness: %llu pingers tracked, %llu stale (horizon %llu windows)",
+              static_cast<unsigned long long>(stats.pingers_tracked),
+              static_cast<unsigned long long>(stats.stale_pingers),
+              static_cast<unsigned long long>(horizon));
+  const std::vector<NodeId> stale = collector.StalePingers();
+  for (size_t i = 0; i < stale.size() && i < 8; ++i) {
+    std::printf("  %s", topo.node(stale[i]).name.c_str());
+  }
+  if (stale.size() > 8) {
+    std::printf("  (+%zu more)", stale.size() - 8);
+  }
+  std::printf("\n");
+  if (history != nullptr) {
+    std::printf("collector history: %llu windows sealed to %s\n",
+                static_cast<unsigned long long>(history->records_appended()),
+                history->dir().c_str());
+  }
+  return 0;
+}
+
+// --mode=query: the forensic plane. Loads a WindowLog directory recorded by any other mode
+// and answers on-demand questions over the retained range: top suspect links and their loss
+// episodes, per-rack rollups, and — with --replay-threshold — a what-if replay of every
+// logged window through the Diagnoser at the altered threshold, probe-free.
+int RunQuery(const detector::Flags& flags) {
+  using namespace detector;
+  const std::string dir = flags.GetString("history-dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "--mode=query needs --history-dir=DIR\n");
+    return 1;
+  }
+  const int k = static_cast<int>(flags.GetInt("k", 6));
+  const size_t last_n = static_cast<size_t>(flags.GetInt("last-n", 0));
+
+  QueryEngine engine = QueryEngine::FromDir(dir);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", dir.c_str(),
+                 engine.read_result().error.c_str());
+    return 1;
+  }
+  const WindowLogReadResult& read = engine.read_result();
+  if (engine.num_windows() == 0) {
+    std::printf("%s: no retained windows\n", dir.c_str());
+    return 0;
+  }
+  std::printf("history %s: %zu windows retained [%llu, %llu], %zu segment file(s)\n", dir.c_str(),
+              engine.num_windows(),
+              static_cast<unsigned long long>(engine.window(0).window_index),
+              static_cast<unsigned long long>(
+                  engine.window(engine.num_windows() - 1).window_index),
+              read.segments_read);
+  if (!read.clean) {
+    std::printf("  damaged tail tolerated: %llu record(s) rejected (%s), %llu byte(s) "
+                "discarded\n",
+                static_cast<unsigned long long>(read.records_rejected),
+                WindowLogStatusName(read.first_reject),
+                static_cast<unsigned long long>(read.bytes_discarded));
+  }
+
+  const FatTree fattree(k);
+  const Topology& topo = fattree.topology();
+
+  const auto top = engine.TopLinks(last_n);
+  if (top.empty()) {
+    std::printf("no suspect links in the %s\n",
+                last_n == 0 ? "retained range" : "queried range");
+  }
+  for (size_t i = 0; i < top.size() && i < 8; ++i) {
+    std::printf("suspect %s: %zu window(s), max est loss %.3f\n",
+                topo.LinkName(top[i].link).c_str(), top[i].windows_suspected,
+                top[i].max_estimated_loss_rate);
+    for (const auto& episode : engine.LinkEpisodes(top[i].link, last_n)) {
+      std::printf("  episode: windows [%llu, %llu] (%zu), max est loss %.3f\n",
+                  static_cast<unsigned long long>(episode.first_window),
+                  static_cast<unsigned long long>(episode.last_window), episode.windows,
+                  episode.max_estimated_loss_rate);
+    }
+  }
+  for (const auto& rack : engine.RackTimeline(topo, last_n)) {
+    std::printf("rack %-12s %zu suspected window(s), %zu distinct link(s)\n",
+                rack.rack.c_str(), rack.windows_suspected, rack.distinct_links);
+  }
+
+  if (flags.Has("replay-threshold")) {
+    const double threshold = flags.GetDouble("replay-threshold", 0.3);
+    // Rebuild the probe matrix the recording modes build (deterministic, no config exchange;
+    // demo and split modes share the same PMC shape). A log recorded at another k will not
+    // line up — say so instead of replaying garbage.
+    const FatTreeRouting routing(fattree);
+    DetectorSystemOptions options;
+    options.pmc.alpha = 2;
+    options.pmc.beta = 1;
+    const DetectorSystem system(routing, options);
+    if (engine.window(0).num_slots > system.probe_matrix().NumPaths()) {
+      std::fprintf(stderr,
+                   "log has %llu slots but fat-tree(%d) builds %zu probe paths — wrong --k?\n",
+                   static_cast<unsigned long long>(engine.window(0).num_slots), k,
+                   system.probe_matrix().NumPaths());
+      return 1;
+    }
+    ReplayOptions replay_options;
+    replay_options.pll = options.pll;
+    replay_options.pll.hit_ratio_threshold = threshold;
+    const auto replayed =
+        engine.Replay(topo, system.probe_matrix(), replay_options,
+                      engine.num_windows() - std::min(engine.num_windows(),
+                                                      last_n == 0 ? engine.num_windows()
+                                                                  : last_n));
+    std::printf("replay at hit-ratio threshold %.2f over %zu window(s):\n", threshold,
+                replayed.size());
+    for (const auto& window : replayed) {
+      if (window.boundaries.empty()) {
+        continue;
+      }
+      const auto& final_links = window.boundaries.back().localization.links;
+      std::printf("  window %llu: %zu suspect(s)",
+                  static_cast<unsigned long long>(window.window_index), final_links.size());
+      for (const auto& s : final_links) {
+        std::printf("  %s(est=%.3f)", topo.LinkName(s.link).c_str(), s.estimated_loss_rate);
+      }
+      std::printf("\n");
+    }
+  }
   return 0;
 }
 
@@ -323,6 +553,18 @@ int main(int argc, char** argv) {
                  "threads for multi-component churn repair (default 1; 0 = hardware)");
   flags.Describe("decay-quantized",
                  "quantized (shift-halving, incremental-PLL) exponential-decay view");
+  flags.Describe("history-dir",
+                 "WindowLog directory: demo/agent/collector modes seal windows into it, "
+                 "query mode reads it (default off)");
+  flags.Describe("history-segments",
+                 "bounded retention: keep at most N window-log segment files (default 0 = "
+                 "unbounded)");
+  flags.Describe("horizon",
+                 "collector mode: flag pingers silent for this many windows as stale "
+                 "(default 3)");
+  flags.Describe("last-n", "query mode: restrict queries to the newest N windows (default all)");
+  flags.Describe("replay-threshold",
+                 "query mode: replay the logged windows at this hit-ratio threshold");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -337,8 +579,11 @@ int main(int argc, char** argv) {
   if (mode == "collector") {
     return RunCollector(flags);
   }
+  if (mode == "query") {
+    return RunQuery(flags);
+  }
   if (mode != "demo") {
-    std::fprintf(stderr, "unknown --mode=%s (expected demo, agent, or collector)\n",
+    std::fprintf(stderr, "unknown --mode=%s (expected demo, agent, collector, or query)\n",
                  mode.c_str());
     return 1;
   }
@@ -359,10 +604,16 @@ int main(int argc, char** argv) {
   options.pmc_repair_threads =
       std::max(0, static_cast<int>(flags.GetInt("pmc-repair-threads", 1)));
   options.decay_quantized = flags.GetBool("decay-quantized", false);
+  options.history_dir = flags.GetString("history-dir", "");
+  options.history_max_segments = static_cast<size_t>(flags.GetInt("history-segments", 0));
   DetectorSystem system(routing, options);
   const Topology& topo = fattree.topology();
-  std::printf("deTector daemon on Fattree(%d): %zu probe paths, %zu pingers\n\n", k,
+  std::printf("deTector daemon on Fattree(%d): %zu probe paths, %zu pingers\n", k,
               system.probe_matrix().NumPaths(), system.pinglists().size());
+  if (!options.history_dir.empty()) {
+    std::printf("retention: sealing every window into %s\n", options.history_dir.c_str());
+  }
+  std::printf("\n");
 
   int window = 0;
   auto run_phase = [&](const std::string& name, const FailureScenario& scenario) {
@@ -465,12 +716,16 @@ int main(int argc, char** argv) {
   run_phase("blackhole + loss (report plane)", two);
   const CollectorStats report_stats = system.collector_group()->stats();
   std::printf("--- report plane (2 collectors x 2 ingest shards): %llu frames / %llu "
-              "observations folded, %llu duplicates, %llu decode errors, %llu misrouted ---\n",
+              "observations folded, %llu duplicates, %llu decode errors, %llu tampered, "
+              "%llu stale-window, %llu misrouted, %llu stale pingers ---\n",
               static_cast<unsigned long long>(report_stats.frames_folded),
               static_cast<unsigned long long>(report_stats.observations_folded),
               static_cast<unsigned long long>(report_stats.duplicates_dropped),
               static_cast<unsigned long long>(report_stats.decode_errors),
-              static_cast<unsigned long long>(report_stats.wrong_partition_dropped));
+              static_cast<unsigned long long>(report_stats.tampered_dropped),
+              static_cast<unsigned long long>(report_stats.stale_window_dropped),
+              static_cast<unsigned long long>(report_stats.wrong_partition_dropped),
+              static_cast<unsigned long long>(report_stats.stale_pingers));
   system.set_report_plane(false);
   system.set_report_collectors(1);
   system.set_report_ingest_shards(1);

@@ -9,7 +9,10 @@ moves. Checked:
     docs/..., scripts/...): the file must exist; `path/file.{h,cc}` expands both; a trailing
     `:line` or `: Symbol` suffix is stripped, and a symbol suffix must also appear in the file;
   - backtick `bench_*` / example binary names in the provenance tables: a matching source file
-    must exist under bench/ or examples/.
+    must exist under bench/ or examples/;
+  - module-map completeness: every top-level src/ module directory must be mentioned in
+    docs/ARCHITECTURE.md and README.md, so a new subsystem (src/history/ in PR 9, say)
+    cannot land without its row in the handbook.
 
 Run from anywhere: paths resolve against the repo root (the parent of this script's dir).
 Exits non-zero listing every unresolved reference. Stdlib only.
@@ -84,10 +87,27 @@ def check_doc(doc: Path):
     return errors
 
 
+def check_module_map():
+    """Every top-level src/ module must be mentioned in the handbook and the README."""
+    errors = []
+    modules = sorted(p.name for p in (REPO / "src").iterdir() if p.is_dir())
+    for doc in (REPO / "README.md", REPO / "docs" / "ARCHITECTURE.md"):
+        if not doc.exists():
+            continue
+        text = doc.read_text(encoding="utf-8")
+        for module in modules:
+            if f"src/{module}/" not in text:
+                errors.append(
+                    f"{doc.relative_to(REPO)}: module `src/{module}/` missing from the "
+                    "module map")
+    return errors
+
+
 def main():
     missing_docs = [d for d in (REPO / "README.md", REPO / "docs" / "ARCHITECTURE.md")
                     if not d.exists()]
     errors = [f"required doc missing: {d.relative_to(REPO)}" for d in missing_docs]
+    errors.extend(check_module_map())
     for doc in DOCS:
         if doc.exists():
             errors.extend(check_doc(doc))

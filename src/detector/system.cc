@@ -684,6 +684,30 @@ DetectorSystem::StreamingWindowResult DetectorSystem::RunWindowStreaming(
   return RunWindowImpl(scenario, churn, rng, /*streaming=*/true);
 }
 
+bool DetectorSystem::PrepareHistory() {
+  if (options_.history_dir != applied_history_dir_) {
+    applied_history_dir_ = options_.history_dir;
+    history_log_.reset();
+    if (!options_.history_dir.empty()) {
+      WindowLogOptions log_options;
+      log_options.max_records_per_segment = options_.history_segment_records;
+      log_options.max_segments = options_.history_max_segments;
+      log_options.key = options_.report_key;
+      history_log_ = std::make_unique<WindowLogWriter>(options_.history_dir, log_options);
+      // Appending after a reopened log continues its numbering — the on-disk indices stay
+      // monotonic, which the query plane's episode logic relies on.
+      if (history_log_->ok()) {
+        const WindowLogReadResult existing =
+            ReadWindowLog(options_.history_dir, options_.report_key);
+        if (!existing.windows.empty()) {
+          history_window_index_ = existing.windows.back().window_index + 1;
+        }
+      }
+    }
+  }
+  return history_log_ != nullptr || history_sink_ != nullptr;
+}
+
 LocalizeResult DetectorSystem::DiagnoseBoundary() {
   switch (options_.streaming_view) {
     case StreamingViewMode::kSliding:
@@ -716,6 +740,14 @@ DetectorSystem::StreamingWindowResult DetectorSystem::RunWindowImpl(
   const int segments = std::max(1, options_.segments_per_window);
   const int cadence = std::max(1, options_.diagnose_every_segments);
   const double window = options_.window_seconds;
+
+  // Retention: when any sink is attached, the window is sealed at its close — each diagnosis
+  // boundary cuts a sparse delta of the merged running totals, so the log carries exactly the
+  // views the live diagnoses localized over (what makes QueryEngine replay bit-identical).
+  const bool history = PrepareHistory();
+  if (history) {
+    history_sealer_.BeginWindow(history_window_index_);
+  }
 
   if (options_.report_plane) {
     // Open the report-plane window: (re)shape the collector fabric and its partition map to
@@ -773,6 +805,14 @@ DetectorSystem::StreamingWindowResult DetectorSystem::RunWindowImpl(
         diagnosis.time_seconds = boundary;
         diagnosis.localization = DiagnoseBoundary();
         diagnosis.server_link_alarms = diagnoser_.ServerLinkAlarms(watchdog_);
+        if (history) {
+          // RunningTotals here is idempotent — the boundary diagnosis already folded pending
+          // records — so the cut sees the same serial point the diagnosis read.
+          history_sealer_.CutBoundary(
+              seg, boundary, diagnoser_.store().RunningTotals(matrix_.NumPaths(), watchdog_));
+          history_sealer_.AttachDiagnosis(diagnosis.localization.links,
+                                          diagnosis.server_link_alarms);
+        }
         out.timeline.push_back(std::move(diagnosis));
       }
     }
@@ -786,6 +826,12 @@ DetectorSystem::StreamingWindowResult DetectorSystem::RunWindowImpl(
     }
   }
   result.server_link_alarms = diagnoser_.ServerLinkAlarms(watchdog_);
+  if (history) {
+    // The window-end delta must be cut before Diagnose() — it consumes (clears) the store.
+    // The window-end suspects attach right after it runs.
+    history_sealer_.CutBoundary(segments, window,
+                                diagnoser_.store().RunningTotals(matrix_.NumPaths(), watchdog_));
+  }
   result.localization = diagnoser_.Diagnose(matrix_, watchdog_);
   // Detection and localization share the window's data: alarms are available one window after
   // the failure manifests, with no extra probing round.
@@ -796,6 +842,19 @@ DetectorSystem::StreamingWindowResult DetectorSystem::RunWindowImpl(
     // a failure the batch window would have caught.
     out.timeline.push_back(
         SegmentDiagnosis{segments, window, result.localization, result.server_link_alarms});
+  }
+  if (history) {
+    history_sealer_.AttachDiagnosis(result.localization.links, result.server_link_alarms);
+    const SealedWindow sealed = history_sealer_.Finish(
+        matrix_.NumPaths(), result.churn_events_applied, overlay_.NumDeadLinks(),
+        result.probes_sent, result.bytes_sent);
+    if (history_log_ != nullptr) {
+      history_log_->OnWindowSealed(sealed);
+    }
+    if (history_sink_ != nullptr) {
+      history_sink_->OnWindowSealed(sealed);
+    }
+    ++history_window_index_;
   }
   return out;
 }

@@ -33,6 +33,8 @@
 #include "src/detector/controller.h"
 #include "src/detector/diagnoser.h"
 #include "src/detector/pinger.h"
+#include "src/history/window_log.h"
+#include "src/history/window_sink.h"
 #include "src/localize/pll.h"
 #include "src/net/transport.h"
 #include "src/pmc/incremental.h"
@@ -142,6 +144,17 @@ struct DetectorSystemOptions {
   // Collector liveness horizon in clock ticks (every window open and segment boundary is a
   // tick): a pinger silent longer than this is reported stale via CollectorStats. 0 = off.
   uint64_t report_liveness_horizon = 0;
+  // Retention seam (src/history): non-empty publishes every sealed window — per-boundary
+  // observation deltas, the diagnosis timeline, churn metadata — into an append-only
+  // WindowLog under this directory, in every window mode (direct, report-plane barriered,
+  // report-plane pipelined). The log authenticates records under report_key, the same
+  // deployment key the wire frames use. Empty (the default) retains nothing — the window's
+  // state evaporates at the boundary exactly as before.
+  std::string history_dir;
+  // Window-log rotation/retention knobs (see WindowLogOptions): records per segment file, and
+  // how many segment files to keep (0 = unbounded).
+  size_t history_segment_records = 256;
+  size_t history_max_segments = 0;
 };
 
 class DetectorSystem {
@@ -310,6 +323,15 @@ class DetectorSystem {
   Transport* report_transport(size_t i = 0) {
     return i < report_transports_.size() ? report_transports_[i].get() : nullptr;
   }
+  // Re-points (or disables, with "") the on-disk window log; takes effect at the next window.
+  void set_history_dir(std::string dir) { options_.history_dir = std::move(dir); }
+  // An additional, caller-owned sink sealed windows are published to alongside the on-disk
+  // log (or alone, with no history_dir) — how tests and benches capture retention in memory.
+  void set_history_sink(WindowSink* sink) { history_sink_ = sink; }
+  // Null until the first window ran with a history_dir configured.
+  const WindowLogWriter* history_log() const { return history_log_.get(); }
+  // Sealed windows published so far (also the next window's index in the log).
+  uint64_t history_windows_sealed() const { return history_window_index_; }
 
  private:
   // Shared window driver: slices [0, window_seconds) at segment boundaries and churn-event
@@ -335,6 +357,9 @@ class DetectorSystem {
   void PumpReportBoundary();
   // The localization for one mid-window boundary, per options_.streaming_view.
   LocalizeResult DiagnoseBoundary();
+  // (Re)opens the window log when history_dir changed; true when any sink wants this
+  // window sealed.
+  bool PrepareHistory();
   // Enables exactly the diagnoser view state the selected streaming_view reads: the sliding
   // ring and the decayed totals cost O(changed slots) per segment boundary, so the default
   // cumulative view must not maintain them.
@@ -378,6 +403,13 @@ class DetectorSystem {
   // PrepareReportFabric (collector key/horizon are fixed at construction).
   ReportKey applied_report_key_;
   uint64_t applied_liveness_horizon_ = 0;
+  // Retention: the owned on-disk log (history_dir), an optional caller-owned extra sink, the
+  // sealer building the current window's record, and the monotonic sealed-window index.
+  std::unique_ptr<WindowLogWriter> history_log_;
+  std::string applied_history_dir_;
+  WindowSink* history_sink_ = nullptr;
+  WindowSealer history_sealer_;
+  uint64_t history_window_index_ = 0;
   // Per-pinger version high-water marks. Outlives the pinglists themselves: a pinger whose
   // list vanishes for a cycle (unhealthy, no entries) must not restart at version 1, or a
   // diff consumer would discard everything after its return as stale.

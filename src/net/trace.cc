@@ -1,0 +1,108 @@
+#include "src/net/trace.h"
+
+#include <cstring>
+#include <fstream>
+#include <iterator>
+
+#include "src/common/crc32.h"
+#include "src/report/codec.h"
+
+namespace detector {
+
+RecordingTransport::RecordingTransport(std::unique_ptr<Transport> inner,
+                                       const std::string& path)
+    : inner_(std::move(inner)) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ != nullptr) {
+    std::fwrite(kTraceHeader, 1, sizeof(kTraceHeader), file_);
+  }
+}
+
+RecordingTransport::~RecordingTransport() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+bool RecordingTransport::Receive(std::vector<uint8_t>& out) {
+  if (!inner_->Receive(out)) {
+    return false;
+  }
+  if (file_ != nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<uint8_t> entry;
+    PutVarint(entry, out.size());
+    entry.insert(entry.end(), out.begin(), out.end());
+    const uint32_t crc = Crc32(out);
+    for (int i = 0; i < 4; ++i) {
+      entry.push_back(static_cast<uint8_t>(crc >> (8 * i)));
+    }
+    std::fwrite(entry.data(), 1, entry.size(), file_);
+    std::fflush(file_);
+    ++frames_recorded_;
+  }
+  return true;
+}
+
+TraceReplayTransport::TraceReplayTransport(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error_ = "cannot open trace " + path;
+    return;
+  }
+  const std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+  if (bytes.size() < sizeof(kTraceHeader) ||
+      std::memcmp(bytes.data(), kTraceHeader, sizeof(kTraceHeader)) != 0) {
+    error_ = path + ": not a frame trace (bad header)";
+    return;
+  }
+  size_t pos = sizeof(kTraceHeader);
+  while (pos < bytes.size()) {
+    uint64_t length;
+    if (!GetVarint(bytes, pos, length) || pos + length + 4 > bytes.size()) {
+      error_ = path + ": torn frame entry";
+      return;
+    }
+    std::vector<uint8_t> frame(bytes.begin() + static_cast<ptrdiff_t>(pos),
+                               bytes.begin() + static_cast<ptrdiff_t>(pos + length));
+    pos += static_cast<size_t>(length);
+    uint32_t stored = 0;
+    for (int i = 0; i < 4; ++i) {
+      stored |= static_cast<uint32_t>(bytes[pos + static_cast<size_t>(i)]) << (8 * i);
+    }
+    pos += 4;
+    if (Crc32(frame) != stored) {
+      error_ = path + ": frame CRC mismatch";
+      return;
+    }
+    frames_.push_back(std::move(frame));
+  }
+  ok_ = true;
+}
+
+bool TraceReplayTransport::Send(std::span<const uint8_t> /*frame*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++sends_discarded_;
+  return true;
+}
+
+bool TraceReplayTransport::Receive(std::vector<uint8_t>& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (next_ >= frames_.size()) {
+    return false;
+  }
+  out = frames_[next_++];
+  ++frames_replayed_;
+  return true;
+}
+
+TransportStats TraceReplayTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TransportStats stats;
+  stats.frames_sent = sends_discarded_;
+  stats.frames_received = frames_replayed_;
+  return stats;
+}
+
+}  // namespace detector

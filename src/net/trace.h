@@ -1,0 +1,82 @@
+// Frame-trace transports: record the exact frame sequence a collector receives, replay it
+// later bit-for-bit. The retention counterpart of the report plane's wire — where the
+// WindowLog retains *windows* (post-fold), a frame trace retains the *arrival sequence*
+// (pre-fold), which is what reproducing a hostile-gate run requires: the impairment schedule
+// (drops, reorder, duplication, corruption) is baked into the recorded sequence, so a replay
+// needs no impairment stack, no sockets, and no re-simulation to drive the collector through
+// the identical fold sequence.
+//
+// RecordingTransport decorates any Transport: frames pass through untouched, and every frame
+// Receive() hands out is appended to a trace file. TraceReplayTransport *is* the wire on
+// replay: Receive() pops the recorded sequence in order, Send() counts and discards (the
+// probe side still runs, but its frames go nowhere — the recording already has them).
+//
+// Trace file format: an 8-byte header, then per frame a varint length + the raw frame bytes +
+// a CRC-32 of those bytes, so a torn trace fails loudly instead of replaying garbage.
+#ifndef SRC_NET_TRACE_H_
+#define SRC_NET_TRACE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/net/transport.h"
+
+namespace detector {
+
+inline constexpr uint8_t kTraceHeader[8] = {'d', 'T', 'e', 'c', 'T', 'R', 'c', '1'};
+
+// Pass-through decorator appending every received frame to `path`. ok() is false when the
+// file cannot be written — the wrapped transport still works; recording is best-effort
+// observation, never a delivery gate.
+class RecordingTransport : public Transport {
+ public:
+  RecordingTransport(std::unique_ptr<Transport> inner, const std::string& path);
+  ~RecordingTransport() override;
+
+  bool Send(std::span<const uint8_t> frame) override { return inner_->Send(frame); }
+  bool Receive(std::vector<uint8_t>& out) override;
+  void Flush() override { inner_->Flush(); }
+  TransportStats stats() const override { return inner_->stats(); }
+
+  bool ok() const { return file_ != nullptr; }
+  uint64_t frames_recorded() const { return frames_recorded_; }
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  std::FILE* file_ = nullptr;
+  std::mutex mu_;  // Receive is single-consumer by contract, but stay safe across pumps
+  uint64_t frames_recorded_ = 0;
+};
+
+// Replays a recorded trace: Receive() returns the recorded frames in order, Send() discards.
+// Load errors (missing file, bad header, torn frame) leave ok() false with an empty sequence.
+class TraceReplayTransport : public Transport {
+ public:
+  explicit TraceReplayTransport(const std::string& path);
+
+  bool Send(std::span<const uint8_t> frame) override;
+  bool Receive(std::vector<uint8_t>& out) override;
+  TransportStats stats() const override;
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+  size_t frames_loaded() const { return frames_.size(); }
+  size_t frames_remaining() const { return frames_.size() - next_; }
+
+ private:
+  std::vector<std::vector<uint8_t>> frames_;
+  size_t next_ = 0;
+  bool ok_ = false;
+  std::string error_;
+  mutable std::mutex mu_;
+  uint64_t sends_discarded_ = 0;
+  uint64_t frames_replayed_ = 0;
+};
+
+}  // namespace detector
+
+#endif  // SRC_NET_TRACE_H_

@@ -9,6 +9,12 @@
 //   ./fleet_runner --agents=2 --collectors=2 --k=4 --windows=2
 //                  --impair=burst=0.1:4,dup=0.05,delay=2,jitter=3
 //
+// --impair=gray flips the run into the anomaly plane's deployment check (PR 10): the probed
+// network suffers a pure-latency gray failure instead of the blackhole, agents ship RTT
+// sketches in their frames, collectors run the EWMA anomaly plane per window, and the parent
+// asserts the gray link is flagged by the anomaly plane while the loss suspect set stays
+// silent on it.
+//
 // Every process derives the same system deterministically from --k (PR 5's no-config-exchange
 // property), so the only coordination is the port plan: collector i binds --port + i. Flags
 // can also come from a config file (--config=FILE, one key=value per line; the command line
@@ -34,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/anomaly/anomaly_engine.h"
 #include "src/common/flags.h"
 #include "src/common/rng.h"
 #include "src/detector/system.h"
@@ -43,6 +50,8 @@
 #include "src/report/emitter.h"
 #include "src/report/partition.h"
 #include "src/routing/fattree_routing.h"
+#include "src/sim/anomaly_scenarios.h"
+#include "src/sim/latency_model.h"
 
 namespace {
 
@@ -78,6 +87,29 @@ FailureScenario FleetScenario(const FatTree& fattree) {
   scenario.failures.push_back(f);
   return scenario;
 }
+
+// --impair=gray: the delay-but-deliver deployment (PR 10). The probed network swaps the
+// blackhole for a pure-latency gray failure on the *same* agg-core link — every probe
+// delivered, every traversal ~2.5ms late — while the report wire gets a lossless delay+jitter
+// profile, so the frames themselves arrive late but intact. Agents ship RTT sketches
+// alongside the loss counters, collectors run the anomaly plane per window, and the parent
+// asserts the inverted outcome: the anomaly plane names the gray link, the loss suspect set
+// never does.
+bool IsGrayImpair(const std::string& spec) { return spec == "gray"; }
+
+ImpairmentProfile GrayWireProfile() {
+  ImpairmentProfile profile;
+  profile.delay_ticks = 2;
+  profile.jitter_ticks = 3;
+  return profile;
+}
+
+LinkId GrayLink(const FatTree& fattree) { return fattree.AggCoreLink(1, 0, 1); }
+constexpr double kGrayDelayUs = 2500.0;
+// Clean windows before the gray failure: one anomaly boundary per fleet window, and the
+// collector's baselines warm up in 2 boundaries (see RunCollectorRole), so 2 clean windows
+// let them learn "normal" before the inflation starts.
+constexpr int kGrayWarmWindows = 2;
 
 // The deployment key every fleet member derives from --key (so a fleet with a different
 // --key value is a different deployment whose frames this one rejects as tampered).
@@ -141,7 +173,13 @@ bool ParseImpairment(const std::string& spec, ImpairmentProfile& profile,
 int RunAgentRole(const Flags& flags) {
   const int k = static_cast<int>(flags.GetInt("k", 4));
   const uint16_t port = static_cast<uint16_t>(flags.GetInt("port", 9520));
-  const int windows = std::max(1, static_cast<int>(flags.GetInt("windows", 2)));
+  const bool gray = IsGrayImpair(flags.GetString("impair", ""));
+  int windows = std::max(1, static_cast<int>(flags.GetInt("windows", 2)));
+  if (gray) {
+    // Gray mode needs warmup windows plus enough failure windows to sustain the excursion
+    // past the anomaly horizon; a shorter --windows would make the run vacuous.
+    windows = std::max(windows, kGrayWarmWindows + 3);
+  }
   const size_t batch = static_cast<size_t>(flags.GetInt("batch", 64));
   const size_t agents = std::max<size_t>(1, static_cast<size_t>(flags.GetInt("agents", 1)));
   const size_t index = static_cast<size_t>(flags.GetInt("index", 0));
@@ -150,7 +188,9 @@ int RunAgentRole(const Flags& flags) {
   const ReportKey key = FleetKey(static_cast<uint64_t>(flags.GetInt("key", 9477)));
   ImpairmentProfile profile;
   std::string impair_error;
-  if (!ParseImpairment(flags.GetString("impair", ""), profile, impair_error)) {
+  if (gray) {
+    profile = GrayWireProfile();
+  } else if (!ParseImpairment(flags.GetString("impair", ""), profile, impair_error)) {
     std::fprintf(stderr, "agent %zu: %s\n", index, impair_error.c_str());
     return 1;
   }
@@ -177,7 +217,20 @@ int RunAgentRole(const Flags& flags) {
   const DetectorSystemOptions options = FleetOptions();
   DetectorSystem system(routing, options);
   const PartitionMap partition = FleetPartition(system, collectors);
-  const ProbeEngine engine(fattree.topology(), FleetScenario(fattree), options.probe);
+  // Gray mode probes a clean network for the warmup windows, then the pure-latency failure;
+  // both engines sample RTTs so the collector's baselines learn "normal" before the shift.
+  ProbeEngine engine(fattree.topology(),
+                     gray ? FailureScenario{} : FleetScenario(fattree), options.probe);
+  ProbeEngine gray_engine(fattree.topology(),
+                          GrayLatencyScenario(GrayLink(fattree), kGrayDelayUs),
+                          options.probe);
+  const LatencyModel latency_model(options.latency);
+  if (gray) {
+    engine.AttachRttObservation(&latency_model, {}, options.rtt_samples_per_path,
+                                options.rtt_bins);
+    gray_engine.AttachRttObservation(&latency_model, {}, options.rtt_samples_per_path,
+                                     options.rtt_bins);
+  }
 
   size_t owned = 0;
   for (size_t p = index; p < system.pinglists().size(); p += agents) {
@@ -190,6 +243,7 @@ int RunAgentRole(const Flags& flags) {
 
   for (int w = 1; w <= windows; ++w) {
     const uint64_t window_seed = rng();
+    const ProbeEngine& window_engine = (gray && w > kGrayWarmWindows) ? gray_engine : engine;
     uint64_t frames = 0;
     for (size_t p = index; p < system.pinglists().size(); p += agents) {
       const Pinglist& list = system.pinglists()[p];
@@ -201,7 +255,7 @@ int RunAgentRole(const Flags& flags) {
                             key);
       Rng shard_rng = ProbeEngine::ShardRng(window_seed, static_cast<uint64_t>(list.pinger));
       const Pinger pinger(list, options.confirm_packets);
-      pinger.RunWindowTo(engine, options.window_seconds, shard_rng, emitter);
+      pinger.RunWindowTo(window_engine, options.window_seconds, shard_rng, emitter);
       emitter.Flush();
       frames += emitter.stats().frames_emitted;
     }
@@ -236,6 +290,7 @@ int RunCollectorRole(const Flags& flags) {
       std::max<size_t>(1, static_cast<size_t>(flags.GetInt("collectors", 1)));
   const int idle_ms = static_cast<int>(flags.GetInt("idle-ms", 1500));
   const double listen_seconds = static_cast<double>(flags.GetInt("listen-seconds", 60));
+  const bool gray = IsGrayImpair(flags.GetString("impair", ""));
   const ReportKey key = FleetKey(static_cast<uint64_t>(flags.GetInt("key", 9477)));
 
   std::string error;
@@ -265,14 +320,36 @@ int RunCollectorRole(const Flags& flags) {
               index, collectors, k, transport->port(),
               static_cast<unsigned long long>(collector_options.liveness_horizon));
 
+  // Gray mode: each collector runs the anomaly plane over its partition's folded RTT
+  // sketches, one boundary per window. One boundary per window means the default 3-boundary
+  // warmup would eat most of a short fleet run, so warm up in 2.
+  AnomalyOptions anomaly_options;
+  anomaly_options.warmup_boundaries = 2;
+  AnomalyEngine anomaly(anomaly_options);
+
   auto diagnose_window = [&](uint64_t window) {
+    std::vector<LinkAnomaly> anomalies;
+    if (gray) {
+      // Observe before Diagnose — it consumes (clears) the store.
+      ObservationStore& store = diagnoser.store();
+      const ObservationView totals =
+          store.RunningTotals(system.probe_matrix().NumPaths(), watchdog);
+      anomalies = anomaly.Observe(system.probe_matrix(), totals, store.RttRunningTotals());
+    }
     const auto result = diagnoser.Diagnose(system.probe_matrix(), watchdog);
     std::printf("collector %zu window %llu: alarms=%zu", index,
                 static_cast<unsigned long long>(window), result.links.size());
     for (const auto& s : result.links) {
       std::printf("  %s(est=%.3f)", topo.LinkName(s.link).c_str(), s.estimated_loss_rate);
     }
+    for (const LinkAnomaly& a : anomalies) {
+      std::printf("  anomaly[%s %s run=%d score=%.2f]", topo.LinkName(a.link).c_str(),
+                  AnomalySignalName(a.signal), a.sustained, a.score);
+    }
     std::printf("\n");
+    if (gray) {
+      anomaly.BeginWindow();  // the Diagnose above cleared the store; re-base the totals
+    }
   };
   collector.set_on_window_advance(
       [&](uint64_t closed, uint64_t /*opened*/) { diagnose_window(closed); });
@@ -382,9 +459,10 @@ int RunFleet(const Flags& flags, const char* self) {
   }
 
   // Validate the impairment spec up front — a typo should fail the run, not every member.
+  const bool gray = IsGrayImpair(flags.GetString("impair", ""));
   ImpairmentProfile profile;
   std::string impair_error;
-  if (!ParseImpairment(flags.GetString("impair", ""), profile, impair_error)) {
+  if (!gray && !ParseImpairment(flags.GetString("impair", ""), profile, impair_error)) {
     std::fprintf(stderr, "fleet_runner: %s\n", impair_error.c_str());
     return 1;
   }
@@ -470,20 +548,56 @@ int RunFleet(const Flags& flags, const char* self) {
     }
   }
 
-  // Localization agreement: some collector must have named the injected blackhole link even
-  // under the impairment profile.
   const FatTree fattree(k);
-  const std::string failed_link =
-      fattree.topology().LinkName(FleetScenario(fattree).failures[0].link);
-  bool localized = false;
+  // Positive evidence required: a collector's final accounting line with a nonzero fold
+  // count. (An empty or clobbered log must read as "nothing folded", not vacuously pass.)
   bool folded = false;
   for (size_t i = 0; i < collectors; ++i) {
-    localized = localized || logs[i].find(failed_link) != std::string::npos;
-    folded = folded || logs[i].find(" done: 0 folded") == std::string::npos;
+    folded = folded || (logs[i].find(" done: ") != std::string::npos &&
+                        logs[i].find(" done: 0 folded") == std::string::npos);
   }
   if (!folded) {
     std::fprintf(stderr, "fleet_runner: no collector folded a single frame\n");
     return 1;
+  }
+
+  if (gray) {
+    // Gray mode inverts the assertion: the anomaly plane must flag the delay-but-deliver
+    // link, and the loss suspect set must stay silent on it — a loss-only fleet would have
+    // shut down "clean" with the failure invisible.
+    const std::string gray_name = fattree.topology().LinkName(GrayLink(fattree));
+    bool anomaly_named = false;
+    bool loss_named = false;
+    for (size_t i = 0; i < collectors; ++i) {
+      anomaly_named =
+          anomaly_named || logs[i].find("anomaly[" + gray_name) != std::string::npos;
+      loss_named = loss_named || logs[i].find(gray_name + "(est=") != std::string::npos;
+    }
+    if (!anomaly_named) {
+      std::fprintf(stderr, "fleet_runner: anomaly plane never flagged %s\n",
+                   gray_name.c_str());
+      return 1;
+    }
+    if (loss_named) {
+      std::fprintf(stderr,
+                   "fleet_runner: loss suspects named the gray link %s — the pure-latency "
+                   "scenario leaked a loss signal\n",
+                   gray_name.c_str());
+      return 1;
+    }
+    std::printf("fleet_runner: clean shutdown, %s flagged by the anomaly plane, loss "
+                "suspects silent\n",
+                gray_name.c_str());
+    return 0;
+  }
+
+  // Localization agreement: some collector must have named the injected blackhole link even
+  // under the impairment profile.
+  const std::string failed_link =
+      fattree.topology().LinkName(FleetScenario(fattree).failures[0].link);
+  bool localized = false;
+  for (size_t i = 0; i < collectors; ++i) {
+    localized = localized || logs[i].find(failed_link) != std::string::npos;
   }
   if (!localized) {
     std::fprintf(stderr, "fleet_runner: no collector localized %s\n", failed_link.c_str());
@@ -546,7 +660,9 @@ int main(int argc, char** argv) {
   flags.Describe("key", "deployment key seed — frames under another key reject as tampered");
   flags.Describe("impair",
                  "impairment profile: burst=RATE[:LEN],dup=P,corrupt=P,delay=T,jitter=T,"
-                 "rate=N,seed=S (default: none)");
+                 "rate=N,seed=S, or 'gray' for the delay-but-deliver run: lossless "
+                 "delay+jitter wire, pure-latency failure, anomaly-plane collectors "
+                 "(default: none)");
   flags.Describe("horizon", "collector liveness horizon in windows of silence (default 2)");
   flags.Describe("idle-ms", "collector exit after this long idle, once any frame arrived");
   flags.Describe("listen-seconds", "collector overall listening deadline (default 60)");

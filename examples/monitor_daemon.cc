@@ -47,6 +47,14 @@
 //                    [--ingest-shards=K] [--seed=9] [--history-dir=DIR]
 //                    [--history-segments=N] [--horizon=W] [--last-n=N]
 //                    [--replay-threshold=X]
+//
+// PR 10 adds the multi-signal anomaly plane: `--anomaly` turns on per-path RTT sampling into
+// deterministic quantile sketches and adaptive EWMA baselines (loss rate, RTT p50/p99) at
+// every diagnosis boundary, so a delay-but-deliver gray failure — invisible to the loss
+// pipeline — is localized through the same PLL machinery; the demo adds a pure-latency phase
+// to show it, windows seal the anomaly timeline into the history log, and `--mode=query`
+// prints per-link anomaly timelines next to the loss episodes. Tune with `--ewma-alpha`,
+// `--rtt-bins`, and `--anomaly-horizon`.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -65,9 +73,19 @@
 #include "src/report/emitter.h"
 #include "src/report/partition.h"
 #include "src/routing/fattree_routing.h"
+#include "src/sim/anomaly_scenarios.h"
 #include "src/sim/churn.h"
 
 namespace {
+
+void PrintAnomalies(const detector::Topology& topo,
+                    const std::vector<detector::LinkAnomaly>& anomalies) {
+  for (const auto& anomaly : anomalies) {
+    std::printf("  anomaly[%s %s run=%d score=%.2f]", topo.LinkName(anomaly.link).c_str(),
+                detector::AnomalySignalName(anomaly.signal), anomaly.sustained,
+                anomaly.score);
+  }
+}
 
 void PrintWindow(const detector::Topology& topo, int window,
                  const detector::DetectorSystem::WindowResult& result,
@@ -84,6 +102,7 @@ void PrintWindow(const detector::Topology& topo, int window,
     std::printf("  server-link[%s->%s]", topo.node(alarm.pinger).name.c_str(),
                 topo.node(alarm.target).name.c_str());
   }
+  PrintAnomalies(topo, result.anomalies);
   std::printf("\n");
 }
 
@@ -472,6 +491,31 @@ int RunQuery(const detector::Flags& flags) {
                 rack.rack.c_str(), rack.windows_suspected, rack.distinct_links);
   }
 
+  // The anomaly plane's forensic view (PR 10): which links the sealed windows flagged, with
+  // the per-link window timeline. Pre-anomaly (v1) logs simply have nothing to report.
+  const auto anomalies = engine.TopAnomalies(last_n);
+  if (anomalies.empty()) {
+    std::printf("no anomaly alarms in the %s\n",
+                last_n == 0 ? "retained range" : "queried range");
+  }
+  for (size_t i = 0; i < anomalies.size() && i < 8; ++i) {
+    const auto& activity = anomalies[i];
+    std::printf("anomaly %s: %zu window(s), signal %s, max score %.2f, longest run %d\n",
+                topo.LinkName(activity.link).c_str(), activity.windows_flagged,
+                AnomalySignalName(activity.signal), activity.max_score,
+                activity.max_sustained);
+    for (const auto& point : engine.LinkAnomalyTimeline(activity.link, last_n)) {
+      if (!point.flagged) {
+        continue;
+      }
+      std::printf("  window %llu: %s at %zu boundar%s, score %.2f, run %d\n",
+                  static_cast<unsigned long long>(point.window_index),
+                  AnomalySignalName(point.signal), point.boundaries_flagged,
+                  point.boundaries_flagged == 1 ? "y" : "ies", point.max_score,
+                  point.max_sustained);
+    }
+  }
+
   if (flags.Has("replay-threshold")) {
     const double threshold = flags.GetDouble("replay-threshold", 0.3);
     // Rebuild the probe matrix the recording modes build (deterministic, no config exchange;
@@ -565,6 +609,17 @@ int main(int argc, char** argv) {
   flags.Describe("last-n", "query mode: restrict queries to the newest N windows (default all)");
   flags.Describe("replay-threshold",
                  "query mode: replay the logged windows at this hit-ratio threshold");
+  flags.Describe("anomaly",
+                 "multi-signal anomaly plane: per-path RTT quantile sketches + adaptive EWMA "
+                 "baselines localize delay-but-deliver gray failures (default off)");
+  flags.Describe("ewma-alpha",
+                 "anomaly baseline smoothing factor in (0, 1] (default 0.2; smaller = "
+                 "slower-moving baselines)");
+  flags.Describe("rtt-bins",
+                 "RTT sketch bins, 4 sub-bins per octave of microseconds (default 80, "
+                 "spanning ~2 s)");
+  flags.Describe("anomaly-horizon",
+                 "consecutive excursion boundaries before a path is flagged (default 2)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -606,10 +661,22 @@ int main(int argc, char** argv) {
   options.decay_quantized = flags.GetBool("decay-quantized", false);
   options.history_dir = flags.GetString("history-dir", "");
   options.history_max_segments = static_cast<size_t>(flags.GetInt("history-segments", 0));
+  options.anomaly = flags.GetBool("anomaly", false);
+  options.anomaly_options.ewma_alpha =
+      flags.GetDouble("ewma-alpha", options.anomaly_options.ewma_alpha);
+  options.anomaly_options.horizon =
+      static_cast<int>(flags.GetInt("anomaly-horizon", options.anomaly_options.horizon));
+  options.rtt_bins = static_cast<int>(flags.GetInt("rtt-bins", options.rtt_bins));
   DetectorSystem system(routing, options);
   const Topology& topo = fattree.topology();
   std::printf("deTector daemon on Fattree(%d): %zu probe paths, %zu pingers\n", k,
               system.probe_matrix().NumPaths(), system.pinglists().size());
+  if (options.anomaly) {
+    std::printf("anomaly plane: RTT sketches (%d bins), EWMA alpha %.2f, horizon %d "
+                "boundaries\n",
+                options.rtt_bins, options.anomaly_options.ewma_alpha,
+                options.anomaly_options.horizon);
+  }
   if (!options.history_dir.empty()) {
     std::printf("retention: sealing every window into %s\n", options.history_dir.c_str());
   }
@@ -648,6 +715,7 @@ int main(int argc, char** argv) {
     for (const auto& s : d.localization.links) {
       std::printf("  %s(est=%.3f)", topo.LinkName(s.link).c_str(), s.estimated_loss_rate);
     }
+    PrintAnomalies(topo, d.anomalies);
     std::printf("\n");
   }
   const double first_seen = streamed.FirstDetectionSeconds(gray.failures[0].link);
@@ -689,6 +757,28 @@ int main(int argc, char** argv) {
               episode.start_seconds, episode.end_seconds, episode_first, last_seen);
   PrintWindow(topo, window++, sliding.window, "loss episode (sliding view)");
   system.set_streaming_view(StreamingViewMode::kCumulative);
+
+  // Phase 2c (anomaly plane only): a true gray failure — every packet delivered, every packet
+  // 2.5 ms late. The loss pipeline stays silent; the RTT baselines flag the paths and PLL
+  // localizes the link from the pseudo-observations. A clean warmup window lets the EWMA
+  // baselines learn "normal" first.
+  if (options.anomaly) {
+    const FailureScenario latency_gray =
+        GrayLatencyScenario(fattree.AggCoreLink(0, 1, 0), /*added_delay_us=*/2500.0);
+    const auto warm = system.RunWindowStreaming(FailureScenario{}, {}, rng);
+    PrintWindow(topo, window++, warm.window, "anomaly warmup (clean)");
+    const auto latency = system.RunWindowStreaming(latency_gray, {}, rng);
+    for (const auto& d : latency.timeline) {
+      if (d.anomalies.empty()) {
+        continue;
+      }
+      std::printf("[t=%3ds+%04.1fs] %-27s loss-alarms=%zu", window * 30, d.time_seconds,
+                  "latency-only gray failure", d.localization.links.size());
+      PrintAnomalies(topo, d.anomalies);
+      std::printf("\n");
+    }
+    PrintWindow(topo, window++, latency.window, "latency-only gray failure");
+  }
 
   system.set_segments_per_window(1);
   system.set_diagnose_every_segments(1);

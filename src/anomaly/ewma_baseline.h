@@ -1,0 +1,74 @@
+// Adaptive per-signal baseline: exponentially-weighted moving average of a streaming value
+// plus an EWMA of its absolute deviation (a robust, cheap stand-in for the standard
+// deviation). The anomaly plane keeps one per (slot, signal) — loss rate, RTT p50, RTT p99 —
+// and calls a value an excursion when it clears BOTH the additive band (mean + k deviations)
+// and the multiplicative band (mean x min_inflation): the additive band alone collapses to
+// zero width on a perfectly quiet signal, the multiplicative band alone never fires on
+// signals whose mean is near zero. No fixed thresholds — the bands track whatever "normal"
+// the link exhibits.
+//
+// Discipline: the caller tests Excursion() BEFORE Observe(), and freezes the baseline (skips
+// Observe) while a value is excursive — otherwise a sustained shift would be absorbed into
+// the mean and a gray failure would read as the new normal after a few boundaries.
+#ifndef SRC_ANOMALY_EWMA_BASELINE_H_
+#define SRC_ANOMALY_EWMA_BASELINE_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace detector {
+
+class EwmaBaseline {
+ public:
+  EwmaBaseline() = default;
+  EwmaBaseline(double alpha, double deviations, double min_inflation, int warmup)
+      : alpha_(alpha), deviations_(deviations), min_inflation_(min_inflation),
+        warmup_(warmup) {}
+
+  // Folds one observed value into the baseline.
+  void Observe(double value) {
+    if (samples_ == 0) {
+      mean_ = value;
+      dev_ = 0.0;
+    } else {
+      const double d = std::abs(value - mean_);
+      dev_ = (1.0 - alpha_) * dev_ + alpha_ * d;
+      mean_ = (1.0 - alpha_) * mean_ + alpha_ * value;
+    }
+    ++samples_;
+  }
+
+  // Whether `value` is an excursion above the learned band. Always false until the baseline
+  // has seen `warmup` samples — a baseline that has not learned "normal" cannot call
+  // anything abnormal. `floor` suppresses excursions below an absolute magnitude (e.g. a
+  // loss-rate delta too small to act on regardless of how quiet the baseline is).
+  bool Excursion(double value, double floor = 0.0) const {
+    if (samples_ < warmup_) return false;
+    if (value < floor) return false;
+    return value > mean_ + deviations_ * dev_ && value > mean_ * min_inflation_;
+  }
+
+  bool warmed_up() const { return samples_ >= warmup_; }
+  double mean() const { return mean_; }
+  double deviation() const { return dev_; }
+  int samples() const { return samples_; }
+
+  void Reset() {
+    mean_ = 0.0;
+    dev_ = 0.0;
+    samples_ = 0;
+  }
+
+ private:
+  double alpha_ = 0.2;
+  double deviations_ = 4.0;
+  double min_inflation_ = 1.25;
+  int warmup_ = 3;
+  double mean_ = 0.0;
+  double dev_ = 0.0;
+  int samples_ = 0;
+};
+
+}  // namespace detector
+
+#endif  // SRC_ANOMALY_EWMA_BASELINE_H_

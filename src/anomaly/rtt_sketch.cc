@@ -1,0 +1,22 @@
+#include "src/anomaly/rtt_sketch.h"
+
+#include <algorithm>
+
+namespace detector {
+
+int64_t RttSketch::Quantile(double q) const {
+  if (total_ <= 0) return 0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile sample, 1-based: ceil(q * total), at least 1.
+  int64_t rank = static_cast<int64_t>(clamped * static_cast<double>(total_));
+  if (static_cast<double>(rank) < clamped * static_cast<double>(total_)) ++rank;
+  rank = std::clamp<int64_t>(rank, 1, total_);
+  int64_t cumulative = 0;
+  for (size_t bin = 0; bin < counts_.size(); ++bin) {
+    cumulative += counts_[bin];
+    if (cumulative >= rank) return BinLowerUs(static_cast<int>(bin));
+  }
+  return BinLowerUs(num_bins() - 1);
+}
+
+}  // namespace detector

@@ -17,6 +17,25 @@ void ObservationStore::Shard::RecordPathAtEpoch(PathId slot, uint32_t epoch, Nod
   paths_.push_back(PathRecord{slot, target, sent, lost, epoch});
 }
 
+void ObservationStore::Shard::RecordPathWithRtt(PathId slot, NodeId target, int64_t sent,
+                                                int64_t lost, RttSketch sketch) {
+  DCHECK(slot >= 0 && static_cast<size_t>(slot) < store_->slot_epoch_.size());
+  DCHECK(!sketch.empty()) << "record RTT-less paths via RecordPath";
+  const int32_t rtt = static_cast<int32_t>(rtt_.size());
+  rtt_.push_back(std::move(sketch));
+  paths_.push_back(PathRecord{slot, target, sent, lost,
+                              store_->slot_epoch_[static_cast<size_t>(slot)], rtt});
+}
+
+void ObservationStore::Shard::RecordPathRttAtEpoch(PathId slot, uint32_t epoch, NodeId target,
+                                                   RttSketch sketch) {
+  DCHECK(slot >= 0 && static_cast<size_t>(slot) < store_->slot_epoch_.size());
+  DCHECK(!sketch.empty());
+  const int32_t rtt = static_cast<int32_t>(rtt_.size());
+  rtt_.push_back(std::move(sketch));
+  paths_.push_back(PathRecord{slot, target, 0, 0, epoch, rtt});
+}
+
 void ObservationStore::Shard::RecordIntraRack(NodeId target, int64_t sent, int64_t lost) {
   intra_.push_back(IntraRackObservation{pinger_, target, sent, lost});
 }
@@ -26,11 +45,20 @@ void ObservationStore::EnsureSlots(size_t num_slots) {
     const size_t old_size = slot_epoch_.size();
     slot_epoch_.resize(num_slots, 0);
     running_.resize(num_slots, PathObservation{});
+    if (!rtt_running_.empty()) {
+      rtt_running_.resize(num_slots);
+    }
     slot_dirty_.resize(num_slots, 0);
     slot_flipped_.resize(num_slots, 0);
     for (size_t slot = old_size; slot < num_slots; ++slot) {
       MarkDirty(slot);  // new slots enter the diagnosable domain: treat as changed
     }
+  }
+}
+
+void ObservationStore::EnsureRttRunning() {
+  if (rtt_running_.empty()) {
+    rtt_running_.resize(slot_epoch_.size());
   }
 }
 
@@ -83,6 +111,9 @@ void ObservationStore::InvalidateSlots(std::span<const PathId> slots) {
       // are skipped at fold time by the epoch check.
       ++slot_epoch_[static_cast<size_t>(slot)];
       running_[static_cast<size_t>(slot)] = PathObservation{};
+      if (static_cast<size_t>(slot) < rtt_running_.size()) {
+        rtt_running_[static_cast<size_t>(slot)] = RttSketch{};
+      }
       MarkDirty(static_cast<size_t>(slot));
     }
   }
@@ -110,13 +141,17 @@ ObservationView ObservationStore::Snapshot(size_t num_slots, const Watchdog& wat
 }
 
 void ObservationStore::AdjustForNode(NodeId node, int sign) {
-  auto adjust = [&](const Shard::PathRecord& record) {
+  auto adjust = [&](const Shard& owner, const Shard::PathRecord& record) {
     const size_t slot = static_cast<size_t>(record.slot);
     if (record.epoch != slot_epoch_[slot]) {
       return;  // orphaned: never part of the running totals
     }
     running_[slot].sent += sign * record.sent;
     running_[slot].lost += sign * record.lost;
+    if (record.rtt >= 0) {
+      EnsureRttRunning();
+      rtt_running_[slot].Merge(owner.rtt_[static_cast<size_t>(record.rtt)], sign);
+    }
     MarkDirty(slot);
     MarkWatchdogFlipped(slot);
   };
@@ -129,7 +164,7 @@ void ObservationStore::AdjustForNode(NodeId node, int sign) {
       // node itself is outside applied_down_ (caller contract), so this also admits
       // records whose target is the node.
       if (applied_down_.count(record.target) == 0) {
-        adjust(record);
+        adjust(shard, record);
       }
     }
   }
@@ -142,7 +177,7 @@ void ObservationStore::AdjustForNode(NodeId node, int sign) {
   if (by_target != records_by_target_.end()) {
     for (const auto& [shard, index] : by_target->second) {
       if (shard->pinger_ != node && applied_down_.count(shard->pinger_) == 0) {
-        adjust(shard->paths_[index]);
+        adjust(*shard, shard->paths_[index]);
       }
     }
   }
@@ -168,6 +203,10 @@ void ObservationStore::FoldNewRecords() {
           applied_down_.count(record.target) == 0) {
         running_[slot].sent += record.sent;
         running_[slot].lost += record.lost;
+        if (record.rtt >= 0) {
+          EnsureRttRunning();
+          rtt_running_[slot].Merge(shard->rtt_[static_cast<size_t>(record.rtt)]);
+        }
         MarkDirty(slot);
       }
       // Filtered and orphaned records still count as folded (and indexed): if their
@@ -207,6 +246,25 @@ ObservationView ObservationStore::RunningTotals(size_t num_slots, const Watchdog
   return ObservationView(running_.data(), num_slots);
 }
 
+std::vector<RttSketch> ObservationStore::RttSnapshot(size_t num_slots,
+                                                     const Watchdog& watchdog) const {
+  std::vector<RttSketch> out(num_slots);
+  for (const auto& shard : shards_) {
+    if (!watchdog.IsHealthy(shard->pinger_)) {
+      continue;
+    }
+    for (const Shard::PathRecord& record : shard->paths_) {
+      const size_t slot = static_cast<size_t>(record.slot);
+      if (record.rtt < 0 || slot >= num_slots || record.epoch != slot_epoch_[slot] ||
+          !watchdog.IsHealthy(record.target)) {
+        continue;
+      }
+      out[slot].Merge(shard->rtt_[static_cast<size_t>(record.rtt)]);
+    }
+  }
+  return out;
+}
+
 std::vector<IntraRackObservation> ObservationStore::IntraRackObservations(
     const Watchdog& watchdog) const {
   std::vector<IntraRackObservation> out;
@@ -228,6 +286,7 @@ void ObservationStore::Clear() {
   shard_of_pinger_.clear();
   slot_epoch_.assign(slot_epoch_.size(), 0);
   running_.assign(running_.size(), PathObservation{});
+  rtt_running_.assign(rtt_running_.size(), RttSketch{});
   applied_down_.clear();
   records_by_target_.clear();
   target_index_built_ = false;

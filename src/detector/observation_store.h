@@ -28,6 +28,7 @@
 #include <span>
 #include <vector>
 
+#include "src/anomaly/rtt_sketch.h"
 #include "src/localize/observations.h"
 #include "src/routing/path_store.h"
 #include "src/sim/watchdog.h"
@@ -58,6 +59,15 @@ class ObservationStore {
     // before the invalidation would have.
     void RecordPathAtEpoch(PathId slot, uint32_t epoch, NodeId target, int64_t sent,
                            int64_t lost);
+    // Streams one observation that also carries the path's RTT sample sketch (the anomaly
+    // plane's direct-mode write). The sketch rides on the same record, so epoch orphaning and
+    // watchdog retract/re-add apply to the loss counters and the sketch together. Callers
+    // skip paths with no samples (empty sketch) rather than recording an allocated-zero one.
+    void RecordPathWithRtt(PathId slot, NodeId target, int64_t sent, int64_t lost,
+                           RttSketch sketch);
+    // RTT-sketch-only record with an explicit epoch stamp — the report plane's fold path for
+    // extension records, whose loss counters travel in a separate wire record.
+    void RecordPathRttAtEpoch(PathId slot, uint32_t epoch, NodeId target, RttSketch sketch);
     // Streams one intra-rack (server-link) observation.
     void RecordIntraRack(NodeId target, int64_t sent, int64_t lost);
 
@@ -73,11 +83,13 @@ class ObservationStore {
       int64_t sent;
       int64_t lost;
       uint32_t epoch;  // slot epoch at record time; stale when the slot was since invalidated
+      int32_t rtt = -1;  // index into the shard's rtt_ sketches, -1 when the record has none
     };
 
     const ObservationStore* store_;
     NodeId pinger_;
     std::vector<PathRecord> paths_;
+    std::vector<RttSketch> rtt_;  // sketches referenced by PathRecord::rtt
     std::vector<IntraRackObservation> intra_;
     // Records below this index are reflected in the store's running totals (under the filter
     // and epochs applied at fold time); records at/after it stream in between serial reads.
@@ -111,6 +123,18 @@ class ObservationStore {
   // view is valid until the next EnsureSlots (growth reallocates the buffer the view
   // aliases), InvalidateSlots, RunningTotals or Clear.
   ObservationView RunningTotals(size_t num_slots, const Watchdog& watchdog);
+
+  // Maintained running per-slot RTT sketches, kept by the same fold/retract machinery as the
+  // loss totals (records carrying a sketch merge it when they fold, watchdog flips retract and
+  // re-add it, slot invalidation resets it). Valid after the RunningTotals call that folded
+  // the records. Lazily allocated: empty until the first sketch-carrying record folds, so
+  // loss-only deployments pay nothing; slots beyond the span (or with an empty sketch) simply
+  // accumulated no RTT samples.
+  std::span<const RttSketch> RttRunningTotals() const { return rtt_running_; }
+
+  // Reference semantics for RttRunningTotals (mirrors Snapshot): rebuilds the merged per-slot
+  // sketches from every buffered record per call, under the same watchdog/epoch filter.
+  std::vector<RttSketch> RttSnapshot(size_t num_slots, const Watchdog& watchdog) const;
 
   // Buffered intra-rack records (shard open order, record order within a shard), minus records
   // from or towards watchdog-flagged servers.
@@ -166,6 +190,10 @@ class ObservationStore {
   // Running-totals state: running_[slot] always equals the sum of folded records whose epoch
   // is the slot's current one and whose pinger/target are outside applied_down_.
   Observations running_;
+  // Running per-slot RTT sketches, parallel to running_ once allocated (first sketch fold).
+  std::vector<RttSketch> rtt_running_;
+  // Sizes rtt_running_ to the slot table on the first sketch-carrying fold/adjust.
+  void EnsureRttRunning();
   std::set<NodeId> applied_down_;  // watchdog filter currently reflected in running_
   // Folded records by target server, as (shard, record index) — a watchdog flip of a target
   // retracts/re-adds only that node's records instead of scanning every shard. Built lazily

@@ -50,19 +50,25 @@ PingerTraffic Pinger::RunEntries(const ProbeEngine& engine, double window_second
     }
     const int64_t packets = per_entry + (eligible_index < extra_packets ? 1 : 0);
     ++eligible_index;
+    // Matrix entries sample RTTs when the engine observes them; intra-rack probes stay
+    // loss-only (the anomaly plane runs over the probe matrix).
+    const bool sample_rtt = engine.rtt_observation() && entry.path_id >= 0;
+    RttSketch rtt = sample_rtt ? RttSketch(engine.rtt_sketch_bins()) : RttSketch{};
+    RttSketch* rtt_ptr = sample_rtt ? &rtt : nullptr;
     PathObservation obs = engine.SimulatePath(entry.route, pinglist_.pinger,
                                               entry.target_server,
-                                              static_cast<int>(packets), rng);
+                                              static_cast<int>(packets), rng, rtt_ptr);
     if (obs.lost > 0 && confirm_packets_ > 0) {
       // Confirm the loss pattern with extra probes of the same content (§3.1).
       const PathObservation confirm = engine.SimulatePath(
-          entry.route, pinglist_.pinger, entry.target_server, confirm_packets_, rng);
+          entry.route, pinglist_.pinger, entry.target_server, confirm_packets_, rng, rtt_ptr);
       obs.sent += confirm.sent;
       obs.lost += confirm.lost;
     }
     traffic.probes_sent += obs.sent;
     traffic.bytes_sent += obs.sent * engine.config().probe_bytes * 2;  // request + echo
-    sink(entry.path_id, entry.target_server, obs.sent, obs.lost);
+    sink(entry.path_id, entry.target_server, obs.sent, obs.lost,
+         rtt.total() > 0 ? &rtt : nullptr);
   }
   return traffic;
 }
@@ -74,8 +80,9 @@ PingerWindowResult Pinger::RunWindow(const ProbeEngine& engine, double window_se
   result.reports.reserve(pinglist_.entries.size());
   const PingerTraffic traffic = RunEntries(
       engine, window_seconds, rng, watchdog,
-      [&](PathId path_id, NodeId target, int64_t sent, int64_t lost) {
-        result.reports.push_back(PathReport{path_id, target, sent, lost});
+      [&](PathId path_id, NodeId target, int64_t sent, int64_t lost, const RttSketch* rtt) {
+        result.reports.push_back(
+            PathReport{path_id, target, sent, lost, rtt != nullptr ? *rtt : RttSketch{}});
       });
   result.probes_sent = traffic.probes_sent;
   result.bytes_sent = traffic.bytes_sent;
@@ -85,16 +92,21 @@ PingerWindowResult Pinger::RunWindow(const ProbeEngine& engine, double window_se
 PingerTraffic Pinger::RunWindowInto(const ProbeEngine& engine, double window_seconds, Rng& rng,
                                     ObservationStore::Shard& shard,
                                     const Watchdog* watchdog) const {
-  return RunEntries(engine, window_seconds, rng, watchdog,
-                    [&](PathId path_id, NodeId target, int64_t sent, int64_t lost) {
-                      if (path_id == PinglistEntry::kIntraRackPath) {
-                        shard.RecordIntraRack(target, sent, lost);
-                      } else if (path_id >= 0) {
-                        // Other negative ids (a corrupt wire pinglist) are dropped, matching
-                        // Diagnoser::Ingest.
-                        shard.RecordPath(path_id, target, sent, lost);
-                      }
-                    });
+  return RunEntries(
+      engine, window_seconds, rng, watchdog,
+      [&](PathId path_id, NodeId target, int64_t sent, int64_t lost, const RttSketch* rtt) {
+        if (path_id == PinglistEntry::kIntraRackPath) {
+          shard.RecordIntraRack(target, sent, lost);
+        } else if (path_id >= 0) {
+          // Other negative ids (a corrupt wire pinglist) are dropped, matching
+          // Diagnoser::Ingest.
+          if (rtt != nullptr) {
+            shard.RecordPathWithRtt(path_id, target, sent, lost, *rtt);
+          } else {
+            shard.RecordPath(path_id, target, sent, lost);
+          }
+        }
+      });
 }
 
 PingerTraffic Pinger::RunEntryRange(const ProbeEngine& engine, double window_seconds,
@@ -134,32 +146,41 @@ PingerTraffic Pinger::RunEntryRange(const ProbeEngine& engine, double window_sec
     Rng entry_rng = ProbeEngine::ShardRng(
         window_seed,
         HashCombine(static_cast<uint64_t>(pinglist_.pinger), static_cast<uint64_t>(i)));
+    const bool sample_rtt = engine.rtt_observation() && entry.path_id >= 0;
+    RttSketch rtt = sample_rtt ? RttSketch(engine.rtt_sketch_bins()) : RttSketch{};
+    RttSketch* rtt_ptr = sample_rtt ? &rtt : nullptr;
     PathObservation obs = engine.SimulatePath(entry.route, pinglist_.pinger,
                                               entry.target_server,
-                                              static_cast<int>(packets), entry_rng);
+                                              static_cast<int>(packets), entry_rng, rtt_ptr);
     if (obs.lost > 0 && confirm_packets_ > 0) {
-      const PathObservation confirm = engine.SimulatePath(
-          entry.route, pinglist_.pinger, entry.target_server, confirm_packets_, entry_rng);
+      const PathObservation confirm =
+          engine.SimulatePath(entry.route, pinglist_.pinger, entry.target_server,
+                              confirm_packets_, entry_rng, rtt_ptr);
       obs.sent += confirm.sent;
       obs.lost += confirm.lost;
     }
     traffic.probes_sent += obs.sent;
     traffic.bytes_sent += obs.sent * engine.config().probe_bytes * 2;  // request + echo
-    out.push_back(PathReport{entry.path_id, entry.target_server, obs.sent, obs.lost});
+    out.push_back(PathReport{entry.path_id, entry.target_server, obs.sent, obs.lost,
+                             rtt.total() > 0 ? std::move(rtt) : RttSketch{}});
   }
   return traffic;
 }
 
 PingerTraffic Pinger::RunWindowTo(const ProbeEngine& engine, double window_seconds, Rng& rng,
                                   ReportSink& sink, const Watchdog* watchdog) const {
-  return RunEntries(engine, window_seconds, rng, watchdog,
-                    [&](PathId path_id, NodeId target, int64_t sent, int64_t lost) {
-                      if (path_id == PinglistEntry::kIntraRackPath) {
-                        sink.OnIntraRack(target, sent, lost);
-                      } else if (path_id >= 0) {
-                        sink.OnPath(path_id, target, sent, lost);
-                      }
-                    });
+  return RunEntries(
+      engine, window_seconds, rng, watchdog,
+      [&](PathId path_id, NodeId target, int64_t sent, int64_t lost, const RttSketch* rtt) {
+        if (path_id == PinglistEntry::kIntraRackPath) {
+          sink.OnIntraRack(target, sent, lost);
+        } else if (path_id >= 0) {
+          sink.OnPath(path_id, target, sent, lost);
+          if (rtt != nullptr) {
+            sink.OnPathRtt(path_id, target, *rtt);
+          }
+        }
+      });
 }
 
 }  // namespace detector

@@ -24,6 +24,9 @@ struct PathReport {
   NodeId target = kInvalidNode;
   int64_t sent = 0;
   int64_t lost = 0;
+  // RTT sample sketch for this entry's probes; empty unless the engine has RTT observation
+  // attached and the entry had surviving probes (intra-rack entries never carry one).
+  RttSketch rtt;
 };
 
 struct PingerWindowResult {
@@ -48,6 +51,14 @@ class ReportSink {
   virtual ~ReportSink() = default;
   virtual void OnPath(PathId slot, NodeId target, int64_t sent, int64_t lost) = 0;
   virtual void OnIntraRack(NodeId target, int64_t sent, int64_t lost) = 0;
+  // RTT sample sketch of the path reported by the immediately preceding OnPath call, delivered
+  // only when RTT observation is enabled and the sketch is non-empty. Default: discard — a
+  // sink predating the anomaly plane keeps working on loss records alone.
+  virtual void OnPathRtt(PathId slot, NodeId target, const RttSketch& sketch) {
+    (void)slot;
+    (void)target;
+    (void)sketch;
+  }
 };
 
 class Pinger {
@@ -97,7 +108,8 @@ class Pinger {
   const Pinglist& pinglist() const { return pinglist_; }
 
  private:
-  // Shared core: runs every eligible entry and hands (path_id, target, sent, lost) to `sink`.
+  // Shared core: runs every eligible entry and hands (path_id, target, sent, lost, rtt) to
+  // `sink`; rtt is null unless the engine samples RTTs and the entry's sketch is non-empty.
   template <typename Sink>
   PingerTraffic RunEntries(const ProbeEngine& engine, double window_seconds, Rng& rng,
                            const Watchdog* watchdog, Sink&& sink) const;

@@ -21,7 +21,9 @@ DetectorSystem::DetectorSystem(const PathProvider& provider, DetectorSystemOptio
       overlay_(topo_),
       watchdog_(topo_),
       controller_(topo_, options.controller),
-      diagnoser_(options.pll) {
+      diagnoser_(options.pll),
+      latency_model_(options.latency),
+      anomaly_engine_(options.anomaly_options) {
   ConfigureDiagnoserViews();
   incremental_->set_repair_threads(std::max(0, options_.pmc_repair_threads));
   pinglists_ = controller_.BuildPinglists(matrix_, watchdog_);
@@ -39,7 +41,9 @@ DetectorSystem::DetectorSystem(const Topology& topo, ProbeMatrix matrix,
       overlay_(topo_),
       watchdog_(topo_),
       controller_(topo_, options.controller),
-      diagnoser_(options.pll) {
+      diagnoser_(options.pll),
+      latency_model_(options.latency),
+      anomaly_engine_(options.anomaly_options) {
   ConfigureDiagnoserViews();
   pinglists_ = controller_.BuildPinglists(matrix_, watchdog_);
   path_index_ = PathPingerIndex::Build(pinglists_);
@@ -141,8 +145,10 @@ void DetectorSystem::RecomputeCycle() {
   if (incremental_ != nullptr) {
     pmc_stats_ = incremental_->FullResolve();
     matrix_ = incremental_->BuildMatrix();
-    // The rebuilt matrix rewires slots; the diagnoser's cached PLL partition is stale.
+    // The rebuilt matrix rewires slots; the diagnoser's cached PLL partition is stale, and so
+    // is every per-slot anomaly baseline (slot identities do not survive a rebuild).
     diagnoser_.InvalidateLocalizeCache();
+    anomaly_engine_.Reset();
   }
   pinglists_ = controller_.BuildPinglists(matrix_, watchdog_);
   path_index_ = PathPingerIndex::Build(pinglists_);
@@ -217,8 +223,10 @@ DetectorSystem::ChurnApplyResult DetectorSystem::ApplyTopologyDelta(const Topolo
     if (!removed.empty() || !added.empty()) {
       matrix_ = incremental_->BuildMatrix();
       // Slot reuse keeps the matrix dimensions while rewiring paths, so the diagnoser's
-      // cached PLL partition cannot detect the change itself — drop it explicitly.
+      // cached PLL partition cannot detect the change itself — drop it explicitly, along with
+      // the anomaly baselines keyed to the old slot identities.
       diagnoser_.InvalidateLocalizeCache();
+      anomaly_engine_.Reset();
     }
   } else {
     // Fixed-matrix mode: no candidate set to repair from. Entries on dead links are withdrawn
@@ -355,7 +363,13 @@ FailureScenario DetectorSystem::OverlaidScenario(const FailureScenario& scenario
 
 void DetectorSystem::RunSegment(const FailureScenario& scenario, double seconds, Rng& rng,
                                 WindowResult& result) {
-  const ProbeEngine engine(topo_, OverlaidScenario(scenario), options_.probe);
+  ProbeEngine engine(topo_, OverlaidScenario(scenario), options_.probe);
+  if (options_.anomaly) {
+    // RTT observation rides the same per-shard RNG streams; sampling draws happen after all
+    // loss draws, so the loss counters match an anomaly-off run draw for draw.
+    engine.AttachRttObservation(&latency_model_, {}, options_.rtt_samples_per_path,
+                                options_.rtt_bins);
+  }
 
   // Serial phase: one shard per non-empty pinglist, opened before any thread runs. The caller's
   // rng advances exactly once (the window seed) however many shards or threads execute, and
@@ -748,6 +762,11 @@ DetectorSystem::StreamingWindowResult DetectorSystem::RunWindowImpl(
   if (history) {
     history_sealer_.BeginWindow(history_window_index_);
   }
+  if (options_.anomaly) {
+    // Re-base the engine's per-slot totals at zero — the store cleared at the last window's
+    // Diagnose — without touching the learned baselines or excursion runs.
+    anomaly_engine_.BeginWindow();
+  }
 
   if (options_.report_plane) {
     // Open the report-plane window: (re)shape the collector fabric and its partition map to
@@ -805,6 +824,14 @@ DetectorSystem::StreamingWindowResult DetectorSystem::RunWindowImpl(
         diagnosis.time_seconds = boundary;
         diagnosis.localization = DiagnoseBoundary();
         diagnosis.server_link_alarms = diagnoser_.ServerLinkAlarms(watchdog_);
+        if (options_.anomaly) {
+          // The boundary diagnosis already folded pending records; RunningTotals here is the
+          // same serial point it read, and the RTT sketches folded alongside it.
+          ObservationStore& store = diagnoser_.store();
+          const ObservationView totals = store.RunningTotals(matrix_.NumPaths(), watchdog_);
+          diagnosis.anomalies =
+              anomaly_engine_.Observe(matrix_, totals, store.RttRunningTotals());
+        }
         if (history) {
           // RunningTotals here is idempotent — the boundary diagnosis already folded pending
           // records — so the cut sees the same serial point the diagnosis read.
@@ -812,6 +839,7 @@ DetectorSystem::StreamingWindowResult DetectorSystem::RunWindowImpl(
               seg, boundary, diagnoser_.store().RunningTotals(matrix_.NumPaths(), watchdog_));
           history_sealer_.AttachDiagnosis(diagnosis.localization.links,
                                           diagnosis.server_link_alarms);
+          history_sealer_.AttachAnomalies(diagnosis.anomalies);
         }
         out.timeline.push_back(std::move(diagnosis));
       }
@@ -826,6 +854,18 @@ DetectorSystem::StreamingWindowResult DetectorSystem::RunWindowImpl(
     }
   }
   result.server_link_alarms = diagnoser_.ServerLinkAlarms(watchdog_);
+  if (options_.anomaly) {
+    // Window-end anomaly boundary: observed before Diagnose() consumes the store, like the
+    // history cut below. The merged RTT sketches are captured here too — the bit-identity
+    // surface the thread-count and report-vs-direct gates compare.
+    ObservationStore& store = diagnoser_.store();
+    const ObservationView totals = store.RunningTotals(matrix_.NumPaths(), watchdog_);
+    result.anomalies = anomaly_engine_.Observe(matrix_, totals, store.RttRunningTotals());
+    const std::span<const RttSketch> rtt = store.RttRunningTotals();
+    last_rtt_totals_.assign(rtt.begin(), rtt.end());
+  } else {
+    last_rtt_totals_.clear();
+  }
   if (history) {
     // The window-end delta must be cut before Diagnose() — it consumes (clears) the store.
     // The window-end suspects attach right after it runs.
@@ -840,11 +880,12 @@ DetectorSystem::StreamingWindowResult DetectorSystem::RunWindowImpl(
     // The window-end diagnosis always happens, so the timeline always records it — whether or
     // not the last segment lands on the cadence. FirstDetectionSeconds therefore never misses
     // a failure the batch window would have caught.
-    out.timeline.push_back(
-        SegmentDiagnosis{segments, window, result.localization, result.server_link_alarms});
+    out.timeline.push_back(SegmentDiagnosis{segments, window, result.localization,
+                                            result.server_link_alarms, result.anomalies});
   }
   if (history) {
     history_sealer_.AttachDiagnosis(result.localization.links, result.server_link_alarms);
+    history_sealer_.AttachAnomalies(result.anomalies);
     const SealedWindow sealed = history_sealer_.Finish(
         matrix_.NumPaths(), result.churn_events_applied, overlay_.NumDeadLinks(),
         result.probes_sent, result.bytes_sent);

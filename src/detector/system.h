@@ -29,6 +29,7 @@
 #include <span>
 #include <vector>
 
+#include "src/anomaly/anomaly_engine.h"
 #include "src/common/thread_pool.h"
 #include "src/detector/controller.h"
 #include "src/detector/diagnoser.h"
@@ -155,6 +156,20 @@ struct DetectorSystemOptions {
   // how many segment files to keep (0 = unbounded).
   size_t history_segment_records = 256;
   size_t history_max_segments = 0;
+  // Multi-signal anomaly plane (src/anomaly): pingers additionally sample per-path RTT into
+  // deterministic mergeable sketches carried through the store (and, in report mode, the wire
+  // frames); at every diagnosis boundary adaptive EWMA baselines watch the loss-rate and
+  // RTT-quantile deltas, and sustained excursions are fused through the PLL partition
+  // machinery into LinkAnomaly alarms — gray failures that delay-but-deliver are localized
+  // without any fixed loss threshold. Off by default: with anomaly == false no RTT is sampled
+  // and every loss counter, RNG draw, and diagnosis is bit-identical to the pre-anomaly build.
+  bool anomaly = false;
+  AnomalyOptions anomaly_options;
+  // RTT observation channel (anomaly == true): samples per surviving path per probe slice and
+  // the sketch resolution, plus the queueing model the samples are drawn from.
+  int rtt_samples_per_path = 4;
+  int rtt_bins = RttSketch::kDefaultBins;
+  LatencyModelOptions latency;
 };
 
 class DetectorSystem {
@@ -197,6 +212,8 @@ class DetectorSystem {
   struct WindowResult {
     LocalizeResult localization;
     std::vector<ServerLinkAlarm> server_link_alarms;
+    // Anomaly-plane alarms at window end (empty unless options.anomaly).
+    std::vector<LinkAnomaly> anomalies;
     int64_t probes_sent = 0;  // round trips including confirmations
     int64_t bytes_sent = 0;
     double detection_latency_seconds = 0.0;
@@ -220,6 +237,8 @@ class DetectorSystem {
     double time_seconds = 0.0;   // window-relative boundary time
     LocalizeResult localization;
     std::vector<ServerLinkAlarm> server_link_alarms;
+    // Anomaly-plane alarms raised at this boundary (empty unless options.anomaly).
+    std::vector<LinkAnomaly> anomalies;
   };
 
   struct StreamingWindowResult {
@@ -323,6 +342,16 @@ class DetectorSystem {
   Transport* report_transport(size_t i = 0) {
     return i < report_transports_.size() ? report_transports_[i].get() : nullptr;
   }
+  // Toggles the anomaly plane (takes effect at the next window). Turning it on attaches RTT
+  // observation to every subsequent probe slice; turning it off restores the pre-anomaly RNG
+  // trajectory (sampling draws happen after all loss draws, so loss counters never change
+  // within a mode, but the two modes are distinct — equally deterministic — trajectories).
+  void set_anomaly(bool on) { options_.anomaly = on; }
+  const AnomalyEngine& anomaly_engine() const { return anomaly_engine_; }
+  // The store's merged per-slot RTT sketches captured at the last window's close, before
+  // Diagnose cleared them — the bit-identity surface the thread-count and report-vs-direct
+  // gates compare (empty unless options.anomaly).
+  std::span<const RttSketch> last_window_rtt_totals() const { return last_rtt_totals_; }
   // Re-points (or disables, with "") the on-disk window log; takes effect at the next window.
   void set_history_dir(std::string dir) { options_.history_dir = std::move(dir); }
   // An additional, caller-owned sink sealed windows are published to alongside the on-disk
@@ -379,6 +408,12 @@ class DetectorSystem {
   Watchdog watchdog_;
   Controller controller_;
   Diagnoser diagnoser_;
+  // Anomaly plane: the RTT model probe slices sample from when options_.anomaly is on, the
+  // baseline/fusion engine fed at every diagnosis boundary, and the last window's merged RTT
+  // sketches (captured before Diagnose clears the store).
+  LatencyModel latency_model_;
+  AnomalyEngine anomaly_engine_;
+  std::vector<RttSketch> last_rtt_totals_;
   std::vector<Pinglist> pinglists_;
   // path -> pinger replica index over pinglists_, kept current by UpdatePinglists so delta
   // dispatch touches only the diff (rebuilt wholesale when BuildPinglists replaces the lists).

@@ -111,6 +111,67 @@ std::vector<QueryEngine::LinkActivity> QueryEngine::TopLinks(size_t last_n) cons
   return out;
 }
 
+std::vector<QueryEngine::AnomalyPoint> QueryEngine::LinkAnomalyTimeline(LinkId link,
+                                                                        size_t last_n) const {
+  std::vector<AnomalyPoint> out;
+  for (size_t i = FirstOfLastN(last_n); i < windows_.size(); ++i) {
+    AnomalyPoint point;
+    point.window_index = windows_[i].window_index;
+    for (const SealedBoundary& b : windows_[i].boundaries) {
+      for (const LinkAnomaly& an : b.anomalies) {
+        if (an.link != link) {
+          continue;
+        }
+        point.flagged = true;
+        point.signal |= an.signal;
+        point.max_score = std::max(point.max_score, an.score);
+        point.max_sustained = std::max(point.max_sustained, an.sustained);
+        ++point.boundaries_flagged;
+      }
+    }
+    out.push_back(point);
+  }
+  return out;
+}
+
+std::vector<QueryEngine::AnomalyActivity> QueryEngine::TopAnomalies(size_t last_n) const {
+  std::map<LinkId, AnomalyActivity> by_link;
+  for (size_t i = FirstOfLastN(last_n); i < windows_.size(); ++i) {
+    std::vector<LinkId> seen_this_window;
+    for (const SealedBoundary& b : windows_[i].boundaries) {
+      for (const LinkAnomaly& an : b.anomalies) {
+        auto [it, inserted] = by_link.try_emplace(an.link);
+        AnomalyActivity& activity = it->second;
+        if (inserted) {
+          activity.link = an.link;
+          activity.first_window = windows_[i].window_index;
+        }
+        activity.last_window = windows_[i].window_index;
+        activity.signal |= an.signal;
+        activity.max_score = std::max(activity.max_score, an.score);
+        activity.max_sustained = std::max(activity.max_sustained, an.sustained);
+        if (std::find(seen_this_window.begin(), seen_this_window.end(), an.link) ==
+            seen_this_window.end()) {
+          seen_this_window.push_back(an.link);
+          ++activity.windows_flagged;
+        }
+      }
+    }
+  }
+  std::vector<AnomalyActivity> out;
+  out.reserve(by_link.size());
+  for (auto& [link, activity] : by_link) {
+    out.push_back(activity);
+  }
+  std::sort(out.begin(), out.end(), [](const AnomalyActivity& a, const AnomalyActivity& b) {
+    if (a.windows_flagged != b.windows_flagged) {
+      return a.windows_flagged > b.windows_flagged;
+    }
+    return a.link < b.link;
+  });
+  return out;
+}
+
 namespace {
 
 // The rack bucket a suspect link is charged to: the ToR endpoint's name when the link serves

@@ -114,6 +114,33 @@ class QueryEngine {
   };
   std::vector<RackActivity> RackTimeline(const Topology& topo, size_t last_n = 0) const;
 
+  // ---- Anomaly-plane queries (PR 10) -----------------------------------------------------
+  // Anomalies are logged per boundary; these roll them up per window — a window counts as
+  // flagged for a link when any of its boundaries named the link. Pre-anomaly (v1) log
+  // records simply contribute unflagged points.
+
+  struct AnomalyPoint {
+    uint64_t window_index = 0;
+    bool flagged = false;
+    uint8_t signal = 0;       // OR of the kAnomalySignal* bits across the window's boundaries
+    double max_score = 0.0;
+    int32_t max_sustained = 0;
+    size_t boundaries_flagged = 0;  // boundaries of this window naming the link
+  };
+  std::vector<AnomalyPoint> LinkAnomalyTimeline(LinkId link, size_t last_n = 0) const;
+
+  // Every link any boundary in the range flagged, most-flagged-windows first.
+  struct AnomalyActivity {
+    LinkId link = kInvalidLink;
+    size_t windows_flagged = 0;
+    uint8_t signal = 0;  // OR of the signals across the range
+    double max_score = 0.0;
+    int32_t max_sustained = 0;
+    uint64_t first_window = 0;
+    uint64_t last_window = 0;
+  };
+  std::vector<AnomalyActivity> TopAnomalies(size_t last_n = 0) const;
+
   // ---- Replay ----------------------------------------------------------------------------
   // Feeds windows [first, first + count) back through a fresh non-consuming Diagnoser built
   // from `options`: per logged boundary, the boundary's deltas are ingested into the store

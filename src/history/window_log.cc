@@ -17,7 +17,10 @@ namespace fs = std::filesystem;
 
 constexpr uint8_t kRecordMagic0 = 0xD7;  // shared lead byte with the wire frames
 constexpr uint8_t kRecordMagic1 = 0x57;  // 'W' — a log record, not a wire frame (0x52)
-constexpr uint8_t kRecordVersion = 1;
+// v1: deltas + suspects + alarms per boundary. v2 appends the anomaly-plane alarms (PR 10) —
+// writers emit v2; readers accept both, so pre-anomaly logs stay queryable.
+constexpr uint8_t kRecordVersionV1 = 1;
+constexpr uint8_t kRecordVersion = 2;
 constexpr size_t kTagOffset = 3;      // 8-byte SipHash tag at [3, 11)
 constexpr size_t kPayloadOffset = 11;
 constexpr size_t kMinFrameBytes = kPayloadOffset + 4;  // header + tag + CRC, empty payload
@@ -87,10 +90,18 @@ void EncodePayload(const SealedWindow& w, std::vector<uint8_t>& out) {
       PutVarint(out, static_cast<uint64_t>(a.target));
       PutFixed64(out, DoubleBits(a.loss_ratio));
     }
+    // v2: anomaly-plane alarms.
+    PutVarint(out, b.anomalies.size());
+    for (const LinkAnomaly& an : b.anomalies) {
+      PutVarint(out, static_cast<uint64_t>(an.link));
+      PutVarint(out, an.signal);
+      PutFixed64(out, DoubleBits(an.score));
+      PutVarint(out, static_cast<uint64_t>(an.sustained));
+    }
   }
 }
 
-bool DecodePayload(std::span<const uint8_t> payload, SealedWindow& out) {
+bool DecodePayload(std::span<const uint8_t> payload, uint8_t version, SealedWindow& out) {
   size_t pos = 0;
   uint64_t u;
   SealedWindow w;
@@ -177,6 +188,27 @@ bool DecodePayload(std::span<const uint8_t> payload, SealedWindow& out) {
       a.target = static_cast<NodeId>(target);
       a.loss_ratio = DoubleFromBits(ratio);
       b.alarms.push_back(a);
+    }
+    if (version >= kRecordVersion) {
+      if (!GetVarint(payload, pos, count) || count > payload.size()) {
+        return false;
+      }
+      b.anomalies.reserve(static_cast<size_t>(count));
+      for (uint64_t j = 0; j < count; ++j) {
+        LinkAnomaly an;
+        uint64_t link, signal, score_bits, sustained;
+        if (!GetVarint(payload, pos, link) || link > INT32_MAX ||
+            !GetVarint(payload, pos, signal) || signal > UINT8_MAX ||
+            !GetFixed64(payload, pos, score_bits) ||
+            !GetVarint(payload, pos, sustained) || sustained > INT32_MAX) {
+          return false;
+        }
+        an.link = static_cast<LinkId>(link);
+        an.signal = static_cast<uint8_t>(signal);
+        an.score = DoubleFromBits(score_bits);
+        an.sustained = static_cast<int32_t>(sustained);
+        b.anomalies.push_back(an);
+      }
     }
     w.boundaries.push_back(std::move(b));
   }
@@ -273,7 +305,7 @@ WindowLogStatus DecodeWindowRecord(std::span<const uint8_t> bytes, size_t& pos,
     pos = start;
     return WindowLogStatus::kBadMagic;
   }
-  if (frame[2] != kRecordVersion) {
+  if (frame[2] != kRecordVersion && frame[2] != kRecordVersionV1) {
     pos = start;
     return WindowLogStatus::kBadVersion;
   }
@@ -298,7 +330,7 @@ WindowLogStatus DecodeWindowRecord(std::span<const uint8_t> bytes, size_t& pos,
     pos = start;
     return WindowLogStatus::kBadAuth;
   }
-  if (!DecodePayload(payload, out)) {
+  if (!DecodePayload(payload, frame[2], out)) {
     pos = start;
     return WindowLogStatus::kMalformed;
   }

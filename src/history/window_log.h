@@ -10,7 +10,8 @@
 //   [varint]  frame length L (bytes of everything after this varint)
 //   [0]       magic 0xD7          -- same lead byte as the wire frames
 //   [1]       magic 0x57          -- 'W' distinguishes log records from wire frames (0x52)
-//   [2]       version (1)
+//   [2]       version (2; readers also accept 1 — pre-anomaly records without the
+//             per-boundary anomaly list)
 //   [3..10]   SipHash-2-4 tag of the payload under the log key
 //   [11..L-5] payload (varint/zigzag; see EncodeWindowRecord)
 //   [L-4..L-1] CRC-32 of bytes [0, L-4)

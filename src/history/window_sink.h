@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/anomaly/anomaly_engine.h"
 #include "src/detector/diagnoser.h"
 #include "src/localize/localizer.h"
 #include "src/localize/observations.h"
@@ -49,6 +50,9 @@ struct SealedBoundary {
   std::vector<SealedDelta> deltas;
   std::vector<SuspectLink> suspects;
   std::vector<ServerLinkAlarm> alarms;
+  // Anomaly-plane alarms at this boundary (empty on pre-anomaly logs and loss-only runs) —
+  // what --mode=query replays as the per-link anomaly timeline.
+  std::vector<LinkAnomaly> anomalies;
 
   bool operator==(const SealedBoundary&) const = default;
 };
@@ -118,6 +122,15 @@ class WindowSealer {
     }
     pending_.boundaries.back().suspects = std::move(suspects);
     pending_.boundaries.back().alarms = std::move(alarms);
+  }
+
+  // Fills the most recent boundary's anomaly-plane alarms (same discipline as
+  // AttachDiagnosis; call with an empty vector — or not at all — on loss-only runs).
+  void AttachAnomalies(std::vector<LinkAnomaly> anomalies) {
+    if (pending_.boundaries.empty()) {
+      return;
+    }
+    pending_.boundaries.back().anomalies = std::move(anomalies);
   }
 
   // Seals and returns the pending window; the sealer is ready for the next BeginWindow.

@@ -75,6 +75,33 @@ void ReportCodec::Encode(const ReportFrame& frame, std::vector<uint8_t>& out,
     PutVarint(out, static_cast<uint64_t>(record.sent));
     PutVarint(out, static_cast<uint64_t>(record.lost));
   }
+  // Extension section — omitted entirely when empty so loss-only frames stay byte-identical
+  // to the pre-extension layout (and to what older emitters produce).
+  if (!frame.rtt.empty()) {
+    PutVarint(out, frame.rtt.size());
+    std::vector<uint8_t> payload;
+    for (const WireRttDelta& record : frame.rtt) {
+      payload.clear();
+      PutVarint(payload, static_cast<uint64_t>(record.slot));
+      PutVarint(payload, record.epoch);
+      PutVarint(payload, static_cast<uint64_t>(record.target));
+      PutVarint(payload, static_cast<uint64_t>(record.sketch.num_bins()));
+      const std::span<const int64_t> counts = record.sketch.counts();
+      uint64_t n_nonzero = 0;
+      for (const int64_t count : counts) n_nonzero += count != 0;
+      PutVarint(payload, n_nonzero);
+      int prev_bin = 0;
+      for (int bin = 0; bin < record.sketch.num_bins(); ++bin) {
+        if (counts[static_cast<size_t>(bin)] == 0) continue;
+        PutVarint(payload, static_cast<uint64_t>(bin - prev_bin));
+        PutVarint(payload, static_cast<uint64_t>(counts[static_cast<size_t>(bin)]));
+        prev_bin = bin;
+      }
+      PutVarint(out, kExtTypeRttSketch);
+      PutVarint(out, payload.size());
+      out.insert(out.end(), payload.begin(), payload.end());
+    }
+  }
   const uint64_t tag =
       SipHash24(key.k0, key.k1, std::span<const uint8_t>(out).subspan(kHeaderPos));
   for (size_t b = 0; b < 8; ++b) {
@@ -118,7 +145,7 @@ bool ReadI32(std::span<const uint8_t> bytes, size_t& pos, int32_t& value) {
 }  // namespace
 
 DecodeStatus ReportCodec::Decode(std::span<const uint8_t> bytes, ReportFrame& out,
-                                 const ReportKey& key) {
+                                 const ReportKey& key, uint64_t max_known_ext_type) {
   // magic(2) + version(1) + tag(8) + 5 one-byte header varints + crc(4)
   if (bytes.size() < 20) {
     return DecodeStatus::kTooShort;
@@ -204,6 +231,73 @@ DecodeStatus ReportCodec::Decode(std::span<const uint8_t> bytes, ReportFrame& ou
       return DecodeStatus::kMalformed;
     }
     frame.intra.push_back(record);
+  }
+  // Optional extension section. A frame that ends exactly after the intra records carries no
+  // extension records (every pre-extension frame decodes unchanged).
+  if (pos < body_size) {
+    uint64_t n_ext = 0;
+    if (!ReadCount(body, pos, body_size, n_ext)) {
+      return DecodeStatus::kMalformed;
+    }
+    // Every ext record costs >= 2 bytes (type + length).
+    if (n_ext * 2 > body_size - pos) {
+      return DecodeStatus::kTruncated;
+    }
+    for (uint64_t i = 0; i < n_ext; ++i) {
+      uint64_t type = 0;
+      uint64_t length = 0;
+      if (!GetVarint(body, pos, type) || !GetVarint(body, pos, length)) {
+        return DecodeStatus::kTruncated;
+      }
+      if (type == 0 || length > body_size - pos) {
+        return DecodeStatus::kMalformed;
+      }
+      const std::span<const uint8_t> payload = body.subspan(pos, length);
+      pos += length;
+      if (type > max_known_ext_type) {
+        // A record type from a newer emitter: skip its declared length and keep folding the
+        // records this decoder does understand.
+        ++frame.unknown_records;
+        continue;
+      }
+      // type == kExtTypeRttSketch — the only known extension type.
+      WireRttDelta record;
+      size_t rpos = 0;
+      uint64_t slot = 0;
+      uint64_t epoch = 0;
+      uint64_t num_bins = 0;
+      uint64_t n_nonzero = 0;
+      if (!GetVarint(payload, rpos, slot) || !GetVarint(payload, rpos, epoch) ||
+          !ReadI32(payload, rpos, record.target) || !GetVarint(payload, rpos, num_bins) ||
+          !GetVarint(payload, rpos, n_nonzero)) {
+        return DecodeStatus::kTruncated;
+      }
+      if (slot > static_cast<uint64_t>(std::numeric_limits<int32_t>::max()) ||
+          epoch > std::numeric_limits<uint32_t>::max() || num_bins < RttSketch::kSubBins ||
+          num_bins > RttSketch::kMaxBins || n_nonzero > num_bins) {
+        return DecodeStatus::kMalformed;
+      }
+      record.slot = static_cast<PathId>(slot);
+      record.epoch = static_cast<uint32_t>(epoch);
+      record.sketch = RttSketch(static_cast<int>(num_bins));
+      int64_t bin = -1;
+      for (uint64_t j = 0; j < n_nonzero; ++j) {
+        uint64_t gap = 0;
+        int64_t count = 0;
+        if (!GetVarint(payload, rpos, gap) || !ReadI64(payload, rpos, count)) {
+          return DecodeStatus::kTruncated;
+        }
+        bin = (bin < 0 ? 0 : bin) + static_cast<int64_t>(gap);
+        if (bin >= static_cast<int64_t>(num_bins) || count <= 0) {
+          return DecodeStatus::kMalformed;
+        }
+        record.sketch.AddCount(static_cast<int>(bin), count);
+      }
+      if (rpos != payload.size()) {
+        return DecodeStatus::kMalformed;  // a known type must parse exactly to its length
+      }
+      frame.rtt.push_back(std::move(record));
+    }
   }
   if (pos != body_size) {
     return DecodeStatus::kMalformed;  // trailing garbage that somehow CRC'd clean

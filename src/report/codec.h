@@ -14,6 +14,16 @@
 //        paths      n_paths x { zigzag slot_delta   (vs the previous record's slot)
 //                               varint epoch | varint target | varint sent | varint lost }
 //        intra      n_intra x { varint target | varint sent | varint lost }
+//        ext        OPTIONAL; absent entirely when a frame carries no extension records, so
+//                   loss-only frames stay byte-identical to the pre-extension layout.
+//                   varint n_ext | n_ext x { varint type | varint length | length bytes }
+//                   Known types: 1 = RTT sketch record, payload
+//                     varint slot | varint epoch | varint target | varint num_bins
+//                     varint n_nonzero | n_nonzero x { varint bin_gap | varint count }
+//                   (bin_gap is the gap to the previous non-zero bin; first gap is absolute).
+//                   Unknown types are skipped over their declared length and counted in
+//                   ReportFrame::unknown_records — an older collector keeps folding the loss
+//                   records of a newer emitter's frames during a mixed-version rollout.
 //   [-4] crc32      little-endian CRC-32 (IEEE) over every byte before it (tag included)
 //
 // Varint packing prices small values at one byte — a typical observation costs ~7-9 bytes
@@ -33,6 +43,7 @@
 #include <span>
 #include <vector>
 
+#include "src/anomaly/rtt_sketch.h"
 #include "src/routing/path_store.h"
 #include "src/topo/topology.h"
 
@@ -59,14 +70,29 @@ struct WireIntraDelta {
   bool operator==(const WireIntraDelta&) const = default;
 };
 
+// One per-path RTT sketch delta, carried in the frame's extension section. Epoch semantics
+// match WirePathDelta: a sketch for a stale slot orphans instead of folding.
+struct WireRttDelta {
+  PathId slot = -1;
+  uint32_t epoch = 0;
+  NodeId target = kInvalidNode;
+  RttSketch sketch;
+
+  bool operator==(const WireRttDelta&) const = default;
+};
+
 struct ReportFrame {
   NodeId pinger = kInvalidNode;
   uint64_t window_id = 0;
   uint64_t seq = 0;  // per (pinger, window) sequence number — the collector's idempotence key
   std::vector<WirePathDelta> paths;
   std::vector<WireIntraDelta> intra;
+  std::vector<WireRttDelta> rtt;  // extension records; empty frames omit the ext section
+  // Decode-side only: extension records whose type the decoder does not know, skipped over
+  // their declared length. Encode ignores it.
+  uint64_t unknown_records = 0;
 
-  size_t num_observations() const { return paths.size() + intra.size(); }
+  size_t num_observations() const { return paths.size() + intra.size() + rtt.size(); }
 
   bool operator==(const ReportFrame&) const = default;
 };
@@ -102,6 +128,10 @@ class ReportCodec {
   static constexpr uint8_t kVersion = 2;
   static constexpr size_t kTagOffset = 3;   // 8-byte SipHash tag lives at [3, 11)
   static constexpr size_t kHeaderPos = 11;  // payload varints start here
+  // Extension record types. 0 is reserved (never emitted) so a truncated type varint cannot
+  // alias a real record.
+  static constexpr uint64_t kExtTypeRttSketch = 1;
+  static constexpr uint64_t kMaxKnownExtType = kExtTypeRttSketch;
 
   // Serializes `frame`, replacing `out`'s contents, tagging the payload under `key`.
   static void Encode(const ReportFrame& frame, std::vector<uint8_t>& out,
@@ -109,9 +139,12 @@ class ReportCodec {
 
   // Parses `bytes` into `out`, verifying the tag under `key` (constant-time compare) before
   // any payload byte is parsed. On any error `out` is left untouched — a frame either decodes
-  // whole or contributes nothing.
+  // whole or contributes nothing. Extension records with type > max_known_ext_type are skipped
+  // over their declared length and tallied in out.unknown_records; passing a smaller
+  // max_known_ext_type emulates an older decoder against a newer emitter (regression-tested).
   static DecodeStatus Decode(std::span<const uint8_t> bytes, ReportFrame& out,
-                             const ReportKey& key = {});
+                             const ReportKey& key = {},
+                             uint64_t max_known_ext_type = kMaxKnownExtType);
 
   // Reads just the pinger id out of the frame header (magic + version + first varint) without
   // touching the CRC or the records — the sharded collector's ingest router peeks this to pick

@@ -234,6 +234,17 @@ void Collector::FoldFrame(IngestShard& shard, const ReportFrame& frame, uint64_t
     store_shard->RecordIntraRack(record.target, record.sent, record.lost);
     ++shard.stats.observations_folded;
   }
+  for (const WireRttDelta& record : frame.rtt) {
+    if (record.slot < 0 || static_cast<size_t>(record.slot) >= num_slots) {
+      ++shard.stats.unknown_slot_dropped;
+      continue;
+    }
+    store_shard->RecordPathRttAtEpoch(record.slot, record.epoch, record.target, record.sketch);
+    ++shard.stats.observations_folded;
+  }
+  // Extension records the decoder skipped (newer emitter during a mixed-version rollout): the
+  // frame's loss records folded above; only the unknown records are lost, and visibly so.
+  shard.stats.unknown_records += frame.unknown_records;
   ++shard.stats.frames_folded;
   if (staleness > 0) {
     ++shard.stats.frames_straddled;
@@ -280,6 +291,7 @@ CollectorStats Collector::stats() const {
     total.stale_window_dropped += s.stale_window_dropped;
     total.queue_overflow_dropped += s.queue_overflow_dropped;
     total.unknown_slot_dropped += s.unknown_slot_dropped;
+    total.unknown_records += s.unknown_records;
     total.wrong_partition_dropped += s.wrong_partition_dropped;
     total.frames_straddled += s.frames_straddled;
     total.max_fold_staleness = std::max(total.max_fold_staleness, s.max_fold_staleness);

@@ -65,6 +65,7 @@ struct CollectorStats {
   uint64_t stale_window_dropped = 0;    // frame.window_id older than the current window
   uint64_t queue_overflow_dropped = 0;  // bounded shard queue was full at Offer time
   uint64_t unknown_slot_dropped = 0;    // records beyond the store's slot table (skipped)
+  uint64_t unknown_records = 0;         // ext records of a type this build doesn't know (skipped)
   uint64_t wrong_partition_dropped = 0; // frame's pinger is owned by another collector
   uint64_t window_advances = 0;         // pending-window flips applied
   uint64_t frames_straddled = 0;        // folded >= 1 segment boundary after arrival

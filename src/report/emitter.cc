@@ -33,6 +33,16 @@ void ReportEmitter::OnIntraRack(NodeId target, int64_t sent, int64_t lost) {
   }
 }
 
+void ReportEmitter::OnPathRtt(PathId slot, NodeId target, const RttSketch& sketch) {
+  const uint32_t epoch = static_cast<size_t>(slot) < slot_epochs_.size()
+                             ? slot_epochs_[static_cast<size_t>(slot)]
+                             : 0;
+  pending_.rtt.push_back(WireRttDelta{slot, epoch, target, sketch});
+  if (pending_.num_observations() >= batch_observations_) {
+    Flush();
+  }
+}
+
 void ReportEmitter::Flush() {
   if (pending_.num_observations() == 0) {
     return;
@@ -47,6 +57,7 @@ void ReportEmitter::Flush() {
   stats_.observations_emitted += pending_.num_observations();
   pending_.paths.clear();
   pending_.intra.clear();
+  pending_.rtt.clear();
 }
 
 }  // namespace detector

@@ -12,6 +12,8 @@ const char* FailureTypeName(FailureType type) {
       return "random-partial";
     case FailureType::kDeterministicPartial:
       return "deterministic-partial";
+    case FailureType::kLatencyInflation:
+      return "latency-inflation";
   }
   return "?";
 }
@@ -32,6 +34,8 @@ double LinkFailure::DropProbability(const FlowKey& flow) const {
       return loss_rate;
     case FailureType::kDeterministicPartial:
       return FlowMatchesRule(flow) ? 1.0 : 0.0;
+    case FailureType::kLatencyInflation:
+      return 0.0;  // delivers every packet; only the RTT channel sees it
   }
   return 0.0;
 }

@@ -18,6 +18,10 @@ enum class FailureType : uint8_t {
   kFullLoss = 0,
   kRandomPartial = 1,
   kDeterministicPartial = 2,
+  // Gray failure: the link delivers every packet but adds added_delay_us per traversal —
+  // invisible to the loss counters (DropProbability 0), observable only through the RTT
+  // channel. Models the delay-but-deliver links of the paper's gray-failure discussion (§2).
+  kLatencyInflation = 3,
 };
 
 const char* FailureTypeName(FailureType type);
@@ -31,6 +35,9 @@ struct LinkFailure {
   // seed defining which flows match (emulates a specific misprogrammed match rule).
   double match_fraction = 0.0;
   uint64_t rule_seed = 0;
+  // Latency inflation: extra one-way delay per traversal of the link, in microseconds (a
+  // round trip through the link pays it twice). Zero for every loss failure type.
+  double added_delay_us = 0.0;
 
   // Whether a specific flow's packets are blackholed by this (deterministic) failure.
   bool FlowMatchesRule(const FlowKey& flow) const;

@@ -15,6 +15,12 @@ ProbeEngine::ProbeEngine(const Topology& topo, const FailureScenario& scenario,
       failure_of_link_[static_cast<size_t>(failure.link)] =
           static_cast<int32_t>(failures_.size());
       failures_.push_back(failure);
+      if (failure.type == FailureType::kLatencyInflation && failure.added_delay_us > 0.0) {
+        if (inflation_us_.empty()) {
+          inflation_us_.assign(topo.NumLinks(), 0.0);
+        }
+        inflation_us_[static_cast<size_t>(failure.link)] = failure.added_delay_us;
+      }
     }
   }
 }
@@ -52,6 +58,22 @@ void ProbeEngine::AttachLatencyModel(const LatencyModel* model,
   timeout_rtt_us_ = timeout_rtt_us;
 }
 
+void ProbeEngine::AttachRttObservation(const LatencyModel* model,
+                                       std::span<const double> link_load_mbps,
+                                       int samples_per_path, int sketch_bins) {
+  CHECK(model != nullptr);
+  CHECK(samples_per_path > 0);
+  CHECK(link_load_mbps.empty() || link_load_mbps.size() == topo_.NumLinks());
+  rtt_model_ = model;
+  if (link_load_mbps.empty()) {
+    rtt_link_load_mbps_.assign(topo_.NumLinks(), 0.0);
+  } else {
+    rtt_link_load_mbps_.assign(link_load_mbps.begin(), link_load_mbps.end());
+  }
+  rtt_samples_per_path_ = samples_per_path;
+  rtt_sketch_bins_ = sketch_bins;
+}
+
 double ProbeEngine::OneWaySuccessProbability(std::span<const LinkId> links,
                                              const FlowKey& flow) const {
   double success = 1.0;
@@ -72,7 +94,7 @@ PathObservation ProbeEngine::SimulateFlow(std::span<const LinkId> links, const F
 }
 
 PathObservation ProbeEngine::SimulatePath(std::span<const LinkId> links, NodeId src, NodeId dst,
-                                          int packets, Rng& rng) const {
+                                          int packets, Rng& rng, RttSketch* rtt) const {
   PathObservation obs;
   obs.sent = packets;
   if (packets <= 0) {
@@ -103,6 +125,23 @@ PathObservation ProbeEngine::SimulatePath(std::span<const LinkId> links, NodeId 
       }
     }
     obs.lost += timeouts;
+  }
+  if (rtt_model_ != nullptr && rtt != nullptr && obs.lost < obs.sent) {
+    // RTT samples draw from the same stream *after* every loss draw, so enabling observation
+    // never perturbs the loss trajectory of a run without it.
+    double inflation = 0.0;
+    if (failures_active_ && !inflation_us_.empty()) {
+      for (LinkId link : links) {
+        // Round trip: the link's extra delay is paid in both directions.
+        inflation += 2.0 * inflation_us_[static_cast<size_t>(link)];
+      }
+    }
+    const int64_t survivors = obs.sent - obs.lost;
+    const int64_t samples = std::min<int64_t>(survivors, rtt_samples_per_path_);
+    for (int64_t i = 0; i < samples; ++i) {
+      const double sample = rtt_model_->SampleRttUs(links, rtt_link_load_mbps_, rng) + inflation;
+      rtt->Record(static_cast<int64_t>(sample));
+    }
   }
   return obs;
 }

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "src/anomaly/rtt_sketch.h"
 #include "src/common/rng.h"
 #include "src/localize/observations.h"
 #include "src/routing/ecmp.h"
@@ -59,9 +60,13 @@ class ProbeEngine {
   bool failures_active() const { return failures_active_; }
 
   // Fast mode: `packets` probes between src/dst along the given links, spread evenly over the
-  // port loop. Returns sent/lost.
+  // port loop. Returns sent/lost. With RTT observation attached and `rtt` non-null, samples
+  // the RTT of up to rtt_samples_per_path() surviving probes into the sketch (drawn from the
+  // same `rng` stream, after the loss draws, so loss trajectories with observation disabled
+  // are untouched). Links under a kLatencyInflation failure add their extra delay to every
+  // sample — the gray-failure signal.
   PathObservation SimulatePath(std::span<const LinkId> links, NodeId src, NodeId dst,
-                               int packets, Rng& rng) const;
+                               int packets, Rng& rng, RttSketch* rtt = nullptr) const;
 
   // Fast mode for a single fixed flow (one 5-tuple, no port loop) — the baselines' ECMP probes
   // ride one hash per port, each on its own route.
@@ -89,6 +94,16 @@ class ProbeEngine {
   void DetachLatencyModel() { latency_model_ = nullptr; }
   bool latency_as_loss() const { return latency_model_ != nullptr; }
 
+  // RTT observation (the anomaly plane's measurement channel, distinct from latency-as-loss):
+  // with a model attached, SimulatePath fills the caller's RttSketch with up to
+  // samples_per_path per-survivor RTT draws. An empty link_load_mbps span means unloaded
+  // links (load 0 everywhere).
+  void AttachRttObservation(const LatencyModel* model, std::span<const double> link_load_mbps,
+                            int samples_per_path, int sketch_bins = RttSketch::kDefaultBins);
+  bool rtt_observation() const { return rtt_model_ != nullptr; }
+  int rtt_samples_per_path() const { return rtt_samples_per_path_; }
+  int rtt_sketch_bins() const { return rtt_sketch_bins_; }
+
   const ProbeConfig& config() const { return config_; }
   const Topology& topology() const { return topo_; }
 
@@ -106,6 +121,14 @@ class ProbeEngine {
   const LatencyModel* latency_model_ = nullptr;
   std::vector<double> link_load_mbps_;
   double timeout_rtt_us_ = 0.0;
+  // Optional RTT observation state.
+  const LatencyModel* rtt_model_ = nullptr;
+  std::vector<double> rtt_link_load_mbps_;
+  int rtt_samples_per_path_ = 0;
+  int rtt_sketch_bins_ = RttSketch::kDefaultBins;
+  // Extra one-way delay (us) of each link's active kLatencyInflation failure, dense by link;
+  // empty when the scenario has none (the common case pays one branch).
+  std::vector<double> inflation_us_;
 };
 
 }  // namespace detector

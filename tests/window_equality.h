@@ -27,6 +27,7 @@ inline void ExpectIdenticalWindows(const DetectorSystem::WindowResult& a,
   EXPECT_EQ(a.churn_events_applied, b.churn_events_applied) << when;
   EXPECT_EQ(a.localization.links, b.localization.links) << when;
   EXPECT_EQ(a.server_link_alarms, b.server_link_alarms) << when;
+  EXPECT_EQ(a.anomalies, b.anomalies) << when;
 }
 
 }  // namespace detector
